@@ -1,0 +1,170 @@
+// Command ibbe-bench regenerates every table and figure of the paper's
+// evaluation section (§VI). Each subcommand prints the same rows/series the
+// paper plots, plus a one-line "shape" summary restating the paper's claim
+// for the produced data.
+//
+// Usage:
+//
+//	ibbe-bench [-scale ci|medium|paper] fig2|fig6|fig7a|fig7b|fig8a|fig8b|fig9|fig10|table1|epc|all
+//
+// The ci scale (default) runs the whole suite in well under a minute on
+// reduced grids with identical shapes; medium takes minutes; paper runs the
+// full 512-bit, million-user grid of the original evaluation (hours in pure
+// Go — the artifact used GMP assembly).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/ibbesgx/ibbesgx/internal/benchmark"
+)
+
+func main() {
+	scale := flag.String("scale", "ci", "experiment scale: ci, medium, paper")
+	flag.Parse()
+	if err := run(*scale, flag.Args()); err != nil {
+		fmt.Fprintln(os.Stderr, "ibbe-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scale string, args []string) error {
+	cfg, ok := benchmark.ScaleByName(scale)
+	if !ok {
+		return fmt.Errorf("unknown scale %q (want ci, medium or paper)", scale)
+	}
+	if len(args) != 1 {
+		return fmt.Errorf("want exactly one experiment: fig2, fig6, fig7a, fig7b, fig8a, fig8b, fig9, fig10, table1, epc or all")
+	}
+	exp := args[0]
+
+	runners := map[string]func(benchmark.Config) error{
+		"fig2":   runFig2,
+		"fig6":   runFig6,
+		"fig7a":  runFig7a,
+		"fig7b":  runFig7b,
+		"fig8a":  runFig8a,
+		"fig8b":  runFig8b,
+		"fig9":   runFig9,
+		"fig10":  runFig10,
+		"table1": runTable1,
+		"epc":    runEPC,
+	}
+	if exp == "all" {
+		order := []string{"fig2", "fig6", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "table1", "epc"}
+		for _, name := range order {
+			if err := timed(name, cfg, runners[name]); err != nil {
+				return err
+			}
+			fmt.Println()
+		}
+		return nil
+	}
+	runner, ok := runners[exp]
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return timed(exp, cfg, runner)
+}
+
+func timed(name string, cfg benchmark.Config, f func(benchmark.Config) error) error {
+	start := time.Now()
+	if err := f(cfg); err != nil {
+		return fmt.Errorf("%s: %w", name, err)
+	}
+	fmt.Printf("[%s completed in %s]\n", name, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func runFig2(cfg benchmark.Config) error {
+	rows, err := benchmark.RunFig2(cfg)
+	if err != nil {
+		return err
+	}
+	benchmark.PrintFig2(os.Stdout, rows)
+	return nil
+}
+
+func runFig6(cfg benchmark.Config) error {
+	rows, err := benchmark.RunFig6(cfg)
+	if err != nil {
+		return err
+	}
+	benchmark.PrintFig6(os.Stdout, rows)
+	return nil
+}
+
+func runFig7a(cfg benchmark.Config) error {
+	rows, err := benchmark.RunFig7a(cfg)
+	if err != nil {
+		return err
+	}
+	benchmark.PrintFig7a(os.Stdout, rows)
+	return nil
+}
+
+func runFig7b(cfg benchmark.Config) error {
+	rows, err := benchmark.RunFig7b(cfg)
+	if err != nil {
+		return err
+	}
+	benchmark.PrintFig7b(os.Stdout, rows)
+	return nil
+}
+
+func runFig8a(cfg benchmark.Config) error {
+	res, err := benchmark.RunFig8a(cfg)
+	if err != nil {
+		return err
+	}
+	benchmark.PrintFig8a(os.Stdout, res)
+	return nil
+}
+
+func runFig8b(cfg benchmark.Config) error {
+	rows, err := benchmark.RunFig8b(cfg)
+	if err != nil {
+		return err
+	}
+	benchmark.PrintFig8b(os.Stdout, rows)
+	return nil
+}
+
+func runFig9(cfg benchmark.Config) error {
+	rows, err := benchmark.RunFig9(cfg)
+	if err != nil {
+		return err
+	}
+	benchmark.PrintFig9(os.Stdout, rows)
+	return nil
+}
+
+func runFig10(cfg benchmark.Config) error {
+	rows, err := benchmark.RunFig10(cfg)
+	if err != nil {
+		return err
+	}
+	benchmark.PrintFig10(os.Stdout, rows)
+	return nil
+}
+
+func runEPC(cfg benchmark.Config) error {
+	rows, err := benchmark.RunEPCExperiment(cfg)
+	if err != nil {
+		return err
+	}
+	benchmark.PrintEPC(os.Stdout, rows)
+	return nil
+}
+
+func runTable1(cfg benchmark.Config) error {
+	rows, err := benchmark.RunTable1(cfg)
+	if err != nil {
+		return err
+	}
+	benchmark.PrintTable1(os.Stdout, rows)
+	return nil
+}

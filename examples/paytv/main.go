@@ -1,0 +1,195 @@
+// Paytv: the paper's alternative scenario (§I) — pay-per-view broadcasting.
+// A broadcaster encrypts stream segments under the group key; subscribers
+// churn rapidly (subscribe, unsubscribe, lapse), and every revocation
+// rotates the key so lapsed subscribers cannot decrypt new segments. The
+// example demonstrates the partitioning mechanism under churn: decryption
+// cost stays bounded by the partition size no matter how large the audience
+// grows, and the client Watch API delivers rotations live.
+package main
+
+import (
+	"context"
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	ibbesgx "github.com/ibbesgx/ibbesgx"
+)
+
+const channel = "boxing-night"
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	sys, err := ibbesgx.NewSystem(ibbesgx.Options{Params: "fast-160", PartitionCapacity: 16})
+	if err != nil {
+		return err
+	}
+	store := ibbesgx.NewMemStore()
+	admin, err := sys.NewAdmin("broadcaster", store)
+	if err != nil {
+		return err
+	}
+
+	// 100 initial subscribers across ⌈100/16⌉ = 7 partitions.
+	subscribers := make([]string, 100)
+	for i := range subscribers {
+		subscribers[i] = fmt.Sprintf("subscriber-%03d@tv.example", i)
+	}
+	if err := admin.CreateGroup(ctx, channel, subscribers); err != nil {
+		return err
+	}
+	fmt.Printf("✓ channel %q: %d subscribers\n", channel, len(subscribers))
+
+	// One subscriber watches the channel: every key rotation arrives
+	// through the long-polling Watch API.
+	viewerCreds, err := sys.ProvisionUser(subscribers[7])
+	if err != nil {
+		return err
+	}
+	viewer, err := sys.NewClient(viewerCreds, store, channel)
+	if err != nil {
+		return err
+	}
+	var (
+		mu       sync.Mutex
+		viewKeys []ibbesgx.GroupKey
+	)
+	watchDone := make(chan error, 1)
+	go func() {
+		watchDone <- viewer.Watch(ctx, func(gk ibbesgx.GroupKey) {
+			mu.Lock()
+			viewKeys = append(viewKeys, gk)
+			mu.Unlock()
+		})
+	}()
+	waitForKeys(&mu, &viewKeys, 1)
+
+	// Broadcast a segment under the current key.
+	currentKey := func() ibbesgx.GroupKey {
+		mu.Lock()
+		defer mu.Unlock()
+		return viewKeys[len(viewKeys)-1]
+	}
+	seg1, err := encryptSegment(currentKey(), []byte("segment-001: round one"))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("✓ broadcast segment 1 (%d bytes, AES-GCM under the group key)\n", len(seg1))
+
+	// Churn: five lapsed subscriptions, three new ones. Each revocation
+	// rotates the key; adds do not (joiners may watch the running segment,
+	// exactly the paper's add semantics).
+	for i := 0; i < 5; i++ {
+		if err := admin.RemoveUser(ctx, channel, subscribers[i]); err != nil {
+			return err
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if err := admin.AddUser(ctx, channel, fmt.Sprintf("late-joiner-%d@tv.example", i)); err != nil {
+			return err
+		}
+	}
+	fmt.Println("✓ churn applied: 5 lapses (key rotations), 3 new subscriptions")
+
+	// The watcher has observed at least one rotation.
+	waitForKeys(&mu, &viewKeys, 2)
+	mu.Lock()
+	rotations := len(viewKeys) - 1
+	mu.Unlock()
+	fmt.Printf("✓ viewer observed %d key rotation(s) via long polling\n", rotations)
+
+	// A lapsed subscriber still holds the key of segment 1 (she paid for
+	// it) but cannot decrypt segment 2.
+	seg2, err := encryptSegment(currentKey(), []byte("segment-002: round two"))
+	if err != nil {
+		return err
+	}
+	lapsedCreds, err := sys.ProvisionUser(subscribers[0])
+	if err != nil {
+		return err
+	}
+	lapsed, err := sys.NewClient(lapsedCreds, store, channel)
+	if err != nil {
+		return err
+	}
+	if _, err := lapsed.GroupKey(ctx); !errors.Is(err, ibbesgx.ErrEvicted) {
+		return fmt.Errorf("lapsed subscriber not evicted: %v", err)
+	}
+	if _, err := decryptSegment(currentKey(), seg2); err != nil {
+		return err
+	}
+	fmt.Println("✓ lapsed subscriber cannot derive the key for new segments")
+
+	// The viewer decrypts both segments with the keys received on watch.
+	mu.Lock()
+	first := viewKeys[0]
+	mu.Unlock()
+	if _, err := decryptSegment(first, seg1); err != nil {
+		return fmt.Errorf("viewer cannot decrypt segment 1: %w", err)
+	}
+	if _, err := decryptSegment(currentKey(), seg2); err != nil {
+		return fmt.Errorf("viewer cannot decrypt segment 2: %w", err)
+	}
+	fmt.Println("✓ active viewer decrypts all segments")
+
+	cancel()
+	<-watchDone
+	return nil
+}
+
+// waitForKeys blocks until the watcher has at least n keys.
+func waitForKeys(mu *sync.Mutex, keys *[]ibbesgx.GroupKey, n int) {
+	for {
+		mu.Lock()
+		have := len(*keys)
+		mu.Unlock()
+		if have >= n {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func encryptSegment(gk ibbesgx.GroupKey, payload []byte) ([]byte, error) {
+	block, err := aes.NewCipher(gk[:])
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	return aead.Seal(nonce, nonce, payload, []byte(channel)), nil
+}
+
+func decryptSegment(gk ibbesgx.GroupKey, box []byte) ([]byte, error) {
+	block, err := aes.NewCipher(gk[:])
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	if len(box) < aead.NonceSize() {
+		return nil, errors.New("segment too short")
+	}
+	return aead.Open(nil, box[:aead.NonceSize()], box[aead.NonceSize():], []byte(channel))
+}

@@ -1,0 +1,125 @@
+// Tracereplay: replays a scaled-down version of the paper's Linux-kernel
+// membership trace (Fig. 9) through the public API, reporting administrator
+// time and sampled user decryption latency — a miniature of the
+// macrobenchmark a downstream user can adapt to their own workloads.
+//
+// Flags:
+//
+//	-ops 2000       number of membership operations to replay
+//	-peak 150       maximal concurrent group size
+//	-capacity 32    partition capacity
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	ibbesgx "github.com/ibbesgx/ibbesgx"
+	"github.com/ibbesgx/ibbesgx/internal/trace"
+)
+
+func main() {
+	ops := flag.Int("ops", 2000, "membership operations to replay")
+	peak := flag.Int("peak", 150, "peak concurrent group size")
+	capacity := flag.Int("capacity", 32, "partition capacity")
+	flag.Parse()
+	if err := run(*ops, *peak, *capacity); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(ops, peak, capacity int) error {
+	ctx := context.Background()
+	tr, err := trace.Kernel(trace.KernelConfig{
+		TotalOps: ops,
+		PeakLive: peak,
+		Span:     10 * 365 * 24 * time.Hour,
+		Seed:     2018,
+	})
+	if err != nil {
+		return err
+	}
+	stats := tr.Stats()
+	fmt.Printf("trace: %d ops (%d adds, %d removes), peak %d members\n",
+		stats.Ops, stats.Adds, stats.Removes, stats.MaxLive)
+
+	sys, err := ibbesgx.NewSystem(ibbesgx.Options{Params: "fast-160", PartitionCapacity: capacity})
+	if err != nil {
+		return err
+	}
+	store := ibbesgx.NewMemStore()
+	admin, err := sys.NewAdmin("replay", store)
+	if err != nil {
+		return err
+	}
+
+	const group = "kernel"
+	live := map[string]bool{}
+	created := false
+	var (
+		adminTime    time.Duration
+		decryptTime  time.Duration
+		decryptCount int
+	)
+	sampleEvery := ops / 25
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+
+	start := time.Now()
+	for i, op := range tr.Ops {
+		opStart := time.Now()
+		switch op.Kind {
+		case trace.OpAdd:
+			if !created {
+				if err := admin.CreateGroup(ctx, group, []string{op.User}); err != nil {
+					return err
+				}
+				created = true
+			} else if err := admin.AddUser(ctx, group, op.User); err != nil {
+				return err
+			}
+			live[op.User] = true
+		case trace.OpRemove:
+			if err := admin.RemoveUser(ctx, group, op.User); err != nil {
+				return err
+			}
+			delete(live, op.User)
+		}
+		adminTime += time.Since(opStart)
+
+		if (i+1)%sampleEvery == 0 && len(live) > 0 {
+			var member string
+			for u := range live {
+				member = u
+				break
+			}
+			creds, err := sys.ProvisionUser(member)
+			if err != nil {
+				return err
+			}
+			cli, err := sys.NewClient(creds, store, group)
+			if err != nil {
+				return err
+			}
+			dStart := time.Now()
+			if _, err := cli.GroupKey(ctx); err != nil {
+				return fmt.Errorf("sampled decrypt as %s: %w", member, err)
+			}
+			decryptTime += time.Since(dStart)
+			decryptCount++
+		}
+	}
+
+	fmt.Printf("replay finished in %s (admin time %s)\n",
+		time.Since(start).Round(time.Millisecond), adminTime.Round(time.Millisecond))
+	if decryptCount > 0 {
+		fmt.Printf("avg sampled user decrypt: %s over %d samples\n",
+			(decryptTime / time.Duration(decryptCount)).Round(time.Microsecond), decryptCount)
+	}
+	fmt.Printf("final group size: %d members; certified operations: %d\n", len(live), sys.Log().Len())
+	return nil
+}

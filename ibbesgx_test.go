@@ -1,0 +1,149 @@
+package ibbesgx
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func testSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := NewSystem(Options{Params: "fast-160", PartitionCapacity: 4})
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	return sys
+}
+
+func TestNewSystemDefaults(t *testing.T) {
+	sys, err := NewSystem(Options{Params: "fast-160"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.PartitionCapacity() != 1000 {
+		t.Fatalf("default capacity = %d", sys.PartitionCapacity())
+	}
+	if sys.EnclaveCertificate() == nil || sys.AuditorRoot() == nil {
+		t.Fatal("certificates missing")
+	}
+}
+
+func TestNewSystemRejectsUnknownParams(t *testing.T) {
+	if _, err := NewSystem(Options{Params: "quantum-9000"}); err == nil {
+		t.Fatal("unknown parameter scale accepted")
+	}
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	sys := testSystem(t)
+	store := NewMemStore()
+	ctx := context.Background()
+
+	adm, err := sys.NewAdmin("ops", store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := []string{"alice@x", "bob@x", "carol@x", "dave@x", "erin@x"}
+	if err := adm.CreateGroup(ctx, "designers", members); err != nil {
+		t.Fatal(err)
+	}
+
+	// Provision two users and confirm they share the group key.
+	aliceCreds, err := sys.ProvisionUser("alice@x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := sys.NewClient(aliceCreds, store, "designers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	erinCreds, err := sys.ProvisionUser("erin@x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	erin, err := sys.NewClient(erinCreds, store, "designers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gkA, err := alice.GroupKey(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gkE, err := erin.GroupKey(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gkA != gkE {
+		t.Fatal("members disagree on the group key")
+	}
+
+	// Revoke erin: alice's key rotates, erin is evicted.
+	if err := adm.RemoveUser(ctx, "designers", "erin@x"); err != nil {
+		t.Fatal(err)
+	}
+	gkA2, err := alice.Refresh(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gkA2 == gkA {
+		t.Fatal("group key not rotated")
+	}
+	if _, err := erin.Refresh(ctx); !errors.Is(err, ErrEvicted) {
+		t.Fatalf("revoked user: %v, want ErrEvicted", err)
+	}
+
+	// The certified log covers both operations.
+	if sys.Log().Len() != 2 {
+		t.Fatalf("log entries = %d", sys.Log().Len())
+	}
+}
+
+func TestCredentialsBoundToSystem(t *testing.T) {
+	sysA := testSystem(t)
+	sysB := testSystem(t)
+	creds, err := sysA.ProvisionUser("alice@x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sysB.NewClient(creds, NewMemStore(), "g"); err == nil {
+		t.Fatal("foreign credentials accepted")
+	}
+}
+
+func TestNewAdminRejectsNilStore(t *testing.T) {
+	sys := testSystem(t)
+	if _, err := sys.NewAdmin("a", nil); err == nil {
+		t.Fatal("nil store accepted")
+	}
+}
+
+func TestTraceHelpers(t *testing.T) {
+	tr, err := SyntheticTrace(100, 0.5, 120, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Ops) != 100 || len(tr.Initial) != 120 {
+		t.Fatalf("trace shape: %d ops, %d initial", len(tr.Ops), len(tr.Initial))
+	}
+}
+
+func TestMemStoreWithLatency(t *testing.T) {
+	st := NewMemStoreWithLatency(Latency{Put: 20 * time.Millisecond})
+	ctx := context.Background()
+	start := time.Now()
+	if err := st.Put(ctx, "d", "o", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 20*time.Millisecond {
+		t.Fatal("latency not injected")
+	}
+}
+
+func TestEPCStatsExposed(t *testing.T) {
+	sys := testSystem(t)
+	stats := sys.EPCStats()
+	if stats.Limit <= 0 {
+		t.Fatal("EPC stats missing")
+	}
+}

@@ -1,0 +1,241 @@
+// Package admin implements the administrator side of the end-to-end system
+// (Fig. 5): it drives the core.Manager (which in turn calls the enclave)
+// and pushes the resulting partition records to the cloud store with PUT,
+// keeping a local cache so membership operations never need to read back
+// from the cloud (§IV-C: administrators "can locally cache it and thus
+// bypass the cost of accessing the cloud for metadata structures").
+package admin
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/ibbesgx/ibbesgx/internal/core"
+	"github.com/ibbesgx/ibbesgx/internal/storage"
+)
+
+// Admin binds a manager to a cloud store. Operations are safe for
+// concurrent use (the manager serialises, and the store is concurrent).
+type Admin struct {
+	// Name identifies this administrator in the certified operation log.
+	Name string
+
+	mgr   *core.Manager
+	store storage.Store
+	// log, when non-nil, certifies every membership operation (§VIII
+	// future work; see core.OpLog).
+	log *core.OpLog
+}
+
+// New creates an administrator frontend.
+func New(name string, mgr *core.Manager, store storage.Store, log *core.OpLog) *Admin {
+	return &Admin{Name: name, mgr: mgr, store: store, log: log}
+}
+
+// Manager exposes the underlying manager (e.g. for metadata accounting).
+func (a *Admin) Manager() *core.Manager { return a.mgr }
+
+// CreateGroup runs Algorithm 1 and publishes all partition records.
+func (a *Admin) CreateGroup(ctx context.Context, group string, members []string) error {
+	up, err := a.mgr.CreateGroup(group, members)
+	if err != nil {
+		return err
+	}
+	if err := a.apply(ctx, up); err != nil {
+		return err
+	}
+	if err := a.updateCatalog(ctx, group); err != nil {
+		return err
+	}
+	return a.certify(group, core.OpCreateGroup, "")
+}
+
+// AddUser runs Algorithm 2 and publishes the affected partition record.
+func (a *Admin) AddUser(ctx context.Context, group, user string) error {
+	up, err := a.mgr.AddUser(group, user)
+	if err != nil {
+		return err
+	}
+	if err := a.apply(ctx, up); err != nil {
+		return err
+	}
+	return a.certify(group, core.OpAddUser, user)
+}
+
+// RemoveUser runs Algorithm 3 (and possibly a re-partition) and publishes
+// every affected record.
+func (a *Admin) RemoveUser(ctx context.Context, group, user string) error {
+	up, err := a.mgr.RemoveUser(group, user)
+	if err != nil {
+		return err
+	}
+	if err := a.apply(ctx, up); err != nil {
+		return err
+	}
+	return a.certify(group, core.OpRemoveUser, user)
+}
+
+// RekeyGroup rotates the group key and republishes all records.
+func (a *Admin) RekeyGroup(ctx context.Context, group string) error {
+	up, err := a.mgr.RekeyGroup(group)
+	if err != nil {
+		return err
+	}
+	if err := a.apply(ctx, up); err != nil {
+		return err
+	}
+	return a.certify(group, core.OpRekey, "")
+}
+
+// Repartition forces a dense re-layout of a group.
+func (a *Admin) Repartition(ctx context.Context, group string) error {
+	up, err := a.mgr.Repartition(group)
+	if err != nil {
+		return err
+	}
+	if err := a.apply(ctx, up); err != nil {
+		return err
+	}
+	return a.certify(group, core.OpRepartition, "")
+}
+
+// Reserved object names inside a group directory (never partition records;
+// clients skip names with this prefix).
+const (
+	reservedPrefix = "_"
+	// sealedGKObject stores the enclave-sealed group key next to the
+	// partition records — Algorithm 1 line 7's "Store: (1) sealed gk". It
+	// is opaque to the cloud and to curious administrators.
+	sealedGKObject = "_sealed_gk"
+	// catalogDir / catalogObject track the set of groups for RestoreAll.
+	catalogDir    = "_system"
+	catalogObject = "groups"
+)
+
+// apply pushes an update to the cloud: deletes first (so clients never see
+// a stale partition alongside its replacement), then puts, then the current
+// sealed group key.
+func (a *Admin) apply(ctx context.Context, up *core.Update) error {
+	scheme := a.mgr.Scheme()
+	for _, id := range up.Delete {
+		if err := a.store.Delete(ctx, up.Group, id); err != nil {
+			return fmt.Errorf("admin: deleting %s/%s: %w", up.Group, id, err)
+		}
+	}
+	for id, rec := range up.Put {
+		blob, err := rec.Marshal(scheme)
+		if err != nil {
+			return err
+		}
+		if err := a.store.Put(ctx, up.Group, id, blob); err != nil {
+			return fmt.Errorf("admin: putting %s/%s: %w", up.Group, id, err)
+		}
+	}
+	sealed, err := a.mgr.SealedGroupKey(up.Group)
+	if err != nil {
+		return err
+	}
+	if err := a.store.Put(ctx, up.Group, sealedGKObject, sealed); err != nil {
+		return fmt.Errorf("admin: putting sealed group key: %w", err)
+	}
+	return nil
+}
+
+// updateCatalog records the group name in the cloud catalog (idempotent).
+func (a *Admin) updateCatalog(ctx context.Context, group string) error {
+	groups, err := a.readCatalog(ctx)
+	if err != nil {
+		return err
+	}
+	for _, g := range groups {
+		if g == group {
+			return nil
+		}
+	}
+	groups = append(groups, group)
+	sort.Strings(groups)
+	blob, err := json.Marshal(groups)
+	if err != nil {
+		return err
+	}
+	return a.store.Put(ctx, catalogDir, catalogObject, blob)
+}
+
+// readCatalog returns the group names recorded in the cloud catalog.
+func (a *Admin) readCatalog(ctx context.Context) ([]string, error) {
+	blob, err := a.store.Get(ctx, catalogDir, catalogObject)
+	if errors.Is(err, storage.ErrNotFound) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var groups []string
+	if err := json.Unmarshal(blob, &groups); err != nil {
+		return nil, fmt.Errorf("admin: corrupt catalog: %w", err)
+	}
+	return groups, nil
+}
+
+// RestoreGroup rebuilds the manager's state for one group from the cloud:
+// every partition record plus the sealed group key. Use after an
+// administrator restart (the enclave must hold the same master secret, via
+// EcallRestore on the same platform).
+func (a *Admin) RestoreGroup(ctx context.Context, group string) error {
+	names, err := a.store.List(ctx, group)
+	if err != nil {
+		return fmt.Errorf("admin: listing %s: %w", group, err)
+	}
+	scheme := a.mgr.Scheme()
+	recs := make(map[string]*core.PartitionRecord)
+	var sealedGK []byte
+	for _, name := range names {
+		blob, err := a.store.Get(ctx, group, name)
+		if err != nil {
+			return err
+		}
+		if name == sealedGKObject {
+			sealedGK = blob
+			continue
+		}
+		if strings.HasPrefix(name, reservedPrefix) {
+			continue
+		}
+		rec, err := core.UnmarshalRecord(scheme, blob)
+		if err != nil {
+			return fmt.Errorf("admin: record %s/%s: %w", group, name, err)
+		}
+		recs[name] = rec
+	}
+	if sealedGK == nil {
+		return fmt.Errorf("admin: group %s has no sealed group key in the cloud", group)
+	}
+	return a.mgr.RestoreGroup(group, recs, sealedGK)
+}
+
+// RestoreAll restores every group recorded in the cloud catalog.
+func (a *Admin) RestoreAll(ctx context.Context) error {
+	groups, err := a.readCatalog(ctx)
+	if err != nil {
+		return err
+	}
+	for _, g := range groups {
+		if err := a.RestoreGroup(ctx, g); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// certify appends to the operation log when one is configured.
+func (a *Admin) certify(group string, kind core.OpKind, user string) error {
+	if a.log == nil {
+		return nil
+	}
+	_, err := a.log.Append(a.Name, group, kind, user)
+	return err
+}

@@ -1,0 +1,8 @@
+package admin
+
+import "crypto/x509"
+
+// parseDER parses a DER certificate in tests.
+func parseDER(der []byte) (*x509.Certificate, error) {
+	return x509.ParseCertificate(der)
+}

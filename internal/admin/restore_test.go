@@ -1,0 +1,158 @@
+package admin
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"github.com/ibbesgx/ibbesgx/internal/core"
+)
+
+func TestRestoreGroupAfterAdminRestart(t *testing.T) {
+	s := newSys(t, 3)
+	ctx := context.Background()
+	members := users(7)
+	if err := s.admin.CreateGroup(ctx, "g", members); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.admin.RemoveUser(ctx, "g", members[2]); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh manager on the same enclave (the enclave keeps its
+	// master secret; across process restarts EcallRestore reloads it).
+	mgr2, err := core.NewManager(s.encl, 3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admin2 := New("admin-2", mgr2, s.store, nil)
+	if err := admin2.RestoreAll(ctx); err != nil {
+		t.Fatalf("RestoreAll: %v", err)
+	}
+
+	// The restored manager agrees with the original on membership.
+	want, err := s.admin.Manager().Members("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := mgr2.Members("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("restored members = %d, want %d", len(got), len(want))
+	}
+
+	// The restored admin can continue operating the group: add a user to a
+	// new partition (unsealing the restored group key) and remove one.
+	if err := admin2.AddUser(ctx, "g", "post-restore@example.com"); err != nil {
+		t.Fatalf("AddUser after restore: %v", err)
+	}
+	if err := admin2.RemoveUser(ctx, "g", members[0]); err != nil {
+		t.Fatalf("RemoveUser after restore: %v", err)
+	}
+
+	// Clients still converge on one key for the continued group.
+	cNew := s.clientFor(t, "post-restore@example.com", "g")
+	cOld := s.clientFor(t, members[1], "g")
+	gkNew, err := cNew.GroupKey(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gkOld, err := cOld.GroupKey(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gkNew != gkOld {
+		t.Fatal("members disagree after restored-admin operations")
+	}
+}
+
+func TestRestoreGroupRequiresSealedKey(t *testing.T) {
+	s := newSys(t, 2)
+	ctx := context.Background()
+	if err := s.admin.CreateGroup(ctx, "g", users(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.store.Delete(ctx, "g", "_sealed_gk"); err != nil {
+		t.Fatal(err)
+	}
+	mgr2, err := core.NewManager(s.encl, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admin2 := New("admin-2", mgr2, s.store, nil)
+	if err := admin2.RestoreGroup(ctx, "g"); err == nil {
+		t.Fatal("restore without sealed key succeeded")
+	}
+}
+
+func TestRestoreGroupRejectsCorruptRecord(t *testing.T) {
+	s := newSys(t, 2)
+	ctx := context.Background()
+	if err := s.admin.CreateGroup(ctx, "g", users(2)); err != nil {
+		t.Fatal(err)
+	}
+	names, _ := s.store.List(ctx, "g")
+	for _, n := range names {
+		if !strings.HasPrefix(n, "_") {
+			if err := s.store.Put(ctx, "g", n, []byte("garbage")); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	mgr2, err := core.NewManager(s.encl, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	admin2 := New("admin-2", mgr2, s.store, nil)
+	if err := admin2.RestoreGroup(ctx, "g"); err == nil {
+		t.Fatal("corrupt record accepted during restore")
+	}
+}
+
+func TestRestoreAllEmptyCatalog(t *testing.T) {
+	s := newSys(t, 2)
+	if err := s.admin.RestoreAll(context.Background()); err != nil {
+		t.Fatalf("RestoreAll on empty catalog: %v", err)
+	}
+}
+
+func TestRestoreExistingGroupRejected(t *testing.T) {
+	s := newSys(t, 2)
+	ctx := context.Background()
+	if err := s.admin.CreateGroup(ctx, "g", users(2)); err != nil {
+		t.Fatal(err)
+	}
+	// Restoring into the same (still-populated) manager must fail.
+	if err := s.admin.RestoreGroup(ctx, "g"); !errors.Is(err, core.ErrGroupExists) {
+		t.Fatalf("restore over live group: %v", err)
+	}
+}
+
+func TestCatalogAccumulatesGroups(t *testing.T) {
+	s := newSys(t, 2)
+	ctx := context.Background()
+	for _, g := range []string{"beta", "alpha"} {
+		if err := s.admin.CreateGroup(ctx, g, users(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	groups, err := s.admin.readCatalog(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(groups) != 2 || groups[0] != "alpha" || groups[1] != "beta" {
+		t.Fatalf("catalog = %v", groups)
+	}
+	// Idempotence: re-adding the same group keeps the catalog stable.
+	if err := s.admin.updateCatalog(ctx, "alpha"); err != nil {
+		t.Fatal(err)
+	}
+	groups2, _ := s.admin.readCatalog(ctx)
+	if len(groups2) != 2 {
+		t.Fatalf("catalog grew on duplicate: %v", groups2)
+	}
+}

@@ -1,0 +1,267 @@
+package admin
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"crypto/x509"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/ibbesgx/ibbesgx/internal/enclave"
+	"github.com/ibbesgx/ibbesgx/internal/ibbe"
+	"github.com/ibbesgx/ibbesgx/internal/pairing"
+	"github.com/ibbesgx/ibbesgx/internal/pki"
+)
+
+// Service exposes an administrator and the user-key provisioning channel
+// over HTTP — the deployment shape of Fig. 5, where the admin server fronts
+// the enclave. The provisioning payloads are self-protecting (ECIES to the
+// user's ephemeral key plus an enclave signature), so the transport needs
+// no additional secrecy; production deployments still wrap it in TLS as the
+// paper prescribes.
+//
+// Routes:
+//
+//	POST /admin/create     {"group": g, "members": [...]}
+//	POST /admin/add        {"group": g, "user": u}
+//	POST /admin/remove     {"group": g, "user": u}
+//	POST /provision        {"id": u, "ecdh_pub": b64} → ProvisionResponse
+//	GET  /info             → SystemInfo
+type Service struct {
+	Admin *Admin
+	// Encl is the enclave behind the admin (for provisioning).
+	Encl *enclave.IBBEEnclave
+	// EnclaveCertDER / RootCertDER are served to users for verification.
+	EnclaveCertDER []byte
+	RootCertDER    []byte
+	// ParamsName identifies the pairing parameter set clients must use.
+	ParamsName string
+}
+
+// SystemInfo describes the deployment to clients.
+type SystemInfo struct {
+	Params         string `json:"params"`
+	PublicKey      string `json:"public_key"`
+	EnclaveCertDER string `json:"enclave_cert_der"`
+	RootCertDER    string `json:"root_cert_der"`
+	Capacity       int    `json:"partition_capacity"`
+}
+
+// ProvisionRequest is a user's key request.
+type ProvisionRequest struct {
+	ID      string `json:"id"`
+	ECDHPub string `json:"ecdh_pub"` // base64 uncompressed P-256 point
+}
+
+// ProvisionResponse carries the wrapped user key plus everything needed to
+// verify and use it.
+type ProvisionResponse struct {
+	ID             string `json:"id"`
+	Box            string `json:"box"`
+	Sig            string `json:"sig"`
+	Params         string `json:"params"`
+	PublicKey      string `json:"public_key"`
+	EnclaveCertDER string `json:"enclave_cert_der"`
+	RootCertDER    string `json:"root_cert_der"`
+}
+
+type memberOpRequest struct {
+	Group   string   `json:"group"`
+	User    string   `json:"user,omitempty"`
+	Members []string `json:"members,omitempty"`
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/info" && r.Method == http.MethodGet:
+		s.handleInfo(w)
+	case r.URL.Path == "/provision" && r.Method == http.MethodPost:
+		s.handleProvision(w, r)
+	case strings.HasPrefix(r.URL.Path, "/admin/") && r.Method == http.MethodPost:
+		s.handleAdmin(w, r)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func (s *Service) handleInfo(w http.ResponseWriter) {
+	writeJSON(w, s.info())
+}
+
+func (s *Service) info() SystemInfo {
+	scheme := s.Admin.Manager().Scheme()
+	return SystemInfo{
+		Params:         s.ParamsName,
+		PublicKey:      base64.StdEncoding.EncodeToString(scheme.MarshalPublicKey(s.Admin.Manager().PublicKey())),
+		EnclaveCertDER: base64.StdEncoding.EncodeToString(s.EnclaveCertDER),
+		RootCertDER:    base64.StdEncoding.EncodeToString(s.RootCertDER),
+		Capacity:       s.Admin.Manager().Capacity(),
+	}
+}
+
+func (s *Service) handleProvision(w http.ResponseWriter, r *http.Request) {
+	var req ProvisionRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	pubRaw, err := base64.StdEncoding.DecodeString(req.ECDHPub)
+	if err != nil {
+		http.Error(w, "bad ecdh_pub encoding", http.StatusBadRequest)
+		return
+	}
+	pub, err := ecdh.P256().NewPublicKey(pubRaw)
+	if err != nil {
+		http.Error(w, "bad ecdh_pub point", http.StatusBadRequest)
+		return
+	}
+	prov, err := s.Encl.EcallExtractUserKey(req.ID, pub)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	info := s.info()
+	writeJSON(w, ProvisionResponse{
+		ID:             prov.ID,
+		Box:            base64.StdEncoding.EncodeToString(prov.Box),
+		Sig:            base64.StdEncoding.EncodeToString(prov.Sig),
+		Params:         info.Params,
+		PublicKey:      info.PublicKey,
+		EnclaveCertDER: info.EnclaveCertDER,
+		RootCertDER:    info.RootCertDER,
+	})
+}
+
+func (s *Service) handleAdmin(w http.ResponseWriter, r *http.Request) {
+	var req memberOpRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 8<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Group == "" {
+		http.Error(w, "missing group", http.StatusBadRequest)
+		return
+	}
+	var err error
+	switch strings.TrimPrefix(r.URL.Path, "/admin/") {
+	case "create":
+		err = s.Admin.CreateGroup(r.Context(), req.Group, req.Members)
+	case "add":
+		err = s.Admin.AddUser(r.Context(), req.Group, req.User)
+	case "remove":
+		err = s.Admin.RemoveUser(r.Context(), req.Group, req.User)
+	case "rekey":
+		err = s.Admin.RekeyGroup(r.Context(), req.Group)
+	default:
+		http.NotFound(w, r)
+		return
+	}
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusConflict)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// ProvisionOverHTTP is the user-side counterpart to the /provision
+// endpoint: it generates an ephemeral ECDH key, requests the wrapped user
+// key, verifies the enclave certificate chain against pinnedRoot (or the
+// served root when pinnedRoot is nil — trust-on-first-use, acceptable only
+// for demos) and the enclave signature, and returns the usable key
+// material.
+func ProvisionOverHTTP(httpc *http.Client, baseURL, id string, pinnedRoot *x509.Certificate) (*ibbe.Scheme, *ibbe.PublicKey, *ibbe.UserKey, error) {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	priv, err := ecdh.P256().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	reqBody, err := json.Marshal(ProvisionRequest{
+		ID:      id,
+		ECDHPub: base64.StdEncoding.EncodeToString(priv.PublicKey().Bytes()),
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	resp, err := httpc.Post(strings.TrimRight(baseURL, "/")+"/provision", "application/json", strings.NewReader(string(reqBody)))
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, nil, nil, fmt.Errorf("admin: provisioning failed: %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+	}
+	var pr ProvisionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return nil, nil, nil, err
+	}
+
+	params := pairing.ByName(pr.Params)
+	if params == nil {
+		return nil, nil, nil, fmt.Errorf("admin: unknown parameter set %q", pr.Params)
+	}
+	scheme := ibbe.NewScheme(params)
+
+	certDER, err := base64.StdEncoding.DecodeString(pr.EnclaveCertDER)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	cert, err := x509.ParseCertificate(certDER)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("admin: parsing enclave certificate: %w", err)
+	}
+	root := pinnedRoot
+	if root == nil {
+		rootDER, err := base64.StdEncoding.DecodeString(pr.RootCertDER)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		if root, err = x509.ParseCertificate(rootDER); err != nil {
+			return nil, nil, nil, fmt.Errorf("admin: parsing root certificate: %w", err)
+		}
+	}
+	enclaveKey, err := pki.VerifyEnclaveCert(cert, root, enclave.IBBEMeasurement())
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("admin: enclave certificate rejected: %w", err)
+	}
+
+	box, err := base64.StdEncoding.DecodeString(pr.Box)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sig, err := base64.StdEncoding.DecodeString(pr.Sig)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	prov := &enclave.ProvisionedKey{ID: pr.ID, Box: box, Sig: sig}
+	userKey, err := prov.Open(scheme, enclaveKey, priv)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("admin: provisioned key rejected: %w", err)
+	}
+
+	pkRaw, err := base64.StdEncoding.DecodeString(pr.PublicKey)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	pk, err := scheme.UnmarshalPublicKey(pkRaw)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("admin: parsing system public key: %w", err)
+	}
+	return scheme, pk, userKey, nil
+}
+
+// ErrNoEnclave reports a Service constructed without its enclave.
+var ErrNoEnclave = errors.New("admin: service requires an enclave")

@@ -1,0 +1,184 @@
+package admin
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/ibbesgx/ibbesgx/internal/attest"
+	"github.com/ibbesgx/ibbesgx/internal/client"
+	"github.com/ibbesgx/ibbesgx/internal/enclave"
+	"github.com/ibbesgx/ibbesgx/internal/pki"
+)
+
+// newService builds a full attested service over a fresh system.
+func newService(t *testing.T) (*Service, *sys) {
+	t.Helper()
+	s := newSys(t, 3)
+	ias, err := attest.NewIAS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ias.RegisterPlatform(s.encl.Enclave().Platform())
+	auditor, err := pki.NewAuditor(ias.PublicKey(), enclave.IBBEMeasurement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := auditor.AttestAndCertify(ias, s.encl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Service{
+		Admin:          s.admin,
+		Encl:           s.encl,
+		EnclaveCertDER: cert.Raw,
+		RootCertDER:    auditor.RootDER(),
+		ParamsName:     "type-a-160",
+	}, s
+}
+
+func TestServiceInfoAndAdminOps(t *testing.T) {
+	svc, s := newService(t)
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/info: %d", resp.StatusCode)
+	}
+
+	post := func(path, body string) int {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := post("/admin/create", `{"group":"g","members":["a@x","b@x"]}`); code != 204 {
+		t.Fatalf("create: %d", code)
+	}
+	if code := post("/admin/add", `{"group":"g","user":"c@x"}`); code != 204 {
+		t.Fatalf("add: %d", code)
+	}
+	if code := post("/admin/remove", `{"group":"g","user":"a@x"}`); code != 204 {
+		t.Fatalf("remove: %d", code)
+	}
+	if code := post("/admin/rekey", `{"group":"g"}`); code != 204 {
+		t.Fatalf("rekey: %d", code)
+	}
+	// Errors surface as 409.
+	if code := post("/admin/remove", `{"group":"g","user":"ghost@x"}`); code != 409 {
+		t.Fatalf("bad remove: %d", code)
+	}
+	if code := post("/admin/create", `{}`); code != 400 {
+		t.Fatalf("missing group: %d", code)
+	}
+	members, err := s.admin.Manager().Members("g")
+	if err != nil || len(members) != 2 {
+		t.Fatalf("members after ops: %v %v", members, err)
+	}
+}
+
+func TestProvisionOverHTTPEndToEnd(t *testing.T) {
+	svc, s := newService(t)
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	ctx := context.Background()
+
+	if err := s.admin.CreateGroup(ctx, "g", []string{"alice@x", "bob@x"}); err != nil {
+		t.Fatal(err)
+	}
+	scheme, pk, userKey, err := ProvisionOverHTTP(ts.Client(), ts.URL, "alice@x", nil)
+	if err != nil {
+		t.Fatalf("ProvisionOverHTTP: %v", err)
+	}
+	// The provisioned material decrypts the group key through the normal
+	// client path.
+	c, err := client.New(scheme, pk, "alice@x", userKey, s.store, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.GroupKey(ctx); err != nil {
+		t.Fatalf("decrypt with provisioned key: %v", err)
+	}
+}
+
+func TestProvisionOverHTTPWithPinnedRoot(t *testing.T) {
+	svc, _ := newService(t)
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	// Pinning the genuine root succeeds.
+	root, err := parseDER(svc.RootCertDER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ProvisionOverHTTP(ts.Client(), ts.URL, "u@x", root); err != nil {
+		t.Fatalf("pinned genuine root: %v", err)
+	}
+
+	// Pinning a foreign root rejects the service.
+	ias, err := attest.NewIAS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreignAuditor, err := pki.NewAuditor(ias.PublicKey(), enclave.IBBEMeasurement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := ProvisionOverHTTP(ts.Client(), ts.URL, "u@x", foreignAuditor.RootCertificate()); err == nil {
+		t.Fatal("foreign pinned root accepted the enclave certificate")
+	}
+}
+
+func TestProvisionRejectsBadRequests(t *testing.T) {
+	svc, _ := newService(t)
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/provision", "application/json", strings.NewReader(`{"id":"x","ecdh_pub":"!!!"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad encoding: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/provision", "application/json", strings.NewReader(`{"id":"x","ecdh_pub":"AAAA"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad point: %d", resp.StatusCode)
+	}
+}
+
+func TestServiceUnknownRoutes(t *testing.T) {
+	svc, _ := newService(t)
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown route: %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/admin/frobnicate", "application/json", strings.NewReader(`{"group":"g"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown admin op: %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,187 @@
+// Package attest simulates the Intel SGX remote-attestation ecosystem of
+// Fig. 3 of the paper: enclave quotes signed by the platform's quoting key,
+// and the Intel Attestation Service (IAS) that vouches that a quote comes
+// from a genuine SGX platform.
+//
+// The simulation preserves the protocol's information flow and verification
+// obligations exactly; it replaces EPID group signatures with ECDSA and the
+// Intel-hosted web service with an in-process verifier holding a registry of
+// "genuine" platform keys.
+package attest
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/ibbesgx/ibbesgx/internal/enclave"
+)
+
+// Errors returned by attestation verification.
+var (
+	// ErrUnknownPlatform reports a quote from a platform IAS has no record of.
+	ErrUnknownPlatform = errors.New("attest: platform not recognized as genuine SGX")
+	// ErrBadQuote reports a quote whose platform signature fails.
+	ErrBadQuote = errors.New("attest: quote signature invalid")
+	// ErrBadReport reports an IAS report whose service signature fails.
+	ErrBadReport = errors.New("attest: IAS report signature invalid")
+	// ErrMeasurementMismatch reports an enclave measurement different from
+	// the expected one.
+	ErrMeasurementMismatch = errors.New("attest: enclave measurement mismatch")
+)
+
+// ReportDataLen is the size of the user data bound into a quote (SGX uses a
+// 64-byte REPORTDATA field).
+const ReportDataLen = 64
+
+// Quote is the signed evidence an enclave presents: measurement plus caller
+// data (here: the hash of the enclave identity public key), signed by the
+// platform quoting key.
+type Quote struct {
+	Measurement enclave.Measurement
+	ReportData  [ReportDataLen]byte
+	PlatformID  string
+	Signature   []byte
+}
+
+// NewQuote produces a quote for the enclave with the given report data,
+// mirroring EREPORT + quoting-enclave signing.
+func NewQuote(e *enclave.Enclave, reportData [ReportDataLen]byte) (*Quote, error) {
+	q := &Quote{
+		Measurement: e.Measurement(),
+		ReportData:  reportData,
+		PlatformID:  e.Platform().ID(),
+	}
+	digest := q.digest()
+	sig, err := e.Platform().SignQuote(digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("attest: signing quote: %w", err)
+	}
+	q.Signature = sig
+	return q, nil
+}
+
+// ReportDataForKeyHash packs an enclave identity key hash into REPORTDATA.
+func ReportDataForKeyHash(h [32]byte) [ReportDataLen]byte {
+	var rd [ReportDataLen]byte
+	copy(rd[:32], h[:])
+	return rd
+}
+
+func (q *Quote) digest() [32]byte {
+	h := sha256.New()
+	h.Write([]byte("sgx-quote-v1|"))
+	h.Write(q.Measurement[:])
+	h.Write(q.ReportData[:])
+	h.Write([]byte(q.PlatformID))
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Report is the IAS attestation verification report: IAS's signed statement
+// that the quote verified against a genuine platform.
+type Report struct {
+	Quote     Quote
+	Timestamp time.Time
+	OK        bool
+	Signature []byte
+}
+
+func (r *Report) digest() [32]byte {
+	h := sha256.New()
+	h.Write([]byte("ias-report-v1|"))
+	qd := r.Quote.digest()
+	h.Write(qd[:])
+	var ts [8]byte
+	binary.BigEndian.PutUint64(ts[:], uint64(r.Timestamp.UnixNano()))
+	h.Write(ts[:])
+	if r.OK {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// IAS simulates the Intel Attestation Service: it holds the registry of
+// genuine platform quoting keys and signs verification reports with its own
+// service key. Safe for concurrent use.
+type IAS struct {
+	key *ecdsa.PrivateKey
+
+	mu        sync.RWMutex
+	platforms map[string]*ecdsa.PublicKey
+	now       func() time.Time
+}
+
+// NewIAS creates the service with a fresh signing key.
+func NewIAS() (*IAS, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("attest: generating IAS key: %w", err)
+	}
+	return &IAS{
+		key:       key,
+		platforms: make(map[string]*ecdsa.PublicKey),
+		now:       time.Now,
+	}, nil
+}
+
+// PublicKey returns the IAS report-signing key that relying parties pin.
+func (s *IAS) PublicKey() *ecdsa.PublicKey { return &s.key.PublicKey }
+
+// RegisterPlatform records a platform's quoting key as genuine — the
+// stand-in for Intel's EPID provisioning at manufacturing time.
+func (s *IAS) RegisterPlatform(p *enclave.Platform) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.platforms[p.ID()] = p.AttestationPublicKey()
+}
+
+// Verify checks a quote and returns a signed report (Fig. 3 step 2).
+func (s *IAS) Verify(q *Quote) (*Report, error) {
+	s.mu.RLock()
+	pub, ok := s.platforms[q.PlatformID]
+	now := s.now()
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownPlatform, q.PlatformID)
+	}
+	digest := q.digest()
+	if !ecdsa.VerifyASN1(pub, digest[:], q.Signature) {
+		return nil, ErrBadQuote
+	}
+	r := &Report{Quote: *q, Timestamp: now, OK: true}
+	rd := r.digest()
+	sig, err := ecdsa.SignASN1(rand.Reader, s.key, rd[:])
+	if err != nil {
+		return nil, fmt.Errorf("attest: signing report: %w", err)
+	}
+	r.Signature = sig
+	return r, nil
+}
+
+// VerifyReport lets a relying party validate an IAS report offline against
+// the pinned IAS public key and an expected enclave measurement.
+func VerifyReport(r *Report, iasKey *ecdsa.PublicKey, expected enclave.Measurement) error {
+	digest := r.digest()
+	if !ecdsa.VerifyASN1(iasKey, digest[:], r.Signature) {
+		return ErrBadReport
+	}
+	if !r.OK {
+		return errors.New("attest: IAS rejected the quote")
+	}
+	if r.Quote.Measurement != expected {
+		return fmt.Errorf("%w: got %x", ErrMeasurementMismatch, r.Quote.Measurement[:8])
+	}
+	return nil
+}

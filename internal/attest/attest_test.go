@@ -1,0 +1,131 @@
+package attest
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"github.com/ibbesgx/ibbesgx/internal/enclave"
+)
+
+func setup(t *testing.T) (*IAS, *enclave.Platform, *enclave.Enclave) {
+	t.Helper()
+	ias, err := NewIAS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := enclave.NewPlatform("platform-1", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ias.RegisterPlatform(p)
+	return ias, p, p.Launch(enclave.MeasureCode("code", "1"))
+}
+
+func TestQuoteVerifyHappyPath(t *testing.T) {
+	ias, _, e := setup(t)
+	var rd [ReportDataLen]byte
+	copy(rd[:], "identity-key-hash")
+	q, err := NewQuote(e, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := ias.Verify(q)
+	if err != nil {
+		t.Fatalf("IAS.Verify: %v", err)
+	}
+	if err := VerifyReport(report, ias.PublicKey(), e.Measurement()); err != nil {
+		t.Fatalf("VerifyReport: %v", err)
+	}
+}
+
+func TestUnknownPlatformRejected(t *testing.T) {
+	ias, err := NewIAS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := enclave.NewPlatform("rogue", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Platform NOT registered with IAS.
+	q, err := NewQuote(p.Launch(enclave.MeasureCode("c", "1")), [ReportDataLen]byte{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ias.Verify(q); !errors.Is(err, ErrUnknownPlatform) {
+		t.Fatalf("got %v, want ErrUnknownPlatform", err)
+	}
+}
+
+func TestTamperedQuoteRejected(t *testing.T) {
+	ias, _, e := setup(t)
+	q, err := NewQuote(e, [ReportDataLen]byte{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.Measurement[0] ^= 1
+	if _, err := ias.Verify(q); !errors.Is(err, ErrBadQuote) {
+		t.Fatalf("got %v, want ErrBadQuote", err)
+	}
+}
+
+func TestTamperedReportRejected(t *testing.T) {
+	ias, _, e := setup(t)
+	q, _ := NewQuote(e, [ReportDataLen]byte{})
+	report, err := ias.Verify(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report.Quote.ReportData[0] ^= 1
+	if err := VerifyReport(report, ias.PublicKey(), e.Measurement()); !errors.Is(err, ErrBadReport) {
+		t.Fatalf("got %v, want ErrBadReport", err)
+	}
+}
+
+func TestWrongMeasurementRejected(t *testing.T) {
+	ias, _, e := setup(t)
+	q, _ := NewQuote(e, [ReportDataLen]byte{})
+	report, err := ias.Verify(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := enclave.MeasureCode("code", "2")
+	if err := VerifyReport(report, ias.PublicKey(), other); !errors.Is(err, ErrMeasurementMismatch) {
+		t.Fatalf("got %v, want ErrMeasurementMismatch", err)
+	}
+}
+
+func TestWrongIASKeyRejected(t *testing.T) {
+	ias, _, e := setup(t)
+	other, err := NewIAS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, _ := NewQuote(e, [ReportDataLen]byte{})
+	report, err := ias.Verify(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyReport(report, other.PublicKey(), e.Measurement()); !errors.Is(err, ErrBadReport) {
+		t.Fatal("report verified under the wrong IAS key")
+	}
+}
+
+func TestReportDataForKeyHash(t *testing.T) {
+	var h [32]byte
+	for i := range h {
+		h[i] = byte(i)
+	}
+	rd := ReportDataForKeyHash(h)
+	for i := 0; i < 32; i++ {
+		if rd[i] != byte(i) {
+			t.Fatal("hash not copied into REPORTDATA")
+		}
+	}
+	for i := 32; i < ReportDataLen; i++ {
+		if rd[i] != 0 {
+			t.Fatal("REPORTDATA padding not zero")
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package benchmark
+
+import (
+	"github.com/ibbesgx/ibbesgx/internal/pairing"
+)
+
+// Config selects the experiment scale. The paper's grid (groups up to one
+// million users on 512-bit Type-A parameters) takes hours in pure Go, so a
+// reduced CI grid with identical *shape* is the default; `ibbe-bench
+// -scale=paper` selects the full grid.
+type Config struct {
+	// Params is the pairing parameter set.
+	Params *pairing.Params
+	// GroupSizes is the x-axis of Figs. 2 and 7a.
+	GroupSizes []int
+	// PartitionSizes is the x-axis of Figs. 6, 7b, 8b and the Fig. 9 sweep.
+	PartitionSizes []int
+	// Capacity is the default partition size where one is needed (Fig. 7a
+	// uses 1000 in the paper).
+	Capacity int
+	// AddSamples is the number of timed add operations for the Fig. 8a CDF.
+	AddSamples int
+	// ExtractSamples is the number of timed key extractions for Fig. 6b.
+	ExtractSamples int
+	// KernelOps / KernelPeak shape the Fig. 9 trace.
+	KernelOps, KernelPeak int
+	// Fig9Partitions is the partition-size sweep for Fig. 9.
+	Fig9Partitions []int
+	// SyntheticOps / SyntheticInitial shape the Fig. 10 traces.
+	SyntheticOps, SyntheticInitial int
+	// Fig10Partitions is the partition-size sweep for Fig. 10.
+	Fig10Partitions []int
+	// Seed drives every deterministic choice.
+	Seed int64
+}
+
+// CIScale returns the fast grid used by tests and default bench runs. The
+// ratios between points match the paper's grid (× decades for group sizes,
+// 1:2:3:4 partition sizes) so every shape conclusion carries over.
+func CIScale() Config {
+	return Config{
+		Params:           pairing.TypeA160(),
+		GroupSizes:       []int{32, 64, 128, 256},
+		PartitionSizes:   []int{8, 16, 24, 32},
+		Capacity:         16,
+		AddSamples:       64,
+		ExtractSamples:   32,
+		KernelOps:        1_200,
+		KernelPeak:       120,
+		Fig9Partitions:   []int{12, 24, 48, 96},
+		SyntheticOps:     250,
+		SyntheticInitial: 300,
+		Fig10Partitions:  []int{16, 24, 32},
+		Seed:             2018,
+	}
+}
+
+// PaperScale returns the full evaluation grid of the paper.
+func PaperScale() Config {
+	return Config{
+		Params:           pairing.TypeA512(),
+		GroupSizes:       []int{1_000, 10_000, 100_000, 1_000_000},
+		PartitionSizes:   []int{1_000, 2_000, 3_000, 4_000},
+		Capacity:         1_000,
+		AddSamples:       1_000,
+		ExtractSamples:   1_000,
+		KernelOps:        43_468,
+		KernelPeak:       2_803,
+		Fig9Partitions:   []int{250, 500, 750, 1_000, 1_500, 2_803},
+		SyntheticOps:     10_000,
+		SyntheticInitial: 5_000,
+		Fig10Partitions:  []int{1_000, 1_500, 2_000},
+		Seed:             2018,
+	}
+}
+
+// MediumScale sits between the two: large enough that the order-of-
+// magnitude statements become visible, small enough for a coffee break.
+func MediumScale() Config {
+	return Config{
+		Params:           pairing.TypeA256(),
+		GroupSizes:       []int{100, 1_000, 10_000},
+		PartitionSizes:   []int{100, 200, 300, 400},
+		Capacity:         100,
+		AddSamples:       200,
+		ExtractSamples:   100,
+		KernelOps:        8_000,
+		KernelPeak:       600,
+		Fig9Partitions:   []int{50, 100, 200, 400},
+		SyntheticOps:     1_000,
+		SyntheticInitial: 1_200,
+		Fig10Partitions:  []int{100, 150, 200},
+		Seed:             2018,
+	}
+}
+
+// ScaleByName maps a -scale flag value to a Config.
+func ScaleByName(name string) (Config, bool) {
+	switch name {
+	case "ci", "":
+		return CIScale(), true
+	case "medium":
+		return MediumScale(), true
+	case "paper":
+		return PaperScale(), true
+	default:
+		return Config{}, false
+	}
+}

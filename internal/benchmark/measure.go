@@ -1,0 +1,120 @@
+package benchmark
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample runs f repeatedly (at least once) and returns the mean duration.
+// It is the building block for the figure benchmarks, which report means
+// over a handful of iterations as the paper does.
+func Sample(iters int, f func() error) (time.Duration, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	var total time.Duration
+	for i := 0; i < iters; i++ {
+		start := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		total += time.Since(start)
+	}
+	return total / time.Duration(iters), nil
+}
+
+// CDF holds an empirical latency distribution (Fig. 8a).
+type CDF struct {
+	sorted []time.Duration
+}
+
+// NewCDF builds a CDF from samples.
+func NewCDF(samples []time.Duration) *CDF {
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return &CDF{sorted: s}
+}
+
+// Len returns the sample count.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the distribution.
+func (c *CDF) Quantile(q float64) time.Duration {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	idx := int(q * float64(len(c.sorted)-1))
+	return c.sorted[idx]
+}
+
+// At returns the empirical CDF value at latency d.
+func (c *CDF) At(d time.Duration) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	n := sort.Search(len(c.sorted), func(i int) bool { return c.sorted[i] > d })
+	return float64(n) / float64(len(c.sorted))
+}
+
+// Mean returns the mean of the samples.
+func (c *CDF) Mean() time.Duration {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range c.sorted {
+		total += d
+	}
+	return total / time.Duration(len(c.sorted))
+}
+
+// LogLogSlope fits the exponent b of y = a·x^b by least squares in log-log
+// space — the tool the Table I reproduction uses to check measured
+// complexity orders (b ≈ 1 linear, b ≈ 2 quadratic, b ≈ 0 constant).
+func LogLogSlope(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, fmt.Errorf("benchmark: need ≥ 2 paired points, got %d/%d", len(xs), len(ys))
+	}
+	var sx, sy, sxx, sxy float64
+	n := float64(len(xs))
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, fmt.Errorf("benchmark: log-log fit needs positive values")
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, fmt.Errorf("benchmark: degenerate x values")
+	}
+	return (n*sxy - sx*sy) / den, nil
+}
+
+// Ratio renders a/b as "N.N×" (for speedup lines in reports).
+func Ratio(a, b time.Duration) string {
+	if b == 0 {
+		return "∞×"
+	}
+	return fmt.Sprintf("%.1f×", float64(a)/float64(b))
+}
+
+// OrdersOfMagnitude returns log10(a/b) — how the paper states its headline
+// results ("1.2 orders of magnitude faster", "6 orders smaller").
+func OrdersOfMagnitude(a, b float64) float64 {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	return math.Log10(a / b)
+}

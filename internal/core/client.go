@@ -1,0 +1,63 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ibbesgx/ibbesgx/internal/enclave"
+	"github.com/ibbesgx/ibbesgx/internal/ibbe"
+	"github.com/ibbesgx/ibbesgx/internal/kdf"
+)
+
+// ErrNotInPartition reports a decryption attempt against a partition record
+// that does not list the client.
+var ErrNotInPartition = errors.New("core: client is not a member of this partition")
+
+// Client is the user-side decryption engine: given a partition record, it
+// runs the IBBE decrypt (O(|p|²), outside any enclave — users need no SGX)
+// and unwraps the group key (§V-A's client decrypt operation).
+type Client struct {
+	scheme *ibbe.Scheme
+	pk     *ibbe.PublicKey
+	id     string
+	key    *ibbe.UserKey
+}
+
+// NewClient builds a client for identity id holding the provisioned user
+// secret key.
+func NewClient(scheme *ibbe.Scheme, pk *ibbe.PublicKey, id string, key *ibbe.UserKey) (*Client, error) {
+	if scheme == nil || pk == nil || key == nil {
+		return nil, errors.New("core: nil client material")
+	}
+	return &Client{scheme: scheme, pk: pk, id: id, key: key}, nil
+}
+
+// ID returns the client identity.
+func (c *Client) ID() string { return c.id }
+
+// Scheme returns the IBBE scheme the client decrypts under.
+func (c *Client) Scheme() *ibbe.Scheme { return c.scheme }
+
+// DecryptRecord recovers the group key from the client's partition record:
+// IBBE-decrypt the partition broadcast key bk, hash it, and open yᵢ.
+func (c *Client) DecryptRecord(group string, rec *PartitionRecord) ([kdf.KeySize]byte, error) {
+	var gk [kdf.KeySize]byte
+	if !rec.ContainsMember(c.id) {
+		return gk, fmt.Errorf("%w: %s in partition %s", ErrNotInPartition, c.id, rec.PartitionID)
+	}
+	bk, err := c.scheme.Decrypt(c.pk, c.id, c.key, rec.Members, rec.CT)
+	if err != nil {
+		return gk, fmt.Errorf("core: broadcast decrypt: %w", err)
+	}
+	return enclave.UnwrapGK(c.scheme.P, bk, rec.WrappedGK, group)
+}
+
+// FindOwnRecord scans partition records for the one listing the client.
+func (c *Client) FindOwnRecord(records map[string]*PartitionRecord) (*PartitionRecord, bool) {
+	for _, rec := range records {
+		if rec.ContainsMember(c.id) {
+			return rec, true
+		}
+	}
+	return nil, false
+}

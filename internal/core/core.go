@@ -1,0 +1,468 @@
+// Package core implements the IBBE-SGX group access-control system — the
+// paper's primary contribution. It orchestrates the partitioning mechanism
+// (§IV-C) over the enclave ECALL surface: Algorithms 1 (create group),
+// 2 (add user) and 3 (remove user), the re-partitioning heuristic, group
+// re-keying, and the client-side decryption path.
+//
+// The Manager is storage-agnostic: every mutating operation returns an
+// Update describing which partition records to PUT and which to delete.
+// The admin package applies updates to a cloud Store; benchmarks apply them
+// to byte-counters only.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"github.com/ibbesgx/ibbesgx/internal/enclave"
+	"github.com/ibbesgx/ibbesgx/internal/ibbe"
+	"github.com/ibbesgx/ibbesgx/internal/partition"
+)
+
+// Errors returned by the manager.
+var (
+	// ErrGroupExists reports creating a group name twice.
+	ErrGroupExists = errors.New("core: group already exists")
+	// ErrNoSuchGroup reports an operation on an unknown group.
+	ErrNoSuchGroup = errors.New("core: no such group")
+)
+
+// Manager is the administrator-side engine. It owns, per group, the
+// user→partition table and the current per-partition crypto material, and
+// calls into the enclave for everything touching keys. Safe for concurrent
+// use; operations on the same Manager are serialised.
+type Manager struct {
+	mu sync.Mutex
+
+	encl     *enclave.IBBEEnclave
+	pk       *ibbe.PublicKey
+	capacity int
+	rng      *rand.Rand
+	groups   map[string]*groupState
+
+	// DisableRepartition turns off the §V-A occupancy heuristic (used by
+	// ablation benchmarks; production keeps it on).
+	DisableRepartition bool
+
+	// counters for replay reporting
+	repartitions int64
+}
+
+type groupState struct {
+	table    *partition.Table
+	crypto   map[string]*enclave.PartitionCrypto // by partition ID
+	sealedGK []byte
+}
+
+// NewManager creates a manager driving the given enclave with a fixed
+// partition capacity. The enclave must already be set up (EcallSetup or
+// EcallRestore); seed feeds the partition-picking randomness (Algorithm 2's
+// RandomItem), kept separate from crypto randomness for reproducibility.
+func NewManager(encl *enclave.IBBEEnclave, capacity int, seed int64) (*Manager, error) {
+	pk := encl.PublicKey()
+	if pk == nil {
+		return nil, enclave.ErrEnclaveNotInitialized
+	}
+	if capacity < 1 || capacity > pk.MaxGroupSize() {
+		return nil, fmt.Errorf("core: capacity %d outside [1, %d]", capacity, pk.MaxGroupSize())
+	}
+	return &Manager{
+		encl:     encl,
+		pk:       pk,
+		capacity: capacity,
+		rng:      rand.New(rand.NewSource(seed)),
+		groups:   make(map[string]*groupState),
+	}, nil
+}
+
+// PublicKey returns the system public key clients need for decryption.
+func (m *Manager) PublicKey() *ibbe.PublicKey { return m.pk }
+
+// Scheme returns the IBBE scheme the manager's enclave operates on (for
+// record serialisation and client construction).
+func (m *Manager) Scheme() *ibbe.Scheme { return m.encl.Scheme() }
+
+// Capacity returns the fixed partition size.
+func (m *Manager) Capacity() int { return m.capacity }
+
+// Repartitions returns how many times the occupancy heuristic fired.
+func (m *Manager) Repartitions() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.repartitions
+}
+
+// Update describes the storage effects of one membership operation: records
+// to PUT (keyed by partition ID) and partition objects to delete.
+type Update struct {
+	Group  string
+	Put    map[string]*PartitionRecord
+	Delete []string
+}
+
+// newUpdate allocates an update for a group.
+func newUpdate(group string) *Update {
+	return &Update{Group: group, Put: make(map[string]*PartitionRecord)}
+}
+
+// CreateGroup implements Algorithm 1: split members into fixed-size
+// partitions, then — inside the enclave — draw the group key, build each
+// partition's broadcast ciphertext, and wrap the group key per partition.
+func (m *Manager) CreateGroup(name string, members []string) (*Update, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.groups[name]; ok {
+		return nil, fmt.Errorf("%w: %s", ErrGroupExists, name)
+	}
+	table, err := partition.NewTable(m.capacity)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := table.Bootstrap(members)
+	if err != nil {
+		return nil, err
+	}
+	g := &groupState{table: table, crypto: make(map[string]*enclave.PartitionCrypto)}
+	up, err := m.encryptPartitions(name, g, parts)
+	if err != nil {
+		return nil, err
+	}
+	m.groups[name] = g
+	return up, nil
+}
+
+// encryptPartitions runs the enclaved body of Algorithm 1 for the given
+// partitions and fills the group state and update.
+func (m *Manager) encryptPartitions(name string, g *groupState, parts []*partition.Partition) (*Update, error) {
+	slices := make([][]string, len(parts))
+	for i, p := range parts {
+		slices[i] = p.Members
+	}
+	sealedGK, outs, err := m.encl.EcallCreateGroup(name, slices)
+	if err != nil {
+		return nil, err
+	}
+	g.sealedGK = sealedGK
+	up := newUpdate(name)
+	for i, p := range parts {
+		pc := outs[i]
+		g.crypto[p.ID] = &pc
+		up.Put[p.ID] = recordFor(p, &pc)
+	}
+	return up, nil
+}
+
+// AddUser implements Algorithm 2: place the user in a random partition with
+// spare capacity (extending its ciphertext in O(1), leaving yᵢ untouched),
+// or open a fresh partition wrapping the existing group key.
+func (m *Manager) AddUser(name, user string) (*Update, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.groups[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchGroup, name)
+	}
+	up := newUpdate(name)
+	if open, ok := g.table.PickOpenPartition(m.rng); ok {
+		// Existing-partition arm (lines 9–12).
+		updated, err := g.table.Add(open.ID, user)
+		if err != nil {
+			return nil, err
+		}
+		pc := g.crypto[open.ID]
+		newCT, err := m.encl.EcallAddUserToPartition(pc.CT, user)
+		if err != nil {
+			// Roll the table back so state stays consistent.
+			if _, rerr := g.table.Remove(user); rerr != nil {
+				return nil, errors.Join(err, rerr)
+			}
+			return nil, err
+		}
+		pc.CT = newCT
+		up.Put[open.ID] = recordFor(updated, pc)
+		return up, nil
+	}
+	// New-partition arm (lines 3–7).
+	p, err := g.table.AddNewPartition(user)
+	if err != nil {
+		return nil, err
+	}
+	pc, err := m.encl.EcallCreatePartition(name, g.sealedGK, p.Members)
+	if err != nil {
+		if _, rerr := g.table.Remove(user); rerr != nil {
+			return nil, errors.Join(err, rerr)
+		}
+		return nil, err
+	}
+	g.crypto[p.ID] = pc
+	up.Put[p.ID] = recordFor(p, pc)
+	return up, nil
+}
+
+// RemoveUser implements Algorithm 3: drop the user from her partition,
+// generate a fresh group key inside the enclave, re-key every partition in
+// O(1) each, and push all affected records. When the occupancy heuristic
+// fires, the group is re-partitioned (re-created per Algorithm 1).
+func (m *Manager) RemoveUser(name, user string) (*Update, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.groups[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchGroup, name)
+	}
+	affected, err := g.table.Remove(user)
+	if err != nil {
+		return nil, err
+	}
+	emptied := len(affected.Members) == 0
+
+	// Collect the other partitions in stable order.
+	others := g.table.Partitions()
+	otherIDs := make([]string, 0, len(others))
+	otherCTs := make([]*ibbe.Ciphertext, 0, len(others))
+	for _, p := range others {
+		if p.ID == affected.ID {
+			continue
+		}
+		otherIDs = append(otherIDs, p.ID)
+		otherCTs = append(otherCTs, g.crypto[p.ID].CT)
+	}
+
+	upd, err := m.encl.EcallRemoveUser(name, g.crypto[affected.ID].CT, user, emptied, otherCTs)
+	if err != nil {
+		return nil, err
+	}
+	g.sealedGK = upd.SealedGK
+
+	up := newUpdate(name)
+	if emptied {
+		delete(g.crypto, affected.ID)
+		up.Delete = append(up.Delete, affected.ID)
+	} else {
+		g.crypto[affected.ID] = upd.Affected
+		up.Put[affected.ID] = recordFor(affected, upd.Affected)
+	}
+	for i, id := range otherIDs {
+		pc := upd.Others[i]
+		g.crypto[id] = &pc
+		for _, p := range others {
+			if p.ID == id {
+				up.Put[id] = recordFor(p, &pc)
+				break
+			}
+		}
+	}
+
+	if !m.DisableRepartition && g.table.NeedsRepartition() && g.table.Len() > 0 {
+		return m.repartitionLocked(name, g, up)
+	}
+	return up, nil
+}
+
+// RekeyGroup rotates the group key without membership changes (§A-G).
+func (m *Manager) RekeyGroup(name string) (*Update, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.groups[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchGroup, name)
+	}
+	parts := g.table.Partitions()
+	cts := make([]*ibbe.Ciphertext, len(parts))
+	for i, p := range parts {
+		cts[i] = g.crypto[p.ID].CT
+	}
+	sealedGK, outs, err := m.encl.EcallRekeyGroup(name, cts)
+	if err != nil {
+		return nil, err
+	}
+	g.sealedGK = sealedGK
+	up := newUpdate(name)
+	for i, p := range parts {
+		pc := outs[i]
+		g.crypto[p.ID] = &pc
+		up.Put[p.ID] = recordFor(p, &pc)
+	}
+	return up, nil
+}
+
+// Repartition forces a group re-creation per Algorithm 1 (normally driven
+// by the occupancy heuristic inside RemoveUser).
+func (m *Manager) Repartition(name string) (*Update, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.groups[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchGroup, name)
+	}
+	return m.repartitionLocked(name, g, newUpdate(name))
+}
+
+// repartitionLocked rebuilds the partitions and merges the result into up,
+// deleting every partition object that no longer exists.
+func (m *Manager) repartitionLocked(name string, g *groupState, up *Update) (*Update, error) {
+	m.repartitions++
+	oldIDs := make([]string, 0, len(g.crypto))
+	for id := range g.crypto {
+		oldIDs = append(oldIDs, id)
+	}
+	parts := g.table.Reset()
+	g.crypto = make(map[string]*enclave.PartitionCrypto, len(parts))
+	fresh, err := m.encryptPartitions(name, g, parts)
+	if err != nil {
+		return nil, err
+	}
+	// Replace queued puts wholesale: the new layout supersedes them.
+	up.Put = fresh.Put
+	newIDs := make(map[string]bool, len(parts))
+	for id := range fresh.Put {
+		newIDs[id] = true
+	}
+	deleted := make(map[string]bool)
+	for _, id := range up.Delete {
+		deleted[id] = true
+	}
+	for _, id := range oldIDs {
+		if !newIDs[id] && !deleted[id] {
+			up.Delete = append(up.Delete, id)
+		}
+	}
+	sort.Strings(up.Delete)
+	return up, nil
+}
+
+// RestoreGroup rebuilds a group's administrator-side state from cloud
+// records and the sealed group key — how an administrator whose local cache
+// was lost (process restart, failover to another admin on the same
+// platform) resumes managing a group. The sealed key opens only inside the
+// same enclave code on the same platform, so this is safe to feed with
+// bytes read from the honest-but-curious cloud.
+func (m *Manager) RestoreGroup(name string, recs map[string]*PartitionRecord, sealedGK []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.groups[name]; ok {
+		return fmt.Errorf("%w: %s", ErrGroupExists, name)
+	}
+	parts := make([]*partition.Partition, 0, len(recs))
+	crypto := make(map[string]*enclave.PartitionCrypto, len(recs))
+	ids := make([]string, 0, len(recs))
+	for id := range recs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		rec := recs[id]
+		if rec.CT == nil {
+			return fmt.Errorf("%w: record %s missing ciphertext", ErrBadRecord, id)
+		}
+		parts = append(parts, &partition.Partition{ID: id, Members: rec.Members})
+		crypto[id] = &enclave.PartitionCrypto{
+			CT:        rec.CT.Clone(),
+			WrappedGK: append([]byte(nil), rec.WrappedGK...),
+		}
+	}
+	table, err := partition.NewTableFrom(m.capacity, parts)
+	if err != nil {
+		return fmt.Errorf("core: restoring %s: %w", name, err)
+	}
+	m.groups[name] = &groupState{
+		table:    table,
+		crypto:   crypto,
+		sealedGK: append([]byte(nil), sealedGK...),
+	}
+	return nil
+}
+
+// SealedGroupKey returns the group's sealed key blob, which administrators
+// persist alongside the partition records (Algorithm 1 line 7 stores the
+// sealed gk). It is opaque outside the enclave.
+func (m *Manager) SealedGroupKey(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.groups[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchGroup, name)
+	}
+	return append([]byte(nil), g.sealedGK...), nil
+}
+
+// Groups returns the names of managed groups, sorted.
+func (m *Manager) Groups() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.groups))
+	for name := range m.groups {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Members returns a group's member list in partition order.
+func (m *Manager) Members(name string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.groups[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchGroup, name)
+	}
+	return g.table.Members(), nil
+}
+
+// PartitionCount returns |P| for a group.
+func (m *Manager) PartitionCount(name string) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.groups[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoSuchGroup, name)
+	}
+	return g.table.PartitionCount(), nil
+}
+
+// MetadataSize returns the group's cryptographic metadata footprint in
+// bytes — per partition the broadcast header (C1, C2) plus the wrapped
+// group key yᵢ, matching what the paper's Figs. 2b and 7 account.
+func (m *Manager) MetadataSize(name string) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.groups[name]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrNoSuchGroup, name)
+	}
+	headerLen := m.encl.Scheme().HeaderLen()
+	total := 0
+	for _, pc := range g.crypto {
+		total += headerLen + len(pc.WrappedGK)
+	}
+	return total, nil
+}
+
+// Records returns the current partition records of a group (e.g. to seed a
+// storage backend or a late-joining mirror).
+func (m *Manager) Records(name string) (map[string]*PartitionRecord, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g, ok := m.groups[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchGroup, name)
+	}
+	out := make(map[string]*PartitionRecord, len(g.crypto))
+	for _, p := range g.table.Partitions() {
+		out[p.ID] = recordFor(p, g.crypto[p.ID])
+	}
+	return out, nil
+}
+
+// recordFor assembles the storage record for a partition.
+func recordFor(p *partition.Partition, pc *enclave.PartitionCrypto) *PartitionRecord {
+	return &PartitionRecord{
+		PartitionID: p.ID,
+		Members:     append([]string(nil), p.Members...),
+		CT:          pc.CT.Clone(),
+		WrappedGK:   append([]byte(nil), pc.WrappedGK...),
+	}
+}

@@ -1,0 +1,401 @@
+package enclave
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/ibbesgx/ibbesgx/internal/ibbe"
+	"github.com/ibbesgx/ibbesgx/internal/pairing"
+)
+
+func newPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p, err := NewPlatform("test-platform", rand.Reader)
+	if err != nil {
+		t.Fatalf("NewPlatform: %v", err)
+	}
+	return p
+}
+
+func newIBBE(t *testing.T, m int) (*IBBEEnclave, *ibbe.PublicKey, []byte) {
+	t.Helper()
+	ie, err := NewIBBEEnclave(newPlatform(t), pairing.TypeA160())
+	if err != nil {
+		t.Fatalf("NewIBBEEnclave: %v", err)
+	}
+	pk, sealed, err := ie.EcallSetup(m)
+	if err != nil {
+		t.Fatalf("EcallSetup: %v", err)
+	}
+	return ie, pk, sealed
+}
+
+func members(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("member-%03d@example.com", i)
+	}
+	return out
+}
+
+// decryptGK plays the honest user: IBBE-decrypt the partition broadcast key,
+// then unwrap the group key.
+func decryptGK(t *testing.T, ie *IBBEEnclave, pk *ibbe.PublicKey, group string, user string, partMembers []string, pc *PartitionCrypto) [32]byte {
+	t.Helper()
+	userKey, priv := provisionUser(t, ie, user)
+	_ = priv
+	bk, err := ie.Scheme().Decrypt(pk, user, userKey, partMembers, pc.CT)
+	if err != nil {
+		t.Fatalf("user decrypt: %v", err)
+	}
+	gk, err := UnwrapGK(ie.Scheme().P, bk, pc.WrappedGK, group)
+	if err != nil {
+		t.Fatalf("UnwrapGK: %v", err)
+	}
+	return gk
+}
+
+// provisionUser runs the full provisioning handshake for a user.
+func provisionUser(t *testing.T, ie *IBBEEnclave, user string) (*ibbe.UserKey, *ecdh.PrivateKey) {
+	t.Helper()
+	priv, err := ecdh.P256().GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov, err := ie.EcallExtractUserKey(user, priv.PublicKey())
+	if err != nil {
+		t.Fatalf("EcallExtractUserKey: %v", err)
+	}
+	uk, err := prov.Open(ie.Scheme(), ie.IdentityPublicKey(), priv)
+	if err != nil {
+		t.Fatalf("ProvisionedKey.Open: %v", err)
+	}
+	return uk, priv
+}
+
+func TestMeasureCodeDistinguishesVersions(t *testing.T) {
+	if MeasureCode("a", "1") == MeasureCode("a", "2") {
+		t.Fatal("different versions share a measurement")
+	}
+	if MeasureCode("a", "1") != MeasureCode("a", "1") {
+		t.Fatal("measurement not deterministic")
+	}
+}
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	p := newPlatform(t)
+	e := p.Launch(MeasureCode("enclave", "1"))
+	blob, err := e.Seal([]byte("state"), []byte("label"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Unseal(blob, []byte("label"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "state" {
+		t.Fatal("round trip changed data")
+	}
+}
+
+func TestUnsealRejectsDifferentEnclave(t *testing.T) {
+	p := newPlatform(t)
+	e1 := p.Launch(MeasureCode("enclave", "1"))
+	e2 := p.Launch(MeasureCode("enclave", "2"))
+	blob, _ := e1.Seal([]byte("secret"), []byte("l"))
+	if _, err := e2.Unseal(blob, []byte("l")); !errors.Is(err, ErrSealedDataCorrupt) {
+		t.Fatal("different enclave code unsealed the blob")
+	}
+}
+
+func TestUnsealRejectsDifferentPlatform(t *testing.T) {
+	m := MeasureCode("enclave", "1")
+	e1 := newPlatform(t).Launch(m)
+	e2 := newPlatform(t).Launch(m)
+	blob, _ := e1.Seal([]byte("secret"), []byte("l"))
+	if _, err := e2.Unseal(blob, []byte("l")); !errors.Is(err, ErrSealedDataCorrupt) {
+		t.Fatal("different platform unsealed the blob")
+	}
+}
+
+func TestUnsealRejectsWrongLabel(t *testing.T) {
+	e := newPlatform(t).Launch(MeasureCode("enclave", "1"))
+	blob, _ := e.Seal([]byte("secret"), []byte("label-a"))
+	if _, err := e.Unseal(blob, []byte("label-b")); !errors.Is(err, ErrSealedDataCorrupt) {
+		t.Fatal("wrong label accepted")
+	}
+}
+
+func TestEcallsRequireSetup(t *testing.T) {
+	ie, err := NewIBBEEnclave(newPlatform(t), pairing.TypeA160())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ie.EcallCreateGroup("g", [][]string{members(2)}); !errors.Is(err, ErrEnclaveNotInitialized) {
+		t.Fatal("EcallCreateGroup before setup succeeded")
+	}
+	priv, _ := ecdh.P256().GenerateKey(rand.Reader)
+	if _, err := ie.EcallExtractUserKey("u", priv.PublicKey()); !errors.Is(err, ErrEnclaveNotInitialized) {
+		t.Fatal("EcallExtractUserKey before setup succeeded")
+	}
+}
+
+func TestCreateGroupAndUserDecrypt(t *testing.T) {
+	ie, pk, _ := newIBBE(t, 8)
+	parts := [][]string{members(4)[:2], members(4)[2:]}
+	_, outs, err := ie.EcallCreateGroup("group-1", parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outs) != 2 {
+		t.Fatalf("partitions out = %d, want 2", len(outs))
+	}
+	// A member of each partition recovers the same group key.
+	gk0 := decryptGK(t, ie, pk, "group-1", parts[0][0], parts[0], &outs[0])
+	gk1 := decryptGK(t, ie, pk, "group-1", parts[1][1], parts[1], &outs[1])
+	if gk0 != gk1 {
+		t.Fatal("partitions wrap different group keys")
+	}
+}
+
+func TestCreatePartitionJoinsExistingGroup(t *testing.T) {
+	ie, pk, _ := newIBBE(t, 8)
+	parts := [][]string{members(2)}
+	sealedGK, outs, err := ie.EcallCreateGroup("g", parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	newcomer := "late@example.com"
+	pc, err := ie.EcallCreatePartition("g", sealedGK, []string{newcomer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gkOld := decryptGK(t, ie, pk, "g", parts[0][0], parts[0], &outs[0])
+	gkNew := decryptGK(t, ie, pk, "g", newcomer, []string{newcomer}, pc)
+	if gkOld != gkNew {
+		t.Fatal("new partition wraps a different group key")
+	}
+}
+
+func TestCreatePartitionRejectsForeignSealedKey(t *testing.T) {
+	ie, _, _ := newIBBE(t, 8)
+	sealedGK, _, err := ie.EcallCreateGroup("group-a", [][]string{members(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sealed key is bound to its group label.
+	if _, err := ie.EcallCreatePartition("group-b", sealedGK, []string{"x"}); !errors.Is(err, ErrSealedDataCorrupt) {
+		t.Fatal("sealed key accepted under a different group label")
+	}
+}
+
+func TestAddUserToPartition(t *testing.T) {
+	ie, pk, _ := newIBBE(t, 8)
+	base := members(3)
+	_, outs, err := ie.EcallCreateGroup("g", [][]string{base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	joiner := "joiner@example.com"
+	newCT, err := ie.EcallAddUserToPartition(outs[0].CT, joiner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	extended := append(append([]string{}, base...), joiner)
+	pc := &PartitionCrypto{CT: newCT, WrappedGK: outs[0].WrappedGK} // y unchanged
+	gkJoiner := decryptGK(t, ie, pk, "g", joiner, extended, pc)
+	gkOld := decryptGK(t, ie, pk, "g", base[0], extended, pc)
+	if gkJoiner != gkOld {
+		t.Fatal("joiner sees a different group key")
+	}
+}
+
+func TestRemoveUserRekeysEverything(t *testing.T) {
+	ie, pk, _ := newIBBE(t, 8)
+	p0, p1 := members(4)[:2], members(4)[2:]
+	_, outs, err := ie.EcallCreateGroup("g", [][]string{p0, p1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove p0[1].
+	up, err := ie.EcallRemoveUser("g", outs[0].CT, p0[1], false, []*ibbe.Ciphertext{outs[1].CT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Affected == nil || len(up.Others) != 1 {
+		t.Fatalf("unexpected update shape: affected=%v others=%d", up.Affected != nil, len(up.Others))
+	}
+	remaining := []string{p0[0]}
+	gkA := decryptGK(t, ie, pk, "g", p0[0], remaining, up.Affected)
+	gkB := decryptGK(t, ie, pk, "g", p1[0], p1, &up.Others[0])
+	if gkA != gkB {
+		t.Fatal("partitions disagree on the new group key")
+	}
+	// The revoked user cannot decrypt the new metadata with her key.
+	rkUK, _ := provisionUser(t, ie, p0[1])
+	if bk, err := ie.Scheme().Decrypt(pk, p0[0], rkUK, remaining, up.Affected.CT); err == nil {
+		if _, err := UnwrapGK(ie.Scheme().P, bk, up.Affected.WrappedGK, "g"); err == nil {
+			t.Fatal("revoked user recovered the new group key")
+		}
+	}
+}
+
+func TestRemoveLastUserDropsPartition(t *testing.T) {
+	ie, pk, _ := newIBBE(t, 8)
+	solo := []string{"solo@example.com"}
+	other := members(2)
+	_, outs, err := ie.EcallCreateGroup("g", [][]string{solo, other})
+	if err != nil {
+		t.Fatal(err)
+	}
+	up, err := ie.EcallRemoveUser("g", outs[0].CT, solo[0], true, []*ibbe.Ciphertext{outs[1].CT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Affected != nil {
+		t.Fatal("emptied partition was not dropped")
+	}
+	gk := decryptGK(t, ie, pk, "g", other[0], other, &up.Others[0])
+	if gk == [32]byte{} {
+		t.Fatal("zero group key")
+	}
+}
+
+func TestRekeyGroupRotatesKey(t *testing.T) {
+	ie, pk, _ := newIBBE(t, 8)
+	grp := members(3)
+	_, outs, err := ie.EcallCreateGroup("g", [][]string{grp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gk1 := decryptGK(t, ie, pk, "g", grp[0], grp, &outs[0])
+	_, outs2, err := ie.EcallRekeyGroup("g", []*ibbe.Ciphertext{outs[0].CT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gk2 := decryptGK(t, ie, pk, "g", grp[0], grp, &outs2[0])
+	if gk1 == gk2 {
+		t.Fatal("rekey did not rotate the group key")
+	}
+}
+
+func TestRestoreAfterRestart(t *testing.T) {
+	platform := newPlatform(t)
+	ie1, err := NewIBBEEnclave(platform, pairing.TypeA160())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, sealedMSK, err := ie1.EcallSetup(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grp := members(2)
+	_, outs, err := ie1.EcallCreateGroup("g", [][]string{grp})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a new enclave instance with the same code measurement on the
+	// same platform restores from the sealed master secret.
+	ie2, err := NewIBBEEnclave(platform, pairing.TypeA160())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ie2.EcallRestore(sealedMSK, pk); err != nil {
+		t.Fatalf("EcallRestore: %v", err)
+	}
+	// The restored enclave can extend the old group's ciphertext.
+	newCT, err := ie2.EcallAddUserToPartition(outs[0].CT, "post-restart@example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	extended := append(append([]string{}, grp...), "post-restart@example.com")
+	// User keys extracted before and after the restart are interchangeable.
+	uk, _ := provisionUser(t, ie1, grp[0])
+	bk, err := ie2.Scheme().Decrypt(pk, grp[0], uk, extended, newCT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnwrapGK(ie2.Scheme().P, bk, outs[0].WrappedGK, "g"); err != nil {
+		t.Fatalf("cross-restart decrypt failed: %v", err)
+	}
+}
+
+func TestRestoreRejectsForeignBlob(t *testing.T) {
+	ie, pk, _ := newIBBE(t, 4)
+	other, err := NewIBBEEnclave(newPlatform(t), pairing.TypeA160())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sealed, err := ie.EcallSetup(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.EcallRestore(sealed, pk); !errors.Is(err, ErrSealedDataCorrupt) {
+		t.Fatal("foreign platform restored the master secret")
+	}
+}
+
+func TestProvisionedKeySignatureChecked(t *testing.T) {
+	ie, _, _ := newIBBE(t, 4)
+	priv, _ := ecdh.P256().GenerateKey(rand.Reader)
+	prov, err := ie.EcallExtractUserKey("eve@example.com", priv.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tampered box must be rejected before decryption.
+	prov.Box[len(prov.Box)-1] ^= 1
+	if _, err := prov.Open(ie.Scheme(), ie.IdentityPublicKey(), priv); err == nil {
+		t.Fatal("tampered provisioned key accepted")
+	}
+}
+
+func TestProvisionedKeyWrongEnclaveKey(t *testing.T) {
+	ie, _, _ := newIBBE(t, 4)
+	rogue, err := NewIBBEEnclave(newPlatform(t), pairing.TypeA160())
+	if err != nil {
+		t.Fatal(err)
+	}
+	priv, _ := ecdh.P256().GenerateKey(rand.Reader)
+	prov, err := ie.EcallExtractUserKey("u", priv.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prov.Verify(rogue.IdentityPublicKey()); err == nil {
+		t.Fatal("signature verified under the wrong enclave key")
+	}
+}
+
+func TestEPCAccounting(t *testing.T) {
+	ie, _, _ := newIBBE(t, 16)
+	if _, _, err := ie.EcallCreateGroup("g", [][]string{members(16)}); err != nil {
+		t.Fatal(err)
+	}
+	stats := ie.Enclave().Platform().EPC()
+	if stats.PeakResident == 0 {
+		t.Fatal("ECALLs did not register EPC usage")
+	}
+	if stats.Resident != 0 {
+		t.Fatalf("resident memory leaked: %d bytes", stats.Resident)
+	}
+}
+
+func TestEPCPaging(t *testing.T) {
+	p := newPlatform(t)
+	e := p.Launch(MeasureCode("x", "1"))
+	e.epcTouch(DefaultEPCBytes+4096, func() {})
+	stats := p.EPC()
+	if stats.PageFaults == 0 || stats.PagedBytes == 0 {
+		t.Fatal("exceeding the EPC limit did not record paging")
+	}
+}
+
+func TestMSKSerdeRejectsGarbage(t *testing.T) {
+	s := ibbe.NewScheme(pairing.TypeA160())
+	if _, err := unmarshalMSK(s, []byte{1, 2, 3}); err == nil {
+		t.Fatal("short MSK accepted")
+	}
+}

@@ -1,0 +1,463 @@
+package enclave
+
+import (
+	"crypto/ecdh"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/ibbesgx/ibbesgx/internal/hybrid"
+	"github.com/ibbesgx/ibbesgx/internal/ibbe"
+	"github.com/ibbesgx/ibbesgx/internal/kdf"
+	"github.com/ibbesgx/ibbesgx/internal/pairing"
+)
+
+// CodeName and CodeVersion identify the IBBE enclave binary; its measurement
+// is what the Auditor of Fig. 3 compares against the expected value.
+const (
+	CodeName    = "ibbe-sgx-enclave"
+	CodeVersion = "1.0.0"
+)
+
+// IBBEMeasurement returns the expected measurement of the IBBE enclave code.
+func IBBEMeasurement() Measurement { return MeasureCode(CodeName, CodeVersion) }
+
+// PartitionCrypto is the per-partition public output of the enclave: the
+// IBBE broadcast ciphertext cᵢ and the group key wrapped under the partition
+// broadcast key, yᵢ = AES(SHA(bkᵢ), gk) — the (cᵢ, yᵢ) pairs of Fig. 4.
+type PartitionCrypto struct {
+	CT        *ibbe.Ciphertext
+	WrappedGK []byte
+}
+
+// IBBEEnclave is the enclave-resident IBBE-SGX code: the only holder of the
+// master secret key and the plaintext group keys. Every exported method is
+// an ECALL; none of them ever returns the master secret or a plaintext group
+// key, which is the paper's zero-knowledge guarantee against curious
+// administrators. Safe for concurrent use.
+type IBBEEnclave struct {
+	enc    *Enclave
+	scheme *ibbe.Scheme
+
+	mu  sync.Mutex
+	msk *ibbe.MasterSecretKey
+	pk  *ibbe.PublicKey
+
+	// idKey is the enclave identity key generated at launch (Fig. 3 step 0);
+	// its public half is certified by the Auditor/CA after attestation.
+	idKey *ecdsa.PrivateKey
+}
+
+// NewIBBEEnclave launches the IBBE enclave code on a platform and generates
+// the enclave identity key pair inside.
+func NewIBBEEnclave(p *Platform, params *pairing.Params) (*IBBEEnclave, error) {
+	idKey, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: generating identity key: %w", err)
+	}
+	return &IBBEEnclave{
+		enc:    p.Launch(IBBEMeasurement()),
+		scheme: ibbe.NewScheme(params),
+		idKey:  idKey,
+	}, nil
+}
+
+// Enclave exposes the underlying launched enclave (for attestation).
+func (ie *IBBEEnclave) Enclave() *Enclave { return ie.enc }
+
+// Scheme exposes the (stateless) IBBE scheme, e.g. to attach Metrics.
+func (ie *IBBEEnclave) Scheme() *ibbe.Scheme { return ie.scheme }
+
+// IdentityPublicKey returns the enclave's public identity key; REPORTDATA of
+// attestation quotes binds to its hash, and the CA certifies it.
+func (ie *IBBEEnclave) IdentityPublicKey() *ecdsa.PublicKey {
+	return &ie.idKey.PublicKey
+}
+
+// IdentityKeyHash returns the SHA-256 of the marshalled identity public key,
+// the value embedded as quote REPORTDATA.
+func (ie *IBBEEnclave) IdentityKeyHash() [32]byte {
+	b := elliptic.MarshalCompressed(elliptic.P256(), ie.idKey.PublicKey.X, ie.idKey.PublicKey.Y)
+	return sha256.Sum256(b)
+}
+
+// EcallSetup runs the IBBE system setup for maximal partition size m. The
+// master secret stays inside; the public key and a sealed copy of MSK (for
+// restart persistence) are returned. This is the Fig. 6a operation.
+func (ie *IBBEEnclave) EcallSetup(m int) (*ibbe.PublicKey, []byte, error) {
+	ie.mu.Lock()
+	defer ie.mu.Unlock()
+	var (
+		msk *ibbe.MasterSecretKey
+		pk  *ibbe.PublicKey
+		err error
+	)
+	ie.enc.epcTouch(int64(m)*int64(ie.scheme.P.G1.PointLen()), func() {
+		msk, pk, err = ie.scheme.Setup(m, rand.Reader)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	ie.msk = msk
+	ie.pk = pk
+	sealed, err := ie.sealMSKLocked()
+	if err != nil {
+		return nil, nil, err
+	}
+	return pk, sealed, nil
+}
+
+// EcallRestore reloads a previously sealed master secret (e.g. after an
+// enclave restart) together with the matching public key.
+func (ie *IBBEEnclave) EcallRestore(sealedMSK []byte, pk *ibbe.PublicKey) error {
+	ie.mu.Lock()
+	defer ie.mu.Unlock()
+	raw, err := ie.enc.Unseal(sealedMSK, []byte("ibbe-msk"))
+	if err != nil {
+		return err
+	}
+	msk, err := unmarshalMSK(ie.scheme, raw)
+	if err != nil {
+		return err
+	}
+	ie.msk = msk
+	ie.pk = pk
+	return nil
+}
+
+// EcallExtractUserKey derives the IBBE user secret key for an identity and
+// returns it wrapped for the user: ECIES to the user's public key plus an
+// ECDSA signature by the enclave identity key over the box (Fig. 3 step 4).
+// The plaintext user key never crosses the boundary.
+func (ie *IBBEEnclave) EcallExtractUserKey(id string, userPub *ecdh.PublicKey) (*ProvisionedKey, error) {
+	ie.mu.Lock()
+	defer ie.mu.Unlock()
+	if ie.msk == nil {
+		return nil, ErrEnclaveNotInitialized
+	}
+	uk, err := ie.scheme.Extract(ie.msk, id)
+	if err != nil {
+		return nil, err
+	}
+	box, err := hybrid.SealECIES(userPub, ie.scheme.MarshalUserKey(uk), []byte("usk|"+id), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: wrapping user key: %w", err)
+	}
+	digest := provisionDigest(id, box)
+	sig, err := ecdsa.SignASN1(rand.Reader, ie.idKey, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("enclave: signing provisioned key: %w", err)
+	}
+	return &ProvisionedKey{ID: id, Box: box, Sig: sig}, nil
+}
+
+// EcallCreateGroup implements the enclaved body of Algorithm 1: draw a fresh
+// group key, create an IBBE partition ciphertext per member slice, wrap gk
+// under each partition broadcast key, and seal gk for the administrator's
+// cache. groupLabel binds the wrapped keys to the group.
+func (ie *IBBEEnclave) EcallCreateGroup(groupLabel string, partitions [][]string) ([]byte, []PartitionCrypto, error) {
+	ie.mu.Lock()
+	defer ie.mu.Unlock()
+	if ie.msk == nil {
+		return nil, nil, ErrEnclaveNotInitialized
+	}
+	gk, err := kdf.RandomKey(rand.Reader)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Partitions are processed one at a time so the enclave working set is
+	// bounded by a single partition regardless of the group size — the
+	// §III-B property that lets IBBE-SGX stay clear of the EPC limit.
+	outs := make([]PartitionCrypto, 0, len(partitions))
+	for _, members := range partitions {
+		var (
+			pc       *PartitionCrypto
+			innerErr error
+		)
+		ie.enc.epcTouch(workingSet([][]string{members}), func() {
+			pc, innerErr = ie.createPartitionLocked(groupLabel, members, gk)
+		})
+		if innerErr != nil {
+			return nil, nil, innerErr
+		}
+		outs = append(outs, *pc)
+	}
+	sealedGK, err := ie.sealGKLocked(groupLabel, gk)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sealedGK, outs, nil
+}
+
+// EcallCreatePartition implements the new-partition arm of Algorithm 2
+// (lines 3–7): unseal the current group key and wrap it under a brand-new
+// partition's broadcast key.
+func (ie *IBBEEnclave) EcallCreatePartition(groupLabel string, sealedGK []byte, members []string) (*PartitionCrypto, error) {
+	ie.mu.Lock()
+	defer ie.mu.Unlock()
+	if ie.msk == nil {
+		return nil, ErrEnclaveNotInitialized
+	}
+	gk, err := ie.unsealGKLocked(groupLabel, sealedGK)
+	if err != nil {
+		return nil, err
+	}
+	return ie.createPartitionLocked(groupLabel, members, gk)
+}
+
+// EcallAddUserToPartition implements the existing-partition arm of
+// Algorithm 2 (lines 9–12): extend the partition ciphertext by the new user
+// in O(1). The broadcast key — and therefore the wrapped group key yᵢ — is
+// unchanged.
+func (ie *IBBEEnclave) EcallAddUserToPartition(ct *ibbe.Ciphertext, newUser string) (*ibbe.Ciphertext, error) {
+	ie.mu.Lock()
+	defer ie.mu.Unlock()
+	if ie.msk == nil {
+		return nil, ErrEnclaveNotInitialized
+	}
+	return ie.scheme.AddUser(ie.msk, ct, newUser), nil
+}
+
+// RemovalUpdate is the output of EcallRemoveUser: the re-keyed metadata for
+// the affected partition (absent when it emptied) and for every other
+// partition, plus the new sealed group key.
+type RemovalUpdate struct {
+	SealedGK []byte
+	// Affected is the removed user's partition after the removal, or nil if
+	// the partition became empty and should be dropped.
+	Affected *PartitionCrypto
+	// Others holds the re-keyed (cᵢ, yᵢ) for the remaining partitions, in
+	// the order their ciphertexts were passed in.
+	Others []PartitionCrypto
+}
+
+// EcallRemoveUser implements the enclaved body of Algorithm 3: generate a
+// fresh group key, remove the user from her partition (O(1)), re-key every
+// other partition (O(1) each), and wrap the new group key under every new
+// broadcast key.
+func (ie *IBBEEnclave) EcallRemoveUser(groupLabel string, affected *ibbe.Ciphertext, remUser string, affectedEmpties bool, others []*ibbe.Ciphertext) (*RemovalUpdate, error) {
+	ie.mu.Lock()
+	defer ie.mu.Unlock()
+	if ie.msk == nil {
+		return nil, ErrEnclaveNotInitialized
+	}
+	gk, err := kdf.RandomKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	up := &RemovalUpdate{Others: make([]PartitionCrypto, 0, len(others))}
+	var innerErr error
+	ie.enc.epcTouch(int64(len(others)+1)*int64(ie.scheme.CiphertextLen()), func() {
+		if !affectedEmpties {
+			bk, newCT, err := ie.scheme.RemoveUser(ie.msk, ie.pk, affected, remUser, rand.Reader)
+			if err != nil {
+				innerErr = err
+				return
+			}
+			y, err := wrapGK(ie.scheme.P, bk, gk, groupLabel)
+			if err != nil {
+				innerErr = err
+				return
+			}
+			up.Affected = &PartitionCrypto{CT: newCT, WrappedGK: y}
+		}
+		for _, ct := range others {
+			bk, newCT, err := ie.scheme.Rekey(ie.pk, ct, rand.Reader)
+			if err != nil {
+				innerErr = err
+				return
+			}
+			y, err := wrapGK(ie.scheme.P, bk, gk, groupLabel)
+			if err != nil {
+				innerErr = err
+				return
+			}
+			up.Others = append(up.Others, PartitionCrypto{CT: newCT, WrappedGK: y})
+		}
+	})
+	if innerErr != nil {
+		return nil, innerErr
+	}
+	up.SealedGK, err = ie.sealGKLocked(groupLabel, gk)
+	if err != nil {
+		return nil, err
+	}
+	return up, nil
+}
+
+// EcallRekeyGroup rotates the group key without membership changes
+// (paper §A-G): every partition is re-keyed in O(1) and the new gk wrapped.
+func (ie *IBBEEnclave) EcallRekeyGroup(groupLabel string, cts []*ibbe.Ciphertext) ([]byte, []PartitionCrypto, error) {
+	ie.mu.Lock()
+	defer ie.mu.Unlock()
+	if ie.msk == nil {
+		return nil, nil, ErrEnclaveNotInitialized
+	}
+	gk, err := kdf.RandomKey(rand.Reader)
+	if err != nil {
+		return nil, nil, err
+	}
+	outs := make([]PartitionCrypto, 0, len(cts))
+	for _, ct := range cts {
+		bk, newCT, err := ie.scheme.Rekey(ie.pk, ct, rand.Reader)
+		if err != nil {
+			return nil, nil, err
+		}
+		y, err := wrapGK(ie.scheme.P, bk, gk, groupLabel)
+		if err != nil {
+			return nil, nil, err
+		}
+		outs = append(outs, PartitionCrypto{CT: newCT, WrappedGK: y})
+	}
+	sealedGK, err := ie.sealGKLocked(groupLabel, gk)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sealedGK, outs, nil
+}
+
+// PublicKey returns the system public key (nil before EcallSetup).
+func (ie *IBBEEnclave) PublicKey() *ibbe.PublicKey {
+	ie.mu.Lock()
+	defer ie.mu.Unlock()
+	return ie.pk
+}
+
+// createPartitionLocked builds one partition's (cᵢ, yᵢ) pair.
+func (ie *IBBEEnclave) createPartitionLocked(groupLabel string, members []string, gk [kdf.KeySize]byte) (*PartitionCrypto, error) {
+	bk, ct, err := ie.scheme.EncryptMSK(ie.msk, ie.pk, members, rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	y, err := wrapGK(ie.scheme.P, bk, gk, groupLabel)
+	if err != nil {
+		return nil, err
+	}
+	return &PartitionCrypto{CT: ct, WrappedGK: y}, nil
+}
+
+func (ie *IBBEEnclave) sealMSKLocked() ([]byte, error) {
+	return ie.enc.Seal(marshalMSK(ie.scheme, ie.msk), []byte("ibbe-msk"))
+}
+
+func (ie *IBBEEnclave) sealGKLocked(groupLabel string, gk [kdf.KeySize]byte) ([]byte, error) {
+	return ie.enc.Seal(gk[:], []byte("ibbe-gk|"+groupLabel))
+}
+
+func (ie *IBBEEnclave) unsealGKLocked(groupLabel string, sealed []byte) ([kdf.KeySize]byte, error) {
+	var gk [kdf.KeySize]byte
+	raw, err := ie.enc.Unseal(sealed, []byte("ibbe-gk|"+groupLabel))
+	if err != nil {
+		return gk, err
+	}
+	if len(raw) != kdf.KeySize {
+		return gk, errors.New("enclave: sealed group key has wrong length")
+	}
+	copy(gk[:], raw)
+	return gk, nil
+}
+
+// wrapGK computes yᵢ = AES-GCM(SHA-256(bk), gk) — the sgx_aes(sgx_sha(b), gk)
+// step of Algorithms 1–3. UnwrapGK is its user-side inverse.
+func wrapGK(p *pairing.Params, bk *ibbe.BroadcastKey, gk [kdf.KeySize]byte, groupLabel string) ([]byte, error) {
+	return kdf.Seal(p.GTHash(bk), gk[:], []byte("gk|"+groupLabel), rand.Reader)
+}
+
+// UnwrapGK recovers the group key from yᵢ with a decrypted partition
+// broadcast key. It runs on the client, outside any enclave.
+func UnwrapGK(p *pairing.Params, bk *ibbe.BroadcastKey, wrapped []byte, groupLabel string) ([kdf.KeySize]byte, error) {
+	var gk [kdf.KeySize]byte
+	raw, err := kdf.Open(p.GTHash(bk), wrapped, []byte("gk|"+groupLabel))
+	if err != nil {
+		return gk, fmt.Errorf("enclave: unwrapping group key: %w", err)
+	}
+	if len(raw) != kdf.KeySize {
+		return gk, errors.New("enclave: wrapped group key has wrong length")
+	}
+	copy(gk[:], raw)
+	return gk, nil
+}
+
+// ProvisionedKey is a user secret key in transit: ECIES-wrapped to the user
+// and signed by the certified enclave identity key.
+type ProvisionedKey struct {
+	ID  string
+	Box []byte
+	Sig []byte
+}
+
+// Verify checks the enclave signature with the certified public key.
+func (pk *ProvisionedKey) Verify(enclaveKey *ecdsa.PublicKey) error {
+	digest := provisionDigest(pk.ID, pk.Box)
+	if !ecdsa.VerifyASN1(enclaveKey, digest[:], pk.Sig) {
+		return errors.New("enclave: provisioned key signature invalid")
+	}
+	return nil
+}
+
+// Open verifies the signature and unwraps the user key with the user's
+// ECDH private key.
+func (pk *ProvisionedKey) Open(s *ibbe.Scheme, enclaveKey *ecdsa.PublicKey, userPriv *ecdh.PrivateKey) (*ibbe.UserKey, error) {
+	if err := pk.Verify(enclaveKey); err != nil {
+		return nil, err
+	}
+	raw, err := hybrid.OpenECIES(userPriv, pk.Box, []byte("usk|"+pk.ID))
+	if err != nil {
+		return nil, fmt.Errorf("enclave: unwrapping user key: %w", err)
+	}
+	return s.UnmarshalUserKey(raw)
+}
+
+func provisionDigest(id string, box []byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("ibbe-provision-v1|"))
+	h.Write([]byte(id))
+	h.Write([]byte{0})
+	h.Write(box)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// marshalMSK serialises the master secret for sealing: g ∥ γ.
+func marshalMSK(s *ibbe.Scheme, msk *ibbe.MasterSecretKey) []byte {
+	g1 := s.P.G1
+	out := make([]byte, 0, g1.PointLen()+s.P.Zr.ByteLen())
+	out = append(out, g1.Marshal(msk.G)...)
+	out = append(out, s.P.Zr.ToBytes(msk.Gamma)...)
+	return out
+}
+
+// unmarshalMSK reverses marshalMSK.
+func unmarshalMSK(s *ibbe.Scheme, b []byte) (*ibbe.MasterSecretKey, error) {
+	w := s.P.G1.PointLen()
+	zw := s.P.Zr.ByteLen()
+	if len(b) != w+zw {
+		return nil, errors.New("enclave: sealed MSK has wrong length")
+	}
+	g, err := s.P.G1.Unmarshal(b[:w])
+	if err != nil {
+		return nil, fmt.Errorf("enclave: MSK generator: %w", err)
+	}
+	gamma, err := s.P.Zr.FromBytes(b[w:])
+	if err != nil {
+		return nil, fmt.Errorf("enclave: MSK exponent: %w", err)
+	}
+	return &ibbe.MasterSecretKey{G: g, Gamma: gamma}, nil
+}
+
+// workingSet estimates the enclave-resident bytes for a partition batch.
+func workingSet(partitions [][]string) int64 {
+	var n int64
+	for _, p := range partitions {
+		for _, id := range p {
+			n += int64(len(id))
+		}
+		n += 256
+	}
+	return n
+}

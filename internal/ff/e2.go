@@ -1,0 +1,187 @@
+package ff
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+)
+
+// E2 is an element a + b·i of the quadratic extension F_q² = F_q[i]/(i²+1).
+// Since q ≡ 3 (mod 4), −1 has no square root in F_q and the polynomial
+// i²+1 is irreducible, so this really is a field.
+//
+// E2 values are immutable: every Ext operation returns a fresh element.
+type E2 struct {
+	A *big.Int // real part
+	B *big.Int // imaginary part (coefficient of i)
+}
+
+// Ext provides F_q² arithmetic over a base Field.
+type Ext struct {
+	F *Field
+}
+
+// NewExt returns the quadratic extension of f.
+func NewExt(f *Field) *Ext { return &Ext{F: f} }
+
+// New constructs the element a + b·i, reducing both coordinates.
+func (e *Ext) New(a, b *big.Int) *E2 {
+	return &E2{A: e.F.Reduce(a), B: e.F.Reduce(b)}
+}
+
+// Zero returns the additive identity.
+func (e *Ext) Zero() *E2 { return &E2{A: big.NewInt(0), B: big.NewInt(0)} }
+
+// One returns the multiplicative identity.
+func (e *Ext) One() *E2 { return &E2{A: big.NewInt(1), B: big.NewInt(0)} }
+
+// FromBase lifts a base-field element into F_q².
+func (e *Ext) FromBase(a *big.Int) *E2 {
+	return &E2{A: e.F.Reduce(a), B: big.NewInt(0)}
+}
+
+// IsZero reports whether x == 0.
+func (e *Ext) IsZero(x *E2) bool { return x.A.Sign() == 0 && x.B.Sign() == 0 }
+
+// IsOne reports whether x == 1.
+func (e *Ext) IsOne(x *E2) bool { return x.A.Cmp(bigOne) == 0 && x.B.Sign() == 0 }
+
+// Equal reports whether x == y.
+func (e *Ext) Equal(x, y *E2) bool {
+	return x.A.Cmp(y.A) == 0 && x.B.Cmp(y.B) == 0
+}
+
+// Add returns x + y.
+func (e *Ext) Add(x, y *E2) *E2 {
+	return &E2{A: e.F.Add(x.A, y.A), B: e.F.Add(x.B, y.B)}
+}
+
+// Sub returns x − y.
+func (e *Ext) Sub(x, y *E2) *E2 {
+	return &E2{A: e.F.Sub(x.A, y.A), B: e.F.Sub(x.B, y.B)}
+}
+
+// Neg returns −x.
+func (e *Ext) Neg(x *E2) *E2 {
+	return &E2{A: e.F.Neg(x.A), B: e.F.Neg(x.B)}
+}
+
+// Conj returns the conjugate a − b·i. Conjugation is the Frobenius map
+// x ↦ x^q on F_q², which the pairing's final exponentiation exploits.
+func (e *Ext) Conj(x *E2) *E2 {
+	return &E2{A: new(big.Int).Set(x.A), B: e.F.Neg(x.B)}
+}
+
+// Mul returns x · y using the schoolbook formula
+// (a+bi)(c+di) = (ac − bd) + (ad + bc)i with a Karatsuba-style trick for
+// the cross terms.
+func (e *Ext) Mul(x, y *E2) *E2 {
+	f := e.F
+	ac := f.Mul(x.A, y.A)
+	bd := f.Mul(x.B, y.B)
+	// (a+b)(c+d) − ac − bd = ad + bc
+	cross := f.Mul(f.Add(x.A, x.B), f.Add(y.A, y.B))
+	cross = f.Sub(f.Sub(cross, ac), bd)
+	return &E2{A: f.Sub(ac, bd), B: cross}
+}
+
+// MulBase returns x · c for a base-field scalar c.
+func (e *Ext) MulBase(x *E2, c *big.Int) *E2 {
+	return &E2{A: e.F.Mul(x.A, c), B: e.F.Mul(x.B, c)}
+}
+
+// Sqr returns x² = (a+b)(a−b) + 2ab·i.
+func (e *Ext) Sqr(x *E2) *E2 {
+	f := e.F
+	re := f.Mul(f.Add(x.A, x.B), f.Sub(x.A, x.B))
+	im := f.Mul(x.A, x.B)
+	im = f.Add(im, im)
+	return &E2{A: re, B: im}
+}
+
+// Norm returns the field norm a² + b² ∈ F_q (the product x · x̄).
+func (e *Ext) Norm(x *E2) *big.Int {
+	return e.F.Add(e.F.Sqr(x.A), e.F.Sqr(x.B))
+}
+
+// Inv returns x⁻¹ = x̄ / (a² + b²), or ErrNotInvertible for zero.
+func (e *Ext) Inv(x *E2) (*E2, error) {
+	n := e.Norm(x)
+	if n.Sign() == 0 {
+		return nil, ErrNotInvertible
+	}
+	nInv, err := e.F.Inv(n)
+	if err != nil {
+		return nil, err
+	}
+	return &E2{A: e.F.Mul(x.A, nInv), B: e.F.Mul(e.F.Neg(x.B), nInv)}, nil
+}
+
+// Exp returns x^k by square-and-multiply. Negative exponents invert first;
+// raising zero to a negative power returns an error.
+func (e *Ext) Exp(x *E2, k *big.Int) (*E2, error) {
+	if k.Sign() < 0 {
+		inv, err := e.Inv(x)
+		if err != nil {
+			return nil, fmt.Errorf("ff: exponentiating by negative power: %w", err)
+		}
+		return e.Exp(inv, new(big.Int).Neg(k))
+	}
+	acc := e.One()
+	base := &E2{A: new(big.Int).Set(x.A), B: new(big.Int).Set(x.B)}
+	for i := k.BitLen() - 1; i >= 0; i-- {
+		acc = e.Sqr(acc)
+		if k.Bit(i) == 1 {
+			acc = e.Mul(acc, base)
+		}
+	}
+	return acc, nil
+}
+
+// Rand returns a uniformly random element of F_q².
+func (e *Ext) Rand(r io.Reader) (*E2, error) {
+	a, err := e.F.Rand(r)
+	if err != nil {
+		return nil, err
+	}
+	b, err := e.F.Rand(r)
+	if err != nil {
+		return nil, err
+	}
+	return &E2{A: a, B: b}, nil
+}
+
+// ToBytes serialises x as real ∥ imaginary, each in fixed width.
+func (e *Ext) ToBytes(x *E2) []byte {
+	out := make([]byte, 0, 2*e.F.ByteLen())
+	out = append(out, e.F.ToBytes(x.A)...)
+	out = append(out, e.F.ToBytes(x.B)...)
+	return out
+}
+
+// FromBytes parses the encoding produced by ToBytes.
+func (e *Ext) FromBytes(b []byte) (*E2, error) {
+	w := e.F.ByteLen()
+	if len(b) != 2*w {
+		return nil, fmt.Errorf("%w: got %d bytes, want %d", ErrBadEncoding, len(b), 2*w)
+	}
+	a, err := e.F.FromBytes(b[:w])
+	if err != nil {
+		return nil, err
+	}
+	bb, err := e.F.FromBytes(b[w:])
+	if err != nil {
+		return nil, err
+	}
+	return &E2{A: a, B: bb}, nil
+}
+
+// Clone returns a deep copy of x.
+func (x *E2) Clone() *E2 {
+	return &E2{A: new(big.Int).Set(x.A), B: new(big.Int).Set(x.B)}
+}
+
+// String renders x as "a + b*i" in decimal, for debugging.
+func (x *E2) String() string {
+	return fmt.Sprintf("%s + %s*i", x.A.String(), x.B.String())
+}

@@ -1,0 +1,255 @@
+package ff
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func testExt(t *testing.T) *Ext {
+	t.Helper()
+	return NewExt(testField(t))
+}
+
+func genE2(e *Ext, r *rand.Rand) *E2 {
+	return &E2{A: genElem(e.F, r), B: genElem(e.F, r)}
+}
+
+func TestE2FieldAxioms(t *testing.T) {
+	e := testExt(t)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		x, y, z := genE2(e, r), genE2(e, r), genE2(e, r)
+		if !e.Equal(e.Add(x, y), e.Add(y, x)) {
+			t.Fatal("addition not commutative")
+		}
+		if !e.Equal(e.Mul(x, y), e.Mul(y, x)) {
+			t.Fatal("multiplication not commutative")
+		}
+		if !e.Equal(e.Mul(e.Mul(x, y), z), e.Mul(x, e.Mul(y, z))) {
+			t.Fatal("multiplication not associative")
+		}
+		lhs := e.Mul(x, e.Add(y, z))
+		rhs := e.Add(e.Mul(x, y), e.Mul(x, z))
+		if !e.Equal(lhs, rhs) {
+			t.Fatal("distributivity failed")
+		}
+	}
+}
+
+func TestE2Identities(t *testing.T) {
+	e := testExt(t)
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		x := genE2(e, r)
+		if !e.Equal(e.Add(x, e.Zero()), x) {
+			t.Fatal("x + 0 ≠ x")
+		}
+		if !e.Equal(e.Mul(x, e.One()), x) {
+			t.Fatal("x · 1 ≠ x")
+		}
+		if !e.IsZero(e.Sub(x, x)) {
+			t.Fatal("x − x ≠ 0")
+		}
+		if !e.IsZero(e.Add(x, e.Neg(x))) {
+			t.Fatal("x + (−x) ≠ 0")
+		}
+	}
+}
+
+func TestE2SqrMatchesMul(t *testing.T) {
+	e := testExt(t)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		x := genE2(e, r)
+		if !e.Equal(e.Sqr(x), e.Mul(x, x)) {
+			t.Fatalf("Sqr mismatch for %v", x)
+		}
+	}
+}
+
+func TestE2ISquaredIsMinusOne(t *testing.T) {
+	e := testExt(t)
+	i := e.New(big.NewInt(0), big.NewInt(1))
+	got := e.Sqr(i)
+	want := e.FromBase(e.F.Neg(big.NewInt(1)))
+	if !e.Equal(got, want) {
+		t.Fatalf("i² = %v, want −1", got)
+	}
+}
+
+func TestE2Inverse(t *testing.T) {
+	e := testExt(t)
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 200; i++ {
+		x := genE2(e, r)
+		if e.IsZero(x) {
+			continue
+		}
+		inv, err := e.Inv(x)
+		if err != nil {
+			t.Fatalf("Inv: %v", err)
+		}
+		if !e.IsOne(e.Mul(x, inv)) {
+			t.Fatal("x · x⁻¹ ≠ 1")
+		}
+	}
+}
+
+func TestE2InvZero(t *testing.T) {
+	e := testExt(t)
+	if _, err := e.Inv(e.Zero()); !errors.Is(err, ErrNotInvertible) {
+		t.Fatal("Inv(0) should fail")
+	}
+}
+
+func TestE2ConjIsFrobenius(t *testing.T) {
+	// For F_q² = F_q[i], the Frobenius x ↦ x^q equals conjugation.
+	e := testExt(t)
+	r := rand.New(rand.NewSource(5))
+	q := e.F.P()
+	for i := 0; i < 20; i++ {
+		x := genE2(e, r)
+		frob, err := e.Exp(x, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.Equal(frob, e.Conj(x)) {
+			t.Fatalf("x^q ≠ conj(x) for %v", x)
+		}
+	}
+}
+
+func TestE2ConjMultiplicative(t *testing.T) {
+	e := testExt(t)
+	r := rand.New(rand.NewSource(6))
+	for i := 0; i < 100; i++ {
+		x, y := genE2(e, r), genE2(e, r)
+		if !e.Equal(e.Conj(e.Mul(x, y)), e.Mul(e.Conj(x), e.Conj(y))) {
+			t.Fatal("conjugation not multiplicative")
+		}
+	}
+}
+
+func TestE2NormIsConjProduct(t *testing.T) {
+	e := testExt(t)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 100; i++ {
+		x := genE2(e, r)
+		prod := e.Mul(x, e.Conj(x))
+		if prod.B.Sign() != 0 {
+			t.Fatal("x · x̄ is not in the base field")
+		}
+		if prod.A.Cmp(e.Norm(x)) != 0 {
+			t.Fatal("Norm ≠ x · x̄")
+		}
+	}
+}
+
+func TestE2ExpLaws(t *testing.T) {
+	e := testExt(t)
+	r := rand.New(rand.NewSource(8))
+	x := genE2(e, r)
+	a, b := big.NewInt(12345), big.NewInt(678)
+	xa, _ := e.Exp(x, a)
+	xb, _ := e.Exp(x, b)
+	sum, _ := e.Exp(x, new(big.Int).Add(a, b))
+	if !e.Equal(e.Mul(xa, xb), sum) {
+		t.Fatal("x^a · x^b ≠ x^(a+b)")
+	}
+	nested, _ := e.Exp(xa, b)
+	prod, _ := e.Exp(x, new(big.Int).Mul(a, b))
+	if !e.Equal(nested, prod) {
+		t.Fatal("(x^a)^b ≠ x^(ab)")
+	}
+}
+
+func TestE2ExpNegative(t *testing.T) {
+	e := testExt(t)
+	r := rand.New(rand.NewSource(9))
+	x := genE2(e, r)
+	if e.IsZero(x) {
+		t.Skip("drew zero")
+	}
+	pos, _ := e.Exp(x, big.NewInt(5))
+	neg, err := e.Exp(x, big.NewInt(-5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !e.IsOne(e.Mul(pos, neg)) {
+		t.Fatal("x^5 · x^−5 ≠ 1")
+	}
+	if _, err := e.Exp(e.Zero(), big.NewInt(-1)); err == nil {
+		t.Fatal("0^−1 should fail")
+	}
+}
+
+func TestE2ExpZeroExponent(t *testing.T) {
+	e := testExt(t)
+	x := e.New(big.NewInt(3), big.NewInt(4))
+	got, err := e.Exp(x, big.NewInt(0))
+	if err != nil || !e.IsOne(got) {
+		t.Fatalf("x^0 = %v, %v", got, err)
+	}
+}
+
+func TestE2BytesRoundTrip(t *testing.T) {
+	e := testExt(t)
+	r := rand.New(rand.NewSource(10))
+	for i := 0; i < 50; i++ {
+		x := genE2(e, r)
+		enc := e.ToBytes(x)
+		if len(enc) != 2*e.F.ByteLen() {
+			t.Fatalf("encoding width %d", len(enc))
+		}
+		back, err := e.FromBytes(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.Equal(x, back) {
+			t.Fatal("round trip changed value")
+		}
+	}
+	if _, err := e.FromBytes([]byte{1}); err == nil {
+		t.Fatal("short encoding accepted")
+	}
+}
+
+func TestE2CloneIndependent(t *testing.T) {
+	e := testExt(t)
+	x := e.New(big.NewInt(1), big.NewInt(2))
+	c := x.Clone()
+	c.A.SetInt64(99)
+	if x.A.Int64() != 1 {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestE2MulBase(t *testing.T) {
+	e := testExt(t)
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 50; i++ {
+		x := genE2(e, r)
+		c := genElem(e.F, r)
+		want := e.Mul(x, e.FromBase(c))
+		if !e.Equal(e.MulBase(x, c), want) {
+			t.Fatal("MulBase mismatch")
+		}
+	}
+}
+
+func TestE2Rand(t *testing.T) {
+	e := testExt(t)
+	seen := map[string]bool{}
+	for i := 0; i < 32; i++ {
+		x, err := e.Rand(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[x.String()] = true
+	}
+	if len(seen) < 16 {
+		t.Fatal("Rand not varying")
+	}
+}

@@ -1,0 +1,355 @@
+package ff
+
+import (
+	"bytes"
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// testPrime is a small prime ≡ 3 (mod 4) for fast unit tests.
+var testPrime = big.NewInt(1000003)
+
+func testField(t *testing.T) *Field {
+	t.Helper()
+	f, err := NewField(testPrime)
+	if err != nil {
+		t.Fatalf("NewField: %v", err)
+	}
+	return f
+}
+
+// genElem draws a canonical element from a seeded source for quick-check use.
+func genElem(f *Field, r *rand.Rand) *big.Int {
+	return new(big.Int).Rand(r, f.p)
+}
+
+func TestNewFieldRejectsNonPrime(t *testing.T) {
+	if _, err := NewField(big.NewInt(15)); err == nil {
+		t.Fatal("NewField accepted composite modulus")
+	}
+}
+
+func TestNewFieldRejectsOneModFour(t *testing.T) {
+	// 13 ≡ 1 (mod 4) and is prime.
+	if _, err := NewField(big.NewInt(13)); err == nil {
+		t.Fatal("NewField accepted p ≡ 1 (mod 4)")
+	}
+	if _, err := NewFieldUnchecked(big.NewInt(13)); err != nil {
+		t.Fatalf("NewFieldUnchecked rejected valid prime: %v", err)
+	}
+}
+
+func TestNewFieldRejectsNil(t *testing.T) {
+	if _, err := NewField(nil); err == nil {
+		t.Fatal("NewField accepted nil modulus")
+	}
+	if _, err := NewFieldUnchecked(nil); err == nil {
+		t.Fatal("NewFieldUnchecked accepted nil modulus")
+	}
+}
+
+func TestAddSubRoundTrip(t *testing.T) {
+	f := testField(t)
+	cfg := &quick.Config{MaxCount: 200}
+	prop := func(a, b int64) bool {
+		x, y := big.NewInt(a), big.NewInt(b)
+		return f.Equal(f.Sub(f.Add(x, y), y), f.Reduce(x))
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulCommutativeAssociativeDistributive(t *testing.T) {
+	f := testField(t)
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 300; i++ {
+		a, b, c := genElem(f, r), genElem(f, r), genElem(f, r)
+		if !f.Equal(f.Mul(a, b), f.Mul(b, a)) {
+			t.Fatalf("commutativity failed: a=%v b=%v", a, b)
+		}
+		if !f.Equal(f.Mul(f.Mul(a, b), c), f.Mul(a, f.Mul(b, c))) {
+			t.Fatalf("associativity failed")
+		}
+		lhs := f.Mul(a, f.Add(b, c))
+		rhs := f.Add(f.Mul(a, b), f.Mul(a, c))
+		if !f.Equal(lhs, rhs) {
+			t.Fatalf("distributivity failed")
+		}
+	}
+}
+
+func TestInverse(t *testing.T) {
+	f := testField(t)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		a := genElem(f, r)
+		if a.Sign() == 0 {
+			continue
+		}
+		inv, err := f.Inv(a)
+		if err != nil {
+			t.Fatalf("Inv(%v): %v", a, err)
+		}
+		if !f.Equal(f.Mul(a, inv), big.NewInt(1)) {
+			t.Fatalf("a·a⁻¹ ≠ 1 for a=%v", a)
+		}
+	}
+}
+
+func TestInvZeroFails(t *testing.T) {
+	f := testField(t)
+	if _, err := f.Inv(big.NewInt(0)); !errors.Is(err, ErrNotInvertible) {
+		t.Fatalf("Inv(0) = %v, want ErrNotInvertible", err)
+	}
+	// A multiple of p is zero in the field.
+	if _, err := f.Inv(new(big.Int).Mul(testPrime, big.NewInt(3))); !errors.Is(err, ErrNotInvertible) {
+		t.Fatal("Inv(3p) should fail")
+	}
+}
+
+func TestSqrFollowsMul(t *testing.T) {
+	f := testField(t)
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		a := genElem(f, r)
+		if !f.Equal(f.Sqr(a), f.Mul(a, a)) {
+			t.Fatalf("Sqr(%v) ≠ Mul(a,a)", a)
+		}
+	}
+}
+
+func TestSqrtOnSquares(t *testing.T) {
+	f := testField(t)
+	r := rand.New(rand.NewSource(13))
+	for i := 0; i < 100; i++ {
+		a := genElem(f, r)
+		sq := f.Sqr(a)
+		root, err := f.Sqrt(sq)
+		if err != nil {
+			t.Fatalf("Sqrt of a square failed: %v", err)
+		}
+		if !f.Equal(f.Sqr(root), sq) {
+			t.Fatalf("Sqrt returned non-root")
+		}
+	}
+}
+
+func TestSqrtRejectsNonResidue(t *testing.T) {
+	f := testField(t)
+	r := rand.New(rand.NewSource(17))
+	found := false
+	for i := 0; i < 100 && !found; i++ {
+		a := genElem(f, r)
+		if f.Legendre(a) == -1 {
+			found = true
+			if _, err := f.Sqrt(a); !errors.Is(err, ErrNotSquare) {
+				t.Fatalf("Sqrt(non-residue) = %v, want ErrNotSquare", err)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no non-residue found in 100 draws (statistically impossible)")
+	}
+}
+
+func TestLegendreMultiplicative(t *testing.T) {
+	f := testField(t)
+	r := rand.New(rand.NewSource(19))
+	for i := 0; i < 100; i++ {
+		a, b := genElem(f, r), genElem(f, r)
+		if a.Sign() == 0 || b.Sign() == 0 {
+			continue
+		}
+		if f.Legendre(f.Mul(a, b)) != f.Legendre(a)*f.Legendre(b) {
+			t.Fatal("Legendre symbol is not multiplicative")
+		}
+	}
+}
+
+func TestLegendreZero(t *testing.T) {
+	f := testField(t)
+	if got := f.Legendre(big.NewInt(0)); got != 0 {
+		t.Fatalf("Legendre(0) = %d, want 0", got)
+	}
+}
+
+func TestExpMatchesRepeatedMul(t *testing.T) {
+	f := testField(t)
+	a := big.NewInt(12345)
+	acc := big.NewInt(1)
+	for e := 0; e < 20; e++ {
+		if !f.Equal(f.Exp(a, big.NewInt(int64(e))), acc) {
+			t.Fatalf("Exp(a, %d) mismatch", e)
+		}
+		acc = f.Mul(acc, a)
+	}
+}
+
+func TestExpNegative(t *testing.T) {
+	f := testField(t)
+	a := big.NewInt(999)
+	got := f.Exp(a, big.NewInt(-3))
+	inv, _ := f.Inv(f.Exp(a, big.NewInt(3)))
+	if !f.Equal(got, inv) {
+		t.Fatal("negative exponent mismatch")
+	}
+}
+
+func TestFermatLittleTheorem(t *testing.T) {
+	f := testField(t)
+	r := rand.New(rand.NewSource(23))
+	exp := new(big.Int).Sub(testPrime, big.NewInt(1))
+	for i := 0; i < 50; i++ {
+		a := genElem(f, r)
+		if a.Sign() == 0 {
+			continue
+		}
+		if !f.Equal(f.Exp(a, exp), big.NewInt(1)) {
+			t.Fatalf("a^(p−1) ≠ 1 for a=%v", a)
+		}
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	f := testField(t)
+	r := rand.New(rand.NewSource(29))
+	for i := 0; i < 100; i++ {
+		a := genElem(f, r)
+		b := f.ToBytes(a)
+		if len(b) != f.ByteLen() {
+			t.Fatalf("encoding width %d, want %d", len(b), f.ByteLen())
+		}
+		back, err := f.FromBytes(b)
+		if err != nil {
+			t.Fatalf("FromBytes: %v", err)
+		}
+		if !f.Equal(a, back) {
+			t.Fatal("round trip changed value")
+		}
+	}
+}
+
+func TestFromBytesRejectsBadInput(t *testing.T) {
+	f := testField(t)
+	if _, err := f.FromBytes([]byte{1, 2}); !errors.Is(err, ErrBadEncoding) {
+		t.Fatal("short encoding accepted")
+	}
+	// Encoding of the modulus itself is non-canonical.
+	enc := testPrime.FillBytes(make([]byte, f.ByteLen()))
+	if _, err := f.FromBytes(enc); !errors.Is(err, ErrBadEncoding) {
+		t.Fatal("non-canonical encoding accepted")
+	}
+}
+
+func TestRandIsCanonicalAndVaries(t *testing.T) {
+	f := testField(t)
+	seen := map[string]bool{}
+	for i := 0; i < 64; i++ {
+		v, err := f.Rand(nil)
+		if err != nil {
+			t.Fatalf("Rand: %v", err)
+		}
+		if !f.IsCanonical(v) {
+			t.Fatalf("Rand returned non-canonical %v", v)
+		}
+		seen[v.String()] = true
+	}
+	if len(seen) < 32 {
+		t.Fatalf("Rand produced too many collisions: %d distinct of 64", len(seen))
+	}
+}
+
+func TestRandNonZero(t *testing.T) {
+	f, err := NewFieldUnchecked(big.NewInt(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		v, err := f.RandNonZero(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Sign() == 0 {
+			t.Fatal("RandNonZero returned zero")
+		}
+	}
+}
+
+func TestReduceNegative(t *testing.T) {
+	f := testField(t)
+	got := f.Reduce(big.NewInt(-1))
+	want := new(big.Int).Sub(testPrime, big.NewInt(1))
+	if got.Cmp(want) != 0 {
+		t.Fatalf("Reduce(−1) = %v, want %v", got, want)
+	}
+}
+
+func TestToBytesDoesNotMutate(t *testing.T) {
+	f := testField(t)
+	a := big.NewInt(-5)
+	before := a.String()
+	_ = f.ToBytes(a)
+	if a.String() != before {
+		t.Fatal("ToBytes mutated its input")
+	}
+}
+
+func TestInputAliasing(t *testing.T) {
+	f := testField(t)
+	a := big.NewInt(777)
+	sum := f.Add(a, a)
+	if a.Int64() != 777 {
+		t.Fatal("Add mutated input")
+	}
+	if sum.Int64() != 1554 {
+		t.Fatalf("Add(a,a) = %v", sum)
+	}
+}
+
+func TestByteLenWidths(t *testing.T) {
+	cases := []struct {
+		p    *big.Int
+		want int
+	}{
+		{big.NewInt(251), 1},
+		{big.NewInt(65519), 2},
+		{testPrime, 3},
+	}
+	for _, c := range cases {
+		f, err := NewFieldUnchecked(c.p)
+		if err != nil {
+			t.Fatalf("NewFieldUnchecked(%v): %v", c.p, err)
+		}
+		if f.ByteLen() != c.want {
+			t.Fatalf("ByteLen(%v) = %d, want %d", c.p, f.ByteLen(), c.want)
+		}
+	}
+}
+
+func TestEqualAcrossRepresentatives(t *testing.T) {
+	f := testField(t)
+	a := big.NewInt(5)
+	b := new(big.Int).Add(big.NewInt(5), testPrime)
+	if !f.Equal(a, b) {
+		t.Fatal("Equal failed across representatives")
+	}
+	if f.Equal(a, big.NewInt(6)) {
+		t.Fatal("Equal(5,6) true")
+	}
+}
+
+func TestToBytesFromBytesEmptyZero(t *testing.T) {
+	f := testField(t)
+	enc := f.ToBytes(big.NewInt(0))
+	if !bytes.Equal(enc, make([]byte, f.ByteLen())) {
+		t.Fatal("zero does not encode to zero bytes")
+	}
+	v, err := f.FromBytes(enc)
+	if err != nil || v.Sign() != 0 {
+		t.Fatalf("zero round-trip failed: %v %v", v, err)
+	}
+}

@@ -1,0 +1,236 @@
+package hybrid
+
+import (
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"testing"
+
+	"github.com/ibbesgx/ibbesgx/internal/kdf"
+	"github.com/ibbesgx/ibbesgx/internal/pairing"
+)
+
+func ids(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("user-%03d@example.com", i)
+	}
+	return out
+}
+
+func newHEPKI(t *testing.T, members []string) *HEPKI {
+	t.Helper()
+	pki := NewPKI()
+	for _, id := range members {
+		if err := pki.Register(id, rand.Reader); err != nil {
+			t.Fatalf("Register(%s): %v", id, err)
+		}
+	}
+	return NewHEPKI(pki)
+}
+
+func newHEIBE(t *testing.T) *HEIBE {
+	t.Helper()
+	h, err := NewHEIBE(pairing.TypeA160(), rand.Reader)
+	if err != nil {
+		t.Fatalf("NewHEIBE: %v", err)
+	}
+	return h
+}
+
+func TestHEPKICreateAndDecrypt(t *testing.T) {
+	members := ids(5)
+	h := newHEPKI(t, members)
+	gk, md, err := h.CreateGroup(members, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(md.Entries) != 5 {
+		t.Fatalf("metadata entries = %d, want 5", len(md.Entries))
+	}
+	for _, id := range members {
+		got, err := h.Decrypt(md, id)
+		if err != nil {
+			t.Fatalf("Decrypt(%s): %v", id, err)
+		}
+		if got != gk {
+			t.Fatalf("member %s recovered wrong group key", id)
+		}
+	}
+}
+
+func TestHEPKIMetadataGrowsLinearly(t *testing.T) {
+	members := ids(20)
+	h := newHEPKI(t, members)
+	_, md5, _ := h.CreateGroup(members[:5], rand.Reader)
+	_, md20, _ := h.CreateGroup(members, rand.Reader)
+	if md20.Size() != 4*md5.Size() {
+		t.Fatalf("metadata not linear: %d vs %d", md5.Size(), md20.Size())
+	}
+}
+
+func TestHEPKIAddUser(t *testing.T) {
+	members := ids(4)
+	h := newHEPKI(t, members)
+	gk, md, _ := h.CreateGroup(members[:3], rand.Reader)
+	if err := h.AddUser(md, gk, members[3], rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Decrypt(md, members[3])
+	if err != nil || got != gk {
+		t.Fatalf("added member cannot decrypt: %v", err)
+	}
+	if err := h.AddUser(md, gk, members[3], rand.Reader); !errors.Is(err, ErrDuplicateMember) {
+		t.Fatal("duplicate add accepted")
+	}
+}
+
+func TestHEPKIRemoveUserRotatesKey(t *testing.T) {
+	members := ids(4)
+	h := newHEPKI(t, members)
+	gk, md, _ := h.CreateGroup(members, rand.Reader)
+	newGk, err := h.RemoveUser(md, members[1], rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newGk == gk {
+		t.Fatal("remove did not rotate the group key")
+	}
+	if len(md.Entries) != 3 {
+		t.Fatalf("entries after removal = %d, want 3", len(md.Entries))
+	}
+	// Remaining members get the new key.
+	for _, id := range []string{members[0], members[2], members[3]} {
+		got, err := h.Decrypt(md, id)
+		if err != nil || got != newGk {
+			t.Fatalf("remaining member %s: %v", id, err)
+		}
+	}
+	// The revoked member has no entry anymore.
+	if _, err := h.Decrypt(md, members[1]); !errors.Is(err, ErrNotMember) {
+		t.Fatal("revoked member still has an entry")
+	}
+}
+
+func TestHEPKIRemoveUnknown(t *testing.T) {
+	members := ids(2)
+	h := newHEPKI(t, members)
+	_, md, _ := h.CreateGroup(members, rand.Reader)
+	if _, err := h.RemoveUser(md, "ghost@example.com", rand.Reader); !errors.Is(err, ErrNotMember) {
+		t.Fatal("removing non-member succeeded")
+	}
+}
+
+func TestHEPKIUnknownUserFails(t *testing.T) {
+	h := newHEPKI(t, ids(1))
+	if _, _, err := h.CreateGroup([]string{"unregistered@example.com"}, rand.Reader); !errors.Is(err, ErrUnknownUser) {
+		t.Fatal("create with unregistered user succeeded")
+	}
+}
+
+func TestPKIRegisterIdempotent(t *testing.T) {
+	pki := NewPKI()
+	if err := pki.Register("a", rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+	k1, _ := pki.Public("a")
+	if err := pki.Register("a", rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := pki.Public("a")
+	if !k1.Equal(k2) {
+		t.Fatal("re-registration rotated the key")
+	}
+}
+
+func TestHEIBECreateAndDecrypt(t *testing.T) {
+	h := newHEIBE(t)
+	members := ids(4)
+	gk, md, err := h.CreateGroup(members, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range members {
+		got, err := h.Decrypt(md, id)
+		if err != nil {
+			t.Fatalf("Decrypt(%s): %v", id, err)
+		}
+		if got != gk {
+			t.Fatalf("member %s recovered wrong key", id)
+		}
+	}
+}
+
+func TestHEIBEAddRemove(t *testing.T) {
+	h := newHEIBE(t)
+	members := ids(4)
+	gk, md, _ := h.CreateGroup(members[:3], rand.Reader)
+	if err := h.AddUser(md, gk, members[3], rand.Reader); err != nil {
+		t.Fatal(err)
+	}
+	got, err := h.Decrypt(md, members[3])
+	if err != nil || got != gk {
+		t.Fatalf("added member: %v", err)
+	}
+	newGk, err := h.RemoveUser(md, members[0], rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newGk == gk {
+		t.Fatal("remove did not rotate key")
+	}
+	for _, id := range members[1:] {
+		got, err := h.Decrypt(md, id)
+		if err != nil || got != newGk {
+			t.Fatalf("remaining member %s: %v", id, err)
+		}
+	}
+	if _, err := h.Decrypt(md, members[0]); !errors.Is(err, ErrNotMember) {
+		t.Fatal("revoked member still present")
+	}
+}
+
+func TestHEIBEKeyCaching(t *testing.T) {
+	h := newHEIBE(t)
+	k1, err := h.UserKey("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, err := h.UserKey("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k2 {
+		t.Fatal("user key not cached")
+	}
+}
+
+func TestMetadataMembers(t *testing.T) {
+	members := ids(3)
+	h := newHEPKI(t, members)
+	_, md, _ := h.CreateGroup(members, rand.Reader)
+	got := md.Members()
+	for i, id := range members {
+		if got[i] != id {
+			t.Fatalf("Members()[%d] = %s, want %s", i, got[i], id)
+		}
+	}
+}
+
+func TestMetadataSizeMatchesWire(t *testing.T) {
+	members := ids(2)
+	h := newHEPKI(t, members)
+	_, md, _ := h.CreateGroup(members, rand.Reader)
+	want := 0
+	for _, e := range md.Entries {
+		want += len(e.Box)
+	}
+	if md.Size() != want {
+		t.Fatalf("Size = %d, want %d", md.Size(), want)
+	}
+	// Each ECIES box: 65-byte P-256 point + key + overhead.
+	perEntry := 65 + kdf.KeySize + kdf.Overhead
+	if md.Size() != 2*perEntry {
+		t.Fatalf("per-entry size = %d, want %d", md.Size()/2, perEntry)
+	}
+}

@@ -1,0 +1,112 @@
+package ibbe
+
+import (
+	"crypto/rand"
+	"fmt"
+	"testing"
+
+	"github.com/ibbesgx/ibbesgx/internal/pairing"
+)
+
+// Microbenchmarks for the IBBE primitives, split by receiver-set size so
+// the O(n) vs O(n²) paths are visible in -benchmem output.
+
+func benchSetup(b *testing.B, m int) (*Scheme, *MasterSecretKey, *PublicKey, []string) {
+	b.Helper()
+	s := NewScheme(pairing.TypeA160())
+	msk, pk, err := s.Setup(m, rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	group := make([]string, m)
+	for i := range group {
+		group[i] = fmt.Sprintf("user-%04d@bench", i)
+	}
+	return s, msk, pk, group
+}
+
+func BenchmarkEncryptMSK(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s, msk, pk, group := benchSetup(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.EncryptMSK(msk, pk, group, rand.Reader); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEncryptClassic(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s, _, pk, group := benchSetup(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := s.EncryptClassic(pk, group, rand.Reader); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkDecrypt(b *testing.B) {
+	for _, n := range []int{8, 32, 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s, msk, pk, group := benchSetup(b, n)
+			_, ct, err := s.EncryptMSK(msk, pk, group, rand.Reader)
+			if err != nil {
+				b.Fatal(err)
+			}
+			uk, err := s.Extract(msk, group[0])
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Decrypt(pk, group[0], uk, group, ct); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkAddUserOp(b *testing.B) {
+	s, msk, pk, group := benchSetup(b, 64)
+	_, ct, err := s.EncryptMSK(msk, pk, group, rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AddUser(msk, ct, fmt.Sprintf("joiner-%d@bench", i))
+	}
+}
+
+func BenchmarkRemoveUserOp(b *testing.B) {
+	s, msk, pk, group := benchSetup(b, 64)
+	_, ct, err := s.EncryptMSK(msk, pk, group, rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.RemoveUser(msk, pk, ct, group[0], rand.Reader); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExtract(b *testing.B) {
+	s, msk, _, _ := benchSetup(b, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Extract(msk, fmt.Sprintf("user-%d@bench", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

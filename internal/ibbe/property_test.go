@@ -1,0 +1,190 @@
+package ibbe
+
+import (
+	"crypto/rand"
+	"fmt"
+	mrand "math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ibbesgx/ibbesgx/internal/pairing"
+)
+
+// The property tests share one system setup (Setup is the expensive part)
+// and quick-check scheme invariants over randomized receiver sets and
+// membership histories.
+
+type propEnv struct {
+	s   *Scheme
+	msk *MasterSecretKey
+	pk  *PublicKey
+}
+
+func newPropEnv(t *testing.T, m int) *propEnv {
+	t.Helper()
+	s := NewScheme(pairing.TypeA160())
+	msk, pk, err := s.Setup(m, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &propEnv{s: s, msk: msk, pk: pk}
+}
+
+// idsFromSeed deterministically derives a duplicate-free identity set of
+// size n (1 ≤ n ≤ maxN) from a seed.
+func idsFromSeed(seed int64, maxN int) []string {
+	rng := mrand.New(mrand.NewSource(seed))
+	n := 1 + rng.Intn(maxN)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("prop-%d-%03d@example.com", seed, i)
+	}
+	return out
+}
+
+// Property: for any receiver set, every member decrypts the broadcast key
+// produced by the MSK path.
+func TestPropertyAllMembersDecrypt(t *testing.T) {
+	env := newPropEnv(t, 12)
+	prop := func(seed int64) bool {
+		group := idsFromSeed(seed, 12)
+		bk, ct, err := env.s.EncryptMSK(env.msk, env.pk, group, rand.Reader)
+		if err != nil {
+			return false
+		}
+		// Check a pseudo-random member rather than all (keeps it fast).
+		member := group[mrand.New(mrand.NewSource(seed)).Intn(len(group))]
+		uk, err := env.s.Extract(env.msk, member)
+		if err != nil {
+			return false
+		}
+		got, err := env.s.Decrypt(env.pk, member, uk, group, ct)
+		return err == nil && env.s.P.GTEqual(got, bk)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the two encryption paths agree on C3 for any receiver set
+// (C3 is deterministic in S; it's the anchor of the O(1) dynamic ops).
+func TestPropertyC3PathsAgree(t *testing.T) {
+	env := newPropEnv(t, 10)
+	prop := func(seed int64) bool {
+		group := idsFromSeed(seed, 10)
+		_, ctM, err := env.s.EncryptMSK(env.msk, env.pk, group, rand.Reader)
+		if err != nil {
+			return false
+		}
+		_, ctC, err := env.s.EncryptClassic(env.pk, group, rand.Reader)
+		if err != nil {
+			return false
+		}
+		return env.s.P.G1.Equal(ctM.C3, ctC.C3)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an arbitrary add/remove history preserves decryptability for a
+// surviving member and denies the last-removed member.
+func TestPropertyMembershipHistory(t *testing.T) {
+	env := newPropEnv(t, 16)
+	historyProperty(t, env)
+}
+
+// historyProperty replays 25 seeded random membership histories (mixed
+// adds and removes) and checks after each: a surviving member decrypts the
+// current key, and the most recently revoked member's key does not.
+func historyProperty(t *testing.T, env *propEnv) {
+	t.Helper()
+	for seed := int64(1); seed <= 25; seed++ {
+		rng := mrand.New(mrand.NewSource(seed))
+		group := idsFromSeed(seed, 6)
+		bk, ct, err := env.s.EncryptMSK(env.msk, env.pk, group, rand.Reader)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		live := append([]string(nil), group...)
+		var lastRemoved string
+		for step := 0; step < 6; step++ {
+			if len(live) > 1 && rng.Intn(2) == 0 {
+				idx := rng.Intn(len(live))
+				lastRemoved = live[idx]
+				live = append(live[:idx], live[idx+1:]...)
+				bk, ct, err = env.s.RemoveUser(env.msk, env.pk, ct, lastRemoved, rand.Reader)
+				if err != nil {
+					t.Fatalf("seed %d remove: %v", seed, err)
+				}
+			} else if len(live) < 14 {
+				u := fmt.Sprintf("hist-%d-%d@example.com", seed, step)
+				live = append(live, u)
+				ct = env.s.AddUser(env.msk, ct, u)
+			}
+		}
+		member := live[rng.Intn(len(live))]
+		uk, err := env.s.Extract(env.msk, member)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := env.s.Decrypt(env.pk, member, uk, live, ct)
+		if err != nil {
+			t.Fatalf("seed %d: surviving member cannot decrypt: %v", seed, err)
+		}
+		if !env.s.P.GTEqual(got, bk) {
+			t.Fatalf("seed %d: surviving member got wrong key", seed)
+		}
+		if lastRemoved != "" {
+			rk, err := env.s.Extract(env.msk, lastRemoved)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, err := env.s.Decrypt(env.pk, member, rk, live, ct); err == nil && env.s.P.GTEqual(got, bk) {
+				t.Fatalf("seed %d: revoked member still decrypts", seed)
+			}
+		}
+	}
+}
+
+// Property: ciphertext serialisation round-trips for arbitrary reachable
+// ciphertexts.
+func TestPropertyCiphertextSerde(t *testing.T) {
+	env := newPropEnv(t, 8)
+	prop := func(seed int64) bool {
+		group := idsFromSeed(seed, 8)
+		_, ct, err := env.s.EncryptMSK(env.msk, env.pk, group, rand.Reader)
+		if err != nil {
+			return false
+		}
+		back, err := env.s.UnmarshalCiphertext(env.s.MarshalCiphertext(ct))
+		if err != nil {
+			return false
+		}
+		return env.s.P.G1.Equal(ct.C1, back.C1) &&
+			env.s.P.G1.Equal(ct.C2, back.C2) &&
+			env.s.P.G1.Equal(ct.C3, back.C3)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: HashID is injective-in-practice and stable across calls for
+// arbitrary strings (including empty and unicode).
+func TestPropertyHashIDStable(t *testing.T) {
+	env := newPropEnv(t, 2)
+	prop := func(a, b string) bool {
+		ha := env.s.HashID(a)
+		if ha.Cmp(env.s.HashID(a)) != 0 {
+			return false
+		}
+		if a != b && ha.Cmp(env.s.HashID(b)) == 0 {
+			return false // collision on random short strings ⇒ broken
+		}
+		return ha.Sign() > 0 && ha.Cmp(env.s.P.R) < 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,118 @@
+package ibe
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+
+	"github.com/ibbesgx/ibbesgx/internal/pairing"
+)
+
+func testSetup(t *testing.T) (*Scheme, *MasterKey, *PublicParams) {
+	t.Helper()
+	s := NewScheme(pairing.TypeA160())
+	mk, pp, err := s.Setup(rand.Reader)
+	if err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	return s, mk, pp
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	s, mk, pp := testSetup(t)
+	uk, err := s.Extract(mk, "alice@example.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("a 32-byte group key payload....!")
+	ct, err := s.Encrypt(pp, "alice@example.com", msg, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Decrypt(uk, "alice@example.com", ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(out, msg) {
+		t.Fatal("round trip changed message")
+	}
+}
+
+func TestWrongIdentityCannotDecrypt(t *testing.T) {
+	s, mk, pp := testSetup(t)
+	ct, err := s.Encrypt(pp, "alice", []byte("secret"), rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bobKey, err := s.Extract(mk, "bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Decrypt(bobKey, "alice", ct); err == nil {
+		t.Fatal("bob decrypted alice's ciphertext")
+	}
+	if _, err := s.Decrypt(bobKey, "bob", ct); err == nil {
+		t.Fatal("decryption succeeded with mismatched identity binding")
+	}
+}
+
+func TestCiphertextsAreRandomized(t *testing.T) {
+	s, _, pp := testSetup(t)
+	c1, _ := s.Encrypt(pp, "alice", []byte("m"), rand.Reader)
+	c2, _ := s.Encrypt(pp, "alice", []byte("m"), rand.Reader)
+	if bytes.Equal(c1, c2) {
+		t.Fatal("IBE encryption is deterministic")
+	}
+}
+
+func TestDecryptRejectsTamper(t *testing.T) {
+	s, mk, pp := testSetup(t)
+	uk, _ := s.Extract(mk, "alice")
+	ct, _ := s.Encrypt(pp, "alice", []byte("secret"), rand.Reader)
+	ct[len(ct)-1] ^= 1
+	if _, err := s.Decrypt(uk, "alice", ct); err == nil {
+		t.Fatal("tampered ciphertext accepted")
+	}
+}
+
+func TestDecryptRejectsShort(t *testing.T) {
+	s, mk, _ := testSetup(t)
+	uk, _ := s.Extract(mk, "alice")
+	if _, err := s.Decrypt(uk, "alice", []byte{1, 2, 3}); err == nil {
+		t.Fatal("short ciphertext accepted")
+	}
+}
+
+func TestCiphertextOverhead(t *testing.T) {
+	s, _, pp := testSetup(t)
+	msg := make([]byte, 32)
+	ct, err := s.Encrypt(pp, "alice", msg, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ct) != len(msg)+s.CiphertextOverhead() {
+		t.Fatalf("overhead = %d, declared %d", len(ct)-len(msg), s.CiphertextOverhead())
+	}
+}
+
+func TestExtractDeterministic(t *testing.T) {
+	s, mk, _ := testSetup(t)
+	k1, _ := s.Extract(mk, "carol")
+	k2, _ := s.Extract(mk, "carol")
+	if !s.P.G1.Equal(k1.D, k2.D) {
+		t.Fatal("Extract not deterministic")
+	}
+}
+
+func TestEmptyMessage(t *testing.T) {
+	s, mk, pp := testSetup(t)
+	uk, _ := s.Extract(mk, "alice")
+	ct, err := s.Encrypt(pp, "alice", nil, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.Decrypt(uk, "alice", ct)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty message round trip failed: %v", err)
+	}
+}

@@ -1,0 +1,89 @@
+package pairing
+
+import (
+	"crypto/rand"
+	"testing"
+)
+
+// Microbenchmarks for the pairing substrate — the primitive costs that set
+// every constant in the paper's figures (a pairing evaluation, a G1
+// exponentiation, a GT exponentiation).
+
+func benchParams(b *testing.B) *Params {
+	b.Helper()
+	return TypeA160()
+}
+
+func BenchmarkPairing(b *testing.B) {
+	p := benchParams(b)
+	P, err := p.G1.RandPoint(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	Q, err := p.G1.RandPoint(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Pair(P, Q)
+	}
+}
+
+func BenchmarkG1ScalarMult(b *testing.B) {
+	p := benchParams(b)
+	P, err := p.G1.RandPoint(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, err := p.G1.RandScalar(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.G1.ScalarMult(P, k)
+	}
+}
+
+func BenchmarkGTExp(b *testing.B) {
+	p := benchParams(b)
+	P, _ := p.G1.RandPoint(rand.Reader)
+	Q, _ := p.G1.RandPoint(rand.Reader)
+	e := p.Pair(P, Q)
+	k, _ := p.G1.RandScalar(rand.Reader)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.GTExp(e, k)
+	}
+}
+
+func BenchmarkHashToPoint(b *testing.B) {
+	p := benchParams(b)
+	msg := []byte("user@example.com")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.G1.HashToPoint(msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPairing512(b *testing.B) {
+	if testing.Short() {
+		b.Skip("paper-scale parameters")
+	}
+	p := TypeA512()
+	P, err := p.G1.RandPoint(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	Q, err := p.G1.RandPoint(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Pair(P, Q)
+	}
+}

@@ -1,0 +1,71 @@
+package partition
+
+import "math"
+
+// Adaptive implements the paper's first future-work item (§VIII):
+// dynamically adapting the partition size to the observed workload. The
+// policy observes the running mix of membership operations and decryptions
+// and suggests a capacity that balances administrator cost (which shrinks
+// with larger partitions, Fig. 9 left) against user decryption cost (which
+// grows quadratically with partition size, Fig. 9 right).
+//
+// The model: administrator replay cost per operation is roughly
+// a·|P| = a·n/m (removals re-key every partition), while a user decryption
+// costs d·m². Given the observed ratio ρ of membership operations to
+// decryptions, the total rate cost  ρ·a·n/m + d·m²  is minimised at
+// m* = (ρ·a·n / 2d)^(1/3). The constants a and d fold into a single tunable
+// weight.
+type Adaptive struct {
+	// MinCapacity and MaxCapacity clamp suggestions.
+	MinCapacity, MaxCapacity int
+	// Weight is the folded constant ρ·a/(2d); 1 is a reasonable default for
+	// workloads with comparable admin-op and decryption rates.
+	Weight float64
+
+	memberOps  int64
+	decryptOps int64
+}
+
+// NewAdaptive returns a policy with the given clamp range.
+func NewAdaptive(minCap, maxCap int) *Adaptive {
+	if minCap < 1 {
+		minCap = 1
+	}
+	if maxCap < minCap {
+		maxCap = minCap
+	}
+	return &Adaptive{MinCapacity: minCap, MaxCapacity: maxCap, Weight: 1}
+}
+
+// ObserveMembershipOp records one administrator add/remove.
+func (a *Adaptive) ObserveMembershipOp() { a.memberOps++ }
+
+// ObserveDecrypt records one user decryption.
+func (a *Adaptive) ObserveDecrypt() { a.decryptOps++ }
+
+// Suggest returns the capacity suggested for a group of the given size
+// under the observed workload.
+func (a *Adaptive) Suggest(groupSize int) int {
+	if groupSize < 1 {
+		return a.MinCapacity
+	}
+	ratio := 1.0
+	if a.decryptOps > 0 {
+		ratio = float64(a.memberOps) / float64(a.decryptOps)
+	} else if a.memberOps > 0 {
+		// All-admin workload: push toward the largest partitions.
+		return a.clamp(a.MaxCapacity)
+	}
+	target := math.Cbrt(a.Weight * ratio * float64(groupSize))
+	return a.clamp(int(target + 0.5))
+}
+
+func (a *Adaptive) clamp(m int) int {
+	if m < a.MinCapacity {
+		return a.MinCapacity
+	}
+	if m > a.MaxCapacity {
+		return a.MaxCapacity
+	}
+	return m
+}

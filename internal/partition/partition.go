@@ -1,0 +1,309 @@
+// Package partition implements the group-partitioning bookkeeping of
+// IBBE-SGX (§IV-C): groups are split into fixed-capacity partitions so the
+// user-side decryption cost is bounded by the partition size |p| instead of
+// the group size |S|. The package is pure data-structure logic — the
+// cryptographic side of Algorithms 1–3 lives behind the enclave ECALLs and
+// is orchestrated by internal/core.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Errors returned by table operations.
+var (
+	// ErrMemberExists reports adding a user already present in the group.
+	ErrMemberExists = errors.New("partition: user already in the group")
+	// ErrNoSuchMember reports an operation on a user not in the group.
+	ErrNoSuchMember = errors.New("partition: user not in the group")
+	// ErrPartitionFull reports an insertion into a full partition.
+	ErrPartitionFull = errors.New("partition: partition is full")
+	// ErrBadCapacity reports a non-positive partition capacity.
+	ErrBadCapacity = errors.New("partition: capacity must be positive")
+)
+
+// Partition is one fixed-capacity subgroup with a stable identifier; the
+// identifier becomes the storage key below the group directory
+// (the /g/p1, /g/p2 hierarchy of Fig. 5).
+type Partition struct {
+	ID      string
+	Members []string
+}
+
+// clone returns a deep copy of the partition.
+func (p *Partition) clone() *Partition {
+	return &Partition{ID: p.ID, Members: append([]string(nil), p.Members...)}
+}
+
+// Table tracks the user→partition mapping for one group — the "metadata
+// structure that keeps the mapping between users and partitions" of §IV-C.
+// It is not safe for concurrent use; internal/core serialises access.
+type Table struct {
+	capacity int
+	parts    []*Partition
+	index    map[string]int // member → position in parts
+	nextID   int
+}
+
+// NewTable creates an empty table with fixed partition capacity m.
+func NewTable(capacity int) (*Table, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("%w: %d", ErrBadCapacity, capacity)
+	}
+	return &Table{capacity: capacity, index: make(map[string]int)}, nil
+}
+
+// NewTableFrom rebuilds a table from previously produced partitions (e.g.
+// records read back from the cloud after an administrator restart). It
+// validates capacity bounds, membership disjointness and the canonical
+// partition-ID format, and resumes ID allocation after the highest seen ID.
+func NewTableFrom(capacity int, parts []*Partition) (*Table, error) {
+	t, err := NewTable(capacity)
+	if err != nil {
+		return nil, err
+	}
+	maxID := 0
+	for _, p := range parts {
+		var n int
+		if _, err := fmt.Sscanf(p.ID, "p%06d", &n); err != nil || n < 1 {
+			return nil, fmt.Errorf("partition: malformed partition ID %q", p.ID)
+		}
+		if n > maxID {
+			maxID = n
+		}
+		if len(p.Members) == 0 {
+			return nil, fmt.Errorf("partition: empty partition %s", p.ID)
+		}
+		if len(p.Members) > capacity {
+			return nil, fmt.Errorf("%w: %s has %d members", ErrPartitionFull, p.ID, len(p.Members))
+		}
+		for _, m := range p.Members {
+			if t.Contains(m) {
+				return nil, fmt.Errorf("%w: %s", ErrMemberExists, m)
+			}
+		}
+		cp := p.clone()
+		t.parts = append(t.parts, cp)
+		i := len(t.parts) - 1
+		for _, m := range cp.Members {
+			t.index[m] = i
+		}
+	}
+	t.nextID = maxID
+	return t, nil
+}
+
+// Split divides members into consecutive slices of at most capacity
+// elements — line 1 of Algorithm 1.
+func Split(members []string, capacity int) [][]string {
+	if capacity < 1 {
+		return nil
+	}
+	out := make([][]string, 0, (len(members)+capacity-1)/capacity)
+	for start := 0; start < len(members); start += capacity {
+		end := start + capacity
+		if end > len(members) {
+			end = len(members)
+		}
+		out = append(out, append([]string(nil), members[start:end]...))
+	}
+	return out
+}
+
+// Bootstrap populates an empty table from a member list, returning the
+// created partitions. It fails if the table already has members or if the
+// list contains duplicates.
+func (t *Table) Bootstrap(members []string) ([]*Partition, error) {
+	if len(t.parts) != 0 {
+		return nil, errors.New("partition: table already bootstrapped")
+	}
+	seen := make(map[string]bool, len(members))
+	for _, m := range members {
+		if seen[m] {
+			return nil, fmt.Errorf("%w: %s", ErrMemberExists, m)
+		}
+		seen[m] = true
+	}
+	for _, chunk := range Split(members, t.capacity) {
+		t.appendPartition(chunk)
+	}
+	return t.Partitions(), nil
+}
+
+// Capacity returns the fixed partition size m.
+func (t *Table) Capacity() int { return t.capacity }
+
+// Len returns the number of members in the group.
+func (t *Table) Len() int { return len(t.index) }
+
+// PartitionCount returns the number of partitions |P|.
+func (t *Table) PartitionCount() int { return len(t.parts) }
+
+// Partitions returns copies of all partitions in stable order.
+func (t *Table) Partitions() []*Partition {
+	out := make([]*Partition, len(t.parts))
+	for i, p := range t.parts {
+		out[i] = p.clone()
+	}
+	return out
+}
+
+// Members returns all group members in partition order.
+func (t *Table) Members() []string {
+	out := make([]string, 0, len(t.index))
+	for _, p := range t.parts {
+		out = append(out, p.Members...)
+	}
+	return out
+}
+
+// Contains reports whether user is in the group.
+func (t *Table) Contains(user string) bool {
+	_, ok := t.index[user]
+	return ok
+}
+
+// Lookup returns a copy of the partition hosting user.
+func (t *Table) Lookup(user string) (*Partition, bool) {
+	i, ok := t.index[user]
+	if !ok {
+		return nil, false
+	}
+	return t.parts[i].clone(), true
+}
+
+// PickOpenPartition returns a copy of a uniformly random partition with
+// remaining capacity (line 9 of Algorithm 2), or false when all are full.
+func (t *Table) PickOpenPartition(rng *rand.Rand) (*Partition, bool) {
+	open := make([]int, 0, len(t.parts))
+	for i, p := range t.parts {
+		if len(p.Members) < t.capacity {
+			open = append(open, i)
+		}
+	}
+	if len(open) == 0 {
+		return nil, false
+	}
+	idx := open[0]
+	if rng != nil {
+		idx = open[rng.Intn(len(open))]
+	}
+	return t.parts[idx].clone(), true
+}
+
+// Add places user into the partition with the given ID (line 10 of
+// Algorithm 2) and returns a copy of the updated partition.
+func (t *Table) Add(partitionID, user string) (*Partition, error) {
+	if t.Contains(user) {
+		return nil, fmt.Errorf("%w: %s", ErrMemberExists, user)
+	}
+	for i, p := range t.parts {
+		if p.ID != partitionID {
+			continue
+		}
+		if len(p.Members) >= t.capacity {
+			return nil, fmt.Errorf("%w: %s", ErrPartitionFull, partitionID)
+		}
+		p.Members = append(p.Members, user)
+		t.index[user] = i
+		return p.clone(), nil
+	}
+	return nil, fmt.Errorf("partition: no partition %q", partitionID)
+}
+
+// AddNewPartition creates a fresh singleton partition for user (line 3 of
+// Algorithm 2) and returns a copy of it.
+func (t *Table) AddNewPartition(user string) (*Partition, error) {
+	if t.Contains(user) {
+		return nil, fmt.Errorf("%w: %s", ErrMemberExists, user)
+	}
+	return t.appendPartition([]string{user}).clone(), nil
+}
+
+// Remove deletes user from her hosting partition (lines 1–2 of Algorithm 3)
+// and returns a copy of the partition after removal. Emptied partitions are
+// dropped from the table.
+func (t *Table) Remove(user string) (*Partition, error) {
+	i, ok := t.index[user]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchMember, user)
+	}
+	p := t.parts[i]
+	for j, m := range p.Members {
+		if m == user {
+			p.Members = append(p.Members[:j], p.Members[j+1:]...)
+			break
+		}
+	}
+	delete(t.index, user)
+	if len(p.Members) == 0 {
+		t.dropPartition(i)
+		return &Partition{ID: p.ID}, nil
+	}
+	return p.clone(), nil
+}
+
+// NeedsRepartition implements the paper's low-occupancy heuristic (§V-A):
+// re-partition when fewer than half of the partitions are at least
+// two-thirds full. Single-partition groups never trigger it.
+func (t *Table) NeedsRepartition() bool {
+	if len(t.parts) <= 1 {
+		return false
+	}
+	threshold := (2*t.capacity + 2) / 3 // ⌈2m/3⌉
+	wellFilled := 0
+	for _, p := range t.parts {
+		if len(p.Members) >= threshold {
+			wellFilled++
+		}
+	}
+	return 2*wellFilled < len(t.parts)
+}
+
+// Reset rebuilds the table from the current member set, packing members
+// into dense partitions — the re-partitioning of §V-A ("re-creating the
+// group following Algorithm 1"). It returns the new partitions.
+func (t *Table) Reset() []*Partition {
+	members := t.Members()
+	sort.Strings(members)
+	t.parts = nil
+	t.index = make(map[string]int, len(members))
+	for _, chunk := range Split(members, t.capacity) {
+		t.appendPartition(chunk)
+	}
+	return t.Partitions()
+}
+
+// Occupancy returns the mean fill ratio across partitions (0 when empty).
+func (t *Table) Occupancy() float64 {
+	if len(t.parts) == 0 {
+		return 0
+	}
+	return float64(len(t.index)) / float64(len(t.parts)*t.capacity)
+}
+
+func (t *Table) appendPartition(members []string) *Partition {
+	t.nextID++
+	p := &Partition{
+		ID:      fmt.Sprintf("p%06d", t.nextID),
+		Members: append([]string(nil), members...),
+	}
+	t.parts = append(t.parts, p)
+	i := len(t.parts) - 1
+	for _, m := range members {
+		t.index[m] = i
+	}
+	return p
+}
+
+func (t *Table) dropPartition(i int) {
+	t.parts = append(t.parts[:i], t.parts[i+1:]...)
+	for j := i; j < len(t.parts); j++ {
+		for _, m := range t.parts[j].Members {
+			t.index[m] = j
+		}
+	}
+}

@@ -1,0 +1,435 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func names(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("u%04d", i)
+	}
+	return out
+}
+
+func newTable(t *testing.T, capacity int, members int) *Table {
+	t.Helper()
+	tbl, err := NewTable(capacity)
+	if err != nil {
+		t.Fatalf("NewTable: %v", err)
+	}
+	if members > 0 {
+		if _, err := tbl.Bootstrap(names(members)); err != nil {
+			t.Fatalf("Bootstrap: %v", err)
+		}
+	}
+	return tbl
+}
+
+// checkInvariants verifies the structural invariants every operation must
+// preserve: partition sizes within capacity, disjoint membership, index
+// consistency, no empty partitions.
+func checkInvariants(t *testing.T, tbl *Table) {
+	t.Helper()
+	seen := make(map[string]bool)
+	total := 0
+	for _, p := range tbl.Partitions() {
+		if len(p.Members) == 0 {
+			t.Fatalf("empty partition %s retained", p.ID)
+		}
+		if len(p.Members) > tbl.Capacity() {
+			t.Fatalf("partition %s over capacity: %d > %d", p.ID, len(p.Members), tbl.Capacity())
+		}
+		for _, m := range p.Members {
+			if seen[m] {
+				t.Fatalf("member %s in two partitions", m)
+			}
+			seen[m] = true
+			got, ok := tbl.Lookup(m)
+			if !ok || got.ID != p.ID {
+				t.Fatalf("index inconsistent for %s", m)
+			}
+		}
+		total += len(p.Members)
+	}
+	if total != tbl.Len() {
+		t.Fatalf("Len() = %d, members counted = %d", tbl.Len(), total)
+	}
+}
+
+func TestNewTableRejectsBadCapacity(t *testing.T) {
+	if _, err := NewTable(0); !errors.Is(err, ErrBadCapacity) {
+		t.Fatal("capacity 0 accepted")
+	}
+}
+
+func TestSplitShapes(t *testing.T) {
+	cases := []struct {
+		n, cap  int
+		want    int
+		lastLen int
+	}{
+		{0, 5, 0, 0},
+		{5, 5, 1, 5},
+		{6, 5, 2, 1},
+		{10, 5, 2, 5},
+		{11, 5, 3, 1},
+		{3, 1, 3, 1},
+	}
+	for _, c := range cases {
+		got := Split(names(c.n), c.cap)
+		if len(got) != c.want {
+			t.Fatalf("Split(%d, %d) = %d chunks, want %d", c.n, c.cap, len(got), c.want)
+		}
+		if c.want > 0 && len(got[len(got)-1]) != c.lastLen {
+			t.Fatalf("Split(%d, %d) last chunk = %d, want %d", c.n, c.cap, len(got[len(got)-1]), c.lastLen)
+		}
+	}
+	if Split(names(3), 0) != nil {
+		t.Fatal("Split with bad capacity should return nil")
+	}
+}
+
+func TestSplitCoversAllMembersProperty(t *testing.T) {
+	prop := func(n uint8, capRaw uint8) bool {
+		capacity := int(capRaw%50) + 1
+		members := names(int(n))
+		chunks := Split(members, capacity)
+		flat := make([]string, 0, len(members))
+		for _, c := range chunks {
+			if len(c) == 0 || len(c) > capacity {
+				return false
+			}
+			flat = append(flat, c...)
+		}
+		if len(flat) != len(members) {
+			return false
+		}
+		for i := range flat {
+			if flat[i] != members[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBootstrap(t *testing.T) {
+	tbl := newTable(t, 10, 25)
+	if tbl.PartitionCount() != 3 {
+		t.Fatalf("partitions = %d, want 3", tbl.PartitionCount())
+	}
+	if tbl.Len() != 25 {
+		t.Fatalf("Len = %d, want 25", tbl.Len())
+	}
+	checkInvariants(t, tbl)
+}
+
+func TestBootstrapRejectsDuplicates(t *testing.T) {
+	tbl := newTable(t, 10, 0)
+	if _, err := tbl.Bootstrap([]string{"a", "b", "a"}); !errors.Is(err, ErrMemberExists) {
+		t.Fatal("duplicate members accepted")
+	}
+}
+
+func TestBootstrapTwiceFails(t *testing.T) {
+	tbl := newTable(t, 10, 5)
+	if _, err := tbl.Bootstrap(names(3)); err == nil {
+		t.Fatal("second bootstrap accepted")
+	}
+}
+
+func TestAddToOpenPartition(t *testing.T) {
+	tbl := newTable(t, 3, 2)
+	rng := rand.New(rand.NewSource(1))
+	p, ok := tbl.PickOpenPartition(rng)
+	if !ok {
+		t.Fatal("no open partition in a non-full group")
+	}
+	got, err := tbl.Add(p.ID, "newbie")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Members[len(got.Members)-1] != "newbie" {
+		t.Fatal("new member not appended")
+	}
+	checkInvariants(t, tbl)
+}
+
+func TestPickOpenPartitionNoneWhenFull(t *testing.T) {
+	tbl := newTable(t, 2, 4) // two exactly-full partitions
+	if _, ok := tbl.PickOpenPartition(rand.New(rand.NewSource(1))); ok {
+		t.Fatal("found an open partition in a full group")
+	}
+}
+
+func TestAddDuplicateRejected(t *testing.T) {
+	tbl := newTable(t, 5, 3)
+	p, _ := tbl.PickOpenPartition(nil)
+	if _, err := tbl.Add(p.ID, "u0001"); !errors.Is(err, ErrMemberExists) {
+		t.Fatal("duplicate add accepted")
+	}
+	if _, err := tbl.AddNewPartition("u0001"); !errors.Is(err, ErrMemberExists) {
+		t.Fatal("duplicate AddNewPartition accepted")
+	}
+}
+
+func TestAddToFullPartitionRejected(t *testing.T) {
+	tbl := newTable(t, 2, 2)
+	p := tbl.Partitions()[0]
+	if _, err := tbl.Add(p.ID, "x"); !errors.Is(err, ErrPartitionFull) {
+		t.Fatal("over-capacity add accepted")
+	}
+}
+
+func TestAddToUnknownPartition(t *testing.T) {
+	tbl := newTable(t, 2, 2)
+	if _, err := tbl.Add("p-nope", "x"); err == nil {
+		t.Fatal("unknown partition accepted")
+	}
+}
+
+func TestAddNewPartition(t *testing.T) {
+	tbl := newTable(t, 2, 4)
+	p, err := tbl.AddNewPartition("solo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Members) != 1 || p.Members[0] != "solo" {
+		t.Fatal("singleton partition malformed")
+	}
+	if tbl.PartitionCount() != 3 {
+		t.Fatalf("partitions = %d, want 3", tbl.PartitionCount())
+	}
+	checkInvariants(t, tbl)
+}
+
+func TestRemove(t *testing.T) {
+	tbl := newTable(t, 3, 7)
+	p, err := tbl.Remove("u0001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Members) != 2 {
+		t.Fatalf("affected partition has %d members, want 2", len(p.Members))
+	}
+	if tbl.Contains("u0001") {
+		t.Fatal("removed member still present")
+	}
+	checkInvariants(t, tbl)
+}
+
+func TestRemoveLastMemberDropsPartition(t *testing.T) {
+	tbl := newTable(t, 3, 4) // partitions of 3 and 1
+	p, err := tbl.Remove("u0003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Members) != 0 {
+		t.Fatal("expected emptied partition")
+	}
+	if tbl.PartitionCount() != 1 {
+		t.Fatalf("partitions = %d, want 1", tbl.PartitionCount())
+	}
+	checkInvariants(t, tbl)
+}
+
+func TestRemoveUnknown(t *testing.T) {
+	tbl := newTable(t, 3, 3)
+	if _, err := tbl.Remove("ghost"); !errors.Is(err, ErrNoSuchMember) {
+		t.Fatal("removing unknown member accepted")
+	}
+}
+
+func TestIndexConsistentAfterMiddlePartitionDrop(t *testing.T) {
+	tbl := newTable(t, 2, 6) // three full partitions
+	// Empty the middle partition (u0002, u0003).
+	if _, err := tbl.Remove("u0002"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Remove("u0003"); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.PartitionCount() != 2 {
+		t.Fatalf("partitions = %d, want 2", tbl.PartitionCount())
+	}
+	// Members of the (shifted) last partition must still resolve.
+	checkInvariants(t, tbl)
+	p, ok := tbl.Lookup("u0005")
+	if !ok {
+		t.Fatal("lookup lost after partition drop")
+	}
+	if _, err := tbl.Remove("u0005"); err != nil {
+		t.Fatalf("remove after shift: %v", err)
+	}
+	_ = p
+	checkInvariants(t, tbl)
+}
+
+func TestNeedsRepartitionHeuristic(t *testing.T) {
+	// Capacity 6 ⇒ two-thirds threshold is 4 members.
+	tbl := newTable(t, 6, 12) // two full partitions
+	if tbl.NeedsRepartition() {
+		t.Fatal("dense group flagged for repartition")
+	}
+	// Strip one partition down to 1 member: 1 of 2 well-filled — not < half.
+	for _, u := range []string{"u0006", "u0007", "u0008", "u0009", "u0010"} {
+		if _, err := tbl.Remove(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.NeedsRepartition() {
+		t.Fatal("half well-filled flagged for repartition")
+	}
+	// Strip the other partition too: 0 of 2 well-filled — triggers.
+	for _, u := range []string{"u0000", "u0001", "u0002"} {
+		if _, err := tbl.Remove(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !tbl.NeedsRepartition() {
+		t.Fatal("sparse group not flagged for repartition")
+	}
+}
+
+func TestNeedsRepartitionSinglePartition(t *testing.T) {
+	tbl := newTable(t, 10, 1)
+	if tbl.NeedsRepartition() {
+		t.Fatal("single-partition group flagged for repartition")
+	}
+}
+
+func TestReset(t *testing.T) {
+	tbl := newTable(t, 3, 9)
+	// Punch holes across partitions.
+	for _, u := range []string{"u0000", "u0003", "u0006", "u0007"} {
+		if _, err := tbl.Remove(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := tbl.Len()
+	parts := tbl.Reset()
+	if tbl.Len() != before {
+		t.Fatal("Reset changed membership")
+	}
+	if len(parts) != 2 { // 5 members at capacity 3 → 2 partitions
+		t.Fatalf("partitions after reset = %d, want 2", len(parts))
+	}
+	checkInvariants(t, tbl)
+	if tbl.Occupancy() < 0.8 {
+		t.Fatalf("occupancy after reset = %f", tbl.Occupancy())
+	}
+}
+
+func TestOccupancy(t *testing.T) {
+	tbl := newTable(t, 4, 8)
+	if tbl.Occupancy() != 1.0 {
+		t.Fatalf("full occupancy = %f", tbl.Occupancy())
+	}
+	empty := newTable(t, 4, 0)
+	if empty.Occupancy() != 0 {
+		t.Fatal("empty table occupancy not zero")
+	}
+}
+
+func TestRandomizedOperationStream(t *testing.T) {
+	// Property: any sequence of add/remove keeps invariants.
+	tbl := newTable(t, 5, 0)
+	rng := rand.New(rand.NewSource(99))
+	live := map[string]bool{}
+	next := 0
+	for step := 0; step < 2000; step++ {
+		if len(live) == 0 || rng.Intn(100) < 55 {
+			user := fmt.Sprintf("m%05d", next)
+			next++
+			if p, ok := tbl.PickOpenPartition(rng); ok {
+				if _, err := tbl.Add(p.ID, user); err != nil {
+					t.Fatalf("step %d add: %v", step, err)
+				}
+			} else {
+				if _, err := tbl.AddNewPartition(user); err != nil {
+					t.Fatalf("step %d new partition: %v", step, err)
+				}
+			}
+			live[user] = true
+		} else {
+			var victim string
+			for u := range live {
+				victim = u
+				break
+			}
+			if _, err := tbl.Remove(victim); err != nil {
+				t.Fatalf("step %d remove: %v", step, err)
+			}
+			delete(live, victim)
+			if tbl.NeedsRepartition() {
+				tbl.Reset()
+			}
+		}
+	}
+	if tbl.Len() != len(live) {
+		t.Fatalf("table size %d, expected %d", tbl.Len(), len(live))
+	}
+	checkInvariants(t, tbl)
+}
+
+func TestMembersOrderStable(t *testing.T) {
+	tbl := newTable(t, 3, 7)
+	m := tbl.Members()
+	if len(m) != 7 {
+		t.Fatalf("Members() = %d entries", len(m))
+	}
+	for i, u := range names(7) {
+		if m[i] != u {
+			t.Fatalf("Members()[%d] = %s, want %s", i, m[i], u)
+		}
+	}
+}
+
+func TestAdaptiveSuggestBounds(t *testing.T) {
+	a := NewAdaptive(100, 4000)
+	// Decrypt-heavy workload → small partitions.
+	for i := 0; i < 1000; i++ {
+		a.ObserveDecrypt()
+	}
+	a.ObserveMembershipOp()
+	small := a.Suggest(1_000_000)
+	// Admin-heavy workload → larger partitions.
+	b := NewAdaptive(100, 4000)
+	for i := 0; i < 1000; i++ {
+		b.ObserveMembershipOp()
+	}
+	b.ObserveDecrypt()
+	large := b.Suggest(1_000_000)
+	if small >= large {
+		t.Fatalf("adaptive policy inverted: decrypt-heavy=%d admin-heavy=%d", small, large)
+	}
+	if small < 100 || large > 4000 {
+		t.Fatalf("suggestions out of clamp range: %d %d", small, large)
+	}
+}
+
+func TestAdaptiveAllAdminWorkload(t *testing.T) {
+	a := NewAdaptive(10, 500)
+	a.ObserveMembershipOp()
+	if got := a.Suggest(100000); got != 500 {
+		t.Fatalf("all-admin suggestion = %d, want max 500", got)
+	}
+}
+
+func TestAdaptiveDegenerate(t *testing.T) {
+	a := NewAdaptive(0, -5)
+	if a.MinCapacity != 1 || a.MaxCapacity != 1 {
+		t.Fatal("clamp normalisation failed")
+	}
+	if got := a.Suggest(0); got != 1 {
+		t.Fatalf("Suggest(0) = %d", got)
+	}
+}

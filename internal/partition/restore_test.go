@@ -1,0 +1,79 @@
+package partition
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestNewTableFromRoundTrip(t *testing.T) {
+	orig := newTable(t, 3, 8)
+	parts := orig.Partitions()
+	restored, err := NewTableFrom(3, parts)
+	if err != nil {
+		t.Fatalf("NewTableFrom: %v", err)
+	}
+	if restored.Len() != orig.Len() || restored.PartitionCount() != orig.PartitionCount() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d",
+			restored.Len(), restored.PartitionCount(), orig.Len(), orig.PartitionCount())
+	}
+	checkInvariants(t, restored)
+	// Lookups resolve identically.
+	for _, u := range orig.Members() {
+		a, okA := orig.Lookup(u)
+		b, okB := restored.Lookup(u)
+		if !okA || !okB || a.ID != b.ID {
+			t.Fatalf("lookup diverges for %s", u)
+		}
+	}
+}
+
+func TestNewTableFromResumesIDAllocation(t *testing.T) {
+	orig := newTable(t, 2, 4) // p000001, p000002
+	restored, err := NewTableFrom(2, orig.Partitions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := restored.AddNewPartition("fresh")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ID != "p000003" {
+		t.Fatalf("resumed ID = %s, want p000003", p.ID)
+	}
+}
+
+func TestNewTableFromValidates(t *testing.T) {
+	good := &Partition{ID: "p000001", Members: []string{"a"}}
+	if _, err := NewTableFrom(0, []*Partition{good}); !errors.Is(err, ErrBadCapacity) {
+		t.Fatal("bad capacity accepted")
+	}
+	if _, err := NewTableFrom(2, []*Partition{{ID: "weird", Members: []string{"a"}}}); err == nil {
+		t.Fatal("malformed ID accepted")
+	}
+	if _, err := NewTableFrom(2, []*Partition{{ID: "p000001", Members: nil}}); err == nil {
+		t.Fatal("empty partition accepted")
+	}
+	over := &Partition{ID: "p000001", Members: []string{"a", "b", "c"}}
+	if _, err := NewTableFrom(2, []*Partition{over}); !errors.Is(err, ErrPartitionFull) {
+		t.Fatal("over-capacity partition accepted")
+	}
+	dup := []*Partition{
+		{ID: "p000001", Members: []string{"a"}},
+		{ID: "p000002", Members: []string{"a"}},
+	}
+	if _, err := NewTableFrom(2, dup); !errors.Is(err, ErrMemberExists) {
+		t.Fatal("duplicate membership accepted")
+	}
+}
+
+func TestNewTableFromDoesNotAliasInput(t *testing.T) {
+	parts := []*Partition{{ID: "p000001", Members: []string{"a", "b"}}}
+	restored, err := NewTableFrom(4, parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts[0].Members[0] = "mutated"
+	if !restored.Contains("a") {
+		t.Fatal("restored table aliases caller slice")
+	}
+}

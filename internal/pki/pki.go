@@ -1,0 +1,168 @@
+// Package pki implements the Auditor / Certificate Authority of the paper's
+// trust-establishment flow (Fig. 3): after verifying, via the (simulated)
+// IAS, that the IBBE enclave runs the expected code on a genuine platform,
+// the Auditor issues a real X.509 certificate over the enclave's identity
+// public key. Users validate that certificate against the Auditor's root
+// before accepting provisioned private keys.
+package pki
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/x509"
+	"crypto/x509/pkix"
+	"encoding/asn1"
+	"errors"
+	"fmt"
+	"math/big"
+	"time"
+
+	"github.com/ibbesgx/ibbesgx/internal/attest"
+	"github.com/ibbesgx/ibbesgx/internal/enclave"
+)
+
+// Errors returned by certificate operations.
+var (
+	// ErrCertInvalid reports a certificate failing chain or content checks.
+	ErrCertInvalid = errors.New("pki: certificate invalid")
+)
+
+// measurementOID is the private extension carrying MRENCLAVE in enclave
+// certificates (arbitrary OID under the private-enterprise arc).
+var measurementOID = asn1.ObjectIdentifier{1, 3, 6, 1, 4, 1, 99999, 1}
+
+// Auditor is the combined enclave auditor and CA. It pins the IAS public
+// key and the expected enclave measurement, and issues certificates from a
+// self-signed root.
+type Auditor struct {
+	rootKey  *ecdsa.PrivateKey
+	rootCert *x509.Certificate
+	rootDER  []byte
+
+	iasKey   *ecdsa.PublicKey
+	expected enclave.Measurement
+	serial   int64
+}
+
+// NewAuditor creates an auditor with a fresh self-signed root certificate,
+// pinning the given IAS key and expected enclave measurement.
+func NewAuditor(iasKey *ecdsa.PublicKey, expected enclave.Measurement) (*Auditor, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("pki: generating root key: %w", err)
+	}
+	tmpl := &x509.Certificate{
+		SerialNumber:          big.NewInt(1),
+		Subject:               pkix.Name{CommonName: "IBBE-SGX Auditor Root", Organization: []string{"ibbe-sgx"}},
+		NotBefore:             time.Now().Add(-time.Hour),
+		NotAfter:              time.Now().Add(10 * 365 * 24 * time.Hour),
+		KeyUsage:              x509.KeyUsageCertSign | x509.KeyUsageDigitalSignature,
+		BasicConstraintsValid: true,
+		IsCA:                  true,
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, tmpl, &key.PublicKey, key)
+	if err != nil {
+		return nil, fmt.Errorf("pki: self-signing root: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("pki: parsing root: %w", err)
+	}
+	return &Auditor{rootKey: key, rootCert: cert, rootDER: der, iasKey: iasKey, expected: expected, serial: 1}, nil
+}
+
+// RootCertificate returns the root certificate users pin.
+func (a *Auditor) RootCertificate() *x509.Certificate { return a.rootCert }
+
+// RootDER returns the DER encoding of the root certificate.
+func (a *Auditor) RootDER() []byte { return a.rootDER }
+
+// AttestAndCertify executes Fig. 3 steps 1–3: verify the enclave quote with
+// IAS, compare the measurement with the expected one, check that the quote
+// binds the presented identity key, and issue the enclave certificate.
+func (a *Auditor) AttestAndCertify(ias *attest.IAS, ie *enclave.IBBEEnclave) (*x509.Certificate, error) {
+	quote, err := attest.NewQuote(ie.Enclave(), attest.ReportDataForKeyHash(ie.IdentityKeyHash()))
+	if err != nil {
+		return nil, err
+	}
+	report, err := ias.Verify(quote)
+	if err != nil {
+		return nil, fmt.Errorf("pki: IAS verification: %w", err)
+	}
+	if err := attest.VerifyReport(report, a.iasKey, a.expected); err != nil {
+		return nil, fmt.Errorf("pki: report validation: %w", err)
+	}
+	// Bind check: REPORTDATA must hash the identity key being certified.
+	wantRD := attest.ReportDataForKeyHash(identityKeyHash(ie.IdentityPublicKey()))
+	if report.Quote.ReportData != wantRD {
+		return nil, fmt.Errorf("%w: quote does not bind the identity key", ErrCertInvalid)
+	}
+	return a.issue(ie.IdentityPublicKey(), report.Quote.Measurement)
+}
+
+// issue signs an enclave identity certificate embedding the measurement.
+func (a *Auditor) issue(pub *ecdsa.PublicKey, m enclave.Measurement) (*x509.Certificate, error) {
+	a.serial++
+	tmpl := &x509.Certificate{
+		SerialNumber: big.NewInt(a.serial),
+		Subject:      pkix.Name{CommonName: "ibbe-sgx-enclave", Organization: []string{"ibbe-sgx"}},
+		NotBefore:    time.Now().Add(-time.Hour),
+		NotAfter:     time.Now().Add(365 * 24 * time.Hour),
+		KeyUsage:     x509.KeyUsageDigitalSignature,
+		ExtKeyUsage:  []x509.ExtKeyUsage{x509.ExtKeyUsageClientAuth, x509.ExtKeyUsageServerAuth},
+		ExtraExtensions: []pkix.Extension{{
+			Id:    measurementOID,
+			Value: m[:],
+		}},
+	}
+	der, err := x509.CreateCertificate(rand.Reader, tmpl, a.rootCert, pub, a.rootKey)
+	if err != nil {
+		return nil, fmt.Errorf("pki: issuing enclave certificate: %w", err)
+	}
+	cert, err := x509.ParseCertificate(der)
+	if err != nil {
+		return nil, fmt.Errorf("pki: parsing issued certificate: %w", err)
+	}
+	return cert, nil
+}
+
+// VerifyEnclaveCert is the user-side check (Fig. 3 step 4): validate the
+// certificate chain against the pinned root and confirm the embedded
+// measurement. It returns the certified enclave identity key.
+func VerifyEnclaveCert(cert *x509.Certificate, root *x509.Certificate, expected enclave.Measurement) (*ecdsa.PublicKey, error) {
+	pool := x509.NewCertPool()
+	pool.AddCert(root)
+	if _, err := cert.Verify(x509.VerifyOptions{
+		Roots:     pool,
+		KeyUsages: []x509.ExtKeyUsage{x509.ExtKeyUsageClientAuth},
+	}); err != nil {
+		return nil, fmt.Errorf("%w: chain: %v", ErrCertInvalid, err)
+	}
+	var got []byte
+	for _, ext := range cert.Extensions {
+		if ext.Id.Equal(measurementOID) {
+			got = ext.Value
+			break
+		}
+	}
+	if len(got) != len(expected) {
+		return nil, fmt.Errorf("%w: missing measurement extension", ErrCertInvalid)
+	}
+	var m enclave.Measurement
+	copy(m[:], got)
+	if m != expected {
+		return nil, fmt.Errorf("%w: measurement mismatch", ErrCertInvalid)
+	}
+	pub, ok := cert.PublicKey.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("%w: unexpected key type %T", ErrCertInvalid, cert.PublicKey)
+	}
+	return pub, nil
+}
+
+func identityKeyHash(pub *ecdsa.PublicKey) [32]byte {
+	b := elliptic.MarshalCompressed(elliptic.P256(), pub.X, pub.Y)
+	return sha256.Sum256(b)
+}

@@ -1,0 +1,155 @@
+package pki
+
+import (
+	"crypto/rand"
+	"errors"
+	"testing"
+
+	"github.com/ibbesgx/ibbesgx/internal/attest"
+	"github.com/ibbesgx/ibbesgx/internal/enclave"
+	"github.com/ibbesgx/ibbesgx/internal/pairing"
+)
+
+// fullSetup builds the Fig. 3 cast: platform, IAS, enclave, auditor.
+func fullSetup(t *testing.T) (*attest.IAS, *enclave.IBBEEnclave, *Auditor) {
+	t.Helper()
+	ias, err := attest.NewIAS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := enclave.NewPlatform("p1", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ias.RegisterPlatform(platform)
+	ie, err := enclave.NewIBBEEnclave(platform, pairing.TypeA160())
+	if err != nil {
+		t.Fatal(err)
+	}
+	auditor, err := NewAuditor(ias.PublicKey(), enclave.IBBEMeasurement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ias, ie, auditor
+}
+
+func TestAttestAndCertifyHappyPath(t *testing.T) {
+	ias, ie, auditor := fullSetup(t)
+	cert, err := auditor.AttestAndCertify(ias, ie)
+	if err != nil {
+		t.Fatalf("AttestAndCertify: %v", err)
+	}
+	// User-side validation: chain + measurement + key extraction.
+	pub, err := VerifyEnclaveCert(cert, auditor.RootCertificate(), enclave.IBBEMeasurement())
+	if err != nil {
+		t.Fatalf("VerifyEnclaveCert: %v", err)
+	}
+	if !pub.Equal(ie.IdentityPublicKey()) {
+		t.Fatal("certificate carries a different key than the enclave's")
+	}
+}
+
+func TestCertifyFailsForUnregisteredPlatform(t *testing.T) {
+	ias, err := attest.NewIAS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := enclave.NewPlatform("rogue", rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not registered with IAS.
+	ie, err := enclave.NewIBBEEnclave(platform, pairing.TypeA160())
+	if err != nil {
+		t.Fatal(err)
+	}
+	auditor, err := NewAuditor(ias.PublicKey(), enclave.IBBEMeasurement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := auditor.AttestAndCertify(ias, ie); err == nil {
+		t.Fatal("certified an enclave on an unregistered platform")
+	}
+}
+
+func TestCertifyFailsForWrongMeasurement(t *testing.T) {
+	ias, ie, _ := fullSetup(t)
+	// Auditor expects a different enclave binary.
+	auditor, err := NewAuditor(ias.PublicKey(), enclave.MeasureCode("other", "9"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := auditor.AttestAndCertify(ias, ie); err == nil {
+		t.Fatal("certified an enclave with an unexpected measurement")
+	}
+}
+
+func TestVerifyRejectsWrongRoot(t *testing.T) {
+	ias, ie, auditor := fullSetup(t)
+	cert, err := auditor.AttestAndCertify(ias, ie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherAuditor, err := NewAuditor(ias.PublicKey(), enclave.IBBEMeasurement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyEnclaveCert(cert, otherAuditor.RootCertificate(), enclave.IBBEMeasurement()); !errors.Is(err, ErrCertInvalid) {
+		t.Fatal("certificate verified under a foreign root")
+	}
+}
+
+func TestVerifyRejectsWrongExpectedMeasurement(t *testing.T) {
+	ias, ie, auditor := fullSetup(t)
+	cert, err := auditor.AttestAndCertify(ias, ie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := enclave.MeasureCode("ibbe-sgx-enclave", "2.0.0")
+	if _, err := VerifyEnclaveCert(cert, auditor.RootCertificate(), other); !errors.Is(err, ErrCertInvalid) {
+		t.Fatal("certificate accepted with mismatching measurement")
+	}
+}
+
+func TestVerifyRejectsRootAsEnclaveCert(t *testing.T) {
+	_, _, auditor := fullSetup(t)
+	root := auditor.RootCertificate()
+	if _, err := VerifyEnclaveCert(root, root, enclave.IBBEMeasurement()); !errors.Is(err, ErrCertInvalid) {
+		t.Fatal("root certificate accepted as enclave certificate")
+	}
+}
+
+func TestRootDERParses(t *testing.T) {
+	_, _, auditor := fullSetup(t)
+	if len(auditor.RootDER()) == 0 {
+		t.Fatal("empty root DER")
+	}
+}
+
+func TestEndToEndProvisioningThroughCertifiedKey(t *testing.T) {
+	// Full Fig. 3 flow: attest → certify → user verifies cert → user accepts
+	// a provisioned IBBE key signed by the certified enclave identity.
+	ias, ie, auditor := fullSetup(t)
+	if _, _, err := ie.EcallSetup(4); err != nil {
+		t.Fatal(err)
+	}
+	cert, err := auditor.AttestAndCertify(ias, ie)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enclaveKey, err := VerifyEnclaveCert(cert, auditor.RootCertificate(), enclave.IBBEMeasurement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	userPriv, err := newECDHKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prov, err := ie.EcallExtractUserKey("alice@example.com", userPriv.PublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prov.Open(ie.Scheme(), enclaveKey, userPriv); err != nil {
+		t.Fatalf("user rejected a genuine provisioned key: %v", err)
+	}
+}

@@ -1,0 +1,11 @@
+package pki
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+)
+
+// newECDHKey draws a P-256 key pair for test users.
+func newECDHKey() (*ecdh.PrivateKey, error) {
+	return ecdh.P256().GenerateKey(rand.Reader)
+}

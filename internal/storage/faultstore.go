@@ -1,0 +1,119 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the error produced by a FaultStore-triggered failure.
+var ErrInjected = errors.New("storage: injected fault")
+
+// FaultStore wraps a Store and fails operations on demand — test
+// infrastructure for exercising the system's behaviour under cloud outages
+// and partial-update scenarios (e.g. an administrator crashing mid-apply).
+type FaultStore struct {
+	Inner Store
+
+	mu sync.Mutex
+	// failEveryPut fails every n-th Put when > 0.
+	failEveryPut int
+	putCount     int
+	// failGets / failPuts force all reads / mutations to fail.
+	failGets bool
+	failPuts bool
+}
+
+var _ Store = (*FaultStore)(nil)
+
+// NewFaultStore wraps inner with fault injection disabled.
+func NewFaultStore(inner Store) *FaultStore { return &FaultStore{Inner: inner} }
+
+// FailEveryPut makes every n-th Put fail (0 disables).
+func (f *FaultStore) FailEveryPut(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failEveryPut = n
+	f.putCount = 0
+}
+
+// SetFailGets toggles failing all reads (Get/List/Version/Poll).
+func (f *FaultStore) SetFailGets(v bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failGets = v
+}
+
+// SetFailPuts toggles failing all mutations.
+func (f *FaultStore) SetFailPuts(v bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failPuts = v
+}
+
+func (f *FaultStore) putShouldFail() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failPuts {
+		return true
+	}
+	if f.failEveryPut <= 0 {
+		return false
+	}
+	f.putCount++
+	return f.putCount%f.failEveryPut == 0
+}
+
+func (f *FaultStore) getShouldFail() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.failGets
+}
+
+// Put implements Store.
+func (f *FaultStore) Put(ctx context.Context, dir, name string, data []byte) error {
+	if f.putShouldFail() {
+		return ErrInjected
+	}
+	return f.Inner.Put(ctx, dir, name, data)
+}
+
+// Delete implements Store.
+func (f *FaultStore) Delete(ctx context.Context, dir, name string) error {
+	if f.putShouldFail() {
+		return ErrInjected
+	}
+	return f.Inner.Delete(ctx, dir, name)
+}
+
+// Get implements Store.
+func (f *FaultStore) Get(ctx context.Context, dir, name string) ([]byte, error) {
+	if f.getShouldFail() {
+		return nil, ErrInjected
+	}
+	return f.Inner.Get(ctx, dir, name)
+}
+
+// List implements Store.
+func (f *FaultStore) List(ctx context.Context, dir string) ([]string, error) {
+	if f.getShouldFail() {
+		return nil, ErrInjected
+	}
+	return f.Inner.List(ctx, dir)
+}
+
+// Version implements Store.
+func (f *FaultStore) Version(ctx context.Context, dir string) (uint64, error) {
+	if f.getShouldFail() {
+		return 0, ErrInjected
+	}
+	return f.Inner.Version(ctx, dir)
+}
+
+// Poll implements Store.
+func (f *FaultStore) Poll(ctx context.Context, dir string, since uint64) (uint64, error) {
+	if f.getShouldFail() {
+		return 0, ErrInjected
+	}
+	return f.Inner.Poll(ctx, dir, since)
+}

@@ -1,0 +1,84 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestFaultStorePassthrough(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(Latency{}))
+	ctx := context.Background()
+	if err := fs.Put(ctx, "d", "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Get(ctx, "d", "x")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("passthrough broken: %q %v", got, err)
+	}
+	names, err := fs.List(ctx, "d")
+	if err != nil || len(names) != 1 {
+		t.Fatal("list passthrough broken")
+	}
+	if _, err := fs.Version(ctx, "d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete(ctx, "d", "x"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultStoreFailEveryPut(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(Latency{}))
+	fs.FailEveryPut(3)
+	ctx := context.Background()
+	failures := 0
+	for i := 0; i < 9; i++ {
+		if err := fs.Put(ctx, "d", "x", []byte("v")); errors.Is(err, ErrInjected) {
+			failures++
+		} else if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if failures != 3 {
+		t.Fatalf("failures = %d, want 3", failures)
+	}
+	fs.FailEveryPut(0)
+	if err := fs.Put(ctx, "d", "x", []byte("v")); err != nil {
+		t.Fatal("disabled injection still fails")
+	}
+}
+
+func TestFaultStoreToggleGetsAndPuts(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(Latency{}))
+	ctx := context.Background()
+	if err := fs.Put(ctx, "d", "x", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	fs.SetFailGets(true)
+	if _, err := fs.Get(ctx, "d", "x"); !errors.Is(err, ErrInjected) {
+		t.Fatal("get not failed")
+	}
+	if _, err := fs.List(ctx, "d"); !errors.Is(err, ErrInjected) {
+		t.Fatal("list not failed")
+	}
+	if _, err := fs.Version(ctx, "d"); !errors.Is(err, ErrInjected) {
+		t.Fatal("version not failed")
+	}
+	if _, err := fs.Poll(ctx, "d", 0); !errors.Is(err, ErrInjected) {
+		t.Fatal("poll not failed")
+	}
+	fs.SetFailGets(false)
+
+	fs.SetFailPuts(true)
+	if err := fs.Put(ctx, "d", "y", []byte("v")); !errors.Is(err, ErrInjected) {
+		t.Fatal("put not failed")
+	}
+	if err := fs.Delete(ctx, "d", "x"); !errors.Is(err, ErrInjected) {
+		t.Fatal("delete not failed")
+	}
+	fs.SetFailPuts(false)
+	if _, err := fs.Get(ctx, "d", "x"); err != nil {
+		t.Fatal("recovery broken")
+	}
+}

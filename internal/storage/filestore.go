@@ -1,0 +1,193 @@
+package storage
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FileStore is a durable Store backend: each directory is a filesystem
+// directory under the root, each object a file, with atomic replace via
+// rename. Directory versions persist in a ".version" file so long-polling
+// clients survive a cloudsim restart without replaying history. Long-poll
+// wake-ups are in-process (a restarted server wakes clients through their
+// reconnect, like any real blob store).
+type FileStore struct {
+	root string
+
+	mu      sync.Mutex
+	waiters map[string][]chan struct{}
+}
+
+var _ Store = (*FileStore)(nil)
+
+// NewFileStore opens (or creates) a file-backed store rooted at dir.
+func NewFileStore(dir string) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: creating root: %w", err)
+	}
+	return &FileStore{root: dir, waiters: make(map[string][]chan struct{})}, nil
+}
+
+// escape maps arbitrary names to safe single filesystem components.
+func escape(name string) string {
+	return url.PathEscape(name)
+}
+
+func (f *FileStore) dirPath(dir string) string {
+	return filepath.Join(f.root, escape(dir))
+}
+
+func (f *FileStore) objPath(dir, name string) string {
+	return filepath.Join(f.dirPath(dir), "obj-"+escape(name))
+}
+
+const versionFile = ".version"
+
+// Put implements Store.
+func (f *FileStore) Put(ctx context.Context, dir, name string, data []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	dp := f.dirPath(dir)
+	if err := os.MkdirAll(dp, 0o755); err != nil {
+		return fmt.Errorf("storage: creating directory: %w", err)
+	}
+	tmp, err := os.CreateTemp(dp, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("storage: temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: writing object: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, f.objPath(dir, name)); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: committing object: %w", err)
+	}
+	return f.bump(dir)
+}
+
+// Delete implements Store.
+func (f *FileStore) Delete(ctx context.Context, dir, name string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	err := os.Remove(f.objPath(dir, name))
+	if errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, dir, name)
+	}
+	if err != nil {
+		return err
+	}
+	return f.bump(dir)
+}
+
+// Get implements Store.
+func (f *FileStore) Get(ctx context.Context, dir, name string) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(f.objPath(dir, name))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, dir, name)
+	}
+	return data, err
+}
+
+// List implements Store.
+func (f *FileStore) List(ctx context.Context, dir string) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(f.dirPath(dir))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, dir)
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		raw, ok := strings.CutPrefix(e.Name(), "obj-")
+		if !ok {
+			continue // version file, temp files
+		}
+		name, err := url.PathUnescape(raw)
+		if err != nil {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Version implements Store.
+func (f *FileStore) Version(ctx context.Context, dir string) (uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return f.readVersion(dir), nil
+}
+
+// Poll implements Store.
+func (f *FileStore) Poll(ctx context.Context, dir string, since uint64) (uint64, error) {
+	for {
+		if v := f.readVersion(dir); v > since {
+			return v, nil
+		}
+		f.mu.Lock()
+		ch := make(chan struct{})
+		f.waiters[dir] = append(f.waiters[dir], ch)
+		f.mu.Unlock()
+		// Re-check after arming to close the race with a concurrent bump.
+		if v := f.readVersion(dir); v > since {
+			return v, nil
+		}
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+}
+
+func (f *FileStore) readVersion(dir string) uint64 {
+	raw, err := os.ReadFile(filepath.Join(f.dirPath(dir), versionFile))
+	if err != nil || len(raw) != 8 {
+		return 0
+	}
+	return binary.BigEndian.Uint64(raw)
+}
+
+// bump persists the next version and wakes pollers. Serialised by f.mu so
+// concurrent Puts cannot lose increments.
+func (f *FileStore) bump(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	v := f.readVersion(dir) + 1
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	if err := os.WriteFile(filepath.Join(f.dirPath(dir), versionFile), buf[:], 0o644); err != nil {
+		return fmt.Errorf("storage: persisting version: %w", err)
+	}
+	for _, ch := range f.waiters[dir] {
+		close(ch)
+	}
+	delete(f.waiters, dir)
+	return nil
+}

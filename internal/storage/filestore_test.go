@@ -1,0 +1,179 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func newFileStore(t *testing.T) *FileStore {
+	t.Helper()
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs
+}
+
+func TestFileStoreImplementsStoreSemantics(t *testing.T) {
+	fs := newFileStore(t)
+	ctx := context.Background()
+
+	if err := fs.Put(ctx, "g", "p1", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Get(ctx, "g", "p1")
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	if err := fs.Put(ctx, "g", "p1", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = fs.Get(ctx, "g", "p1")
+	if string(got) != "v2" {
+		t.Fatal("overwrite failed")
+	}
+	if _, err := fs.Get(ctx, "g", "missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("missing object readable")
+	}
+	if _, err := fs.List(ctx, "nodir"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("missing dir listable")
+	}
+	if err := fs.Delete(ctx, "g", "p1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Delete(ctx, "g", "p1"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("double delete accepted")
+	}
+}
+
+func TestFileStoreListSkipsInternalFiles(t *testing.T) {
+	fs := newFileStore(t)
+	ctx := context.Background()
+	for _, n := range []string{"p2", "p1", "_sealed_gk"} {
+		if err := fs.Put(ctx, "g", n, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := fs.List(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || names[0] != "_sealed_gk" || names[1] != "p1" || names[2] != "p2" {
+		t.Fatalf("List = %v", names)
+	}
+}
+
+func TestFileStoreEscapesWeirdNames(t *testing.T) {
+	fs := newFileStore(t)
+	ctx := context.Background()
+	dir, name := "group/with/slashes", "partition .. / % weird"
+	if err := fs.Put(ctx, dir, name, []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fs.Get(ctx, dir, name)
+	if err != nil || string(got) != "v" {
+		t.Fatalf("escaped round trip: %q %v", got, err)
+	}
+	names, err := fs.List(ctx, dir)
+	if err != nil || len(names) != 1 || names[0] != name {
+		t.Fatalf("escaped list: %v %v", names, err)
+	}
+}
+
+func TestFileStoreVersionsMonotonicAndDurable(t *testing.T) {
+	dir := t.TempDir()
+	fs, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	_ = fs.Put(ctx, "g", "a", []byte("1"))
+	_ = fs.Put(ctx, "g", "b", []byte("2"))
+	v1, _ := fs.Version(ctx, "g")
+	if v1 != 2 {
+		t.Fatalf("version = %d, want 2", v1)
+	}
+
+	// "Restart": a new store over the same root sees the same state.
+	fs2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, _ := fs2.Version(ctx, "g")
+	if v2 != v1 {
+		t.Fatalf("version lost across restart: %d vs %d", v2, v1)
+	}
+	got, err := fs2.Get(ctx, "g", "a")
+	if err != nil || string(got) != "1" {
+		t.Fatalf("data lost across restart: %q %v", got, err)
+	}
+	names, err := fs2.List(ctx, "g")
+	if err != nil || len(names) != 2 {
+		t.Fatalf("listing lost across restart: %v %v", names, err)
+	}
+}
+
+func TestFileStorePollWakes(t *testing.T) {
+	fs := newFileStore(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	done := make(chan uint64, 1)
+	go func() {
+		v, err := fs.Poll(ctx, "g", 0)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- v
+	}()
+	time.Sleep(30 * time.Millisecond)
+	if err := fs.Put(ctx, "g", "p", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-done:
+		if v == 0 {
+			t.Fatal("poll returned stale version")
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("poll never woke")
+	}
+}
+
+func TestFileStorePollCancel(t *testing.T) {
+	fs := newFileStore(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := fs.Poll(ctx, "g", 42)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("poll after cancel: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("poll did not return after cancel")
+	}
+}
+
+func TestFileStoreBehindHTTPServer(t *testing.T) {
+	// The file backend plugs into the same HTTP server as the mem backend.
+	fs := newFileStore(t)
+	srv := NewServer(fs)
+	ctx := context.Background()
+	if err := fs.Put(ctx, "g", "p", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	_ = srv // routing is exercised by the shared backend tests; here we
+	// only assert the FileStore satisfies the interface the server needs.
+	var st Store = fs
+	got, err := st.Get(ctx, "g", "p")
+	if err != nil || string(got) != "payload" {
+		t.Fatalf("interface access: %q %v", got, err)
+	}
+}

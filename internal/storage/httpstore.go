@@ -1,0 +1,335 @@
+package storage
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Server exposes a Store over HTTP with the Dropbox-like protocol of Fig. 5:
+// object PUT/GET/DELETE, directory listing, and directory long polling.
+//
+// Routes:
+//
+//	PUT    /v1/obj/{dir}/{name}      body = object bytes
+//	GET    /v1/obj/{dir}/{name}
+//	DELETE /v1/obj/{dir}/{name}
+//	GET    /v1/list/{dir}            → JSON array of names
+//	GET    /v1/version/{dir}         → JSON {"version": n}
+//	GET    /v1/poll/{dir}?since=n    → long poll; JSON {"version": n}
+type Server struct {
+	store Store
+	// PollTimeout bounds one long-poll round; clients re-arm (Dropbox uses
+	// comparable timeouts on its longpoll endpoint).
+	PollTimeout time.Duration
+}
+
+// NewServer wraps a Store for HTTP serving.
+func NewServer(store Store) *Server {
+	return &Server{store: store, PollTimeout: 30 * time.Second}
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Escaped paths keep %2F inside directory and object names intact.
+	path := r.URL.EscapedPath()
+	switch {
+	case strings.HasPrefix(path, "/v1/obj/"):
+		s.handleObject(w, r, path)
+	case strings.HasPrefix(path, "/v1/list/"):
+		s.handleList(w, r, path)
+	case strings.HasPrefix(path, "/v1/version/"):
+		s.handleVersion(w, r, path)
+	case strings.HasPrefix(path, "/v1/poll/"):
+		s.handlePoll(w, r, path)
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func splitObjectPath(path, prefix string) (dir, name string, err error) {
+	rest := strings.TrimPrefix(path, prefix)
+	parts := strings.SplitN(rest, "/", 2)
+	if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+		return "", "", errors.New("storage: want /{dir}/{name}")
+	}
+	dir, err = url.PathUnescape(parts[0])
+	if err != nil {
+		return "", "", err
+	}
+	name, err = url.PathUnescape(parts[1])
+	if err != nil {
+		return "", "", err
+	}
+	return dir, name, nil
+}
+
+func (s *Server) handleObject(w http.ResponseWriter, r *http.Request, path string) {
+	dir, name, err := splitObjectPath(path, "/v1/obj/")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	switch r.Method {
+	case http.MethodPut:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.store.Put(r.Context(), dir, name, body); err != nil {
+			writeStoreErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case http.MethodGet:
+		data, err := s.store.Get(r.Context(), dir, name)
+		if err != nil {
+			writeStoreErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(data)
+	case http.MethodDelete:
+		if err := s.store.Delete(r.Context(), dir, name); err != nil {
+			writeStoreErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request, path string) {
+	dir, err := url.PathUnescape(strings.TrimPrefix(path, "/v1/list/"))
+	if err != nil || dir == "" {
+		http.Error(w, "want /v1/list/{dir}", http.StatusBadRequest)
+		return
+	}
+	names, err := s.store.List(r.Context(), dir)
+	if err != nil {
+		writeStoreErr(w, err)
+		return
+	}
+	writeJSON(w, names)
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request, path string) {
+	dir, err := url.PathUnescape(strings.TrimPrefix(path, "/v1/version/"))
+	if err != nil || dir == "" {
+		http.Error(w, "want /v1/version/{dir}", http.StatusBadRequest)
+		return
+	}
+	v, err := s.store.Version(r.Context(), dir)
+	if err != nil {
+		writeStoreErr(w, err)
+		return
+	}
+	writeJSON(w, map[string]uint64{"version": v})
+}
+
+func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request, path string) {
+	dir, err := url.PathUnescape(strings.TrimPrefix(path, "/v1/poll/"))
+	if err != nil || dir == "" {
+		http.Error(w, "want /v1/poll/{dir}", http.StatusBadRequest)
+		return
+	}
+	since, _ := strconv.ParseUint(r.URL.Query().Get("since"), 10, 64)
+	ctx, cancel := context.WithTimeout(r.Context(), s.PollTimeout)
+	defer cancel()
+	v, err := s.store.Poll(ctx, dir, since)
+	if errors.Is(err, context.DeadlineExceeded) {
+		// Long-poll round expired without changes; client re-arms.
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	if err != nil {
+		writeStoreErr(w, err)
+		return
+	}
+	writeJSON(w, map[string]uint64{"version": v})
+}
+
+func writeStoreErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrNotFound) {
+		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// HTTPStore is the client-side Store implementation speaking the Server's
+// protocol — what the paper's admin and client APIs use against Dropbox.
+type HTTPStore struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Client is the HTTP client; http.DefaultClient if nil.
+	Client *http.Client
+}
+
+var _ Store = (*HTTPStore)(nil)
+
+// NewHTTPStore returns a client for the given server base URL.
+func NewHTTPStore(baseURL string) *HTTPStore {
+	return &HTTPStore{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (h *HTTPStore) httpClient() *http.Client {
+	if h.Client != nil {
+		return h.Client
+	}
+	return http.DefaultClient
+}
+
+func (h *HTTPStore) objURL(dir, name string) string {
+	return h.BaseURL + "/v1/obj/" + url.PathEscape(dir) + "/" + url.PathEscape(name)
+}
+
+// Put implements Store.
+func (h *HTTPStore) Put(ctx context.Context, dir, name string, data []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, h.objURL(dir, name), strings.NewReader(string(data)))
+	if err != nil {
+		return err
+	}
+	return h.expectNoContent(req)
+}
+
+// Delete implements Store.
+func (h *HTTPStore) Delete(ctx context.Context, dir, name string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete, h.objURL(dir, name), nil)
+	if err != nil {
+		return err
+	}
+	return h.expectNoContent(req)
+}
+
+// Get implements Store.
+func (h *HTTPStore) Get(ctx context.Context, dir, name string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.objURL(dir, name), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := h.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, dir, name)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// List implements Store.
+func (h *HTTPStore) List(ctx context.Context, dir string) ([]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.BaseURL+"/v1/list/"+url.PathEscape(dir), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := h.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, dir)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	var names []string
+	if err := json.NewDecoder(resp.Body).Decode(&names); err != nil {
+		return nil, fmt.Errorf("storage: decoding list: %w", err)
+	}
+	return names, nil
+}
+
+// Version implements Store.
+func (h *HTTPStore) Version(ctx context.Context, dir string) (uint64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.BaseURL+"/v1/version/"+url.PathEscape(dir), nil)
+	if err != nil {
+		return 0, err
+	}
+	return h.versionResponse(req, false)
+}
+
+// Poll implements Store. It re-arms across server-side long-poll timeouts
+// until the context ends.
+func (h *HTTPStore) Poll(ctx context.Context, dir string, since uint64) (uint64, error) {
+	u := h.BaseURL + "/v1/poll/" + url.PathEscape(dir) + "?since=" + strconv.FormatUint(since, 10)
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		if err != nil {
+			return 0, err
+		}
+		v, err := h.versionResponse(req, true)
+		if err != nil {
+			return 0, err
+		}
+		if v > since {
+			return v, nil
+		}
+		// 204: long-poll round expired; re-arm unless the context is done.
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+	}
+}
+
+func (h *HTTPStore) versionResponse(req *http.Request, allowNoContent bool) (uint64, error) {
+	resp, err := h.httpClient().Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if allowNoContent && resp.StatusCode == http.StatusNoContent {
+		return 0, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, httpError(resp)
+	}
+	var out struct {
+		Version uint64 `json:"version"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, fmt.Errorf("storage: decoding version: %w", err)
+	}
+	return out.Version, nil
+}
+
+func httpError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return fmt.Errorf("storage: server returned %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
+}
+
+// expectNoContent runs a request and asserts a 204 response.
+func (h *HTTPStore) expectNoContent(req *http.Request) error {
+	resp, err := h.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return fmt.Errorf("%w: %s", ErrNotFound, req.URL.Path)
+	}
+	if resp.StatusCode != http.StatusNoContent {
+		return httpError(resp)
+	}
+	return nil
+}

@@ -1,0 +1,245 @@
+// Package storage simulates the honest-but-curious cloud storage of the
+// paper (Dropbox in the original deployment): a blob store organised as a
+// bi-level hierarchy — a directory per group, an object per partition —
+// with PUT semantics for administrators and directory-level long polling
+// for clients (Fig. 5).
+//
+// Two backends implement the same Store interface: an in-process MemStore
+// with injectable latency (used by benchmarks, where cloud latency must be
+// controlled), and an HTTP client/server pair in httpstore.go that runs the
+// same protocol over the network.
+package storage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Errors returned by stores.
+var (
+	// ErrNotFound reports a missing object or directory.
+	ErrNotFound = errors.New("storage: not found")
+)
+
+// Store is the cloud interface used by administrators (Put/Delete) and
+// clients (Get/List/Poll). Directory versions increase monotonically with
+// every mutation inside the directory; Poll blocks until the version
+// exceeds the caller's last-seen one — HTTP long polling in the Dropbox
+// deployment.
+type Store interface {
+	// Put creates or replaces an object.
+	Put(ctx context.Context, dir, name string, data []byte) error
+	// Delete removes an object; deleting a missing object is an error.
+	Delete(ctx context.Context, dir, name string) error
+	// Get fetches an object.
+	Get(ctx context.Context, dir, name string) ([]byte, error)
+	// List returns the object names in a directory, sorted.
+	List(ctx context.Context, dir string) ([]string, error)
+	// Version returns the directory's current version (0 if it never existed).
+	Version(ctx context.Context, dir string) (uint64, error)
+	// Poll blocks until the directory version exceeds since (or ctx ends),
+	// returning the new version.
+	Poll(ctx context.Context, dir string, since uint64) (uint64, error)
+}
+
+// Latency configures the injected round-trip costs of the simulated cloud.
+// Zero values mean "in-process speed". The paper's evaluation argues client
+// decryption latency is overshadowed by cloud response time; these knobs
+// let experiments reproduce that regime.
+type Latency struct {
+	// Put is added to every mutation, Get to every read, Notify delays
+	// long-poll wake-ups after a mutation.
+	Put, Get, Notify time.Duration
+}
+
+// MemStore is the in-process backend. Safe for concurrent use.
+type MemStore struct {
+	lat Latency
+
+	mu      sync.Mutex
+	dirs    map[string]*memDir
+	puts    int64
+	gets    int64
+	byteTx  int64
+	byteRx  int64
+	deletes int64
+}
+
+type memDir struct {
+	objects map[string][]byte
+	version uint64
+	waiters []chan struct{}
+}
+
+// NewMemStore creates an empty store with the given injected latency.
+func NewMemStore(lat Latency) *MemStore {
+	return &MemStore{lat: lat, dirs: make(map[string]*memDir)}
+}
+
+var _ Store = (*MemStore)(nil)
+
+// Stats reports traffic counters (ops and payload bytes in each direction).
+type Stats struct {
+	Puts, Gets, Deletes int64
+	BytesIn, BytesOut   int64
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (m *MemStore) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{Puts: m.puts, Gets: m.gets, Deletes: m.deletes, BytesIn: m.byteRx, BytesOut: m.byteTx}
+}
+
+// Put implements Store.
+func (m *MemStore) Put(ctx context.Context, dir, name string, data []byte) error {
+	if err := sleepCtx(ctx, m.lat.Put); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := m.dirs[dir]
+	if d == nil {
+		d = &memDir{objects: make(map[string][]byte)}
+		m.dirs[dir] = d
+	}
+	d.objects[name] = append([]byte(nil), data...)
+	m.puts++
+	m.byteRx += int64(len(data))
+	m.bump(d)
+	return nil
+}
+
+// Delete implements Store.
+func (m *MemStore) Delete(ctx context.Context, dir, name string) error {
+	if err := sleepCtx(ctx, m.lat.Put); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := m.dirs[dir]
+	if d == nil {
+		return fmt.Errorf("%w: %s", ErrNotFound, dir)
+	}
+	if _, ok := d.objects[name]; !ok {
+		return fmt.Errorf("%w: %s/%s", ErrNotFound, dir, name)
+	}
+	delete(d.objects, name)
+	m.deletes++
+	m.bump(d)
+	return nil
+}
+
+// Get implements Store.
+func (m *MemStore) Get(ctx context.Context, dir, name string) ([]byte, error) {
+	if err := sleepCtx(ctx, m.lat.Get); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := m.dirs[dir]
+	if d == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, dir)
+	}
+	data, ok := d.objects[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, dir, name)
+	}
+	m.gets++
+	m.byteTx += int64(len(data))
+	return append([]byte(nil), data...), nil
+}
+
+// List implements Store.
+func (m *MemStore) List(ctx context.Context, dir string) ([]string, error) {
+	if err := sleepCtx(ctx, m.lat.Get); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := m.dirs[dir]
+	if d == nil {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, dir)
+	}
+	names := make([]string, 0, len(d.objects))
+	for n := range d.objects {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Version implements Store.
+func (m *MemStore) Version(_ context.Context, dir string) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if d := m.dirs[dir]; d != nil {
+		return d.version, nil
+	}
+	return 0, nil
+}
+
+// Poll implements Store.
+func (m *MemStore) Poll(ctx context.Context, dir string, since uint64) (uint64, error) {
+	for {
+		m.mu.Lock()
+		d := m.dirs[dir]
+		if d == nil {
+			d = &memDir{objects: make(map[string][]byte)}
+			m.dirs[dir] = d
+		}
+		if d.version > since {
+			v := d.version
+			m.mu.Unlock()
+			return v, nil
+		}
+		ch := make(chan struct{})
+		d.waiters = append(d.waiters, ch)
+		m.mu.Unlock()
+
+		select {
+		case <-ch:
+			// Version moved; loop to re-check.
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+}
+
+// bump advances a directory version and wakes pollers. Callers hold m.mu.
+func (m *MemStore) bump(d *memDir) {
+	d.version++
+	waiters := d.waiters
+	d.waiters = nil
+	notify := m.lat.Notify
+	for _, ch := range waiters {
+		ch := ch
+		if notify == 0 {
+			close(ch)
+			continue
+		}
+		time.AfterFunc(notify, func() { close(ch) })
+	}
+}
+
+// sleepCtx sleeps for dur unless the context ends first.
+func sleepCtx(ctx context.Context, dur time.Duration) error {
+	if dur <= 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return nil
+	}
+	t := time.NewTimer(dur)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+)
+
+// Controller is the administrator-side contract a scheme must satisfy to be
+// replayed — implemented for IBBE-SGX and both HE baselines in the
+// benchmark package.
+type Controller interface {
+	// CreateGroup creates the group with an initial member set.
+	CreateGroup(group string, members []string) error
+	// AddUser adds a member.
+	AddUser(group, user string) error
+	// RemoveUser revokes a member.
+	RemoveUser(group, user string) error
+	// MetadataSize returns the group's current metadata footprint in bytes.
+	MetadataSize(group string) (int, error)
+}
+
+// DecryptSampler measures one user-side group-key derivation; Fig. 9's
+// "average user decryption time" is the mean over sampled members.
+type DecryptSampler interface {
+	// SampleDecrypt derives the group key as the given member and returns
+	// the time the derivation took.
+	SampleDecrypt(group, user string) (time.Duration, error)
+}
+
+// ReplayResult aggregates one replay run.
+type ReplayResult struct {
+	Trace string
+	Group string
+	// AdminTime is the total administrator time across create/add/remove —
+	// the y-axis of Fig. 9 (left) and Fig. 10.
+	AdminTime time.Duration
+	// Ops counts executed operations (including the initial create).
+	Ops int
+	// AddTime and RemoveTime split AdminTime by operation kind.
+	AddTime, RemoveTime time.Duration
+	// DecryptSamples and DecryptTotal aggregate sampled user decryptions —
+	// Fig. 9 (right).
+	DecryptSamples int
+	DecryptTotal   time.Duration
+	// FinalMetadataBytes is the footprint after the replay.
+	FinalMetadataBytes int
+}
+
+// AvgDecrypt returns the mean sampled decryption latency.
+func (r *ReplayResult) AvgDecrypt() time.Duration {
+	if r.DecryptSamples == 0 {
+		return 0
+	}
+	return r.DecryptTotal / time.Duration(r.DecryptSamples)
+}
+
+// ReplayOptions tunes a replay run.
+type ReplayOptions struct {
+	// Group names the group used for the replay.
+	Group string
+	// SampleEvery triggers a user decryption sample after every n-th
+	// membership operation (0 disables sampling).
+	SampleEvery int
+	// Sampler measures decryptions when SampleEvery > 0.
+	Sampler DecryptSampler
+	// SampleUser picks the member to decrypt as, given the current live
+	// set; the default picks the newest member.
+	SampleUser func(live []string) string
+}
+
+// Replay drives a trace against a controller sequentially, as the paper
+// replays its datasets, timing the administrator side.
+func Replay(tr *Trace, ctl Controller, opts ReplayOptions) (*ReplayResult, error) {
+	group := opts.Group
+	if group == "" {
+		group = tr.Name
+	}
+	res := &ReplayResult{Trace: tr.Name, Group: group}
+	live := append([]string(nil), tr.Initial...)
+
+	start := time.Now()
+	if err := ctl.CreateGroup(group, tr.Initial); err != nil {
+		return nil, fmt.Errorf("trace: create group: %w", err)
+	}
+	res.AdminTime += time.Since(start)
+	res.Ops++
+
+	for i, op := range tr.Ops {
+		opStart := time.Now()
+		switch op.Kind {
+		case OpAdd:
+			if err := ctl.AddUser(group, op.User); err != nil {
+				return nil, fmt.Errorf("trace: op %d add %s: %w", i, op.User, err)
+			}
+			elapsed := time.Since(opStart)
+			res.AdminTime += elapsed
+			res.AddTime += elapsed
+			live = append(live, op.User)
+		case OpRemove:
+			if err := ctl.RemoveUser(group, op.User); err != nil {
+				return nil, fmt.Errorf("trace: op %d remove %s: %w", i, op.User, err)
+			}
+			elapsed := time.Since(opStart)
+			res.AdminTime += elapsed
+			res.RemoveTime += elapsed
+			for j, u := range live {
+				if u == op.User {
+					live = append(live[:j], live[j+1:]...)
+					break
+				}
+			}
+		default:
+			return nil, fmt.Errorf("trace: op %d has invalid kind %v", i, op.Kind)
+		}
+		res.Ops++
+
+		if opts.SampleEvery > 0 && opts.Sampler != nil && (i+1)%opts.SampleEvery == 0 && len(live) > 0 {
+			user := live[len(live)-1]
+			if opts.SampleUser != nil {
+				user = opts.SampleUser(live)
+			}
+			d, err := opts.Sampler.SampleDecrypt(group, user)
+			if err != nil {
+				return nil, fmt.Errorf("trace: sampling decrypt as %s: %w", user, err)
+			}
+			res.DecryptSamples++
+			res.DecryptTotal += d
+		}
+	}
+
+	size, err := ctl.MetadataSize(group)
+	if err != nil {
+		return nil, fmt.Errorf("trace: metadata size: %w", err)
+	}
+	res.FinalMetadataBytes = size
+	return res, nil
+}

@@ -1,0 +1,275 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestKernelDefaultsMatchPaperStats(t *testing.T) {
+	tr, err := Kernel(DefaultKernelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	if s.Ops != 43_468 {
+		t.Fatalf("ops = %d, want 43468", s.Ops)
+	}
+	if s.MaxLive != 2_803 {
+		t.Fatalf("max live = %d, want 2803", s.MaxLive)
+	}
+	if s.Adds+s.Removes != s.Ops {
+		t.Fatal("op kinds do not sum")
+	}
+	if s.Span < 9*365*24*time.Hour {
+		t.Fatalf("span = %v, want ≈ 10 years", s.Span)
+	}
+}
+
+func TestKernelDeterministic(t *testing.T) {
+	a, err := Kernel(DefaultKernelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Kernel(DefaultKernelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Ops) != len(b.Ops) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Ops {
+		if a.Ops[i] != b.Ops[i] {
+			t.Fatalf("op %d differs across runs", i)
+		}
+	}
+}
+
+func TestKernelValidOperationOrder(t *testing.T) {
+	cfg := DefaultKernelConfig()
+	cfg.TotalOps = 5000
+	cfg.PeakLive = 300
+	tr, err := Kernel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every remove must target a currently-live user; adds must be fresh.
+	live := map[string]bool{}
+	for i, op := range tr.Ops {
+		switch op.Kind {
+		case OpAdd:
+			if live[op.User] {
+				t.Fatalf("op %d re-adds live user %s", i, op.User)
+			}
+			live[op.User] = true
+		case OpRemove:
+			if !live[op.User] {
+				t.Fatalf("op %d removes non-member %s", i, op.User)
+			}
+			delete(live, op.User)
+		}
+	}
+}
+
+func TestKernelConfigValidation(t *testing.T) {
+	if _, err := Kernel(KernelConfig{TotalOps: 1, PeakLive: 1}); err == nil {
+		t.Fatal("tiny config accepted")
+	}
+	if _, err := Kernel(KernelConfig{TotalOps: 10, PeakLive: 9}); err == nil {
+		t.Fatal("impossible peak accepted")
+	}
+}
+
+func TestSyntheticRates(t *testing.T) {
+	for _, rate := range []float64{0, 0.3, 0.5, 1} {
+		cfg := SyntheticConfig{Ops: 4000, RevocationRate: rate, InitialSize: 5000, Seed: 1}
+		tr, err := Synthetic(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := tr.Stats()
+		if s.Ops != 4000 {
+			t.Fatalf("ops = %d", s.Ops)
+		}
+		got := float64(s.Removes) / float64(s.Ops)
+		if diff := got - rate; diff > 0.03 || diff < -0.03 {
+			t.Fatalf("revocation rate %f, want ≈ %f", got, rate)
+		}
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	if _, err := Synthetic(SyntheticConfig{Ops: 0}); err == nil {
+		t.Fatal("zero ops accepted")
+	}
+	if _, err := Synthetic(SyntheticConfig{Ops: 10, RevocationRate: 1.5}); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+}
+
+func TestSyntheticRemovesOnlyLiveMembers(t *testing.T) {
+	tr, err := Synthetic(SyntheticConfig{Ops: 3000, RevocationRate: 0.9, InitialSize: 100, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := map[string]bool{}
+	for _, u := range tr.Initial {
+		live[u] = true
+	}
+	for i, op := range tr.Ops {
+		switch op.Kind {
+		case OpAdd:
+			if live[op.User] {
+				t.Fatalf("op %d duplicate add", i)
+			}
+			live[op.User] = true
+		case OpRemove:
+			if !live[op.User] {
+				t.Fatalf("op %d removes non-member", i)
+			}
+			delete(live, op.User)
+		}
+	}
+}
+
+func TestRevocationSweep(t *testing.T) {
+	traces, err := RevocationSweep(500, 600, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traces) != 11 {
+		t.Fatalf("sweep returned %d traces, want 11", len(traces))
+	}
+	prevRemoves := -1
+	for _, tr := range traces {
+		s := tr.Stats()
+		if s.Removes < prevRemoves {
+			t.Fatal("removes not monotone across the sweep")
+		}
+		prevRemoves = s.Removes
+	}
+}
+
+// fakeController records calls and tracks membership for replay tests.
+type fakeController struct {
+	createErr error
+	live      map[string]bool
+	adds      int
+	removes   int
+}
+
+func newFakeController() *fakeController {
+	return &fakeController{live: make(map[string]bool)}
+}
+
+func (f *fakeController) CreateGroup(_ string, members []string) error {
+	if f.createErr != nil {
+		return f.createErr
+	}
+	for _, m := range members {
+		f.live[m] = true
+	}
+	return nil
+}
+
+func (f *fakeController) AddUser(_, user string) error {
+	if f.live[user] {
+		return fmt.Errorf("duplicate %s", user)
+	}
+	f.live[user] = true
+	f.adds++
+	return nil
+}
+
+func (f *fakeController) RemoveUser(_, user string) error {
+	if !f.live[user] {
+		return fmt.Errorf("not a member: %s", user)
+	}
+	delete(f.live, user)
+	f.removes++
+	return nil
+}
+
+func (f *fakeController) MetadataSize(string) (int, error) { return 7 * len(f.live), nil }
+
+// fakeSampler returns a fixed latency and records sampled users.
+type fakeSampler struct {
+	users []string
+}
+
+func (f *fakeSampler) SampleDecrypt(_, user string) (time.Duration, error) {
+	f.users = append(f.users, user)
+	return time.Millisecond, nil
+}
+
+func TestReplayDrivesController(t *testing.T) {
+	tr, err := Synthetic(SyntheticConfig{Ops: 300, RevocationRate: 0.4, InitialSize: 50, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := newFakeController()
+	sampler := &fakeSampler{}
+	res, err := Replay(tr, ctl, ReplayOptions{Group: "g", SampleEvery: 10, Sampler: sampler})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tr.Stats()
+	if ctl.adds != s.Adds || ctl.removes != s.Removes {
+		t.Fatalf("controller saw %d/%d, trace has %d/%d", ctl.adds, ctl.removes, s.Adds, s.Removes)
+	}
+	if res.Ops != s.Ops+1 { // +1 for the create
+		t.Fatalf("result ops = %d", res.Ops)
+	}
+	if res.DecryptSamples != len(sampler.users) || res.DecryptSamples == 0 {
+		t.Fatalf("samples = %d", res.DecryptSamples)
+	}
+	if res.AvgDecrypt() != time.Millisecond {
+		t.Fatalf("avg decrypt = %v", res.AvgDecrypt())
+	}
+	if res.FinalMetadataBytes != 7*len(ctl.live) {
+		t.Fatal("metadata size not taken from controller")
+	}
+	if res.AdminTime <= 0 {
+		t.Fatal("admin time not measured")
+	}
+}
+
+func TestReplayPropagatesErrors(t *testing.T) {
+	tr, _ := Synthetic(SyntheticConfig{Ops: 5, RevocationRate: 0, Seed: 1})
+	ctl := newFakeController()
+	ctl.createErr = errors.New("boom")
+	if _, err := Replay(tr, ctl, ReplayOptions{}); err == nil {
+		t.Fatal("create error swallowed")
+	}
+}
+
+func TestReplayAvgDecryptZeroWithoutSamples(t *testing.T) {
+	r := &ReplayResult{}
+	if r.AvgDecrypt() != 0 {
+		t.Fatal("AvgDecrypt without samples should be 0")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	if OpAdd.String() != "add" || OpRemove.String() != "remove" {
+		t.Fatal("OpKind strings broken")
+	}
+	if OpKind(9).String() == "" {
+		t.Fatal("unknown kind renders empty")
+	}
+}
+
+func TestStatsFinalLive(t *testing.T) {
+	tr := &Trace{
+		Initial: []string{"a", "b"},
+		Ops: []Op{
+			{Kind: OpAdd, User: "c"},
+			{Kind: OpRemove, User: "a"},
+		},
+	}
+	s := tr.Stats()
+	if s.FinalLive != 2 || s.MaxLive != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
