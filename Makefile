@@ -1,0 +1,41 @@
+# IBBE-SGX reproduction — the targets CI runs are the targets humans run.
+
+GO ?= go
+
+.PHONY: all build vet fmt test short race bench ci
+
+all: build
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## vet: static analysis
+vet:
+	$(GO) vet ./...
+
+## fmt: fail if any file needs gofmt
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+## test: the full suite, including integration and property sweeps
+test:
+	$(GO) test ./...
+
+## short: the fast suite CI's test job runs (slow sweeps are Short-guarded)
+short:
+	$(GO) test -short ./...
+
+## race: race detector over the concurrent layers (core manager, admin)
+race:
+	$(GO) test -race ./internal/core/... ./internal/admin/... ./internal/enclave/...
+
+## bench: one pass over every benchmark (smoke; use cmd/ibbe-bench for figures)
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+## ci: everything the workflow gates on
+ci: build vet fmt test race

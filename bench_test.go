@@ -10,6 +10,7 @@ package ibbesgx_test
 import (
 	"crypto/rand"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"github.com/ibbesgx/ibbesgx/internal/benchmark"
@@ -143,6 +144,92 @@ func BenchmarkTable1(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkParallelPartitionEngine compares the core manager's serial path
+// against the bounded worker pool on an 8-partition group: create, then a
+// removal that re-keys every partition. Partition ciphertexts are mutually
+// independent (§IV-C), so on an N-core runner the parallel variant should
+// approach min(8, N)× the serial throughput.
+func BenchmarkParallelPartitionEngine(b *testing.B) {
+	cfg := benchConfig()
+	const partitions = 8
+	run := func(b *testing.B, workers int) {
+		members := make([]string, partitions*cfg.Capacity)
+		for i := range members {
+			members[i] = fmt.Sprintf("par-%04d@bench", i)
+		}
+		for i := 0; i < b.N; i++ {
+			ctl, err := benchmark.NewIBBEController(cfg.Params, cfg.Capacity, cfg.Seed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctl.Mgr.DisableRepartition = true
+			ctl.Mgr.SetParallelism(workers)
+			if err := ctl.CreateGroup("g", members); err != nil {
+				b.Fatal(err)
+			}
+			if err := ctl.RemoveUser("g", members[0]); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ctl.Mgr.RekeyGroup("g"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("serial", func(b *testing.B) { run(b, 1) })
+	b.Run("parallel", func(b *testing.B) { run(b, runtime.NumCPU()) })
+}
+
+// BenchmarkBatchedMembership compares N singular membership operations
+// against one batched call on a four-partition group. The removal gap grows
+// linearly in N: the loop re-keys every partition per removed user, the
+// batch once in total.
+func BenchmarkBatchedMembership(b *testing.B) {
+	cfg := benchConfig()
+	const batch = 16
+	base := make([]string, 4*cfg.Capacity)
+	for i := range base {
+		base[i] = fmt.Sprintf("base-%04d@bench", i)
+	}
+	joiners := make([]string, batch)
+	for i := range joiners {
+		joiners[i] = fmt.Sprintf("join-%04d@bench", i)
+	}
+	run := func(b *testing.B, batched bool) {
+		for i := 0; i < b.N; i++ {
+			ctl, err := benchmark.NewIBBEController(cfg.Params, cfg.Capacity, cfg.Seed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctl.Mgr.DisableRepartition = true
+			ctl.Mgr.SetParallelism(1)
+			if err := ctl.CreateGroup("g", base); err != nil {
+				b.Fatal(err)
+			}
+			if batched {
+				if _, err := ctl.Mgr.AddUsers("g", joiners); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := ctl.Mgr.RemoveUsers("g", joiners); err != nil {
+					b.Fatal(err)
+				}
+				continue
+			}
+			for _, u := range joiners {
+				if _, err := ctl.Mgr.AddUser("g", u); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, u := range joiners {
+				if _, err := ctl.Mgr.RemoveUser("g", u); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("looped", func(b *testing.B) { run(b, false) })
+	b.Run("batched", func(b *testing.B) { run(b, true) })
 }
 
 // BenchmarkAblationNoC3 quantifies the C3 augmentation (paper Appendix A,

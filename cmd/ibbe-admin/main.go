@@ -7,13 +7,19 @@
 // Usage:
 //
 //	ibbe-admin -listen :9090 -store http://127.0.0.1:8080 \
-//	           [-capacity 1000] [-params fast-160|medium-256|paper-512]
+//	           [-capacity 1000] [-params fast-160|medium-256|paper-512] \
+//	           [-workers N]
 //
-// Then drive it with curl (or examples/filesharing):
+// Then drive it with curl (or examples/filesharing, or client.AdminAPI):
 //
-//	curl -X POST :9090/admin/create -d '{"group":"g","members":["a","b"]}'
-//	curl -X POST :9090/admin/add    -d '{"group":"g","user":"c"}'
-//	curl -X POST :9090/admin/remove -d '{"group":"g","user":"a"}'
+//	curl -X POST :9090/admin/create       -d '{"group":"g","members":["a","b"]}'
+//	curl -X POST :9090/admin/add          -d '{"group":"g","user":"c"}'
+//	curl -X POST :9090/admin/remove       -d '{"group":"g","user":"a"}'
+//	curl -X POST :9090/admin/add-batch    -d '{"group":"g","users":["d","e","f"]}'
+//	curl -X POST :9090/admin/remove-batch -d '{"group":"g","users":["b","c"]}'
+//
+// The batch routes coalesce the whole batch into one re-key pass per touched
+// partition; -workers bounds the per-partition fan-out (0 = all CPUs).
 package main
 
 import (
@@ -39,15 +45,16 @@ func main() {
 	capacity := flag.Int("capacity", 1000, "partition capacity |p|")
 	paramsName := flag.String("params", "fast-160", "pairing scale: fast-160, medium-256, paper-512")
 	name := flag.String("name", "admin-1", "administrator name (for the certified op log)")
+	workers := flag.Int("workers", 0, "partition worker-pool size (0 = number of CPUs)")
 	flag.Parse()
 
-	if err := run(*listen, *storeURL, *capacity, *paramsName, *name); err != nil {
+	if err := run(*listen, *storeURL, *capacity, *paramsName, *name, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "ibbe-admin:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, storeURL string, capacity int, paramsName, name string) error {
+func run(listen, storeURL string, capacity int, paramsName, name string, workers int) error {
 	var params *pairing.Params
 	var wireName string
 	switch paramsName {
@@ -97,6 +104,10 @@ func run(listen, storeURL string, capacity int, paramsName, name string) error {
 	if err != nil {
 		return err
 	}
+	if workers > 0 {
+		mgr.SetParallelism(workers)
+	}
+	log.Printf("ibbe-admin: partition worker pool: %d", mgr.Parallelism())
 	opLog, err := core.NewOpLog()
 	if err != nil {
 		return err

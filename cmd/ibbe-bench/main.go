@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	ibbe-bench [-scale ci|medium|paper] fig2|fig6|fig7a|fig7b|fig8a|fig8b|fig9|fig10|table1|epc|all
+//	ibbe-bench [-scale ci|medium|paper] fig2|fig6|fig7a|fig7b|fig8a|fig8b|fig9|fig10|table1|epc|parallel|batch|all
 //
 // The ci scale (default) runs the whole suite in well under a minute on
 // reduced grids with identical shapes; medium takes minutes; paper runs the
@@ -37,24 +37,26 @@ func run(scale string, args []string) error {
 		return fmt.Errorf("unknown scale %q (want ci, medium or paper)", scale)
 	}
 	if len(args) != 1 {
-		return fmt.Errorf("want exactly one experiment: fig2, fig6, fig7a, fig7b, fig8a, fig8b, fig9, fig10, table1, epc or all")
+		return fmt.Errorf("want exactly one experiment: fig2, fig6, fig7a, fig7b, fig8a, fig8b, fig9, fig10, table1, epc, parallel, batch or all")
 	}
 	exp := args[0]
 
 	runners := map[string]func(benchmark.Config) error{
-		"fig2":   runFig2,
-		"fig6":   runFig6,
-		"fig7a":  runFig7a,
-		"fig7b":  runFig7b,
-		"fig8a":  runFig8a,
-		"fig8b":  runFig8b,
-		"fig9":   runFig9,
-		"fig10":  runFig10,
-		"table1": runTable1,
-		"epc":    runEPC,
+		"fig2":     runFig2,
+		"fig6":     runFig6,
+		"fig7a":    runFig7a,
+		"fig7b":    runFig7b,
+		"fig8a":    runFig8a,
+		"fig8b":    runFig8b,
+		"fig9":     runFig9,
+		"fig10":    runFig10,
+		"table1":   runTable1,
+		"epc":      runEPC,
+		"parallel": runParallel,
+		"batch":    runBatch,
 	}
 	if exp == "all" {
-		order := []string{"fig2", "fig6", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "table1", "epc"}
+		order := []string{"fig2", "fig6", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "table1", "epc", "parallel", "batch"}
 		for _, name := range order {
 			if err := timed(name, cfg, runners[name]); err != nil {
 				return err
@@ -166,5 +168,23 @@ func runTable1(cfg benchmark.Config) error {
 		return err
 	}
 	benchmark.PrintTable1(os.Stdout, rows)
+	return nil
+}
+
+func runParallel(cfg benchmark.Config) error {
+	rows, err := benchmark.RunParallel(cfg)
+	if err != nil {
+		return err
+	}
+	benchmark.PrintParallel(os.Stdout, rows)
+	return nil
+}
+
+func runBatch(cfg benchmark.Config) error {
+	rows, err := benchmark.RunBatch(cfg)
+	if err != nil {
+		return err
+	}
+	benchmark.PrintBatch(os.Stdout, rows)
 	return nil
 }

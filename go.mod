@@ -1,0 +1,3 @@
+module github.com/ibbesgx/ibbesgx
+
+go 1.24

@@ -36,6 +36,9 @@ func newTestSystem(t *testing.T, capacity int) *ibbesgx.System {
 }
 
 func TestIntegrationFullLifecycleOverHTTP(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end integration: skipped in -short CI runs")
+	}
 	// System + HTTP cloud + several clients: create, churn, rekey,
 	// repartition — every client stays consistent throughout.
 	sys := newTestSystem(t, 3)
@@ -118,6 +121,9 @@ func TestIntegrationFullLifecycleOverHTTP(t *testing.T) {
 }
 
 func TestIntegrationAdminFaultMidApply(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end integration: skipped in -short CI runs")
+	}
 	// The cloud fails partway through a multi-partition removal. The admin
 	// surfaces the error; retrying the publication via Repartition restores
 	// a fully consistent cloud state and clients converge again.
@@ -174,6 +180,9 @@ func TestIntegrationAdminFaultMidApply(t *testing.T) {
 }
 
 func TestIntegrationClientRetriesThroughOutage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end integration: skipped in -short CI runs")
+	}
 	// Reads fail during a cloud outage; once the outage clears, the same
 	// client object recovers without re-provisioning.
 	sys := newTestSystem(t, 2)
@@ -209,6 +218,9 @@ func TestIntegrationClientRetriesThroughOutage(t *testing.T) {
 }
 
 func TestIntegrationConcurrentAdminsOneManager(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end integration: skipped in -short CI runs")
+	}
 	// Several administrator frontends share one manager (the paper's model:
 	// few admins serving many groups). Concurrent operations on different
 	// groups must serialise safely and leave every group decryptable.
@@ -277,6 +289,9 @@ func TestIntegrationConcurrentAdminsOneManager(t *testing.T) {
 }
 
 func TestIntegrationWatchLatencyInjectedCloud(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end integration: skipped in -short CI runs")
+	}
 	// With injected cloud latency, Watch still converges — the regime where
 	// the paper argues decrypt cost is overshadowed by cloud RTTs.
 	sys := newTestSystem(t, 2)

@@ -66,6 +66,26 @@ func (a *Admin) AddUser(ctx context.Context, group, user string) error {
 	return a.certify(group, core.OpAddUser, user)
 }
 
+// AddUsers runs the batched form of Algorithm 2 — one ciphertext extension
+// per touched partition for the whole batch — and publishes the affected
+// records. Each membership change is still certified individually, so the
+// operation log is identical to looping AddUser.
+func (a *Admin) AddUsers(ctx context.Context, group string, users []string) error {
+	up, err := a.mgr.AddUsers(group, users)
+	if err != nil {
+		return err
+	}
+	if err := a.apply(ctx, up); err != nil {
+		return err
+	}
+	for _, u := range users {
+		if err := a.certify(group, core.OpAddUser, u); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // RemoveUser runs Algorithm 3 (and possibly a re-partition) and publishes
 // every affected record.
 func (a *Admin) RemoveUser(ctx context.Context, group, user string) error {
@@ -77,6 +97,25 @@ func (a *Admin) RemoveUser(ctx context.Context, group, user string) error {
 		return err
 	}
 	return a.certify(group, core.OpRemoveUser, user)
+}
+
+// RemoveUsers runs the batched form of Algorithm 3 — one fresh group key
+// and at most one re-key pass per remaining partition for the whole batch —
+// and publishes every affected record.
+func (a *Admin) RemoveUsers(ctx context.Context, group string, users []string) error {
+	up, err := a.mgr.RemoveUsers(group, users)
+	if err != nil {
+		return err
+	}
+	if err := a.apply(ctx, up); err != nil {
+		return err
+	}
+	for _, u := range users {
+		if err := a.certify(group, core.OpRemoveUser, u); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // RekeyGroup rotates the group key and republishes all records.

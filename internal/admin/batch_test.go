@@ -1,0 +1,158 @@
+package admin
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/ibbesgx/ibbesgx/internal/client"
+	"github.com/ibbesgx/ibbesgx/internal/core"
+)
+
+func TestBatchedMembershipEndToEnd(t *testing.T) {
+	s := newSys(t, 3)
+	ctx := context.Background()
+	base := users(6)
+	if err := s.admin.CreateGroup(ctx, "g", base); err != nil {
+		t.Fatal(err)
+	}
+
+	joiners := []string{"j1@x", "j2@x", "j3@x"}
+	if err := s.admin.AddUsers(ctx, "g", joiners); err != nil {
+		t.Fatal(err)
+	}
+	// Every joiner reads the group key straight from the cloud.
+	var ref [32]byte
+	for i, u := range joiners {
+		gk, err := s.clientFor(t, u, "g").GroupKey(ctx)
+		if err != nil {
+			t.Fatalf("joiner %s: %v", u, err)
+		}
+		if i == 0 {
+			ref = gk
+		} else if gk != ref {
+			t.Fatalf("joiner %s sees a different key", u)
+		}
+	}
+
+	if err := s.admin.RemoveUsers(ctx, "g", []string{base[0], joiners[0]}); err != nil {
+		t.Fatal(err)
+	}
+	// Removed users are evicted; survivors converge on a rotated key.
+	if _, err := s.clientFor(t, base[0], "g").GroupKey(ctx); err == nil {
+		t.Fatal("removed user still derives the group key from the cloud")
+	}
+	gk2, err := s.clientFor(t, joiners[1], "g").GroupKey(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gk2 == ref {
+		t.Fatal("batch removal did not rotate the group key")
+	}
+
+	// The op log certifies each member of both batches individually.
+	adds, removes := 0, 0
+	for _, e := range s.log.Entries() {
+		switch e.Kind {
+		case core.OpAddUser:
+			adds++
+		case core.OpRemoveUser:
+			removes++
+		}
+	}
+	if adds != len(joiners) || removes != 2 {
+		t.Fatalf("certified adds=%d removes=%d, want %d and 2", adds, removes, len(joiners))
+	}
+}
+
+func TestBatchRoutesOverHTTP(t *testing.T) {
+	svc, s := newService(t)
+	ts := httptest.NewServer(svc)
+	defer ts.Close()
+
+	api := client.NewAdminAPI(nil, ts.URL)
+	ctx := context.Background()
+	if err := api.CreateGroup(ctx, "g", users(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := api.AddUsers(ctx, "g", []string{"a@x", "b@x"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := api.RemoveUsers(ctx, "g", []string{"a@x", users(4)[0]}); err != nil {
+		t.Fatal(err)
+	}
+	members, err := s.admin.Manager().Members("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(members) != 4 { // 4 + 2 − 2
+		t.Fatalf("members after batch routes = %v", members)
+	}
+	// A batch touching an unknown member maps to an error status.
+	if err := api.RemoveUsers(ctx, "g", []string{"ghost@x"}); err == nil {
+		t.Fatal("batch removal of unknown member accepted over HTTP")
+	}
+	// Unknown routes 404.
+	resp, err := http.Post(ts.URL+"/admin/bogus", "application/json", strings.NewReader(`{"group":"g"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown admin route: %d", resp.StatusCode)
+	}
+}
+
+// TestConcurrentAdminGroups drives one Admin from many goroutines, each on
+// its own group, against the shared cloud store — the admin-layer companion
+// to the core concurrency tests for the -race CI job.
+func TestConcurrentAdminGroups(t *testing.T) {
+	s := newSys(t, 3)
+	const groups = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, groups)
+	for gi := 0; gi < groups; gi++ {
+		name := fmt.Sprintf("g%d", gi)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			base := make([]string, 5)
+			for i := range base {
+				base[i] = fmt.Sprintf("%s-u%d@x", name, i)
+			}
+			if err := s.admin.CreateGroup(ctx, name, base); err != nil {
+				errs <- err
+				return
+			}
+			if err := s.admin.AddUsers(ctx, name, []string{name + "-j1@x", name + "-j2@x"}); err != nil {
+				errs <- err
+				return
+			}
+			if err := s.admin.RemoveUsers(ctx, name, []string{base[0], name + "-j1@x"}); err != nil {
+				errs <- err
+				return
+			}
+			if err := s.admin.RekeyGroup(ctx, name); err != nil {
+				errs <- err
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Each group's survivors read one common key from the cloud.
+	for gi := 0; gi < groups; gi++ {
+		name := fmt.Sprintf("g%d", gi)
+		survivor := fmt.Sprintf("%s-u1@x", name)
+		if _, err := s.clientFor(t, survivor, name).GroupKey(context.Background()); err != nil {
+			t.Fatalf("%s survivor cannot decrypt: %v", name, err)
+		}
+	}
+}

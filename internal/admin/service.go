@@ -27,11 +27,18 @@ import (
 //
 // Routes:
 //
-//	POST /admin/create     {"group": g, "members": [...]}
-//	POST /admin/add        {"group": g, "user": u}
-//	POST /admin/remove     {"group": g, "user": u}
-//	POST /provision        {"id": u, "ecdh_pub": b64} → ProvisionResponse
-//	GET  /info             → SystemInfo
+//	POST /admin/create        {"group": g, "members": [...]}
+//	POST /admin/add           {"group": g, "user": u}
+//	POST /admin/remove        {"group": g, "user": u}
+//	POST /admin/add-batch     {"group": g, "users": [...]}
+//	POST /admin/remove-batch  {"group": g, "users": [...]}
+//	POST /admin/rekey         {"group": g}
+//	POST /provision           {"id": u, "ecdh_pub": b64} → ProvisionResponse
+//	GET  /info                → SystemInfo
+//
+// The batch routes coalesce N membership changes into one re-key pass per
+// touched partition (amortising the paper's dominant administrator cost);
+// the singular routes remain for compatibility.
 type Service struct {
 	Admin *Admin
 	// Encl is the enclave behind the admin (for provisioning).
@@ -74,6 +81,7 @@ type memberOpRequest struct {
 	Group   string   `json:"group"`
 	User    string   `json:"user,omitempty"`
 	Members []string `json:"members,omitempty"`
+	Users   []string `json:"users,omitempty"`
 }
 
 // ServeHTTP implements http.Handler.
@@ -156,6 +164,10 @@ func (s *Service) handleAdmin(w http.ResponseWriter, r *http.Request) {
 		err = s.Admin.AddUser(r.Context(), req.Group, req.User)
 	case "remove":
 		err = s.Admin.RemoveUser(r.Context(), req.Group, req.User)
+	case "add-batch":
+		err = s.Admin.AddUsers(r.Context(), req.Group, req.Users)
+	case "remove-batch":
+		err = s.Admin.RemoveUsers(r.Context(), req.Group, req.Users)
 	case "rekey":
 		err = s.Admin.RekeyGroup(r.Context(), req.Group)
 	default:

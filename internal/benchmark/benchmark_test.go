@@ -35,6 +35,9 @@ func TestScaleByName(t *testing.T) {
 }
 
 func TestFig2ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure replay: skipped in -short CI runs")
+	}
 	rows, err := RunFig2(tinyConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -66,6 +69,9 @@ func TestFig2ShapeHolds(t *testing.T) {
 }
 
 func TestFig6ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure replay: skipped in -short CI runs")
+	}
 	rows, err := RunFig6(tinyConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -94,6 +100,9 @@ func TestFig6ShapeHolds(t *testing.T) {
 }
 
 func TestFig7aShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure replay: skipped in -short CI runs")
+	}
 	// The remove crossover (HE O(n) vs IBBE-SGX O(n/m)) needs the group to
 	// be a healthy multiple of the partition size: pairing operations cost
 	// far more than P-256 ones, so n/m must outgrow the constant ratio.
@@ -119,6 +128,9 @@ func TestFig7aShapeHolds(t *testing.T) {
 }
 
 func TestFig8aShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure replay: skipped in -short CI runs")
+	}
 	res, err := RunFig8a(tinyConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -138,6 +150,9 @@ func TestFig8aShapeHolds(t *testing.T) {
 }
 
 func TestFig8bShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure replay: skipped in -short CI runs")
+	}
 	cfg := tinyConfig()
 	cfg.PartitionSizes = []int{16, 64, 256}
 	rows, err := RunFig8b(cfg)
@@ -163,6 +178,9 @@ func TestFig8bShapeHolds(t *testing.T) {
 }
 
 func TestFig9ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure replay: skipped in -short CI runs")
+	}
 	rows, err := RunFig9(tinyConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -192,6 +210,9 @@ func TestFig9ShapeHolds(t *testing.T) {
 }
 
 func TestFig10ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure replay: skipped in -short CI runs")
+	}
 	cfg := tinyConfig()
 	rows, err := RunFig10(cfg)
 	if err != nil {

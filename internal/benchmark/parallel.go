@@ -1,0 +1,194 @@
+package benchmark
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// ParallelRow is one partition count of the parallel-engine figure: the
+// latency of the three partition-sweeping operations (group creation,
+// removal re-keying, group re-key) with the worker pool disabled (serial)
+// and sized to the machine (parallel). Partition ciphertexts are mutually
+// independent (§IV-C), so the parallel engine's speedup should approach
+// min(partitions, cores).
+type ParallelRow struct {
+	Partitions int
+	Workers    int
+
+	SerialCreate, ParallelCreate time.Duration
+	SerialRemove, ParallelRemove time.Duration
+	SerialRekey, ParallelRekey   time.Duration
+}
+
+// CreateSpeedup returns serial/parallel for group creation.
+func (r ParallelRow) CreateSpeedup() float64 {
+	return float64(r.SerialCreate) / float64(max64(1, int64(r.ParallelCreate)))
+}
+
+// RemoveSpeedup returns serial/parallel for removal re-keying.
+func (r ParallelRow) RemoveSpeedup() float64 {
+	return float64(r.SerialRemove) / float64(max64(1, int64(r.ParallelRemove)))
+}
+
+// RekeySpeedup returns serial/parallel for group re-keying.
+func (r ParallelRow) RekeySpeedup() float64 {
+	return float64(r.SerialRekey) / float64(max64(1, int64(r.ParallelRekey)))
+}
+
+// RunParallel measures the parallel partition engine against its own serial
+// path on groups of 2, 4, 8 and 16 full partitions at the configured
+// capacity. Both sides run the identical per-partition ECALL sequence; only
+// the worker-pool bound differs.
+func RunParallel(cfg Config) ([]ParallelRow, error) {
+	workers := runtime.NumCPU()
+	rows := make([]ParallelRow, 0, 4)
+	for _, partitions := range []int{2, 4, 8, 16} {
+		row := ParallelRow{Partitions: partitions, Workers: workers}
+		members := names(partitions*cfg.Capacity, fmt.Sprintf("par-%d", partitions))
+		for _, parallel := range []bool{false, true} {
+			ctl, err := NewIBBEController(cfg.Params, cfg.Capacity, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			ctl.Mgr.DisableRepartition = true
+			if parallel {
+				ctl.Mgr.SetParallelism(workers)
+			} else {
+				ctl.Mgr.SetParallelism(1)
+			}
+
+			create, err := Sample(1, func() error { return ctl.CreateGroup("g", members) })
+			if err != nil {
+				return nil, err
+			}
+			remove, err := Sample(1, func() error { return ctl.RemoveUser("g", members[0]) })
+			if err != nil {
+				return nil, err
+			}
+			rekey, err := Sample(1, func() error {
+				_, err := ctl.Mgr.RekeyGroup("g")
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			if parallel {
+				row.ParallelCreate, row.ParallelRemove, row.ParallelRekey = create, remove, rekey
+			} else {
+				row.SerialCreate, row.SerialRemove, row.SerialRekey = create, remove, rekey
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// BatchRow is one batch size of the batched-membership figure: adding and
+// removing n users as n singular operations (the pre-batching admin loop)
+// against one batched call. The record-publish counters expose the
+// amortisation directly: a looped removal of n users re-keys every remaining
+// partition n times, the batched removal exactly once.
+type BatchRow struct {
+	BatchSize int
+
+	LoopedAdd, BatchedAdd       time.Duration
+	LoopedRemove, BatchedRemove time.Duration
+
+	// LoopedRemovePuts / BatchedRemovePuts count partition records published
+	// by the removal — each PUT is one partition re-key pass in the enclave.
+	LoopedRemovePuts, BatchedRemovePuts int
+}
+
+// AddSpeedup returns looped/batched for the add path.
+func (r BatchRow) AddSpeedup() float64 {
+	return float64(r.LoopedAdd) / float64(max64(1, int64(r.BatchedAdd)))
+}
+
+// RemoveSpeedup returns looped/batched for the remove path.
+func (r BatchRow) RemoveSpeedup() float64 {
+	return float64(r.LoopedRemove) / float64(max64(1, int64(r.BatchedRemove)))
+}
+
+// RunBatch measures batched AddUsers/RemoveUsers against the equivalent
+// loop of singular operations on a base group of four full partitions.
+// Batch sizes sweep from a quarter partition to a full partition's worth of
+// users. Both sides run serially (parallelism 1) so the figure isolates the
+// batching effect from the worker-pool effect RunParallel measures.
+func RunBatch(cfg Config) ([]BatchRow, error) {
+	base := names(4*cfg.Capacity, "batch-base")
+	sizes := []int{cfg.Capacity / 4, cfg.Capacity / 2, cfg.Capacity}
+	rows := make([]BatchRow, 0, len(sizes))
+	for _, n := range sizes {
+		if n < 1 {
+			n = 1
+		}
+		row := BatchRow{BatchSize: n}
+		joiners := names(n, fmt.Sprintf("batch-join-%d", n))
+
+		for _, batched := range []bool{false, true} {
+			ctl, err := NewIBBEController(cfg.Params, cfg.Capacity, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			ctl.Mgr.DisableRepartition = true
+			ctl.Mgr.SetParallelism(1)
+			if err := ctl.CreateGroup("g", base); err != nil {
+				return nil, err
+			}
+
+			var addDur, remDur time.Duration
+			var remPuts int
+			if batched {
+				addDur, err = Sample(1, func() error {
+					_, err := ctl.Mgr.AddUsers("g", joiners)
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+				remDur, err = Sample(1, func() error {
+					up, err := ctl.Mgr.RemoveUsers("g", joiners)
+					if up != nil {
+						remPuts += len(up.Put)
+					}
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+				row.BatchedAdd, row.BatchedRemove, row.BatchedRemovePuts = addDur, remDur, remPuts
+			} else {
+				addDur, err = Sample(1, func() error {
+					for _, u := range joiners {
+						if _, err := ctl.Mgr.AddUser("g", u); err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				remDur, err = Sample(1, func() error {
+					for _, u := range joiners {
+						up, err := ctl.Mgr.RemoveUser("g", u)
+						if up != nil {
+							remPuts += len(up.Put)
+						}
+						if err != nil {
+							return err
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					return nil, err
+				}
+				row.LoopedAdd, row.LoopedRemove, row.LoopedRemovePuts = addDur, remDur, remPuts
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

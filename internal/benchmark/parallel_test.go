@@ -1,0 +1,60 @@
+package benchmark
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunParallelProducesAllCells(t *testing.T) {
+	rows, err := RunParallel(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.SerialCreate <= 0 || r.ParallelCreate <= 0 ||
+			r.SerialRemove <= 0 || r.ParallelRemove <= 0 ||
+			r.SerialRekey <= 0 || r.ParallelRekey <= 0 {
+			t.Fatalf("row %d has an empty cell: %+v", r.Partitions, r)
+		}
+		if r.Workers < 1 {
+			t.Fatalf("row %d reports %d workers", r.Partitions, r.Workers)
+		}
+	}
+	var sb strings.Builder
+	PrintParallel(&sb, rows)
+	if !strings.Contains(sb.String(), "Parallel partition engine") {
+		t.Fatal("printer emitted nothing")
+	}
+}
+
+func TestRunBatchAmortisesRekeyPasses(t *testing.T) {
+	rows, err := RunBatch(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		// The batched removal re-keys each remaining partition exactly once:
+		// the base group is 4 full partitions and every batch only removes
+		// users it previously added, so exactly 4 records are re-published.
+		if r.BatchedRemovePuts != 4 {
+			t.Fatalf("batch %d: batched removal published %d records, want 4", r.BatchSize, r.BatchedRemovePuts)
+		}
+		// The looped removal re-publishes partitions once per removed user;
+		// with n ≥ 2 it must strictly exceed the batched pass.
+		if r.BatchSize >= 2 && r.LoopedRemovePuts <= r.BatchedRemovePuts {
+			t.Fatalf("batch %d: looped puts %d not above batched %d",
+				r.BatchSize, r.LoopedRemovePuts, r.BatchedRemovePuts)
+		}
+	}
+	var sb strings.Builder
+	PrintBatch(&sb, rows)
+	if !strings.Contains(sb.String(), "Batched membership") {
+		t.Fatal("printer emitted nothing")
+	}
+}

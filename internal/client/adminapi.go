@@ -1,0 +1,95 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+)
+
+// AdminAPI is a thin HTTP client for the administrator service
+// (internal/admin.Service): it drives membership operations — including the
+// batched add/remove routes that coalesce N changes into one re-key pass per
+// touched partition — over the same wire surface curl uses.
+type AdminAPI struct {
+	// HTTP is the transport; nil selects http.DefaultClient.
+	HTTP *http.Client
+	// BaseURL is the admin service root, e.g. "http://127.0.0.1:9090".
+	BaseURL string
+}
+
+// NewAdminAPI builds an admin API client for the given base URL.
+func NewAdminAPI(httpc *http.Client, baseURL string) *AdminAPI {
+	return &AdminAPI{HTTP: httpc, BaseURL: baseURL}
+}
+
+type adminOpRequest struct {
+	Group   string   `json:"group"`
+	User    string   `json:"user,omitempty"`
+	Members []string `json:"members,omitempty"`
+	Users   []string `json:"users,omitempty"`
+}
+
+// CreateGroup runs Algorithm 1 for a fresh group.
+func (c *AdminAPI) CreateGroup(ctx context.Context, group string, members []string) error {
+	return c.post(ctx, "create", adminOpRequest{Group: group, Members: members})
+}
+
+// AddUser adds one user (Algorithm 2).
+func (c *AdminAPI) AddUser(ctx context.Context, group, user string) error {
+	return c.post(ctx, "add", adminOpRequest{Group: group, User: user})
+}
+
+// RemoveUser revokes one user (Algorithm 3).
+func (c *AdminAPI) RemoveUser(ctx context.Context, group, user string) error {
+	return c.post(ctx, "remove", adminOpRequest{Group: group, User: user})
+}
+
+// AddUsers adds a batch of users with one ciphertext extension per touched
+// partition.
+func (c *AdminAPI) AddUsers(ctx context.Context, group string, users []string) error {
+	return c.post(ctx, "add-batch", adminOpRequest{Group: group, Users: users})
+}
+
+// RemoveUsers revokes a batch of users under a single fresh group key, with
+// one re-key pass per remaining partition.
+func (c *AdminAPI) RemoveUsers(ctx context.Context, group string, users []string) error {
+	return c.post(ctx, "remove-batch", adminOpRequest{Group: group, Users: users})
+}
+
+// RekeyGroup rotates the group key without membership changes.
+func (c *AdminAPI) RekeyGroup(ctx context.Context, group string) error {
+	return c.post(ctx, "rekey", adminOpRequest{Group: group})
+}
+
+// post sends one admin operation and maps non-2xx responses to errors
+// carrying the service's message.
+func (c *AdminAPI) post(ctx context.Context, op string, body adminOpRequest) error {
+	blob, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	url := strings.TrimRight(c.BaseURL, "/") + "/admin/" + op
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("client: admin %s failed: %d: %s", op, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	return nil
+}

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/ibbesgx/ibbesgx/internal/kdf"
+)
+
+// TestParallelCreateGroupDeterminism drives the worker pool hard: a group
+// whose creation fans out across many partitions must yield ciphertexts
+// every member can decrypt to one common key, no matter how the workers were
+// scheduled.
+func TestParallelCreateGroupDeterminism(t *testing.T) {
+	e := newEnv(t, 2)
+	e.mgr.SetParallelism(8)
+	members := users(16) // 8 partitions at capacity 2
+	up, err := e.mgr.CreateGroup("g", members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(up.Put) != 8 {
+		t.Fatalf("records = %d, want 8", len(up.Put))
+	}
+	var ref [kdf.KeySize]byte
+	for i, u := range members {
+		gk := decryptAs(t, e, "g", u, up.Put)
+		if i == 0 {
+			ref = gk
+		} else if gk != ref {
+			t.Fatalf("member %s sees a different key under the parallel engine", u)
+		}
+	}
+	// A parallel re-key must rotate every partition to one fresh key.
+	up2, err := e.mgr.RekeyGroup("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gkA := decryptAs(t, e, "g", members[0], up2.Put)
+	gkB := decryptAs(t, e, "g", members[15], up2.Put)
+	if gkA != gkB || gkA == ref {
+		t.Fatal("parallel rekey inconsistent")
+	}
+}
+
+// TestConcurrentGroupsIndependent exercises the per-group locking: many
+// goroutines hammer different groups with adds, removes, rekeys and reads at
+// once. Run under -race this is the CI gate for the locking redesign.
+func TestConcurrentGroupsIndependent(t *testing.T) {
+	e := newEnv(t, 4)
+	const groups = 4
+	for gi := 0; gi < groups; gi++ {
+		name := fmt.Sprintf("g%d", gi)
+		base := make([]string, 8)
+		for i := range base {
+			base[i] = fmt.Sprintf("%s-u%02d@x", name, i)
+		}
+		if _, err := e.mgr.CreateGroup(name, base); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, groups*4)
+	for gi := 0; gi < groups; gi++ {
+		name := fmt.Sprintf("g%d", gi)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				u := fmt.Sprintf("%s-new%02d@x", name, i)
+				if _, err := e.mgr.AddUser(name, u); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := e.mgr.Members(name); err != nil {
+					errs <- err
+					return
+				}
+				if _, err := e.mgr.RemoveUser(name, u); err != nil {
+					errs <- err
+					return
+				}
+			}
+			if _, err := e.mgr.RekeyGroup(name); err != nil {
+				errs <- err
+			}
+		}()
+		// Concurrent readers on the same and other groups.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				e.mgr.Groups()
+				if _, err := e.mgr.MetadataSize(name); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Every group still converges: all members decrypt one key.
+	for gi := 0; gi < groups; gi++ {
+		name := fmt.Sprintf("g%d", gi)
+		recs, err := e.mgr.Records(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		members, err := e.mgr.Members(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(members) != 8 {
+			t.Fatalf("%s has %d members, want 8", name, len(members))
+		}
+		var ref [kdf.KeySize]byte
+		for i, u := range members {
+			gk := decryptAs(t, e, name, u, recs)
+			if i == 0 {
+				ref = gk
+			} else if gk != ref {
+				t.Fatalf("%s member %s disagrees after concurrent ops", name, u)
+			}
+		}
+	}
+}
+
+// TestConcurrentCreateSameGroup checks that racing creations of one name
+// admit exactly one winner and the losers see ErrGroupExists.
+func TestConcurrentCreateSameGroup(t *testing.T) {
+	e := newEnv(t, 4)
+	const racers = 4
+	var (
+		wg    sync.WaitGroup
+		wins  atomic.Int32
+		other atomic.Int32
+	)
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := e.mgr.CreateGroup("g", []string{fmt.Sprintf("u%d@x", i)})
+			switch {
+			case err == nil:
+				wins.Add(1)
+			case errors.Is(err, ErrGroupExists):
+			default:
+				other.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if wins.Load() != 1 || other.Load() != 0 {
+		t.Fatalf("winners = %d, unexpected errors = %d", wins.Load(), other.Load())
+	}
+	if members, err := e.mgr.Members("g"); err != nil || len(members) != 1 {
+		t.Fatalf("group state after race: %v %v", members, err)
+	}
+}
+
+// TestConcurrentBatchesAcrossGroups mixes the batched APIs across groups
+// under -race.
+func TestConcurrentBatchesAcrossGroups(t *testing.T) {
+	e := newEnv(t, 4)
+	const groups = 3
+	var wg sync.WaitGroup
+	errs := make(chan error, groups)
+	for gi := 0; gi < groups; gi++ {
+		name := fmt.Sprintf("g%d", gi)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			base := make([]string, 6)
+			for i := range base {
+				base[i] = fmt.Sprintf("%s-u%02d@x", name, i)
+			}
+			if _, err := e.mgr.CreateGroup(name, base); err != nil {
+				errs <- err
+				return
+			}
+			joiners := []string{name + "-j1@x", name + "-j2@x", name + "-j3@x"}
+			if _, err := e.mgr.AddUsers(name, joiners); err != nil {
+				errs <- err
+				return
+			}
+			if _, err := e.mgr.RemoveUsers(name, append(joiners[:2:2], base[0])); err != nil {
+				errs <- err
+				return
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for gi := 0; gi < groups; gi++ {
+		name := fmt.Sprintf("g%d", gi)
+		members, err := e.mgr.Members(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(members) != 6 { // 6 base + 3 joiners − 2 joiners − 1 base
+			t.Fatalf("%s members = %v", name, members)
+		}
+	}
+}
+
+// TestFanOutPropagatesErrorAndStops exercises the pool helper directly.
+func TestFanOutPropagatesErrorAndStops(t *testing.T) {
+	e := newEnv(t, 4)
+	e.mgr.SetParallelism(4)
+	boom := errors.New("boom")
+	var calls atomic.Int32
+	err := e.mgr.fanOut(64, func(i int) error {
+		calls.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("fanOut error = %v", err)
+	}
+	if calls.Load() == 64 {
+		t.Fatal("fanOut did not stop early after failure")
+	}
+	// Serial path: order and full coverage.
+	e.mgr.SetParallelism(1)
+	var order []int
+	if err := e.mgr.fanOut(5, func(i int) error { order = append(order, i); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial fanOut order = %v", order)
+		}
+	}
+}
+
+// TestSetParallelismBounds checks the configuration surface.
+func TestSetParallelismBounds(t *testing.T) {
+	e := newEnv(t, 2)
+	e.mgr.SetParallelism(0)
+	if got := e.mgr.Parallelism(); got != 1 {
+		t.Fatalf("Parallelism() = %d after SetParallelism(0), want 1", got)
+	}
+	e.mgr.SetParallelism(7)
+	if got := e.mgr.Parallelism(); got != 7 {
+		t.Fatalf("Parallelism() = %d, want 7", got)
+	}
+}

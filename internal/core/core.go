@@ -8,14 +8,22 @@
 // Update describing which partition records to PUT and which to delete.
 // The admin package applies updates to a cloud Store; benchmarks apply them
 // to byte-counters only.
+//
+// Partition ciphertexts are mutually independent (§IV-C), so the Manager is
+// a parallel partition engine: per-partition enclave work — encryption at
+// group creation, re-keying on removal and rotation, re-partitioning — fans
+// out across a bounded worker pool, and groups are locked individually so
+// membership operations on independent groups proceed concurrently.
 package core
 
 import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/ibbesgx/ibbesgx/internal/enclave"
 	"github.com/ibbesgx/ibbesgx/internal/ibbe"
@@ -33,28 +41,46 @@ var (
 // Manager is the administrator-side engine. It owns, per group, the
 // user→partition table and the current per-partition crypto material, and
 // calls into the enclave for everything touching keys. Safe for concurrent
-// use; operations on the same Manager are serialised.
+// use: operations on the same group are serialised by a per-group lock,
+// operations on different groups run concurrently, and within one operation
+// the per-partition enclave calls are spread over a worker pool of
+// Parallelism() goroutines (default runtime.NumCPU()).
 type Manager struct {
-	mu sync.Mutex
+	// mu guards the groups map only; per-group state has its own lock.
+	mu     sync.Mutex
+	groups map[string]*groupState
 
 	encl     *enclave.IBBEEnclave
 	pk       *ibbe.PublicKey
 	capacity int
-	rng      *rand.Rand
-	groups   map[string]*groupState
+
+	// rngMu guards rng, the partition-picking randomness shared by
+	// concurrent AddUser calls (Algorithm 2's RandomItem).
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	// workers bounds the per-operation fan-out (see SetParallelism).
+	workers atomic.Int32
 
 	// DisableRepartition turns off the §V-A occupancy heuristic (used by
 	// ablation benchmarks; production keeps it on).
 	DisableRepartition bool
 
-	// counters for replay reporting
-	repartitions int64
+	// repartitions counts occupancy-heuristic firings for replay reporting.
+	repartitions atomic.Int64
 }
 
+// groupState is one group's table and crypto material. Its mutex serialises
+// operations on the group; the Manager's map lock is never held while the
+// group lock is waited on, so independent groups never block each other.
 type groupState struct {
+	mu       sync.Mutex
 	table    *partition.Table
 	crypto   map[string]*enclave.PartitionCrypto // by partition ID
 	sealedGK []byte
+	// invalid marks a group whose creation failed after it was published in
+	// the map; waiters that win the lock afterwards treat it as absent.
+	invalid bool
 }
 
 // NewManager creates a manager driving the given enclave with a fixed
@@ -69,14 +95,29 @@ func NewManager(encl *enclave.IBBEEnclave, capacity int, seed int64) (*Manager, 
 	if capacity < 1 || capacity > pk.MaxGroupSize() {
 		return nil, fmt.Errorf("core: capacity %d outside [1, %d]", capacity, pk.MaxGroupSize())
 	}
-	return &Manager{
+	m := &Manager{
 		encl:     encl,
 		pk:       pk,
 		capacity: capacity,
 		rng:      rand.New(rand.NewSource(seed)),
 		groups:   make(map[string]*groupState),
-	}, nil
+	}
+	m.workers.Store(int32(runtime.NumCPU()))
+	return m, nil
 }
+
+// SetParallelism bounds the worker pool used for per-partition enclave work;
+// n < 1 selects the serial path. Safe to call concurrently with operations
+// (new operations pick up the new bound).
+func (m *Manager) SetParallelism(n int) {
+	if n < 1 {
+		n = 1
+	}
+	m.workers.Store(int32(n))
+}
+
+// Parallelism returns the current worker-pool bound.
+func (m *Manager) Parallelism() int { return int(m.workers.Load()) }
 
 // PublicKey returns the system public key clients need for decryption.
 func (m *Manager) PublicKey() *ibbe.PublicKey { return m.pk }
@@ -89,10 +130,24 @@ func (m *Manager) Scheme() *ibbe.Scheme { return m.encl.Scheme() }
 func (m *Manager) Capacity() int { return m.capacity }
 
 // Repartitions returns how many times the occupancy heuristic fired.
-func (m *Manager) Repartitions() int64 {
+func (m *Manager) Repartitions() int64 { return m.repartitions.Load() }
+
+// lockGroup finds a group and acquires its lock. The caller must release
+// g.mu. The map lock is dropped before g.mu is taken, so a slow operation on
+// one group never stalls lookups of others.
+func (m *Manager) lockGroup(name string) (*groupState, error) {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.repartitions
+	g, ok := m.groups[name]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchGroup, name)
+	}
+	g.mu.Lock()
+	if g.invalid {
+		g.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrNoSuchGroup, name)
+	}
+	return g, nil
 }
 
 // Update describes the storage effects of one membership operation: records
@@ -110,13 +165,9 @@ func newUpdate(group string) *Update {
 
 // CreateGroup implements Algorithm 1: split members into fixed-size
 // partitions, then — inside the enclave — draw the group key, build each
-// partition's broadcast ciphertext, and wrap the group key per partition.
+// partition's broadcast ciphertext in parallel, and wrap the group key per
+// partition.
 func (m *Manager) CreateGroup(name string, members []string) (*Update, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.groups[name]; ok {
-		return nil, fmt.Errorf("%w: %s", ErrGroupExists, name)
-	}
 	table, err := partition.NewTable(m.capacity)
 	if err != nil {
 		return nil, err
@@ -126,135 +177,303 @@ func (m *Manager) CreateGroup(name string, members []string) (*Update, error) {
 		return nil, err
 	}
 	g := &groupState{table: table, crypto: make(map[string]*enclave.PartitionCrypto)}
-	up, err := m.encryptPartitions(name, g, parts)
-	if err != nil {
-		return nil, err
+	// Publish the group (locked) before the slow enclave work, so concurrent
+	// creates of the same name fail fast and concurrent member operations
+	// queue on the group lock instead of racing the creation.
+	g.mu.Lock()
+	m.mu.Lock()
+	if _, ok := m.groups[name]; ok {
+		m.mu.Unlock()
+		g.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrGroupExists, name)
 	}
 	m.groups[name] = g
+	m.mu.Unlock()
+	defer g.mu.Unlock()
+
+	sealedGK, crypto, up, err := m.encryptPartitions(name, parts)
+	if err != nil {
+		g.invalid = true
+		m.mu.Lock()
+		delete(m.groups, name)
+		m.mu.Unlock()
+		return nil, err
+	}
+	g.sealedGK, g.crypto = sealedGK, crypto
 	return up, nil
 }
 
 // encryptPartitions runs the enclaved body of Algorithm 1 for the given
-// partitions and fills the group state and update.
-func (m *Manager) encryptPartitions(name string, g *groupState, parts []*partition.Partition) (*Update, error) {
-	slices := make([][]string, len(parts))
-	for i, p := range parts {
-		slices[i] = p.Members
-	}
-	sealedGK, outs, err := m.encl.EcallCreateGroup(name, slices)
+// partitions: one ECALL seals a fresh group key, then the mutually
+// independent partition ciphertexts are built by the worker pool. It
+// touches no group state — callers commit the returned sealed key and
+// crypto map only on success, so a mid-flight enclave failure never leaves
+// a group half-encrypted.
+func (m *Manager) encryptPartitions(name string, parts []*partition.Partition) ([]byte, map[string]*enclave.PartitionCrypto, *Update, error) {
+	sealedGK, err := m.encl.EcallNewGroupKey(name)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	g.sealedGK = sealedGK
+	outs := make([]*enclave.PartitionCrypto, len(parts))
+	err = m.fanOut(len(parts), func(i int) error {
+		pc, err := m.encl.EcallCreatePartition(name, sealedGK, parts[i].Members)
+		if err != nil {
+			return err
+		}
+		outs[i] = pc
+		return nil
+	})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	crypto := make(map[string]*enclave.PartitionCrypto, len(parts))
 	up := newUpdate(name)
 	for i, p := range parts {
-		pc := outs[i]
-		g.crypto[p.ID] = &pc
-		up.Put[p.ID] = recordFor(p, &pc)
+		crypto[p.ID] = outs[i]
+		up.Put[p.ID] = recordFor(p, outs[i])
 	}
-	return up, nil
+	return sealedGK, crypto, up, nil
 }
 
 // AddUser implements Algorithm 2: place the user in a random partition with
 // spare capacity (extending its ciphertext in O(1), leaving yᵢ untouched),
 // or open a fresh partition wrapping the existing group key.
 func (m *Manager) AddUser(name, user string) (*Update, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	g, ok := m.groups[name]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNoSuchGroup, name)
+	return m.AddUsers(name, []string{user})
+}
+
+// AddUsers is the batched form of AddUser: every user is placed per
+// Algorithm 2, but the enclave work coalesces to at most one ECALL per
+// touched partition — an existing partition absorbs all its joiners in a
+// single ciphertext extension, and each freshly opened partition is built
+// once with its full member list. The batch is atomic: on any failure the
+// table is rolled back and no crypto material changes.
+func (m *Manager) AddUsers(name string, users []string) (*Update, error) {
+	g, err := m.lockGroup(name)
+	if err != nil {
+		return nil, err
 	}
-	up := newUpdate(name)
-	if open, ok := g.table.PickOpenPartition(m.rng); ok {
-		// Existing-partition arm (lines 9–12).
-		updated, err := g.table.Add(open.ID, user)
-		if err != nil {
-			return nil, err
+	defer g.mu.Unlock()
+
+	seen := make(map[string]bool, len(users))
+	for _, u := range users {
+		if seen[u] || g.table.Contains(u) {
+			return nil, fmt.Errorf("%w: %s", partition.ErrMemberExists, u)
 		}
-		pc := g.crypto[open.ID]
-		newCT, err := m.encl.EcallAddUserToPartition(pc.CT, user)
-		if err != nil {
-			// Roll the table back so state stays consistent.
-			if _, rerr := g.table.Remove(user); rerr != nil {
-				return nil, errors.Join(err, rerr)
+		seen[u] = true
+	}
+	if len(users) == 0 {
+		return newUpdate(name), nil
+	}
+
+	// Placement pass (pure table work): fill random open partitions first,
+	// spill into fresh ones. Partitions opened by this batch keep absorbing
+	// later users of the batch, so n overflow joins open ⌈n/capacity⌉
+	// partitions, not n.
+	var (
+		added        []string
+		existingAdds = make(map[string][]string) // partition ID → joiners
+		freshParts   = make(map[string]bool)     // opened by this batch
+		repJoiner    = make(map[string]string)   // partition ID → one joiner in it
+	)
+	rollback := func() {
+		for _, u := range added {
+			if _, err := g.table.Remove(u); err != nil {
+				panic(fmt.Sprintf("core: add rollback: %v", err))
 			}
+		}
+	}
+	for _, u := range users {
+		m.rngMu.Lock()
+		open, ok := g.table.PickOpenPartition(m.rng)
+		m.rngMu.Unlock()
+		if ok {
+			if _, err := g.table.Add(open.ID, u); err != nil {
+				rollback()
+				return nil, err
+			}
+			added = append(added, u)
+			repJoiner[open.ID] = u
+			if !freshParts[open.ID] {
+				existingAdds[open.ID] = append(existingAdds[open.ID], u)
+			}
+			continue
+		}
+		p, err := g.table.AddNewPartition(u)
+		if err != nil {
+			rollback()
 			return nil, err
 		}
-		pc.CT = newCT
-		up.Put[open.ID] = recordFor(updated, pc)
-		return up, nil
+		added = append(added, u)
+		repJoiner[p.ID] = u
+		freshParts[p.ID] = true
 	}
-	// New-partition arm (lines 3–7).
-	p, err := g.table.AddNewPartition(user)
-	if err != nil {
-		return nil, err
+
+	// Enclave pass: one ECALL per touched partition, fanned out.
+	type task struct {
+		id     string
+		fresh  bool
+		joiner []string // joiners of an existing partition
 	}
-	pc, err := m.encl.EcallCreatePartition(name, g.sealedGK, p.Members)
-	if err != nil {
-		if _, rerr := g.table.Remove(user); rerr != nil {
-			return nil, errors.Join(err, rerr)
+	tasks := make([]task, 0, len(existingAdds)+len(freshParts))
+	for id, us := range existingAdds {
+		tasks = append(tasks, task{id: id, joiner: us})
+	}
+	for id := range freshParts {
+		tasks = append(tasks, task{id: id, fresh: true})
+	}
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].id < tasks[j].id })
+
+	// Resolve only the touched partitions (via any joiner they absorbed), so
+	// a small batch on a huge group stays O(touched), not O(group).
+	byID := make(map[string]*partition.Partition, len(tasks))
+	for _, t := range tasks {
+		p, ok := g.table.Lookup(repJoiner[t.id])
+		if !ok || p.ID != t.id {
+			rollback()
+			return nil, fmt.Errorf("core: internal: lost track of partition %s during batch add", t.id)
 		}
+		byID[t.id] = p
+	}
+	outs := make([]*enclave.PartitionCrypto, len(tasks))
+	newCTs := make([]*ibbe.Ciphertext, len(tasks))
+	err = m.fanOut(len(tasks), func(i int) error {
+		t := tasks[i]
+		if t.fresh {
+			pc, err := m.encl.EcallCreatePartition(name, g.sealedGK, byID[t.id].Members)
+			if err != nil {
+				return err
+			}
+			outs[i] = pc
+			return nil
+		}
+		ct, err := m.encl.EcallAddUsersToPartition(g.crypto[t.id].CT, t.joiner)
+		if err != nil {
+			return err
+		}
+		newCTs[i] = ct
+		return nil
+	})
+	if err != nil {
+		rollback()
 		return nil, err
 	}
-	g.crypto[p.ID] = pc
-	up.Put[p.ID] = recordFor(p, pc)
+
+	up := newUpdate(name)
+	for i, t := range tasks {
+		if t.fresh {
+			g.crypto[t.id] = outs[i]
+		} else {
+			g.crypto[t.id].CT = newCTs[i]
+		}
+		up.Put[t.id] = recordFor(byID[t.id], g.crypto[t.id])
+	}
 	return up, nil
 }
 
 // RemoveUser implements Algorithm 3: drop the user from her partition,
 // generate a fresh group key inside the enclave, re-key every partition in
-// O(1) each, and push all affected records. When the occupancy heuristic
-// fires, the group is re-partitioned (re-created per Algorithm 1).
+// O(1) each — in parallel across the worker pool — and push all affected
+// records. When the occupancy heuristic fires, the group is re-partitioned
+// (re-created per Algorithm 1).
 func (m *Manager) RemoveUser(name, user string) (*Update, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	g, ok := m.groups[name]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNoSuchGroup, name)
-	}
-	affected, err := g.table.Remove(user)
+	return m.RemoveUsers(name, []string{user})
+}
+
+// RemoveUsers is the batched form of RemoveUser: all users leave under a
+// single fresh group key, with exactly one re-key pass per remaining
+// partition — a partition that lost k members is re-keyed once (not k
+// times), and untouched partitions are re-keyed once each, amortising the
+// administrator's dominant revocation cost across the batch.
+func (m *Manager) RemoveUsers(name string, users []string) (*Update, error) {
+	g, err := m.lockGroup(name)
 	if err != nil {
 		return nil, err
 	}
-	emptied := len(affected.Members) == 0
+	defer g.mu.Unlock()
 
-	// Collect the other partitions in stable order.
-	others := g.table.Partitions()
-	otherIDs := make([]string, 0, len(others))
-	otherCTs := make([]*ibbe.Ciphertext, 0, len(others))
-	for _, p := range others {
-		if p.ID == affected.ID {
-			continue
+	seen := make(map[string]bool, len(users))
+	for _, u := range users {
+		if seen[u] {
+			return nil, fmt.Errorf("core: duplicate user in removal batch: %s", u)
 		}
-		otherIDs = append(otherIDs, p.ID)
-		otherCTs = append(otherCTs, g.crypto[p.ID].CT)
+		seen[u] = true
+		if !g.table.Contains(u) {
+			return nil, fmt.Errorf("%w: %s", partition.ErrNoSuchMember, u)
+		}
+	}
+	if len(users) == 0 {
+		return newUpdate(name), nil
 	}
 
-	upd, err := m.encl.EcallRemoveUser(name, g.crypto[affected.ID].CT, user, emptied, otherCTs)
+	// Table pass: drop everyone, tracking which partition lost whom. The
+	// pre-removal layout is kept so an enclave failure below can restore it,
+	// making the batch atomic like AddUsers.
+	oldParts := g.table.Partitions()
+	rollback := func(cause error) error {
+		restored, rerr := partition.NewTableFrom(m.capacity, oldParts)
+		if rerr != nil {
+			// Cannot happen: oldParts came out of a valid table.
+			return errors.Join(cause, rerr)
+		}
+		g.table = restored
+		return cause
+	}
+	removedBy := make(map[string][]string)
+	for _, u := range users {
+		p, err := g.table.Remove(u)
+		if err != nil {
+			return nil, rollback(err)
+		}
+		removedBy[p.ID] = append(removedBy[p.ID], u)
+	}
+
+	// Enclave pass: one sealed fresh group key, then one ECALL per remaining
+	// partition — removal+re-key for partitions that lost members, plain
+	// re-key for the rest — fanned out across the pool.
+	sealedGK, err := m.encl.EcallNewGroupKey(name)
 	if err != nil {
-		return nil, err
+		return nil, rollback(err)
 	}
-	g.sealedGK = upd.SealedGK
+	parts := g.table.Partitions()
+	outs := make([]*enclave.PartitionCrypto, len(parts))
+	err = m.fanOut(len(parts), func(i int) error {
+		p := parts[i]
+		old := g.crypto[p.ID].CT
+		var (
+			pc   *enclave.PartitionCrypto
+			ierr error
+		)
+		if rem := removedBy[p.ID]; len(rem) > 0 {
+			pc, ierr = m.encl.EcallRemoveUsersFromPartition(name, sealedGK, old, rem)
+		} else {
+			pc, ierr = m.encl.EcallRekeyPartition(name, sealedGK, old)
+		}
+		if ierr != nil {
+			return ierr
+		}
+		outs[i] = pc
+		return nil
+	})
+	if err != nil {
+		return nil, rollback(err)
+	}
 
+	g.sealedGK = sealedGK
 	up := newUpdate(name)
-	if emptied {
-		delete(g.crypto, affected.ID)
-		up.Delete = append(up.Delete, affected.ID)
-	} else {
-		g.crypto[affected.ID] = upd.Affected
-		up.Put[affected.ID] = recordFor(affected, upd.Affected)
+	remaining := make(map[string]bool, len(parts))
+	for i, p := range parts {
+		remaining[p.ID] = true
+		g.crypto[p.ID] = outs[i]
+		up.Put[p.ID] = recordFor(p, outs[i])
 	}
-	for i, id := range otherIDs {
-		pc := upd.Others[i]
-		g.crypto[id] = &pc
-		for _, p := range others {
-			if p.ID == id {
-				up.Put[id] = recordFor(p, &pc)
-				break
-			}
+	for id := range removedBy {
+		if !remaining[id] { // partition emptied and dropped
+			delete(g.crypto, id)
+			up.Delete = append(up.Delete, id)
 		}
 	}
+	sort.Strings(up.Delete)
 
 	if !m.DisableRepartition && g.table.NeedsRepartition() && g.table.Len() > 0 {
 		return m.repartitionLocked(name, g, up)
@@ -262,29 +481,36 @@ func (m *Manager) RemoveUser(name, user string) (*Update, error) {
 	return up, nil
 }
 
-// RekeyGroup rotates the group key without membership changes (§A-G).
+// RekeyGroup rotates the group key without membership changes (§A-G); the
+// per-partition O(1) re-keys run in parallel.
 func (m *Manager) RekeyGroup(name string) (*Update, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	g, ok := m.groups[name]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNoSuchGroup, name)
+	g, err := m.lockGroup(name)
+	if err != nil {
+		return nil, err
+	}
+	defer g.mu.Unlock()
+	sealedGK, err := m.encl.EcallNewGroupKey(name)
+	if err != nil {
+		return nil, err
 	}
 	parts := g.table.Partitions()
-	cts := make([]*ibbe.Ciphertext, len(parts))
-	for i, p := range parts {
-		cts[i] = g.crypto[p.ID].CT
-	}
-	sealedGK, outs, err := m.encl.EcallRekeyGroup(name, cts)
+	outs := make([]*enclave.PartitionCrypto, len(parts))
+	err = m.fanOut(len(parts), func(i int) error {
+		pc, err := m.encl.EcallRekeyPartition(name, sealedGK, g.crypto[parts[i].ID].CT)
+		if err != nil {
+			return err
+		}
+		outs[i] = pc
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	g.sealedGK = sealedGK
 	up := newUpdate(name)
 	for i, p := range parts {
-		pc := outs[i]
-		g.crypto[p.ID] = &pc
-		up.Put[p.ID] = recordFor(p, &pc)
+		g.crypto[p.ID] = outs[i]
+		up.Put[p.ID] = recordFor(p, outs[i])
 	}
 	return up, nil
 }
@@ -292,29 +518,37 @@ func (m *Manager) RekeyGroup(name string) (*Update, error) {
 // Repartition forces a group re-creation per Algorithm 1 (normally driven
 // by the occupancy heuristic inside RemoveUser).
 func (m *Manager) Repartition(name string) (*Update, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	g, ok := m.groups[name]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNoSuchGroup, name)
+	g, err := m.lockGroup(name)
+	if err != nil {
+		return nil, err
 	}
+	defer g.mu.Unlock()
 	return m.repartitionLocked(name, g, newUpdate(name))
 }
 
 // repartitionLocked rebuilds the partitions and merges the result into up,
-// deleting every partition object that no longer exists.
+// deleting every partition object that no longer exists. The caller holds
+// g.mu. On enclave failure the old layout is restored, so the group stays
+// operable with its previous crypto material.
 func (m *Manager) repartitionLocked(name string, g *groupState, up *Update) (*Update, error) {
-	m.repartitions++
+	m.repartitions.Add(1)
 	oldIDs := make([]string, 0, len(g.crypto))
 	for id := range g.crypto {
 		oldIDs = append(oldIDs, id)
 	}
+	oldParts := g.table.Partitions()
 	parts := g.table.Reset()
-	g.crypto = make(map[string]*enclave.PartitionCrypto, len(parts))
-	fresh, err := m.encryptPartitions(name, g, parts)
+	sealedGK, crypto, fresh, err := m.encryptPartitions(name, parts)
 	if err != nil {
+		restored, rerr := partition.NewTableFrom(m.capacity, oldParts)
+		if rerr != nil {
+			// Cannot happen: oldParts came out of a valid table.
+			return nil, errors.Join(err, rerr)
+		}
+		g.table = restored
 		return nil, err
 	}
+	g.sealedGK, g.crypto = sealedGK, crypto
 	// Replace queued puts wholesale: the new layout supersedes them.
 	up.Put = fresh.Put
 	newIDs := make(map[string]bool, len(parts))
@@ -341,11 +575,6 @@ func (m *Manager) repartitionLocked(name string, g *groupState, up *Update) (*Up
 // same enclave code on the same platform, so this is safe to feed with
 // bytes read from the honest-but-curious cloud.
 func (m *Manager) RestoreGroup(name string, recs map[string]*PartitionRecord, sealedGK []byte) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if _, ok := m.groups[name]; ok {
-		return fmt.Errorf("%w: %s", ErrGroupExists, name)
-	}
 	parts := make([]*partition.Partition, 0, len(recs))
 	crypto := make(map[string]*enclave.PartitionCrypto, len(recs))
 	ids := make([]string, 0, len(recs))
@@ -368,11 +597,17 @@ func (m *Manager) RestoreGroup(name string, recs map[string]*PartitionRecord, se
 	if err != nil {
 		return fmt.Errorf("core: restoring %s: %w", name, err)
 	}
-	m.groups[name] = &groupState{
+	g := &groupState{
 		table:    table,
 		crypto:   crypto,
 		sealedGK: append([]byte(nil), sealedGK...),
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.groups[name]; ok {
+		return fmt.Errorf("%w: %s", ErrGroupExists, name)
+	}
+	m.groups[name] = g
 	return nil
 }
 
@@ -380,12 +615,11 @@ func (m *Manager) RestoreGroup(name string, recs map[string]*PartitionRecord, se
 // persist alongside the partition records (Algorithm 1 line 7 stores the
 // sealed gk). It is opaque outside the enclave.
 func (m *Manager) SealedGroupKey(name string) ([]byte, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	g, ok := m.groups[name]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNoSuchGroup, name)
+	g, err := m.lockGroup(name)
+	if err != nil {
+		return nil, err
 	}
+	defer g.mu.Unlock()
 	return append([]byte(nil), g.sealedGK...), nil
 }
 
@@ -403,23 +637,21 @@ func (m *Manager) Groups() []string {
 
 // Members returns a group's member list in partition order.
 func (m *Manager) Members(name string) ([]string, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	g, ok := m.groups[name]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNoSuchGroup, name)
+	g, err := m.lockGroup(name)
+	if err != nil {
+		return nil, err
 	}
+	defer g.mu.Unlock()
 	return g.table.Members(), nil
 }
 
 // PartitionCount returns |P| for a group.
 func (m *Manager) PartitionCount(name string) (int, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	g, ok := m.groups[name]
-	if !ok {
-		return 0, fmt.Errorf("%w: %s", ErrNoSuchGroup, name)
+	g, err := m.lockGroup(name)
+	if err != nil {
+		return 0, err
 	}
+	defer g.mu.Unlock()
 	return g.table.PartitionCount(), nil
 }
 
@@ -427,12 +659,11 @@ func (m *Manager) PartitionCount(name string) (int, error) {
 // bytes — per partition the broadcast header (C1, C2) plus the wrapped
 // group key yᵢ, matching what the paper's Figs. 2b and 7 account.
 func (m *Manager) MetadataSize(name string) (int, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	g, ok := m.groups[name]
-	if !ok {
-		return 0, fmt.Errorf("%w: %s", ErrNoSuchGroup, name)
+	g, err := m.lockGroup(name)
+	if err != nil {
+		return 0, err
 	}
+	defer g.mu.Unlock()
 	headerLen := m.encl.Scheme().HeaderLen()
 	total := 0
 	for _, pc := range g.crypto {
@@ -444,12 +675,11 @@ func (m *Manager) MetadataSize(name string) (int, error) {
 // Records returns the current partition records of a group (e.g. to seed a
 // storage backend or a late-joining mirror).
 func (m *Manager) Records(name string) (map[string]*PartitionRecord, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	g, ok := m.groups[name]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNoSuchGroup, name)
+	g, err := m.lockGroup(name)
+	if err != nil {
+		return nil, err
 	}
+	defer g.mu.Unlock()
 	out := make(map[string]*PartitionRecord, len(g.crypto))
 	for _, p := range g.table.Partitions() {
 		out[p.ID] = recordFor(p, g.crypto[p.ID])

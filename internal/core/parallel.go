@@ -1,0 +1,59 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// fanOut runs fn(0), …, fn(n−1) across the manager's bounded worker pool and
+// returns the first error. Callers collect results by writing into
+// index-addressed slices, which keeps the output deterministic regardless of
+// scheduling. With parallelism 1 (or a single task) the loop runs inline, so
+// the serial path has zero goroutine overhead — that is also what the
+// serial-vs-parallel benchmarks compare against.
+//
+// Remaining tasks are skipped once a task fails: per-partition enclave work
+// is independent, and the caller discards all partial results on error.
+func (m *Manager) fanOut(n int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	workers := m.Parallelism()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		once   sync.Once
+		first  error
+		wg     sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					once.Do(func() { first = err })
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}

@@ -220,30 +220,39 @@ func TestRemoveUserRekeysEverything(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Remove p0[1].
-	up, err := ie.EcallRemoveUser("g", outs[0].CT, p0[1], false, []*ibbe.Ciphertext{outs[1].CT})
+	// Remove p0[1]: Algorithm 3 as the core engine drives it — one fresh
+	// sealed key, then one ECALL per partition.
+	sealedGK, err := ie.EcallNewGroupKey("g")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if up.Affected == nil || len(up.Others) != 1 {
-		t.Fatalf("unexpected update shape: affected=%v others=%d", up.Affected != nil, len(up.Others))
+	affected, err := ie.EcallRemoveUsersFromPartition("g", sealedGK, outs[0].CT, []string{p0[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := ie.EcallRekeyPartition("g", sealedGK, outs[1].CT)
+	if err != nil {
+		t.Fatal(err)
 	}
 	remaining := []string{p0[0]}
-	gkA := decryptGK(t, ie, pk, "g", p0[0], remaining, up.Affected)
-	gkB := decryptGK(t, ie, pk, "g", p1[0], p1, &up.Others[0])
+	gkA := decryptGK(t, ie, pk, "g", p0[0], remaining, affected)
+	gkB := decryptGK(t, ie, pk, "g", p1[0], p1, other)
 	if gkA != gkB {
 		t.Fatal("partitions disagree on the new group key")
 	}
 	// The revoked user cannot decrypt the new metadata with her key.
 	rkUK, _ := provisionUser(t, ie, p0[1])
-	if bk, err := ie.Scheme().Decrypt(pk, p0[0], rkUK, remaining, up.Affected.CT); err == nil {
-		if _, err := UnwrapGK(ie.Scheme().P, bk, up.Affected.WrappedGK, "g"); err == nil {
+	if bk, err := ie.Scheme().Decrypt(pk, p0[0], rkUK, remaining, affected.CT); err == nil {
+		if _, err := UnwrapGK(ie.Scheme().P, bk, affected.WrappedGK, "g"); err == nil {
 			t.Fatal("revoked user recovered the new group key")
 		}
 	}
 }
 
 func TestRemoveLastUserDropsPartition(t *testing.T) {
+	// When a partition empties, the core engine deletes its record and the
+	// enclave only re-keys the surviving partitions: the emptied ciphertext
+	// is simply never fed back in. The survivors still rotate to a fresh key.
 	ie, pk, _ := newIBBE(t, 8)
 	solo := []string{"solo@example.com"}
 	other := members(2)
@@ -251,16 +260,18 @@ func TestRemoveLastUserDropsPartition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	up, err := ie.EcallRemoveUser("g", outs[0].CT, solo[0], true, []*ibbe.Ciphertext{outs[1].CT})
+	gkOld := decryptGK(t, ie, pk, "g", other[0], other, &outs[1])
+	sealedGK, err := ie.EcallNewGroupKey("g")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if up.Affected != nil {
-		t.Fatal("emptied partition was not dropped")
+	surv, err := ie.EcallRekeyPartition("g", sealedGK, outs[1].CT)
+	if err != nil {
+		t.Fatal(err)
 	}
-	gk := decryptGK(t, ie, pk, "g", other[0], other, &up.Others[0])
-	if gk == [32]byte{} {
-		t.Fatal("zero group key")
+	gk := decryptGK(t, ie, pk, "g", other[0], other, surv)
+	if gk == [32]byte{} || gk == gkOld {
+		t.Fatal("survivors did not rotate to a fresh group key")
 	}
 }
 
@@ -272,11 +283,15 @@ func TestRekeyGroupRotatesKey(t *testing.T) {
 		t.Fatal(err)
 	}
 	gk1 := decryptGK(t, ie, pk, "g", grp[0], grp, &outs[0])
-	_, outs2, err := ie.EcallRekeyGroup("g", []*ibbe.Ciphertext{outs[0].CT})
+	sealedGK, err := ie.EcallNewGroupKey("g")
 	if err != nil {
 		t.Fatal(err)
 	}
-	gk2 := decryptGK(t, ie, pk, "g", grp[0], grp, &outs2[0])
+	out2, err := ie.EcallRekeyPartition("g", sealedGK, outs[0].CT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gk2 := decryptGK(t, ie, pk, "g", grp[0], grp, out2)
 	if gk1 == gk2 {
 		t.Fatal("rekey did not rotate the group key")
 	}

@@ -38,12 +38,15 @@ type PartitionCrypto struct {
 // master secret key and the plaintext group keys. Every exported method is
 // an ECALL; none of them ever returns the master secret or a plaintext group
 // key, which is the paper's zero-knowledge guarantee against curious
-// administrators. Safe for concurrent use.
+// administrators. Safe for concurrent use: like a multi-threaded SGX enclave
+// with several TCS slots, independent ECALLs proceed in parallel. Only
+// EcallSetup/EcallRestore write the key material; every other ECALL takes a
+// read lock, and the scheme underneath is stateless.
 type IBBEEnclave struct {
 	enc    *Enclave
 	scheme *ibbe.Scheme
 
-	mu  sync.Mutex
+	mu  sync.RWMutex
 	msk *ibbe.MasterSecretKey
 	pk  *ibbe.PublicKey
 
@@ -134,8 +137,8 @@ func (ie *IBBEEnclave) EcallRestore(sealedMSK []byte, pk *ibbe.PublicKey) error 
 // ECDSA signature by the enclave identity key over the box (Fig. 3 step 4).
 // The plaintext user key never crosses the boundary.
 func (ie *IBBEEnclave) EcallExtractUserKey(id string, userPub *ecdh.PublicKey) (*ProvisionedKey, error) {
-	ie.mu.Lock()
-	defer ie.mu.Unlock()
+	ie.mu.RLock()
+	defer ie.mu.RUnlock()
 	if ie.msk == nil {
 		return nil, ErrEnclaveNotInitialized
 	}
@@ -160,8 +163,8 @@ func (ie *IBBEEnclave) EcallExtractUserKey(id string, userPub *ecdh.PublicKey) (
 // under each partition broadcast key, and seal gk for the administrator's
 // cache. groupLabel binds the wrapped keys to the group.
 func (ie *IBBEEnclave) EcallCreateGroup(groupLabel string, partitions [][]string) ([]byte, []PartitionCrypto, error) {
-	ie.mu.Lock()
-	defer ie.mu.Unlock()
+	ie.mu.RLock()
+	defer ie.mu.RUnlock()
 	if ie.msk == nil {
 		return nil, nil, ErrEnclaveNotInitialized
 	}
@@ -197,8 +200,8 @@ func (ie *IBBEEnclave) EcallCreateGroup(groupLabel string, partitions [][]string
 // (lines 3–7): unseal the current group key and wrap it under a brand-new
 // partition's broadcast key.
 func (ie *IBBEEnclave) EcallCreatePartition(groupLabel string, sealedGK []byte, members []string) (*PartitionCrypto, error) {
-	ie.mu.Lock()
-	defer ie.mu.Unlock()
+	ie.mu.RLock()
+	defer ie.mu.RUnlock()
 	if ie.msk == nil {
 		return nil, ErrEnclaveNotInitialized
 	}
@@ -206,42 +209,48 @@ func (ie *IBBEEnclave) EcallCreatePartition(groupLabel string, sealedGK []byte, 
 	if err != nil {
 		return nil, err
 	}
-	return ie.createPartitionLocked(groupLabel, members, gk)
+	var (
+		pc       *PartitionCrypto
+		innerErr error
+	)
+	ie.enc.epcTouch(workingSet([][]string{members}), func() {
+		pc, innerErr = ie.createPartitionLocked(groupLabel, members, gk)
+	})
+	if innerErr != nil {
+		return nil, innerErr
+	}
+	return pc, nil
 }
 
 // EcallAddUserToPartition implements the existing-partition arm of
 // Algorithm 2 (lines 9–12): extend the partition ciphertext by the new user
 // in O(1). The broadcast key — and therefore the wrapped group key yᵢ — is
-// unchanged.
+// unchanged. It is the batch ECALL with a single joiner.
 func (ie *IBBEEnclave) EcallAddUserToPartition(ct *ibbe.Ciphertext, newUser string) (*ibbe.Ciphertext, error) {
-	ie.mu.Lock()
-	defer ie.mu.Unlock()
+	return ie.EcallAddUsersToPartition(ct, []string{newUser})
+}
+
+// EcallAddUsersToPartition is the batched form of EcallAddUserToPartition:
+// it extends the partition ciphertext by every new user in one ECALL, with a
+// constant number of exponentiations for the whole batch (the per-user
+// exponents fold into one Z_r product inside the enclave).
+func (ie *IBBEEnclave) EcallAddUsersToPartition(ct *ibbe.Ciphertext, newUsers []string) (*ibbe.Ciphertext, error) {
+	ie.mu.RLock()
+	defer ie.mu.RUnlock()
 	if ie.msk == nil {
 		return nil, ErrEnclaveNotInitialized
 	}
-	return ie.scheme.AddUser(ie.msk, ct, newUser), nil
+	return ie.scheme.AddUsers(ie.msk, ct, newUsers), nil
 }
 
-// RemovalUpdate is the output of EcallRemoveUser: the re-keyed metadata for
-// the affected partition (absent when it emptied) and for every other
-// partition, plus the new sealed group key.
-type RemovalUpdate struct {
-	SealedGK []byte
-	// Affected is the removed user's partition after the removal, or nil if
-	// the partition became empty and should be dropped.
-	Affected *PartitionCrypto
-	// Others holds the re-keyed (cᵢ, yᵢ) for the remaining partitions, in
-	// the order their ciphertexts were passed in.
-	Others []PartitionCrypto
-}
-
-// EcallRemoveUser implements the enclaved body of Algorithm 3: generate a
-// fresh group key, remove the user from her partition (O(1)), re-key every
-// other partition (O(1) each), and wrap the new group key under every new
-// broadcast key.
-func (ie *IBBEEnclave) EcallRemoveUser(groupLabel string, affected *ibbe.Ciphertext, remUser string, affectedEmpties bool, others []*ibbe.Ciphertext) (*RemovalUpdate, error) {
-	ie.mu.Lock()
-	defer ie.mu.Unlock()
+// EcallNewGroupKey draws a fresh group key for a group and returns it sealed
+// — the first step of Algorithm 3 and of a group re-key, split out as its
+// own ECALL so the per-partition re-keying work can be fanned out across
+// concurrent ECALLs. The plaintext gk never leaves the enclave; workers pass
+// the sealed blob back in.
+func (ie *IBBEEnclave) EcallNewGroupKey(groupLabel string) ([]byte, error) {
+	ie.mu.RLock()
+	defer ie.mu.RUnlock()
 	if ie.msk == nil {
 		return nil, ErrEnclaveNotInitialized
 	}
@@ -249,81 +258,86 @@ func (ie *IBBEEnclave) EcallRemoveUser(groupLabel string, affected *ibbe.Ciphert
 	if err != nil {
 		return nil, err
 	}
-	up := &RemovalUpdate{Others: make([]PartitionCrypto, 0, len(others))}
-	var innerErr error
-	ie.enc.epcTouch(int64(len(others)+1)*int64(ie.scheme.CiphertextLen()), func() {
-		if !affectedEmpties {
-			bk, newCT, err := ie.scheme.RemoveUser(ie.msk, ie.pk, affected, remUser, rand.Reader)
-			if err != nil {
-				innerErr = err
-				return
-			}
-			y, err := wrapGK(ie.scheme.P, bk, gk, groupLabel)
-			if err != nil {
-				innerErr = err
-				return
-			}
-			up.Affected = &PartitionCrypto{CT: newCT, WrappedGK: y}
+	return ie.sealGKLocked(groupLabel, gk)
+}
+
+// EcallRekeyPartition re-keys one partition under the (sealed) current group
+// key: fresh broadcast key in O(1), new wrapped gk. It is the per-partition
+// unit of Algorithm 3 and §A-G that the core worker pool parallelises.
+func (ie *IBBEEnclave) EcallRekeyPartition(groupLabel string, sealedGK []byte, ct *ibbe.Ciphertext) (*PartitionCrypto, error) {
+	ie.mu.RLock()
+	defer ie.mu.RUnlock()
+	if ie.msk == nil {
+		return nil, ErrEnclaveNotInitialized
+	}
+	gk, err := ie.unsealGKLocked(groupLabel, sealedGK)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		pc       *PartitionCrypto
+		innerErr error
+	)
+	ie.enc.epcTouch(int64(ie.scheme.CiphertextLen()), func() {
+		bk, newCT, err := ie.scheme.Rekey(ie.pk, ct, rand.Reader)
+		if err != nil {
+			innerErr = err
+			return
 		}
-		for _, ct := range others {
-			bk, newCT, err := ie.scheme.Rekey(ie.pk, ct, rand.Reader)
-			if err != nil {
-				innerErr = err
-				return
-			}
-			y, err := wrapGK(ie.scheme.P, bk, gk, groupLabel)
-			if err != nil {
-				innerErr = err
-				return
-			}
-			up.Others = append(up.Others, PartitionCrypto{CT: newCT, WrappedGK: y})
+		y, err := wrapGK(ie.scheme.P, bk, gk, groupLabel)
+		if err != nil {
+			innerErr = err
+			return
 		}
+		pc = &PartitionCrypto{CT: newCT, WrappedGK: y}
 	})
 	if innerErr != nil {
 		return nil, innerErr
 	}
-	up.SealedGK, err = ie.sealGKLocked(groupLabel, gk)
+	return pc, nil
+}
+
+// EcallRemoveUsersFromPartition removes a batch of users from one partition
+// ciphertext and re-keys it under the (sealed) new group key — the affected-
+// partition arm of Algorithm 3, batched: the whole removal costs a constant
+// number of exponentiations regardless of how many users leave.
+func (ie *IBBEEnclave) EcallRemoveUsersFromPartition(groupLabel string, sealedGK []byte, ct *ibbe.Ciphertext, removed []string) (*PartitionCrypto, error) {
+	ie.mu.RLock()
+	defer ie.mu.RUnlock()
+	if ie.msk == nil {
+		return nil, ErrEnclaveNotInitialized
+	}
+	gk, err := ie.unsealGKLocked(groupLabel, sealedGK)
 	if err != nil {
 		return nil, err
 	}
-	return up, nil
-}
-
-// EcallRekeyGroup rotates the group key without membership changes
-// (paper §A-G): every partition is re-keyed in O(1) and the new gk wrapped.
-func (ie *IBBEEnclave) EcallRekeyGroup(groupLabel string, cts []*ibbe.Ciphertext) ([]byte, []PartitionCrypto, error) {
-	ie.mu.Lock()
-	defer ie.mu.Unlock()
-	if ie.msk == nil {
-		return nil, nil, ErrEnclaveNotInitialized
-	}
-	gk, err := kdf.RandomKey(rand.Reader)
-	if err != nil {
-		return nil, nil, err
-	}
-	outs := make([]PartitionCrypto, 0, len(cts))
-	for _, ct := range cts {
-		bk, newCT, err := ie.scheme.Rekey(ie.pk, ct, rand.Reader)
+	var (
+		pc       *PartitionCrypto
+		innerErr error
+	)
+	ie.enc.epcTouch(int64(ie.scheme.CiphertextLen()), func() {
+		bk, newCT, err := ie.scheme.RemoveUsers(ie.msk, ie.pk, ct, removed, rand.Reader)
 		if err != nil {
-			return nil, nil, err
+			innerErr = err
+			return
 		}
 		y, err := wrapGK(ie.scheme.P, bk, gk, groupLabel)
 		if err != nil {
-			return nil, nil, err
+			innerErr = err
+			return
 		}
-		outs = append(outs, PartitionCrypto{CT: newCT, WrappedGK: y})
+		pc = &PartitionCrypto{CT: newCT, WrappedGK: y}
+	})
+	if innerErr != nil {
+		return nil, innerErr
 	}
-	sealedGK, err := ie.sealGKLocked(groupLabel, gk)
-	if err != nil {
-		return nil, nil, err
-	}
-	return sealedGK, outs, nil
+	return pc, nil
 }
 
 // PublicKey returns the system public key (nil before EcallSetup).
 func (ie *IBBEEnclave) PublicKey() *ibbe.PublicKey {
-	ie.mu.Lock()
-	defer ie.mu.Unlock()
+	ie.mu.RLock()
+	defer ie.mu.RUnlock()
 	return ie.pk
 }
 

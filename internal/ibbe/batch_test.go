@@ -1,0 +1,113 @@
+package ibbe
+
+import (
+	"crypto/rand"
+	"testing"
+)
+
+// TestAddUsersMatchesSequential checks the batch join is the identical group
+// element the one-at-a-time path produces: both raise C2 and C3 to
+// Π(γ+H(u)), so the ciphertexts must be point-for-point equal.
+func TestAddUsersMatchesSequential(t *testing.T) {
+	s := testScheme(t)
+	msk, pk := setup(t, s, 8)
+	group := ids(3)
+	_, ct, err := s.EncryptMSK(msk, pk, group, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joiners := []string{"j1@x", "j2@x", "j3@x"}
+
+	seq := ct.Clone()
+	for _, u := range joiners {
+		seq = s.AddUser(msk, seq, u)
+	}
+	batch := s.AddUsers(msk, ct, joiners)
+
+	g1 := s.P.G1
+	if !g1.Equal(seq.C1, batch.C1) || !g1.Equal(seq.C2, batch.C2) || !g1.Equal(seq.C3, batch.C3) {
+		t.Fatal("batched AddUsers diverges from sequential AddUser")
+	}
+	// And the extended set actually decrypts.
+	all := append(append([]string(nil), group...), joiners...)
+	uk, err := s.Extract(msk, joiners[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Decrypt(pk, joiners[1], uk, all, batch); err != nil {
+		t.Fatalf("joiner cannot decrypt after batch add: %v", err)
+	}
+}
+
+// TestRemoveUsersMatchesSequential checks the batched removal lands on the
+// same C3 (the receiver-set fingerprint) as removing one user at a time, and
+// that the fresh broadcast key decrypts for the survivors only.
+func TestRemoveUsersMatchesSequential(t *testing.T) {
+	s := testScheme(t)
+	msk, pk := setup(t, s, 8)
+	group := ids(6)
+	_, ct, err := s.EncryptMSK(msk, pk, group, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leavers := []string{group[1], group[4]}
+
+	seq := ct.Clone()
+	for _, u := range leavers {
+		if _, seq, err = s.RemoveUser(msk, pk, seq, u, rand.Reader); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bk, batch, err := s.RemoveUsers(msk, pk, ct, leavers, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// C1/C2 embed fresh randomness, but C3 = h^Π_{remaining}(γ+H(u)) is
+	// deterministic and must agree.
+	if !s.P.G1.Equal(seq.C3, batch.C3) {
+		t.Fatal("batched RemoveUsers lands on a different receiver-set element")
+	}
+
+	remaining := []string{group[0], group[2], group[3], group[5]}
+	uk, err := s.Extract(msk, group[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Decrypt(pk, group[2], uk, remaining, batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.P.GTEqual(got, bk) {
+		t.Fatal("survivor derives a different broadcast key")
+	}
+	// A removed user must not decrypt even claiming the old set.
+	ukGone, err := s.Extract(msk, leavers[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := s.Decrypt(pk, leavers[0], ukGone, group, batch); err == nil && s.P.GTEqual(got, bk) {
+		t.Fatal("removed user still derives the broadcast key")
+	}
+}
+
+// TestRemoveUsersEmptyBatchIsRekey checks the degenerate batch falls back to
+// a plain O(1) re-key of the unchanged receiver set.
+func TestRemoveUsersEmptyBatchIsRekey(t *testing.T) {
+	s := testScheme(t)
+	msk, pk := setup(t, s, 4)
+	group := ids(3)
+	bk0, ct, err := s.EncryptMSK(msk, pk, group, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk, out, err := s.RemoveUsers(msk, pk, ct, nil, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.P.GTEqual(bk, bk0) {
+		t.Fatal("empty removal batch kept the broadcast key")
+	}
+	if !s.P.G1.Equal(ct.C3, out.C3) {
+		t.Fatal("empty removal batch changed the receiver set")
+	}
+}

@@ -278,6 +278,57 @@ func (s *Scheme) AddUser(msk *MasterSecretKey, ct *Ciphertext, id string) *Ciphe
 	}
 }
 
+// AddUsers extends the receiver set of ct by every id in ids with a constant
+// number of exponentiations for the whole batch: the per-user exponents
+// (γ+H(u)) are folded into one Z_r product before touching the curve, so a
+// batch of n joins costs n Z_r multiplications plus the same two G1
+// exponentiations a single AddUser costs. The broadcast key is unchanged,
+// exactly as in the one-user operation (paper §A-E).
+func (s *Scheme) AddUsers(msk *MasterSecretKey, ct *Ciphertext, ids []string) *Ciphertext {
+	zr := s.P.Zr
+	e := big.NewInt(1)
+	for _, id := range ids {
+		e = s.mulZr(e, zr.Add(msk.Gamma, s.HashID(id)))
+	}
+	return &Ciphertext{
+		C1: ct.C1.Clone(),
+		C2: s.expG1(ct.C2, e),
+		C3: s.expG1(ct.C3, e),
+	}
+}
+
+// RemoveUsers revokes every id in ids from ct and re-keys, with a constant
+// number of exponentiations for the whole batch (paper §A-F generalised):
+// the divisors (γ+H(u)) are multiplied in Z_r, inverted once, and applied to
+// C3 in a single exponentiation, after which a fresh k yields the rotated
+// header and broadcast key. The caller must guarantee every id is currently
+// in the receiver set; the partition layer tracks membership.
+func (s *Scheme) RemoveUsers(msk *MasterSecretKey, pk *PublicKey, ct *Ciphertext, ids []string, rng io.Reader) (*BroadcastKey, *Ciphertext, error) {
+	if len(ids) == 0 {
+		return s.Rekey(pk, ct, rng)
+	}
+	zr := s.P.Zr
+	den := big.NewInt(1)
+	for _, id := range ids {
+		den = s.mulZr(den, zr.Add(msk.Gamma, s.HashID(id)))
+	}
+	inv, err := zr.Inv(den)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ibbe: identity collides with master secret: %w", err)
+	}
+	c3 := s.expG1(ct.C3, inv)
+	k, err := s.P.G1.RandScalar(rng)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ibbe: drawing k: %w", err)
+	}
+	out := &Ciphertext{
+		C1: s.expG1(pk.W, zr.Neg(k)),
+		C2: s.expG1(c3, k),
+		C3: c3,
+	}
+	return s.expGT(pk.V, k), out, nil
+}
+
 // RemoveUser revokes id and re-keys in O(1) using the master secret
 // (paper §A-F): C3 ← C3^(1/(γ+H(u))), then a fresh k gives
 // C1 = w^−k, C2 = C3^k, bk = v^k.

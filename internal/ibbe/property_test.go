@@ -45,6 +45,9 @@ func idsFromSeed(seed int64, maxN int) []string {
 // Property: for any receiver set, every member decrypts the broadcast key
 // produced by the MSK path.
 func TestPropertyAllMembersDecrypt(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomised property sweep: skipped in -short CI runs")
+	}
 	env := newPropEnv(t, 12)
 	prop := func(seed int64) bool {
 		group := idsFromSeed(seed, 12)
@@ -69,6 +72,9 @@ func TestPropertyAllMembersDecrypt(t *testing.T) {
 // Property: the two encryption paths agree on C3 for any receiver set
 // (C3 is deterministic in S; it's the anchor of the O(1) dynamic ops).
 func TestPropertyC3PathsAgree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomised property sweep: skipped in -short CI runs")
+	}
 	env := newPropEnv(t, 10)
 	prop := func(seed int64) bool {
 		group := idsFromSeed(seed, 10)
@@ -90,6 +96,9 @@ func TestPropertyC3PathsAgree(t *testing.T) {
 // Property: an arbitrary add/remove history preserves decryptability for a
 // surviving member and denies the last-removed member.
 func TestPropertyMembershipHistory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomised property sweep: skipped in -short CI runs")
+	}
 	env := newPropEnv(t, 16)
 	historyProperty(t, env)
 }
