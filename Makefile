@@ -29,9 +29,9 @@ test:
 short:
 	$(GO) test -short ./...
 
-## race: race detector over the concurrent layers (core manager, admin)
+## race: race detector over the concurrent layers (core manager, admin, cluster, storage)
 race:
-	$(GO) test -race ./internal/core/... ./internal/admin/... ./internal/enclave/...
+	$(GO) test -race ./internal/core/... ./internal/admin/... ./internal/enclave/... ./internal/cluster/... ./internal/storage/...
 
 ## bench: one pass over every benchmark (smoke; use cmd/ibbe-bench for figures)
 bench:

@@ -1,16 +1,21 @@
 // Command ibbe-bench regenerates every table and figure of the paper's
-// evaluation section (§VI). Each subcommand prints the same rows/series the
-// paper plots, plus a one-line "shape" summary restating the paper's claim
-// for the produced data.
+// evaluation section (§VI), plus the repo's own engine figures. Each
+// subcommand prints the same rows/series the paper plots, plus a one-line
+// "shape" summary restating the paper's claim for the produced data.
 //
 // Usage:
 //
-//	ibbe-bench [-scale ci|medium|paper] fig2|fig6|fig7a|fig7b|fig8a|fig8b|fig9|fig10|table1|epc|parallel|batch|all
+//	ibbe-bench [-scale ci|medium|paper] [-json out.json] \
+//	           fig2|fig6|fig7a|fig7b|fig8a|fig8b|fig9|fig10|table1|epc|parallel|batch|cluster|all
 //
 // The ci scale (default) runs the whole suite in well under a minute on
 // reduced grids with identical shapes; medium takes minutes; paper runs the
 // full 512-bit, million-user grid of the original evaluation (hours in pure
 // Go — the artifact used GMP assembly).
+//
+// -json writes the experiment's rows as a machine-readable report (CI
+// archives BENCH_cluster.json as the perf trajectory artifact); it applies
+// to a single experiment, not to "all".
 package main
 
 import (
@@ -24,24 +29,26 @@ import (
 
 func main() {
 	scale := flag.String("scale", "ci", "experiment scale: ci, medium, paper")
+	jsonPath := flag.String("json", "", "write the experiment's rows as JSON to this path")
 	flag.Parse()
-	if err := run(*scale, flag.Args()); err != nil {
+	if err := run(*scale, *jsonPath, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "ibbe-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scale string, args []string) error {
+func run(scale, jsonPath string, args []string) error {
 	cfg, ok := benchmark.ScaleByName(scale)
 	if !ok {
 		return fmt.Errorf("unknown scale %q (want ci, medium or paper)", scale)
 	}
 	if len(args) != 1 {
-		return fmt.Errorf("want exactly one experiment: fig2, fig6, fig7a, fig7b, fig8a, fig8b, fig9, fig10, table1, epc, parallel, batch or all")
+		return fmt.Errorf("want exactly one experiment: fig2, fig6, fig7a, fig7b, fig8a, fig8b, fig9, fig10, table1, epc, parallel, batch, cluster or all")
 	}
 	exp := args[0]
 
-	runners := map[string]func(benchmark.Config) error{
+	// Every runner returns its rows (for -json) after printing its table.
+	runners := map[string]func(benchmark.Config) (any, error){
 		"fig2":     runFig2,
 		"fig6":     runFig6,
 		"fig7a":    runFig7a,
@@ -54,11 +61,15 @@ func run(scale string, args []string) error {
 		"epc":      runEPC,
 		"parallel": runParallel,
 		"batch":    runBatch,
+		"cluster":  runCluster,
 	}
 	if exp == "all" {
-		order := []string{"fig2", "fig6", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "table1", "epc", "parallel", "batch"}
+		if jsonPath != "" {
+			return fmt.Errorf("-json applies to a single experiment, not all")
+		}
+		order := []string{"fig2", "fig6", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "table1", "epc", "parallel", "batch", "cluster"}
 		for _, name := range order {
-			if err := timed(name, cfg, runners[name]); err != nil {
+			if _, err := timed(name, cfg, runners[name]); err != nil {
 				return err
 			}
 			fmt.Println()
@@ -69,122 +80,142 @@ func run(scale string, args []string) error {
 	if !ok {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
-	return timed(exp, cfg, runner)
+	rows, err := timed(exp, cfg, runner)
+	if err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		if err := benchmark.WriteJSON(jsonPath, exp, scale, rows); err != nil {
+			return fmt.Errorf("writing %s: %w", jsonPath, err)
+		}
+		fmt.Printf("[rows written to %s]\n", jsonPath)
+	}
+	return nil
 }
 
-func timed(name string, cfg benchmark.Config, f func(benchmark.Config) error) error {
+func timed(name string, cfg benchmark.Config, f func(benchmark.Config) (any, error)) (any, error) {
 	start := time.Now()
-	if err := f(cfg); err != nil {
-		return fmt.Errorf("%s: %w", name, err)
+	rows, err := f(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
 	}
 	fmt.Printf("[%s completed in %s]\n", name, time.Since(start).Round(time.Millisecond))
-	return nil
+	return rows, nil
 }
 
-func runFig2(cfg benchmark.Config) error {
+func runFig2(cfg benchmark.Config) (any, error) {
 	rows, err := benchmark.RunFig2(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	benchmark.PrintFig2(os.Stdout, rows)
-	return nil
+	return rows, nil
 }
 
-func runFig6(cfg benchmark.Config) error {
+func runFig6(cfg benchmark.Config) (any, error) {
 	rows, err := benchmark.RunFig6(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	benchmark.PrintFig6(os.Stdout, rows)
-	return nil
+	return rows, nil
 }
 
-func runFig7a(cfg benchmark.Config) error {
+func runFig7a(cfg benchmark.Config) (any, error) {
 	rows, err := benchmark.RunFig7a(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	benchmark.PrintFig7a(os.Stdout, rows)
-	return nil
+	return rows, nil
 }
 
-func runFig7b(cfg benchmark.Config) error {
+func runFig7b(cfg benchmark.Config) (any, error) {
 	rows, err := benchmark.RunFig7b(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	benchmark.PrintFig7b(os.Stdout, rows)
-	return nil
+	return rows, nil
 }
 
-func runFig8a(cfg benchmark.Config) error {
+func runFig8a(cfg benchmark.Config) (any, error) {
 	res, err := benchmark.RunFig8a(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	benchmark.PrintFig8a(os.Stdout, res)
-	return nil
+	return res, nil
 }
 
-func runFig8b(cfg benchmark.Config) error {
+func runFig8b(cfg benchmark.Config) (any, error) {
 	rows, err := benchmark.RunFig8b(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	benchmark.PrintFig8b(os.Stdout, rows)
-	return nil
+	return rows, nil
 }
 
-func runFig9(cfg benchmark.Config) error {
+func runFig9(cfg benchmark.Config) (any, error) {
 	rows, err := benchmark.RunFig9(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	benchmark.PrintFig9(os.Stdout, rows)
-	return nil
+	return rows, nil
 }
 
-func runFig10(cfg benchmark.Config) error {
+func runFig10(cfg benchmark.Config) (any, error) {
 	rows, err := benchmark.RunFig10(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	benchmark.PrintFig10(os.Stdout, rows)
-	return nil
+	return rows, nil
 }
 
-func runEPC(cfg benchmark.Config) error {
+func runEPC(cfg benchmark.Config) (any, error) {
 	rows, err := benchmark.RunEPCExperiment(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	benchmark.PrintEPC(os.Stdout, rows)
-	return nil
+	return rows, nil
 }
 
-func runTable1(cfg benchmark.Config) error {
+func runTable1(cfg benchmark.Config) (any, error) {
 	rows, err := benchmark.RunTable1(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	benchmark.PrintTable1(os.Stdout, rows)
-	return nil
+	return rows, nil
 }
 
-func runParallel(cfg benchmark.Config) error {
+func runParallel(cfg benchmark.Config) (any, error) {
 	rows, err := benchmark.RunParallel(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	benchmark.PrintParallel(os.Stdout, rows)
-	return nil
+	return rows, nil
 }
 
-func runBatch(cfg benchmark.Config) error {
+func runBatch(cfg benchmark.Config) (any, error) {
 	rows, err := benchmark.RunBatch(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	benchmark.PrintBatch(os.Stdout, rows)
-	return nil
+	return rows, nil
+}
+
+func runCluster(cfg benchmark.Config) (any, error) {
+	rows, err := benchmark.RunCluster(cfg)
+	if err != nil {
+		return nil, err
+	}
+	benchmark.PrintCluster(os.Stdout, rows)
+	return rows, nil
 }

@@ -1,0 +1,119 @@
+// Command ibbe-cluster runs a sharded multi-administrator deployment: N
+// enclave-backed admin shards (sharing one master secret on one simulated
+// platform) plus the routing gateway, against a cloud store. Group
+// ownership is decided by a consistent-hash ring and enforced by lease
+// records in the store; the gateway exposes the exact single-admin HTTP
+// surface, so existing clients (curl, client.AdminAPI, examples) work
+// unchanged against the whole cluster.
+//
+// Usage:
+//
+//	ibbe-cluster -shards 3 -listen :9091 \
+//	             [-store http://127.0.0.1:8080]   (empty = embedded in-memory store)
+//	             [-capacity 1000] [-params fast-160|medium-256|paper-512] \
+//	             [-lease-ttl 15s] [-workers N]
+//
+// Then drive the gateway exactly like a single admin:
+//
+//	curl -X POST :9091/admin/create -d '{"group":"g","members":["a","b"]}'
+//	curl -X POST :9091/admin/add    -d '{"group":"g","user":"c"}'
+//
+// Kill a shard (it logs its port) and the next request for its groups fails
+// over: a peer waits out the lease, reclaims the groups from the cloud and
+// rotates their keys.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/ibbesgx/ibbesgx/internal/cluster"
+	"github.com/ibbesgx/ibbesgx/internal/pairing"
+	"github.com/ibbesgx/ibbesgx/internal/storage"
+)
+
+func main() {
+	shards := flag.Int("shards", 3, "number of admin shards")
+	listen := flag.String("listen", ":9091", "address the routing gateway serves on")
+	storeURL := flag.String("store", "", "cloudsim base URL (empty = embedded in-memory store)")
+	capacity := flag.Int("capacity", 1000, "partition capacity |p|")
+	paramsName := flag.String("params", "fast-160", "pairing scale: fast-160, medium-256, paper-512")
+	leaseTTL := flag.Duration("lease-ttl", cluster.DefaultLeaseTTL, "group lease duration (failover latency bound)")
+	workers := flag.Int("workers", 0, "per-shard partition worker-pool size (0 = number of CPUs)")
+	flag.Parse()
+
+	if err := run(*shards, *listen, *storeURL, *capacity, *paramsName, *leaseTTL, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "ibbe-cluster:", err)
+		os.Exit(1)
+	}
+}
+
+func run(shards int, listen, storeURL string, capacity int, paramsName string, leaseTTL time.Duration, workers int) error {
+	var params *pairing.Params
+	var wireName string
+	switch paramsName {
+	case "fast-160":
+		params, wireName = pairing.TypeA160(), "type-a-160"
+	case "medium-256":
+		params, wireName = pairing.TypeA256(), "type-a-256"
+	case "paper-512":
+		params, wireName = pairing.TypeA512(), "type-a-512"
+	default:
+		return fmt.Errorf("unknown -params %q", paramsName)
+	}
+
+	var store storage.Store
+	if storeURL == "" {
+		store = storage.NewMemStore(storage.Latency{})
+		log.Printf("ibbe-cluster: embedded in-memory cloud store")
+	} else {
+		store = storage.NewHTTPStore(storeURL)
+		log.Printf("ibbe-cluster: cloud store at %s", storeURL)
+	}
+
+	log.Printf("ibbe-cluster: setting up %d shards (m=%d, %s)…", shards, capacity, wireName)
+	c, err := cluster.New(cluster.Options{
+		Shards:     shards,
+		Capacity:   capacity,
+		Params:     params,
+		ParamsName: wireName,
+		Store:      store,
+		LeaseTTL:   leaseTTL,
+		Workers:    workers,
+		Seed:       1,
+	})
+	if err != nil {
+		return err
+	}
+	c.Start()
+
+	// Each shard listens on its own ephemeral port; the gateway is the only
+	// address clients need.
+	targets := make(map[string]string, shards)
+	for _, s := range c.Shards {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		targets[s.ID] = "http://" + ln.Addr().String()
+		log.Printf("ibbe-cluster: %s serving on %s", s.ID, ln.Addr())
+		go func(s http.Handler, ln net.Listener) {
+			if err := http.Serve(ln, s); err != nil {
+				log.Printf("ibbe-cluster: shard server: %v", err)
+			}
+		}(s, ln)
+	}
+	router, err := cluster.NewRouter(c.Ring, targets)
+	if err != nil {
+		return err
+	}
+	// One request must be able to wait out a dead shard's lease.
+	router.RouteTimeout = 2*leaseTTL + 10*time.Second
+	log.Printf("ibbe-cluster: gateway serving on %s (lease TTL %v)", listen, leaseTTL)
+	return http.ListenAndServe(listen, router)
+}

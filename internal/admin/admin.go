@@ -13,10 +13,15 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/ibbesgx/ibbesgx/internal/core"
 	"github.com/ibbesgx/ibbesgx/internal/storage"
 )
+
+// ErrNoSealedKey reports a group directory without a sealed group key — an
+// interrupted creation; the group is not restorable.
+var ErrNoSealedKey = errors.New("admin: group has no sealed group key in the cloud")
 
 // Admin binds a manager to a cloud store. Operations are safe for
 // concurrent use (the manager serialises, and the store is concurrent).
@@ -29,23 +34,188 @@ type Admin struct {
 	// log, when non-nil, certifies every membership operation (§VIII
 	// future work; see core.OpLog).
 	log *core.OpLog
+
+	// cas switches the apply path to optimistic concurrency (PutIf): every
+	// record write is conditional on the group directory version this admin
+	// last observed, so two administrators racing the same group cannot
+	// interleave records from different group keys. See EnableCAS.
+	cas bool
+	// verMu guards dirVer, the per-group directory versions this admin's
+	// cached state corresponds to. Entries are set by RestoreGroup and
+	// advanced only by this admin's own writes — a conditional write against
+	// the tracked version fails exactly when someone else wrote in between.
+	verMu  sync.Mutex
+	dirVer map[string]uint64
+
+	// opMu guards opLocks, one mutex per group serialising op()+apply in
+	// mutate. The manager serialises the *computation* of concurrent
+	// operations on one group, but without this lock their *applies* could
+	// invert: the op computed first (whose records don't yet include the
+	// second op's change) could publish last and silently overwrite the
+	// second op's records. Lock objects are never removed — a concurrent
+	// holder must keep observing the same mutex — and grow only with the
+	// number of distinct group names this admin ever touched.
+	opMu    sync.Mutex
+	opLocks map[string]*sync.Mutex
 }
 
 // New creates an administrator frontend.
 func New(name string, mgr *core.Manager, store storage.Store, log *core.OpLog) *Admin {
-	return &Admin{Name: name, mgr: mgr, store: store, log: log}
+	return &Admin{
+		Name:    name,
+		mgr:     mgr,
+		store:   store,
+		log:     log,
+		dirVer:  make(map[string]uint64),
+		opLocks: make(map[string]*sync.Mutex),
+	}
+}
+
+// groupOpLock returns the mutex serialising this admin's operations on one
+// group end to end (compute + publish).
+func (a *Admin) groupOpLock(group string) *sync.Mutex {
+	a.opMu.Lock()
+	defer a.opMu.Unlock()
+	l := a.opLocks[group]
+	if l == nil {
+		l = &sync.Mutex{}
+		a.opLocks[group] = l
+	}
+	return l
+}
+
+// EnableCAS switches every subsequent apply to compare-and-swap writes with
+// bounded refresh-and-retry: on storage.ErrVersionConflict the group's local
+// state is dropped, rebuilt from the cloud (absorbing the concurrent
+// winner's changes) and the operation re-run. Multi-administrator
+// deployments (internal/cluster) must enable this; a single-admin
+// deployment does not need it.
+func (a *Admin) EnableCAS() { a.cas = true }
+
+// casAttempts bounds the refresh-and-retry loop: a persistent conflict
+// (e.g. an ownership race that keeps losing) aborts cleanly instead of
+// spinning.
+const casAttempts = 4
+
+// mutate runs one membership operation against the manager and applies its
+// update. Under CAS, a version conflict means another administrator wrote
+// the group since this admin last synchronised: the local state is rebuilt
+// from the cloud and the operation retried, serialising the two admins.
+// Nothing was written when the conflict fired on the first conditional put,
+// so the losing operation either re-applies cleanly on top of the winner's
+// state or aborts with the manager's own error (e.g. the user it wanted to
+// add already exists now). A CAS apply that fails for good — retries
+// exhausted or a non-conflict storage error — leaves the group DROPPED from
+// the local cache (the cloud holds the authoritative records; the caller
+// restores before the next operation), never a silently divergent cache.
+func (a *Admin) mutate(ctx context.Context, group string, op func() (*core.Update, error)) error {
+	l := a.groupOpLock(group)
+	l.Lock()
+	defer l.Unlock()
+	for attempt := 0; ; attempt++ {
+		up, err := op()
+		if err != nil {
+			return err
+		}
+		err = a.apply(ctx, up)
+		if err == nil {
+			return nil
+		}
+		if !a.cas {
+			return err
+		}
+		a.DropGroup(group)
+		if !errors.Is(err, storage.ErrVersionConflict) || attempt >= casAttempts-1 {
+			return err
+		}
+		if rerr := a.restoreForRetry(ctx, group); rerr != nil {
+			return errors.Join(err, rerr)
+		}
+	}
+}
+
+// restoreForRetry rebuilds a group from the cloud for a CAS retry,
+// tolerating the brief window where the winning administrator is still
+// mid-apply (a record can vanish between list and get) by re-reading a
+// bounded number of times. A torn-but-readable snapshot is fine: its
+// tracked version predates the winner's remaining writes, so the retried
+// apply conflicts again instead of committing on top of it.
+func (a *Admin) restoreForRetry(ctx context.Context, group string) error {
+	var err error
+	for i := 0; i < casAttempts; i++ {
+		a.DropGroup(group)
+		if err = a.RestoreGroup(ctx, group); err == nil {
+			return nil
+		}
+	}
+	return err
+}
+
+// prepareCreate pins the directory version a creation's conditional writes
+// chain from: the version at which the directory was observed EMPTY. Without
+// the pin, a create would base itself on whatever version the store reports
+// and could overwrite a live group's records; with it, a directory that
+// already holds objects aborts with ErrGroupExists, and two administrators
+// racing to create the same group both chain from the same empty-state
+// version, so the first record write arbitrates.
+func (a *Admin) prepareCreate(ctx context.Context, group string) error {
+	v0, err := a.store.Version(ctx, group)
+	if err != nil {
+		return err
+	}
+	names, err := a.store.List(ctx, group)
+	if err != nil && !errors.Is(err, storage.ErrNotFound) {
+		return err
+	}
+	if len(names) > 0 {
+		return fmt.Errorf("%w: %s (records already in the cloud)", core.ErrGroupExists, group)
+	}
+	a.trackVersion(group, v0)
+	return nil
+}
+
+func (a *Admin) trackVersion(group string, v uint64) {
+	a.verMu.Lock()
+	a.dirVer[group] = v
+	a.verMu.Unlock()
+}
+
+func (a *Admin) forgetVersion(group string) {
+	a.verMu.Lock()
+	delete(a.dirVer, group)
+	a.verMu.Unlock()
+}
+
+// baseVersion returns the directory version the next conditional write must
+// expect: the tracked one where present, else the store's current version
+// (first write to a group this admin created rather than restored).
+func (a *Admin) baseVersion(ctx context.Context, group string) (uint64, error) {
+	a.verMu.Lock()
+	v, ok := a.dirVer[group]
+	a.verMu.Unlock()
+	if ok {
+		return v, nil
+	}
+	return a.store.Version(ctx, group)
 }
 
 // Manager exposes the underlying manager (e.g. for metadata accounting).
 func (a *Admin) Manager() *core.Manager { return a.mgr }
 
-// CreateGroup runs Algorithm 1 and publishes all partition records.
+// CreateGroup runs Algorithm 1 and publishes all partition records. Under
+// CAS, a concurrent creation of the same group by another administrator
+// resolves to exactly one winner; the loser aborts with core.ErrGroupExists
+// after absorbing the winner's records.
 func (a *Admin) CreateGroup(ctx context.Context, group string, members []string) error {
-	up, err := a.mgr.CreateGroup(group, members)
-	if err != nil {
-		return err
+	if a.cas {
+		if err := a.prepareCreate(ctx, group); err != nil {
+			return err
+		}
 	}
-	if err := a.apply(ctx, up); err != nil {
+	err := a.mutate(ctx, group, func() (*core.Update, error) {
+		return a.mgr.CreateGroup(group, members)
+	})
+	if err != nil {
 		return err
 	}
 	if err := a.updateCatalog(ctx, group); err != nil {
@@ -56,11 +226,10 @@ func (a *Admin) CreateGroup(ctx context.Context, group string, members []string)
 
 // AddUser runs Algorithm 2 and publishes the affected partition record.
 func (a *Admin) AddUser(ctx context.Context, group, user string) error {
-	up, err := a.mgr.AddUser(group, user)
+	err := a.mutate(ctx, group, func() (*core.Update, error) {
+		return a.mgr.AddUser(group, user)
+	})
 	if err != nil {
-		return err
-	}
-	if err := a.apply(ctx, up); err != nil {
 		return err
 	}
 	return a.certify(group, core.OpAddUser, user)
@@ -71,11 +240,10 @@ func (a *Admin) AddUser(ctx context.Context, group, user string) error {
 // records. Each membership change is still certified individually, so the
 // operation log is identical to looping AddUser.
 func (a *Admin) AddUsers(ctx context.Context, group string, users []string) error {
-	up, err := a.mgr.AddUsers(group, users)
+	err := a.mutate(ctx, group, func() (*core.Update, error) {
+		return a.mgr.AddUsers(group, users)
+	})
 	if err != nil {
-		return err
-	}
-	if err := a.apply(ctx, up); err != nil {
 		return err
 	}
 	for _, u := range users {
@@ -89,11 +257,10 @@ func (a *Admin) AddUsers(ctx context.Context, group string, users []string) erro
 // RemoveUser runs Algorithm 3 (and possibly a re-partition) and publishes
 // every affected record.
 func (a *Admin) RemoveUser(ctx context.Context, group, user string) error {
-	up, err := a.mgr.RemoveUser(group, user)
+	err := a.mutate(ctx, group, func() (*core.Update, error) {
+		return a.mgr.RemoveUser(group, user)
+	})
 	if err != nil {
-		return err
-	}
-	if err := a.apply(ctx, up); err != nil {
 		return err
 	}
 	return a.certify(group, core.OpRemoveUser, user)
@@ -103,11 +270,10 @@ func (a *Admin) RemoveUser(ctx context.Context, group, user string) error {
 // and at most one re-key pass per remaining partition for the whole batch —
 // and publishes every affected record.
 func (a *Admin) RemoveUsers(ctx context.Context, group string, users []string) error {
-	up, err := a.mgr.RemoveUsers(group, users)
+	err := a.mutate(ctx, group, func() (*core.Update, error) {
+		return a.mgr.RemoveUsers(group, users)
+	})
 	if err != nil {
-		return err
-	}
-	if err := a.apply(ctx, up); err != nil {
 		return err
 	}
 	for _, u := range users {
@@ -120,11 +286,10 @@ func (a *Admin) RemoveUsers(ctx context.Context, group string, users []string) e
 
 // RekeyGroup rotates the group key and republishes all records.
 func (a *Admin) RekeyGroup(ctx context.Context, group string) error {
-	up, err := a.mgr.RekeyGroup(group)
+	err := a.mutate(ctx, group, func() (*core.Update, error) {
+		return a.mgr.RekeyGroup(group)
+	})
 	if err != nil {
-		return err
-	}
-	if err := a.apply(ctx, up); err != nil {
 		return err
 	}
 	return a.certify(group, core.OpRekey, "")
@@ -132,11 +297,10 @@ func (a *Admin) RekeyGroup(ctx context.Context, group string) error {
 
 // Repartition forces a dense re-layout of a group.
 func (a *Admin) Repartition(ctx context.Context, group string) error {
-	up, err := a.mgr.Repartition(group)
+	err := a.mutate(ctx, group, func() (*core.Update, error) {
+		return a.mgr.Repartition(group)
+	})
 	if err != nil {
-		return err
-	}
-	if err := a.apply(ctx, up); err != nil {
 		return err
 	}
 	return a.certify(group, core.OpRepartition, "")
@@ -155,10 +319,14 @@ const (
 	catalogObject = "groups"
 )
 
-// apply pushes an update to the cloud: deletes first (so clients never see
-// a stale partition alongside its replacement), then puts, then the current
-// sealed group key.
+// apply pushes an update to the cloud. The unconditional path deletes first
+// (so clients never see a stale partition alongside its replacement), then
+// puts, then the current sealed group key; the CAS path (EnableCAS) runs
+// applyCAS instead.
 func (a *Admin) apply(ctx context.Context, up *core.Update) error {
+	if a.cas {
+		return a.applyCAS(ctx, up)
+	}
 	scheme := a.mgr.Scheme()
 	for _, id := range up.Delete {
 		if err := a.store.Delete(ctx, up.Group, id); err != nil {
@@ -184,24 +352,118 @@ func (a *Admin) apply(ctx context.Context, up *core.Update) error {
 	return nil
 }
 
-// updateCatalog records the group name in the cloud catalog (idempotent).
-func (a *Admin) updateCatalog(ctx context.Context, group string) error {
-	groups, err := a.readCatalog(ctx)
+// applyCAS pushes an update with every write conditional on the directory
+// version advancing exactly as this admin expects. The first conditional
+// write is the race arbiter: if another administrator wrote the directory
+// since this admin last synchronised, it fails with ErrVersionConflict
+// before anything is written, and mutate refreshes + retries. Writes go
+// records → deletes → sealed group key (prefixed by an extra sealed-key
+// guard write when the update has deletes but no record writes): a
+// conditional write always precedes the unconditional deletes, so a stale
+// admin conflicts before destroying anything, and the sealed-key write
+// comes LAST, so a peer restoring from any mid-apply snapshot read a
+// version that at least one remaining conditional write still advances
+// past — its own first conditional write then conflicts instead of
+// committing on the torn snapshot.
+func (a *Admin) applyCAS(ctx context.Context, up *core.Update) error {
+	scheme := a.mgr.Scheme()
+	v, err := a.baseVersion(ctx, up.Group)
 	if err != nil {
 		return err
 	}
-	for _, g := range groups {
-		if g == group {
-			return nil
+	// Any failure below invalidates the tracked version: it no longer
+	// matches the directory, and the next mutate re-syncs through restore.
+	fail := func(err error) error {
+		a.forgetVersion(up.Group)
+		return err
+	}
+	sealed, err := a.mgr.SealedGroupKey(up.Group)
+	if err != nil {
+		return fail(err)
+	}
+	ids := make([]string, 0, len(up.Put))
+	for id := range up.Put {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	if len(ids) == 0 && len(up.Delete) > 0 {
+		// No record write to arbitrate on, but deletes are unconditional:
+		// write the sealed key up front as the guard (it is written again
+		// at the final version below), so a stale admin conflicts before
+		// destroying any object.
+		if err := a.store.PutIf(ctx, up.Group, sealedGKObject, sealed, v); err != nil {
+			return fail(fmt.Errorf("admin: putting sealed group key: %w", err))
+		}
+		v++
+	}
+	for _, id := range ids {
+		blob, err := up.Put[id].Marshal(scheme)
+		if err != nil {
+			return fail(err)
+		}
+		if err := a.store.PutIf(ctx, up.Group, id, blob, v); err != nil {
+			return fail(fmt.Errorf("admin: putting %s/%s: %w", up.Group, id, err))
+		}
+		v++
+	}
+	for _, id := range up.Delete {
+		err := a.store.Delete(ctx, up.Group, id)
+		if errors.Is(err, storage.ErrNotFound) {
+			continue // already gone (e.g. a prior interrupted apply); no bump
+		}
+		if err != nil {
+			return fail(fmt.Errorf("admin: deleting %s/%s: %w", up.Group, id, err))
+		}
+		v++
+	}
+	if err := a.store.PutIf(ctx, up.Group, sealedGKObject, sealed, v); err != nil {
+		return fail(fmt.Errorf("admin: putting sealed group key: %w", err))
+	}
+	v++
+	a.trackVersion(up.Group, v)
+	return nil
+}
+
+// updateCatalog records the group name in the cloud catalog (idempotent).
+// Under CAS the read-modify-write is a conditional put on the catalog
+// directory version, so two administrators creating different groups at the
+// same time cannot lose each other's catalog entries.
+func (a *Admin) updateCatalog(ctx context.Context, group string) error {
+	for attempt := 0; ; attempt++ {
+		// Under CAS the version is read before the content: a writer
+		// landing in between fails our conditional put instead of being
+		// overwritten. The plain path skips the extra round-trip.
+		var ver uint64
+		if a.cas {
+			v, err := a.store.Version(ctx, catalogDir)
+			if err != nil {
+				return err
+			}
+			ver = v
+		}
+		groups, err := a.readCatalog(ctx)
+		if err != nil {
+			return err
+		}
+		for _, g := range groups {
+			if g == group {
+				return nil
+			}
+		}
+		groups = append(groups, group)
+		sort.Strings(groups)
+		blob, err := json.Marshal(groups)
+		if err != nil {
+			return err
+		}
+		if !a.cas {
+			return a.store.Put(ctx, catalogDir, catalogObject, blob)
+		}
+		err = a.store.PutIf(ctx, catalogDir, catalogObject, blob, ver)
+		if err == nil || !errors.Is(err, storage.ErrVersionConflict) || attempt >= casAttempts-1 {
+			return err
 		}
 	}
-	groups = append(groups, group)
-	sort.Strings(groups)
-	blob, err := json.Marshal(groups)
-	if err != nil {
-		return err
-	}
-	return a.store.Put(ctx, catalogDir, catalogObject, blob)
 }
 
 // readCatalog returns the group names recorded in the cloud catalog.
@@ -225,6 +487,14 @@ func (a *Admin) readCatalog(ctx context.Context) ([]string, error) {
 // administrator restart (the enclave must hold the same master secret, via
 // EcallRestore on the same platform).
 func (a *Admin) RestoreGroup(ctx context.Context, group string) error {
+	// The version is read before the listing: if a writer lands during the
+	// restore, the tracked version is stale and this admin's first
+	// conditional write conflicts — triggering another restore — instead of
+	// silently building on a torn snapshot.
+	ver, err := a.store.Version(ctx, group)
+	if err != nil {
+		return err
+	}
 	names, err := a.store.List(ctx, group)
 	if err != nil {
 		return fmt.Errorf("admin: listing %s: %w", group, err)
@@ -251,10 +521,26 @@ func (a *Admin) RestoreGroup(ctx context.Context, group string) error {
 		recs[name] = rec
 	}
 	if sealedGK == nil {
-		return fmt.Errorf("admin: group %s has no sealed group key in the cloud", group)
+		return fmt.Errorf("%w: %s", ErrNoSealedKey, group)
 	}
-	return a.mgr.RestoreGroup(group, recs, sealedGK)
+	if err := a.mgr.RestoreGroup(group, recs, sealedGK); err != nil {
+		return err
+	}
+	a.trackVersion(group, ver)
+	return nil
 }
+
+// DropGroup releases this admin's local state for a group (manager cache
+// and tracked directory version) without touching the cloud — the hand-over
+// half of moving a group to another administrator.
+func (a *Admin) DropGroup(group string) {
+	a.mgr.DropGroup(group)
+	a.forgetVersion(group)
+}
+
+// Store exposes the cloud store this admin applies to (the cluster lease
+// manager shares it).
+func (a *Admin) Store() storage.Store { return a.store }
 
 // RestoreAll restores every group recorded in the cloud catalog.
 func (a *Admin) RestoreAll(ctx context.Context) error {

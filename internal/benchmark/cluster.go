@@ -1,0 +1,249 @@
+package benchmark
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/ibbesgx/ibbesgx/internal/cluster"
+	"github.com/ibbesgx/ibbesgx/internal/storage"
+	"github.com/ibbesgx/ibbesgx/internal/trace"
+)
+
+// ClusterRow is one shard count of the cluster-throughput figure: a fixed
+// mixed membership workload over many groups, replayed through the cluster
+// shards (each shard applies its groups' operations sequentially, modelling
+// the paper's serial administrator), with wall-clock throughput across the
+// whole cluster. Scaling the shard count multiplies the number of serial
+// admin pipelines; throughput should grow until shards exceed cores.
+type ClusterRow struct {
+	Shards int `json:"shards"`
+	Groups int `json:"groups"`
+	Users  int `json:"users"`
+	Ops    int `json:"ops"`
+
+	Elapsed   time.Duration `json:"elapsed_ns"`
+	NsPerOp   int64         `json:"ns_per_op"`
+	OpsPerSec float64       `json:"ops_per_sec"`
+	// Puts counts partition-record writes the cloud store absorbed during
+	// the timed region (each is one re-encrypted partition).
+	Puts int64 `json:"puts"`
+}
+
+// Speedup returns this row's throughput relative to base.
+func (r ClusterRow) Speedup(base ClusterRow) float64 {
+	if base.OpsPerSec == 0 {
+		return 0
+	}
+	return r.OpsPerSec / base.OpsPerSec
+}
+
+// clusterShardCounts is the scaling sweep (the ISSUE's 1→4).
+var clusterShardCounts = []int{1, 2, 3, 4}
+
+// RunCluster measures admin-op throughput over 1→4 shards on a mixed
+// trace workload: groups × a Synthetic trace each (30 % revocations), with
+// per-shard parallelism pinned to 1 so the figure isolates horizontal
+// scale-out from the per-operation fan-out RunParallel measures. The group
+// count (12) divides every shard count in the sweep and group names are
+// mined so the ring spreads them exactly evenly — the figure measures
+// scaling, not placement luck.
+func RunCluster(cfg Config) ([]ClusterRow, error) {
+	const groups = 12
+	opsPerGroup := cfg.SyntheticOps / 25
+	if opsPerGroup < 8 {
+		opsPerGroup = 8
+	}
+	initial := cfg.Capacity * 2
+
+	// One trace per group, identical across shard counts so the rows are
+	// comparable.
+	traces := make([]*trace.Trace, groups)
+	for i := range traces {
+		tr, err := trace.Synthetic(trace.SyntheticConfig{
+			Ops:            opsPerGroup,
+			RevocationRate: 0.3,
+			InitialSize:    initial,
+			Seed:           cfg.Seed + int64(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		traces[i] = tr
+	}
+
+	rows := make([]ClusterRow, 0, len(clusterShardCounts))
+	for _, shards := range clusterShardCounts {
+		row, err := runClusterOnce(cfg, shards, traces)
+		if err != nil {
+			return nil, fmt.Errorf("cluster with %d shards: %w", shards, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// benchPutLatency is the injected cloud mutation round-trip. The paper's
+// evaluation argues cloud response time dominates the end-to-end cost; with
+// it in place the figure shows what sharding actually buys a deployment:
+// N admin pipelines overlap their cloud waits (and, on multicore, their
+// enclave compute).
+const benchPutLatency = 5 * time.Millisecond
+
+// runClusterOnce replays the workload against one cluster size.
+func runClusterOnce(cfg Config, shards int, traces []*trace.Trace) (ClusterRow, error) {
+	mem := storage.NewMemStore(storage.Latency{Put: benchPutLatency})
+	c, err := cluster.New(cluster.Options{
+		Shards:   shards,
+		Capacity: cfg.Capacity,
+		Params:   cfg.Params,
+		Store:    mem,
+		LeaseTTL: 10 * time.Minute, // no expiry churn inside a bench run
+		Seed:     cfg.Seed,
+		Workers:  1, // serial admin per shard: isolate horizontal scaling
+	})
+	if err != nil {
+		return ClusterRow{}, err
+	}
+	// No renewal loops: a run is far shorter than the TTL.
+
+	// Mine group names until the ring spreads them exactly evenly (the
+	// group count divides the shard count), so every pipeline carries the
+	// same load and the row measures scaling rather than placement luck.
+	quota := len(traces) / shards
+	names := make([]string, 0, len(traces))
+	perShard := make(map[string]int, shards)
+	for cand := 0; len(names) < len(traces); cand++ {
+		n := fmt.Sprintf("bench-%d-g%03d", shards, cand)
+		if owner := c.Ring.Owner(n); perShard[owner] < quota {
+			perShard[owner]++
+			names = append(names, n)
+		}
+	}
+	groupName := func(i int) string { return names[i] }
+
+	// Partition the groups by ring owner; one driver goroutine per shard
+	// replays its groups sequentially — N shards = N serial admin pipelines.
+	byShard := make(map[string][]int)
+	for i := range traces {
+		owner := c.Ring.Owner(groupName(i))
+		byShard[owner] = append(byShard[owner], i)
+	}
+
+	// Setup (untimed): create every group with its initial member set.
+	row := ClusterRow{Shards: shards, Groups: len(traces)}
+	for i, tr := range traces {
+		if err := clusterOp(c, groupName(i), "create", map[string]any{
+			"group": groupName(i), "members": tr.Initial,
+		}); err != nil {
+			return ClusterRow{}, err
+		}
+		row.Users += len(tr.Initial)
+	}
+
+	before := mem.Stats()
+	start := time.Now()
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		totalOps int
+	)
+	for shardID, idxs := range byShard {
+		wg.Add(1)
+		go func(shardID string, idxs []int) {
+			defer wg.Done()
+			ops := 0
+			for _, i := range idxs {
+				g := groupName(i)
+				for _, op := range traces[i].Ops {
+					var body map[string]any
+					route := "add"
+					if op.Kind == trace.OpRemove {
+						route = "remove"
+					}
+					body = map[string]any{"group": g, "user": op.User}
+					if err := clusterOp(c, g, route, body); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("%s %s on %s: %w", route, op.User, g, err)
+						}
+						mu.Unlock()
+						return
+					}
+					ops++
+				}
+			}
+			mu.Lock()
+			totalOps += ops
+			mu.Unlock()
+		}(shardID, idxs)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return ClusterRow{}, firstErr
+	}
+	row.Elapsed = time.Since(start)
+	row.Ops = totalOps
+	if totalOps > 0 {
+		row.NsPerOp = row.Elapsed.Nanoseconds() / int64(totalOps)
+		row.OpsPerSec = float64(totalOps) / row.Elapsed.Seconds()
+	}
+	row.Puts = mem.Stats().Puts - before.Puts
+	return row, nil
+}
+
+// clusterOp drives one admin operation through the owning shard's HTTP
+// handler (ownership gate included), without network overhead.
+func clusterOp(c *cluster.Cluster, group, route string, body map[string]any) error {
+	blob, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	shard := c.Shard(c.Ring.Owner(group))
+	req := httptest.NewRequest(http.MethodPost, "/admin/"+route, strings.NewReader(string(blob)))
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	shard.ServeHTTP(rec, req)
+	if rec.Code >= 300 {
+		return fmt.Errorf("benchmark: shard answered %d: %s", rec.Code, strings.TrimSpace(rec.Body.String()))
+	}
+	return nil
+}
+
+// PrintCluster writes the cluster-throughput table.
+func PrintCluster(w io.Writer, rows []ClusterRow) {
+	fmt.Fprintln(w, "Cluster — sharded multi-admin throughput, mixed add/remove workload (serial admin per shard)")
+	fmt.Fprintf(w, "%7s  %7s  %7s  %7s  %12s  %12s  %10s  %8s\n",
+		"shards", "groups", "users", "ops", "elapsed", "ns/op", "ops/s", "puts")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%7d  %7d  %7d  %7d  %12s  %12d  %10.1f  %8d\n",
+			r.Shards, r.Groups, r.Users, r.Ops, Dur(r.Elapsed), r.NsPerOp, r.OpsPerSec, r.Puts)
+	}
+	if len(rows) > 1 {
+		last := rows[len(rows)-1]
+		fmt.Fprintf(w, "shape: %d shards reach %.2f× the single-shard admin throughput (ideal %.0f×, bounded by cores)\n",
+			last.Shards, last.Speedup(rows[0]), float64(last.Shards))
+	}
+}
+
+// WriteJSON emits one experiment's rows as a machine-readable report — the
+// perf trajectory artifact CI archives.
+func WriteJSON(path, experiment, scale string, rows any) error {
+	report := struct {
+		Experiment string `json:"experiment"`
+		Scale      string `json:"scale"`
+		Rows       any    `json:"rows"`
+	}{Experiment: experiment, Scale: scale, Rows: rows}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}

@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"context"
+	"crypto/rand"
+	"fmt"
+	"time"
+
+	"github.com/ibbesgx/ibbesgx/internal/admin"
+	"github.com/ibbesgx/ibbesgx/internal/attest"
+	"github.com/ibbesgx/ibbesgx/internal/core"
+	"github.com/ibbesgx/ibbesgx/internal/enclave"
+	"github.com/ibbesgx/ibbesgx/internal/pairing"
+	"github.com/ibbesgx/ibbesgx/internal/pki"
+	"github.com/ibbesgx/ibbesgx/internal/storage"
+)
+
+// Options configures a cluster.
+type Options struct {
+	// Shards is the number of admin shards (≥ 1).
+	Shards int
+	// Capacity is the partition capacity |p| every shard manages with.
+	Capacity int
+	// Params / ParamsName select the pairing parameters and their wire name
+	// (defaults: TypeA160 / "type-a-160").
+	Params     *pairing.Params
+	ParamsName string
+	// Store is the shared cloud store (defaults to a fresh MemStore).
+	Store storage.Store
+	// LeaseTTL is the group-lease duration (default DefaultLeaseTTL).
+	LeaseTTL time.Duration
+	// Seed drives each shard's partition-picking randomness.
+	Seed int64
+	// Workers bounds each shard's per-operation partition fan-out
+	// (0 = number of CPUs).
+	Workers int
+	// VirtualNodes per shard on the ring (0 = default).
+	VirtualNodes int
+
+	// now overrides the clock (tests).
+	now func() time.Time
+}
+
+// Cluster is a set of admin shards over one shared cloud store. All shard
+// enclaves run on the same (simulated) platform and share the IBBE master
+// secret: shard 0 runs EcallSetup and the others EcallRestore its sealed
+// MSK — the sealed blob only opens inside the same enclave code on the same
+// platform, which is exactly the paper's multi-admin trust story. User keys
+// provisioned by any shard therefore decrypt records written by any other.
+type Cluster struct {
+	Shards []*Shard
+	Ring   *Ring
+	Store  storage.Store
+
+	// Platform hosts every shard enclave (one machine, N admin processes).
+	Platform *enclave.Platform
+}
+
+// ShardID names shard i.
+func ShardID(i int) string { return fmt.Sprintf("shard-%d", i) }
+
+// New builds (but does not start) a cluster.
+func New(opts Options) (*Cluster, error) {
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("cluster: need at least one shard, got %d", opts.Shards)
+	}
+	if opts.Capacity < 1 {
+		return nil, fmt.Errorf("cluster: capacity must be positive, got %d", opts.Capacity)
+	}
+	params, paramsName := opts.Params, opts.ParamsName
+	if params == nil {
+		params, paramsName = pairing.TypeA160(), "type-a-160"
+	}
+	if paramsName == "" {
+		paramsName = "type-a-160"
+	}
+	store := opts.Store
+	if store == nil {
+		store = storage.NewMemStore(storage.Latency{})
+	}
+
+	platform, err := enclave.NewPlatform("cluster-platform", rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	ias, err := attest.NewIAS()
+	if err != nil {
+		return nil, err
+	}
+	ias.RegisterPlatform(platform)
+	auditor, err := pki.NewAuditor(ias.PublicKey(), enclave.IBBEMeasurement())
+	if err != nil {
+		return nil, err
+	}
+
+	c := &Cluster{Store: store, Platform: platform}
+	var sealedMSK []byte
+	ids := make([]string, 0, opts.Shards)
+	for i := 0; i < opts.Shards; i++ {
+		id := ShardID(i)
+		ids = append(ids, id)
+		encl, err := enclave.NewIBBEEnclave(platform, params)
+		if err != nil {
+			return nil, err
+		}
+		if i == 0 {
+			if _, sealedMSK, err = encl.EcallSetup(opts.Capacity); err != nil {
+				return nil, err
+			}
+		} else if err := encl.EcallRestore(sealedMSK, c.Shards[0].Admin.Manager().PublicKey()); err != nil {
+			return nil, fmt.Errorf("cluster: sharing master secret with %s: %w", id, err)
+		}
+		cert, err := auditor.AttestAndCertify(ias, encl)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: attesting %s: %w", id, err)
+		}
+		mgr, err := core.NewManager(encl, opts.Capacity, opts.Seed+int64(i))
+		if err != nil {
+			return nil, err
+		}
+		if opts.Workers > 0 {
+			mgr.SetParallelism(opts.Workers)
+		}
+		opLog, err := core.NewOpLog()
+		if err != nil {
+			return nil, err
+		}
+		adm := admin.New(id, mgr, store, opLog)
+		adm.EnableCAS()
+		svc := &admin.Service{
+			Admin:          adm,
+			Encl:           encl,
+			EnclaveCertDER: cert.Raw,
+			RootCertDER:    auditor.RootDER(),
+			ParamsName:     paramsName,
+		}
+		c.Shards = append(c.Shards, newShard(id, adm, svc, encl, store, opts.LeaseTTL, opts.now))
+	}
+	ring, err := NewRing(ids, opts.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	c.Ring = ring
+	return c, nil
+}
+
+// Start launches every shard's lease renewal loop.
+func (c *Cluster) Start() {
+	for _, s := range c.Shards {
+		s.Start()
+	}
+}
+
+// Shutdown stops every shard gracefully.
+func (c *Cluster) Shutdown(ctx context.Context) error {
+	var firstErr error
+	for _, s := range c.Shards {
+		if err := s.Shutdown(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Shard returns a shard by ID (nil if unknown).
+func (c *Cluster) Shard(id string) *Shard {
+	for _, s := range c.Shards {
+		if s.ID == id {
+			return s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/ibbesgx/ibbesgx/internal/storage"
+)
+
+// Lease ownership errors.
+var (
+	// ErrLeaseHeld reports a group lease currently held by another live
+	// shard; the caller should route there (or retry after expiry).
+	ErrLeaseHeld = errors.New("cluster: group lease held by another shard")
+	// ErrLeaseLost reports a renewal that found the lease taken over.
+	ErrLeaseLost = errors.New("cluster: group lease lost")
+)
+
+// Lease is one shard's claim on a group, stored in the cloud next to the
+// group's records (in its own directory, so renewals never wake the group's
+// long-polling clients). Epoch increases with every ownership change or
+// renewal; Expires bounds how long a crashed owner blocks takeover.
+type Lease struct {
+	Owner   string    `json:"owner"`
+	Epoch   uint64    `json:"epoch"`
+	Expires time.Time `json:"expires"`
+}
+
+// leaseDirPrefix keeps lease directories clearly outside the group-name
+// space (group directories are plain group names; clients never list this).
+const leaseDirPrefix = "_cluster_lease/"
+
+// leaseObject is the single object inside a lease directory.
+const leaseObject = "lease"
+
+func leaseDir(group string) string { return leaseDirPrefix + group }
+
+// leaseStore wraps the CAS operations of the lease protocol. The directory
+// version read before the Get is the token every write conditions on, so
+// two shards racing for the same expired lease resolve to exactly one
+// winner — the other fails its PutIf and backs off.
+type leaseStore struct {
+	store storage.Store
+	now   func() time.Time
+}
+
+// read returns the current lease (zero Lease if none) and the directory
+// version to condition the next write on.
+func (ls *leaseStore) read(ctx context.Context, group string) (Lease, uint64, error) {
+	dir := leaseDir(group)
+	ver, err := ls.store.Version(ctx, dir)
+	if err != nil {
+		return Lease{}, 0, err
+	}
+	blob, err := ls.store.Get(ctx, dir, leaseObject)
+	if errors.Is(err, storage.ErrNotFound) {
+		return Lease{}, ver, nil
+	}
+	if err != nil {
+		return Lease{}, 0, err
+	}
+	var l Lease
+	if err := json.Unmarshal(blob, &l); err != nil {
+		return Lease{}, 0, fmt.Errorf("cluster: corrupt lease for %s: %w", group, err)
+	}
+	return l, ver, nil
+}
+
+// write commits a lease conditionally on the version returned by read.
+func (ls *leaseStore) write(ctx context.Context, group string, l Lease, ifVersion uint64) error {
+	blob, err := json.Marshal(l)
+	if err != nil {
+		return err
+	}
+	return ls.store.PutIf(ctx, leaseDir(group), leaseObject, blob, ifVersion)
+}
+
+// acquire claims the group for owner with the given TTL. It succeeds when
+// the lease is free, expired, or already ours (refreshing it); a live
+// foreign lease or a lost CAS race returns ErrLeaseHeld.
+func (ls *leaseStore) acquire(ctx context.Context, group, owner string, ttl time.Duration) (Lease, error) {
+	cur, ver, err := ls.read(ctx, group)
+	if err != nil {
+		return Lease{}, err
+	}
+	now := ls.now()
+	if cur.Owner != "" && cur.Owner != owner && now.Before(cur.Expires) {
+		return Lease{}, fmt.Errorf("%w: %s owns %s until %s", ErrLeaseHeld, cur.Owner, group, cur.Expires.Format(time.RFC3339Nano))
+	}
+	next := Lease{Owner: owner, Epoch: cur.Epoch + 1, Expires: now.Add(ttl)}
+	if err := ls.write(ctx, group, next, ver); err != nil {
+		if errors.Is(err, storage.ErrVersionConflict) {
+			return Lease{}, fmt.Errorf("%w: lost acquisition race for %s", ErrLeaseHeld, group)
+		}
+		return Lease{}, err
+	}
+	return next, nil
+}
+
+// renew extends an owned lease. Finding another owner (takeover after an
+// expiry we slept through) or losing the CAS race returns ErrLeaseLost.
+func (ls *leaseStore) renew(ctx context.Context, group, owner string, ttl time.Duration) (Lease, error) {
+	cur, ver, err := ls.read(ctx, group)
+	if err != nil {
+		return Lease{}, err
+	}
+	if cur.Owner != owner {
+		return Lease{}, fmt.Errorf("%w: %s now owned by %q", ErrLeaseLost, group, cur.Owner)
+	}
+	next := Lease{Owner: owner, Epoch: cur.Epoch + 1, Expires: ls.now().Add(ttl)}
+	if err := ls.write(ctx, group, next, ver); err != nil {
+		if errors.Is(err, storage.ErrVersionConflict) {
+			return Lease{}, fmt.Errorf("%w: renewal race for %s", ErrLeaseLost, group)
+		}
+		return Lease{}, err
+	}
+	return next, nil
+}
+
+// release hands a lease back (graceful shutdown): the record stays but
+// expires immediately, so any shard can take over without waiting. Releases
+// are best-effort — a lost race means someone else already owns it.
+func (ls *leaseStore) release(ctx context.Context, group, owner string) error {
+	cur, ver, err := ls.read(ctx, group)
+	if err != nil {
+		return err
+	}
+	if cur.Owner != owner {
+		return nil
+	}
+	expired := Lease{Owner: owner, Epoch: cur.Epoch + 1, Expires: ls.now()}
+	err = ls.write(ctx, group, expired, ver)
+	if errors.Is(err, storage.ErrVersionConflict) {
+		return nil
+	}
+	return err
+}

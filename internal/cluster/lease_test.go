@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/ibbesgx/ibbesgx/internal/storage"
+)
+
+// fakeClock is a settable time source for lease tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newLeaseStore(clk *fakeClock) *leaseStore {
+	return &leaseStore{store: storage.NewMemStore(storage.Latency{}), now: clk.now}
+}
+
+func TestLeaseAcquireRenewExpiry(t *testing.T) {
+	clk := newFakeClock()
+	ls := newLeaseStore(clk)
+	ctx := context.Background()
+	ttl := time.Second
+
+	l, err := ls.acquire(ctx, "g", "shard-0", ttl)
+	if err != nil || l.Owner != "shard-0" || l.Epoch != 1 {
+		t.Fatalf("acquire: %+v, %v", l, err)
+	}
+	// A live foreign lease blocks acquisition.
+	if _, err := ls.acquire(ctx, "g", "shard-1", ttl); !errors.Is(err, ErrLeaseHeld) {
+		t.Fatalf("foreign acquire on live lease: %v", err)
+	}
+	// The owner renews, advancing the epoch.
+	clk.advance(ttl / 2)
+	l2, err := ls.renew(ctx, "g", "shard-0", ttl)
+	if err != nil || l2.Epoch != 2 {
+		t.Fatalf("renew: %+v, %v", l2, err)
+	}
+	// After expiry, a peer takes over...
+	clk.advance(2 * ttl)
+	l3, err := ls.acquire(ctx, "g", "shard-1", ttl)
+	if err != nil || l3.Owner != "shard-1" || l3.Epoch != 3 {
+		t.Fatalf("takeover: %+v, %v", l3, err)
+	}
+	// ...and the stalled previous owner's renewal reports the loss.
+	if _, err := ls.renew(ctx, "g", "shard-0", ttl); !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("stale renew: %v", err)
+	}
+}
+
+func TestLeaseReleaseFreesImmediately(t *testing.T) {
+	clk := newFakeClock()
+	ls := newLeaseStore(clk)
+	ctx := context.Background()
+	if _, err := ls.acquire(ctx, "g", "shard-0", time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := ls.release(ctx, "g", "shard-0"); err != nil {
+		t.Fatal(err)
+	}
+	// No clock advance needed: the released lease is expired in place.
+	if _, err := ls.acquire(ctx, "g", "shard-1", time.Hour); err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	// Releasing a lease someone else owns is a no-op.
+	if err := ls.release(ctx, "g", "shard-0"); err != nil {
+		t.Fatal(err)
+	}
+	cur, _, err := ls.read(ctx, "g")
+	if err != nil || cur.Owner != "shard-1" {
+		t.Fatalf("lease after foreign release: %+v, %v", cur, err)
+	}
+}
+
+func TestLeaseAcquireRaceSingleWinner(t *testing.T) {
+	clk := newFakeClock()
+	ls := newLeaseStore(clk)
+	ctx := context.Background()
+	const racers = 6
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		wins []string
+	)
+	for i := 0; i < racers; i++ {
+		id := ShardID(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := ls.acquire(ctx, "g", id, time.Hour); err == nil {
+				mu.Lock()
+				wins = append(wins, id)
+				mu.Unlock()
+			} else if !errors.Is(err, ErrLeaseHeld) {
+				t.Errorf("%s: %v", id, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if len(wins) != 1 {
+		t.Fatalf("lease winners = %v, want exactly one", wins)
+	}
+}

@@ -1,0 +1,113 @@
+// Package cluster implements sharded multi-administrator operation — the
+// horizontal scale-out the paper's §VIII names as future work. A
+// consistent-hash ring maps every group to an owning admin shard; each
+// shard runs its own enclave-backed core.Manager + admin.Admin (all
+// enclaves share one master secret via sealed exchange on the same
+// platform, so user keys and partition records are interchangeable across
+// shards); ownership is enforced by per-group lease records in the cloud
+// store, acquired and renewed with compare-and-swap writes; and a Router
+// gateway exposes the unchanged /admin/* HTTP surface, forwarding each
+// request to the owning shard — client.AdminAPI drives a whole cluster
+// exactly like a single admin.
+//
+// Safety does not rest on the ring or the leases alone: every shard's
+// Admin runs in CAS mode (storage.PutIf), so even two shards that both
+// believe they own a group — a lease-expiry race — serialise on the group
+// directory version and can never interleave records from different group
+// keys.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// defaultVirtualNodes balances the ring: each shard appears this many times
+// on the circle, keeping group counts within a few percent of even for
+// realistic shard counts.
+const defaultVirtualNodes = 128
+
+// Ring is a consistent-hash ring over shard IDs. It is immutable after
+// construction (membership changes build a new Ring), hence safe for
+// concurrent use.
+type Ring struct {
+	points  []ringPoint // sorted by hash
+	members []string    // sorted shard IDs
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard string
+}
+
+// NewRing builds a ring over the given shard IDs with vnodes virtual nodes
+// per shard (0 selects the default).
+func NewRing(shards []string, vnodes int) (*Ring, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one shard")
+	}
+	if vnodes <= 0 {
+		vnodes = defaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(shards))
+	r := &Ring{points: make([]ringPoint, 0, len(shards)*vnodes)}
+	for _, s := range shards {
+		if seen[s] {
+			return nil, fmt.Errorf("cluster: duplicate shard id %q", s)
+		}
+		seen[s] = true
+		r.members = append(r.members, s)
+		for i := 0; i < vnodes; i++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", s, i)), shard: s})
+		}
+	}
+	sort.Strings(r.members)
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r, nil
+}
+
+// ringHash maps a label to a point on the 64-bit circle.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Members returns the shard IDs on the ring, sorted.
+func (r *Ring) Members() []string {
+	return append([]string(nil), r.members...)
+}
+
+// Owner returns the shard owning a group: the first virtual node at or
+// after the group's point on the circle.
+func (r *Ring) Owner(group string) string {
+	return r.points[r.search(group)].shard
+}
+
+// Owners returns every shard in ring order starting from the group's owner,
+// each exactly once — the failover candidate sequence: if the owner is
+// down, the next distinct shard on the circle takes over its groups.
+func (r *Ring) Owners(group string) []string {
+	out := make([]string, 0, len(r.members))
+	seen := make(map[string]bool, len(r.members))
+	start := r.search(group)
+	for i := 0; i < len(r.points) && len(out) < len(r.members); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}
+
+// search finds the index of the first point at or after the group's hash.
+func (r *Ring) search(group string) int {
+	h := ringHash("group|" + group)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap around the circle
+	}
+	return i
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicOwnership(t *testing.T) {
+	r1, err := NewRing([]string{"shard-0", "shard-1", "shard-2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := NewRing([]string{"shard-2", "shard-0", "shard-1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		g := fmt.Sprintf("group-%d", i)
+		if r1.Owner(g) != r2.Owner(g) {
+			t.Fatalf("ownership depends on construction order for %s", g)
+		}
+	}
+}
+
+func TestRingOwnersSequence(t *testing.T) {
+	r, err := NewRing([]string{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		g := fmt.Sprintf("g%d", i)
+		seq := r.Owners(g)
+		if len(seq) != 3 {
+			t.Fatalf("Owners(%s) = %v", g, seq)
+		}
+		if seq[0] != r.Owner(g) {
+			t.Fatalf("Owners head %s != Owner %s", seq[0], r.Owner(g))
+		}
+		seen := map[string]bool{}
+		for _, s := range seq {
+			if seen[s] {
+				t.Fatalf("duplicate shard in Owners(%s): %v", g, seq)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	shards := []string{"shard-0", "shard-1", "shard-2", "shard-3"}
+	r, err := NewRing(shards, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const groups = 4000
+	for i := 0; i < groups; i++ {
+		counts[r.Owner(fmt.Sprintf("group-%d", i))]++
+	}
+	for _, s := range shards {
+		frac := float64(counts[s]) / groups
+		if frac < 0.10 || frac > 0.45 {
+			t.Fatalf("shard %s owns %.1f%% of groups — ring badly unbalanced: %v", s, frac*100, counts)
+		}
+	}
+}
+
+func TestRingConsistencyUnderMemberLoss(t *testing.T) {
+	full, err := NewRing([]string{"a", "b", "c", "d"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing([]string{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consistent hashing: removing one shard must only move the groups that
+	// shard owned; everything else keeps its owner.
+	moved := 0
+	const groups = 1000
+	for i := 0; i < groups; i++ {
+		g := fmt.Sprintf("group-%d", i)
+		before := full.Owner(g)
+		after := reduced.Owner(g)
+		if before == "d" {
+			continue // had to move
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d groups moved despite their owner surviving", moved)
+	}
+}
+
+func TestRingRejectsBadInput(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate shard accepted")
+	}
+}

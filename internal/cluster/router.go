@@ -1,0 +1,131 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Router is the cluster gateway: it exposes the exact HTTP surface of a
+// single admin.Service and forwards each request to the shard owning the
+// requested group (per the ring), failing over along the ring when the
+// owner is unreachable or answers 503 (dead shard whose leases have not
+// expired yet, or a lease race). client.AdminAPI pointed at a Router drives
+// the whole cluster transparently.
+type Router struct {
+	ring *Ring
+	// targets maps shard IDs to their HTTP base URLs.
+	targets map[string]string
+	// Client is the forwarding HTTP client (http.DefaultClient if nil).
+	Client *http.Client
+	// RouteTimeout bounds one request's failover chase — it must cover a
+	// lease TTL, the window during which a dead shard's groups are stuck.
+	RouteTimeout time.Duration
+	// RetryInterval separates failover sweeps over the candidates.
+	RetryInterval time.Duration
+}
+
+// NewRouter builds a gateway over the ring; targets must provide a base
+// URL for every ring member.
+func NewRouter(ring *Ring, targets map[string]string) (*Router, error) {
+	for _, id := range ring.Members() {
+		if targets[id] == "" {
+			return nil, fmt.Errorf("cluster: router has no target URL for %s", id)
+		}
+	}
+	return &Router{
+		ring:          ring,
+		targets:       targets,
+		RouteTimeout:  30 * time.Second,
+		RetryInterval: 25 * time.Millisecond,
+	}, nil
+}
+
+func (rt *Router) httpClient() *http.Client {
+	if rt.Client != nil {
+		return rt.Client
+	}
+	return http.DefaultClient
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	candidates := rt.ring.Members()
+	if strings.HasPrefix(r.URL.Path, "/admin/") {
+		var req struct {
+			Group string `json:"group"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil || req.Group == "" {
+			http.Error(w, "cluster: missing group", http.StatusBadRequest)
+			return
+		}
+		// Owner first, then the ring-order failover sequence.
+		candidates = rt.ring.Owners(req.Group)
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), rt.RouteTimeout)
+	defer cancel()
+	lastErr := "no shard reachable"
+	for sweep := 0; ; sweep++ {
+		for _, id := range candidates {
+			resp, err := rt.forward(ctx, r, rt.targets[id], body)
+			if err != nil {
+				lastErr = fmt.Sprintf("%s: %v", id, err)
+				continue // dead shard: next candidate
+			}
+			if resp.StatusCode == http.StatusServiceUnavailable {
+				// Not the owner (yet): drain and try the next candidate.
+				msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+				resp.Body.Close()
+				lastErr = fmt.Sprintf("%s: %s", id, strings.TrimSpace(string(msg)))
+				continue
+			}
+			defer resp.Body.Close()
+			copyResponse(w, resp)
+			return
+		}
+		// Full sweep failed — typically a killed owner whose lease has not
+		// expired. Back off briefly and sweep again until the deadline.
+		select {
+		case <-ctx.Done():
+			http.Error(w, "cluster: no shard could serve the request: "+lastErr, http.StatusServiceUnavailable)
+			return
+		case <-time.After(rt.RetryInterval):
+		}
+	}
+}
+
+// forward replays the request against one shard.
+func (rt *Router) forward(ctx context.Context, r *http.Request, baseURL string, body []byte) (*http.Response, error) {
+	u := strings.TrimRight(baseURL, "/") + r.URL.Path
+	if r.URL.RawQuery != "" {
+		u += "?" + r.URL.RawQuery
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, u, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if ct := r.Header.Get("Content-Type"); ct != "" {
+		req.Header.Set("Content-Type", ct)
+	}
+	return rt.httpClient().Do(req)
+}
+
+// copyResponse relays a shard response to the gateway client.
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}

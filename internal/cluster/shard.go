@@ -1,0 +1,304 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/ibbesgx/ibbesgx/internal/admin"
+	"github.com/ibbesgx/ibbesgx/internal/core"
+	"github.com/ibbesgx/ibbesgx/internal/enclave"
+	"github.com/ibbesgx/ibbesgx/internal/storage"
+)
+
+// DefaultLeaseTTL is the production lease duration; tests shrink it to
+// exercise expiry-driven takeover quickly.
+const DefaultLeaseTTL = 15 * time.Second
+
+// Shard is one admin node of the cluster: an enclave-backed CAS
+// administrator that serves the /admin/* surface only for groups whose
+// lease it holds. It is an http.Handler — the Router forwards to it, and a
+// shard that does not (or cannot) own the requested group answers 503 so
+// the router fails over.
+type Shard struct {
+	// ID is the shard's ring identity and lease owner name.
+	ID string
+	// Admin is the CAS-mode administrator applying to the shared store.
+	Admin *admin.Admin
+	// Service is the HTTP surface (admin ops + provisioning + info).
+	Service *admin.Service
+	// Encl is the shard's enclave (sharing the cluster master secret).
+	Encl *enclave.IBBEEnclave
+
+	ls  *leaseStore
+	ttl time.Duration
+
+	mu      sync.Mutex
+	leases  map[string]Lease
+	stopped bool
+
+	startOnce sync.Once
+	started   bool
+	stopOnce  sync.Once
+	stopc     chan struct{}
+	done      chan struct{}
+}
+
+func newShard(id string, adm *admin.Admin, svc *admin.Service, encl *enclave.IBBEEnclave, store storage.Store, ttl time.Duration, now func() time.Time) *Shard {
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &Shard{
+		ID:      id,
+		Admin:   adm,
+		Service: svc,
+		Encl:    encl,
+		ls:      &leaseStore{store: store, now: now},
+		ttl:     ttl,
+		leases:  make(map[string]Lease),
+		stopc:   make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+}
+
+// Start launches the lease renewal loop.
+func (s *Shard) Start() {
+	s.startOnce.Do(func() {
+		s.mu.Lock()
+		s.started = true
+		s.mu.Unlock()
+		go s.run()
+	})
+}
+
+// stopLoop halts the renewal loop (if it ever started) and waits for it.
+func (s *Shard) stopLoop() {
+	s.stopOnce.Do(func() { close(s.stopc) })
+	s.mu.Lock()
+	started := s.started
+	s.mu.Unlock()
+	if started {
+		<-s.done
+	}
+}
+
+// Kill stops the shard abruptly — renewals cease but leases stay in the
+// cloud until they expire, exactly like a crashed admin process. Peers take
+// the groups over through lease expiry.
+func (s *Shard) Kill() {
+	s.stopLoop()
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+}
+
+// Shutdown stops the shard gracefully: renewals cease and every held lease
+// is released (expired in place), so peers can take over immediately.
+func (s *Shard) Shutdown(ctx context.Context) error {
+	s.stopLoop()
+	s.mu.Lock()
+	s.stopped = true
+	groups := make([]string, 0, len(s.leases))
+	for g := range s.leases {
+		groups = append(groups, g)
+	}
+	s.leases = make(map[string]Lease)
+	s.mu.Unlock()
+	var firstErr error
+	for _, g := range groups {
+		s.Admin.DropGroup(g)
+		if err := s.ls.release(ctx, g, s.ID); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// OwnedGroups returns the groups this shard currently holds leases for,
+// sorted.
+func (s *Shard) OwnedGroups() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.leases))
+	for g := range s.leases {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// run renews held leases at a third of the TTL until the shard stops.
+func (s *Shard) run() {
+	defer close(s.done)
+	t := time.NewTicker(s.ttl / 3)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopc:
+			return
+		case <-t.C:
+			s.renewAll()
+		}
+	}
+}
+
+func (s *Shard) renewAll() {
+	ctx, cancel := context.WithTimeout(context.Background(), s.ttl)
+	defer cancel()
+	for _, g := range s.OwnedGroups() {
+		l, err := s.ls.renew(ctx, g, s.ID, s.ttl)
+		if err == nil {
+			s.mu.Lock()
+			s.leases[g] = l
+			s.mu.Unlock()
+			continue
+		}
+		if errors.Is(err, ErrLeaseLost) {
+			// Another shard took the group over (we must have been stalled
+			// past expiry): stop serving it and forget the local cache.
+			s.mu.Lock()
+			delete(s.leases, g)
+			s.mu.Unlock()
+			s.Admin.DropGroup(g)
+		}
+		// Transient store errors keep the lease; the next tick retries and
+		// CAS keeps a stale-but-renewing shard from corrupting anything.
+	}
+}
+
+// EnsureOwnership makes this shard the serving owner of a group: fast-path
+// if a live lease is already held, otherwise it tries to acquire one (which
+// succeeds only if the lease is free or expired) and then adopts the
+// group's cloud state. ErrLeaseHeld means another shard owns the group.
+func (s *Shard) EnsureOwnership(ctx context.Context, group string) error {
+	s.mu.Lock()
+	l, held := s.leases[group]
+	stopped := s.stopped
+	s.mu.Unlock()
+	if stopped {
+		return fmt.Errorf("cluster: shard %s is stopped", s.ID)
+	}
+	if held && s.ls.now().Before(l.Expires) {
+		return nil
+	}
+	lease, prevOwner, err := s.acquire(ctx, group)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.leases[group] = lease
+	s.mu.Unlock()
+	if prevOwner == s.ID {
+		// Re-acquired our own lapsed lease with nobody in between: the
+		// local cache is still authoritative.
+		return nil
+	}
+	return s.adopt(ctx, group, prevOwner != "")
+}
+
+// acquire wraps leaseStore.acquire, also reporting who owned the lease
+// before (empty for a never-leased group).
+func (s *Shard) acquire(ctx context.Context, group string) (Lease, string, error) {
+	cur, _, err := s.ls.read(ctx, group)
+	if err != nil {
+		return Lease{}, "", err
+	}
+	l, err := s.ls.acquire(ctx, group, s.ID, s.ttl)
+	if err != nil {
+		return Lease{}, "", err
+	}
+	return l, cur.Owner, nil
+}
+
+// adopt rebuilds local state for a newly acquired group. Taking over from
+// another (possibly crashed) shard additionally rotates the group key: a
+// predecessor that died mid-apply can leave partitions wrapped under
+// different group keys, and the rotation re-keys every partition under one
+// fresh key — the cluster's convergence step. A group with no cloud records
+// yet (the create path) adopts trivially.
+func (s *Shard) adopt(ctx context.Context, group string, takeover bool) error {
+	s.Admin.DropGroup(group)
+	err := s.Admin.RestoreGroup(ctx, group)
+	if errors.Is(err, storage.ErrNotFound) {
+		return nil // group not created yet; the create op will populate it
+	}
+	if errors.Is(err, admin.ErrNoSealedKey) {
+		return nil // predecessor died inside create; treated as not created
+	}
+	if errors.Is(err, core.ErrGroupExists) {
+		return nil // a concurrent request already rebuilt the group
+	}
+	if err != nil {
+		return fmt.Errorf("cluster: shard %s adopting %s: %w", s.ID, group, err)
+	}
+	if takeover {
+		if err := s.Admin.RekeyGroup(ctx, group); err != nil {
+			return fmt.Errorf("cluster: shard %s healing %s: %w", s.ID, group, err)
+		}
+	}
+	return nil
+}
+
+// ServeHTTP gates /admin/* behind group ownership and delegates everything
+// (including /provision and /info, which any shard serves — all enclaves
+// share the master secret) to the embedded admin.Service.
+func (s *Shard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	stopped := s.stopped
+	s.mu.Unlock()
+	if stopped {
+		http.Error(w, "cluster: shard stopped", http.StatusServiceUnavailable)
+		return
+	}
+	if !strings.HasPrefix(r.URL.Path, "/admin/") {
+		s.Service.ServeHTTP(w, r)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req struct {
+		Group string `json:"group"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil || req.Group == "" {
+		http.Error(w, "cluster: missing group", http.StatusBadRequest)
+		return
+	}
+	if err := s.EnsureOwnership(r.Context(), req.Group); err != nil {
+		if errors.Is(err, ErrLeaseHeld) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	// If an op for an owned group finds no local state, the cache was
+	// dropped by a failed apply — possibly OUR OWN, which can have left a
+	// partial write in the cloud. Rebuild WITH the healing key rotation
+	// (takeover=true), exactly as if the group were reclaimed from a
+	// crashed peer.
+	if _, err := s.Admin.Manager().Members(req.Group); errors.Is(err, core.ErrNoSuchGroup) {
+		if err := s.adopt(r.Context(), req.Group, true); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+	}
+	r2 := r.Clone(r.Context())
+	r2.Body = io.NopCloser(bytes.NewReader(body))
+	r2.ContentLength = int64(len(body))
+	s.Service.ServeHTTP(w, r2)
+}

@@ -611,6 +611,28 @@ func (m *Manager) RestoreGroup(name string, recs map[string]*PartitionRecord, se
 	return nil
 }
 
+// DropGroup forgets a group's administrator-side state without touching the
+// cloud. Multi-admin deployments use it when ownership of a group moves to
+// another administrator (lease lost or handed over) and when a stale local
+// cache must be rebuilt from the cloud before retrying a conflicted apply.
+// Dropping an unknown group is a no-op.
+func (m *Manager) DropGroup(name string) {
+	m.mu.Lock()
+	g, ok := m.groups[name]
+	if ok {
+		delete(m.groups, name)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return
+	}
+	// Wait for any in-flight operation, then poison the state so a waiter
+	// that raced the drop treats the group as gone.
+	g.mu.Lock()
+	g.invalid = true
+	g.mu.Unlock()
+}
+
 // SealedGroupKey returns the group's sealed key blob, which administrators
 // persist alongside the partition records (Algorithm 1 line 7 stores the
 // sealed gk). It is opaque outside the enclave.

@@ -22,6 +22,13 @@ type OpLog struct {
 	mu      sync.Mutex
 	key     *ecdsa.PrivateKey
 	entries []LogEntry
+	// baseSeq/baseHash anchor the chain after a checkpoint: entries before
+	// and including baseSeq have been truncated, and baseHash is the hash of
+	// entry baseSeq (zero for a never-truncated log). Appends link to the
+	// anchor when the retained window is empty, so verifiability survives
+	// truncation (VerifyChainFrom).
+	baseSeq  uint64
+	baseHash [32]byte
 }
 
 // OpKind enumerates membership operations. Values start at one so the zero
@@ -91,7 +98,7 @@ func (l *OpLog) Append(admin, group string, kind OpKind, user string) (*LogEntry
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	e := LogEntry{
-		Seq:   uint64(len(l.entries) + 1),
+		Seq:   l.baseSeq + uint64(len(l.entries)) + 1,
 		Time:  time.Now().UTC(),
 		Admin: admin,
 		Group: group,
@@ -100,6 +107,8 @@ func (l *OpLog) Append(admin, group string, kind OpKind, user string) (*LogEntry
 	}
 	if n := len(l.entries); n > 0 {
 		e.PrevHash = l.entries[n-1].Hash
+	} else {
+		e.PrevHash = l.baseHash
 	}
 	e.Hash = e.digest()
 	sig, err := ecdsa.SignASN1(rand.Reader, l.key, e.Hash[:])
@@ -119,19 +128,62 @@ func (l *OpLog) Entries() []LogEntry {
 	return append([]LogEntry(nil), l.entries...)
 }
 
-// Len returns the number of certified operations.
+// Len returns the number of certified operations, including truncated ones.
 func (l *OpLog) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.entries)
+	return int(l.baseSeq) + len(l.entries)
+}
+
+// Checkpoint returns the current chain anchor: the sequence number of the
+// last truncated entry and its hash (zero values for a never-truncated log).
+// Auditors persist the pair to verify later exports with VerifyChainFrom.
+func (l *OpLog) Checkpoint() (uint64, [32]byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.baseSeq, l.baseHash
+}
+
+// CheckpointBefore truncates every entry with Seq < n, bounding the log's
+// memory to the retained window while keeping the chain verifiable: the hash
+// of entry n-1 becomes the checkpoint anchor future entries (and
+// VerifyChainFrom) link against. Long-running administrators call it
+// periodically after archiving the returned entries elsewhere. It returns
+// the truncated entries (empty when n is not past the current anchor).
+func (l *OpLog) CheckpointBefore(n uint64) []LogEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n <= l.baseSeq+1 {
+		return nil
+	}
+	// Clamp to "everything appended so far".
+	if top := l.baseSeq + uint64(len(l.entries)) + 1; n > top {
+		n = top
+	}
+	cut := int(n - 1 - l.baseSeq) // entries[:cut] have Seq < n
+	dropped := append([]LogEntry(nil), l.entries[:cut]...)
+	if cut > 0 {
+		l.baseSeq = l.entries[cut-1].Seq
+		l.baseHash = l.entries[cut-1].Hash
+		l.entries = append(l.entries[:0:0], l.entries[cut:]...)
+	}
+	return dropped
 }
 
 // VerifyChain validates hash links and signatures for an exported log
 // against the admin public key; any mutation fails with ErrLogTampered.
 func VerifyChain(entries []LogEntry, pub *ecdsa.PublicKey) error {
-	var prev [32]byte
+	var zero [32]byte
+	return VerifyChainFrom(entries, pub, 0, zero)
+}
+
+// VerifyChainFrom validates a log exported after a checkpoint: entries must
+// continue the chain at baseSeq+1 with the first PrevHash equal to baseHash
+// (both from OpLog.Checkpoint taken when the prefix was archived).
+func VerifyChainFrom(entries []LogEntry, pub *ecdsa.PublicKey, baseSeq uint64, baseHash [32]byte) error {
+	prev := baseHash
 	for i, e := range entries {
-		if e.Seq != uint64(i+1) {
+		if e.Seq != baseSeq+uint64(i+1) {
 			return fmt.Errorf("%w: sequence gap at %d", ErrLogTampered, i)
 		}
 		if e.PrevHash != prev {

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestOpLogCheckpointPreservesVerifiability(t *testing.T) {
+	l, err := NewOpLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append("admin-1", "g", OpAddUser, "u"); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dropped := l.CheckpointBefore(6)
+	if len(dropped) != 5 {
+		t.Fatalf("dropped %d entries, want 5", len(dropped))
+	}
+	if err := VerifyChain(dropped, l.PublicKey()); err != nil {
+		t.Fatalf("archived prefix no longer verifies: %v", err)
+	}
+	baseSeq, baseHash := l.Checkpoint()
+	if baseSeq != 5 || baseHash != dropped[4].Hash {
+		t.Fatalf("checkpoint = (%d, %x), want (5, %x)", baseSeq, baseHash[:4], dropped[4].Hash[:4])
+	}
+	if l.Len() != 10 {
+		t.Fatalf("Len = %d, want 10 (truncation must not forget history)", l.Len())
+	}
+
+	// The retained window verifies from the checkpoint, and new appends keep
+	// linking to it.
+	if _, err := l.Append("admin-1", "g", OpRemoveUser, "u"); err != nil {
+		t.Fatal(err)
+	}
+	entries := l.Entries()
+	if len(entries) != 6 || entries[0].Seq != 6 || entries[5].Seq != 11 {
+		t.Fatalf("retained window = %d entries, first seq %d", len(entries), entries[0].Seq)
+	}
+	if err := VerifyChainFrom(entries, l.PublicKey(), baseSeq, baseHash); err != nil {
+		t.Fatalf("verify from checkpoint: %v", err)
+	}
+	// Plain VerifyChain must reject a truncated export (it starts at seq 6).
+	if err := VerifyChain(entries, l.PublicKey()); !errors.Is(err, ErrLogTampered) {
+		t.Fatalf("truncated export accepted by VerifyChain: %v", err)
+	}
+}
+
+func TestOpLogCheckpointTamperDetection(t *testing.T) {
+	l, err := NewOpLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append("admin-1", "g", OpAddUser, "u"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.CheckpointBefore(4)
+	baseSeq, baseHash := l.Checkpoint()
+
+	entries := l.Entries()
+	entries[1].User = "mallory"
+	if err := VerifyChainFrom(entries, l.PublicKey(), baseSeq, baseHash); !errors.Is(err, ErrLogTampered) {
+		t.Fatalf("tampered entry accepted: %v", err)
+	}
+	// A forged anchor is rejected too: the first retained entry no longer
+	// links to it.
+	var badHash [32]byte
+	badHash[0] = 1
+	if err := VerifyChainFrom(l.Entries(), l.PublicKey(), baseSeq, badHash); !errors.Is(err, ErrLogTampered) {
+		t.Fatalf("forged anchor accepted: %v", err)
+	}
+}
+
+func TestOpLogCheckpointEdgeCases(t *testing.T) {
+	l, err := NewOpLog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.CheckpointBefore(1); got != nil {
+		t.Fatalf("checkpoint of empty log dropped %d", len(got))
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.Append("a", "g", OpAddUser, "u"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// n beyond the top clamps to "drop everything appended".
+	if got := l.CheckpointBefore(99); len(got) != 3 {
+		t.Fatalf("clamped checkpoint dropped %d, want 3", len(got))
+	}
+	if len(l.Entries()) != 0 || l.Len() != 3 {
+		t.Fatalf("after full truncation: %d retained, Len %d", len(l.Entries()), l.Len())
+	}
+	// Appending into an empty retained window links to the anchor.
+	if _, err := l.Append("a", "g", OpRekey, ""); err != nil {
+		t.Fatal(err)
+	}
+	baseSeq, baseHash := l.Checkpoint()
+	if err := VerifyChainFrom(l.Entries(), l.PublicKey(), baseSeq, baseHash); err != nil {
+		t.Fatalf("append after full truncation broke the chain: %v", err)
+	}
+	// Re-checkpointing below the anchor is a no-op.
+	if got := l.CheckpointBefore(2); got != nil {
+		t.Fatalf("stale checkpoint dropped %d", len(got))
+	}
+}

@@ -3,6 +3,7 @@ package storage
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 )
 
@@ -19,6 +20,10 @@ type FaultStore struct {
 	// failEveryPut fails every n-th Put when > 0.
 	failEveryPut int
 	putCount     int
+	// failEveryPutIf injects ErrVersionConflict on every n-th PutIf when
+	// > 0 — deterministic exercise for CAS retry/abort paths.
+	failEveryPutIf int
+	putIfCount     int
 	// failGets / failPuts force all reads / mutations to fail.
 	failGets bool
 	failPuts bool
@@ -35,6 +40,15 @@ func (f *FaultStore) FailEveryPut(n int) {
 	defer f.mu.Unlock()
 	f.failEveryPut = n
 	f.putCount = 0
+}
+
+// FailEveryPutIf makes every n-th PutIf fail with ErrVersionConflict
+// (0 disables), simulating a concurrent writer winning the CAS race.
+func (f *FaultStore) FailEveryPutIf(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failEveryPutIf = n
+	f.putIfCount = 0
 }
 
 // SetFailGets toggles failing all reads (Get/List/Version/Poll).
@@ -76,6 +90,29 @@ func (f *FaultStore) Put(ctx context.Context, dir, name string, data []byte) err
 		return ErrInjected
 	}
 	return f.Inner.Put(ctx, dir, name, data)
+}
+
+// PutIf implements Store. Injected conflicts (FailEveryPutIf) surface as
+// ErrVersionConflict without reaching the inner store; injected mutation
+// faults (SetFailPuts/FailEveryPut) surface as ErrInjected.
+func (f *FaultStore) PutIf(ctx context.Context, dir, name string, data []byte, ifDirVersion uint64) error {
+	if f.putIfShouldConflict() {
+		return fmt.Errorf("%w: injected on %s", ErrVersionConflict, dir)
+	}
+	if f.putShouldFail() {
+		return ErrInjected
+	}
+	return f.Inner.PutIf(ctx, dir, name, data, ifDirVersion)
+}
+
+func (f *FaultStore) putIfShouldConflict() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failEveryPutIf <= 0 {
+		return false
+	}
+	f.putIfCount++
+	return f.putIfCount%f.failEveryPutIf == 0
 }
 
 // Delete implements Store.

@@ -82,3 +82,34 @@ func TestFaultStoreToggleGetsAndPuts(t *testing.T) {
 		t.Fatal("recovery broken")
 	}
 }
+
+func TestFaultStoreFailEveryPutIf(t *testing.T) {
+	fs := NewFaultStore(NewMemStore(Latency{}))
+	fs.FailEveryPutIf(2)
+	ctx := context.Background()
+	conflicts := 0
+	var ver uint64
+	for i := 0; i < 6; i++ {
+		err := fs.PutIf(ctx, "d", "x", []byte("v"), ver)
+		switch {
+		case errors.Is(err, ErrVersionConflict):
+			conflicts++
+		case err != nil:
+			t.Fatal(err)
+		default:
+			ver++ // our own successful CAS advanced the directory
+		}
+	}
+	if conflicts != 3 {
+		t.Fatalf("conflicts = %d, want 3", conflicts)
+	}
+	// Injected conflicts never reach the inner store.
+	got, err := fs.Inner.Get(ctx, "d", "x")
+	if err != nil || string(got) != "v" {
+		t.Fatalf("inner store state: %q %v", got, err)
+	}
+	fs.FailEveryPutIf(0)
+	if err := fs.PutIf(ctx, "d", "x", []byte("v"), ver); err != nil {
+		t.Fatalf("disabled injection still fails: %v", err)
+	}
+}

@@ -56,6 +56,14 @@ func (f *FileStore) Put(ctx context.Context, dir, name string, data []byte) erro
 	if err := ctx.Err(); err != nil {
 		return err
 	}
+	if err := f.writeObject(dir, name, data); err != nil {
+		return err
+	}
+	return f.bump(dir)
+}
+
+// writeObject atomically replaces one object file (temp write + rename).
+func (f *FileStore) writeObject(dir, name string, data []byte) error {
 	dp := f.dirPath(dir)
 	if err := os.MkdirAll(dp, 0o755); err != nil {
 		return fmt.Errorf("storage: creating directory: %w", err)
@@ -78,7 +86,24 @@ func (f *FileStore) Put(ctx context.Context, dir, name string, data []byte) erro
 		os.Remove(tmpName)
 		return fmt.Errorf("storage: committing object: %w", err)
 	}
-	return f.bump(dir)
+	return nil
+}
+
+// PutIf implements Store. The version check, object write and version bump
+// run under the store lock, so concurrent conditional writers serialise.
+func (f *FileStore) PutIf(ctx context.Context, dir, name string, data []byte, ifDirVersion uint64) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if cur := f.readVersion(dir); cur != ifDirVersion {
+		return fmt.Errorf("%w: %s at %d, want %d", ErrVersionConflict, dir, cur, ifDirVersion)
+	}
+	if err := f.writeObject(dir, name, data); err != nil {
+		return err
+	}
+	return f.bumpLocked(dir)
 }
 
 // Delete implements Store.
@@ -179,6 +204,12 @@ func (f *FileStore) readVersion(dir string) uint64 {
 func (f *FileStore) bump(dir string) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	return f.bumpLocked(dir)
+}
+
+// bumpLocked is bump with f.mu already held (PutIf holds it across the
+// version check and the object write).
+func (f *FileStore) bumpLocked(dir string) error {
 	v := f.readVersion(dir) + 1
 	var buf [8]byte
 	binary.BigEndian.PutUint64(buf[:], v)

@@ -84,6 +84,21 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request, path strin
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		// ?if-version=n selects the conditional PUT (PutIf): the write
+		// succeeds only when the directory version still equals n.
+		if cond := r.URL.Query().Get("if-version"); cond != "" {
+			want, err := strconv.ParseUint(cond, 10, 64)
+			if err != nil {
+				http.Error(w, "bad if-version", http.StatusBadRequest)
+				return
+			}
+			if err := s.store.PutIf(r.Context(), dir, name, body, want); err != nil {
+				writeStoreErr(w, err)
+				return
+			}
+			w.WriteHeader(http.StatusNoContent)
+			return
+		}
 		if err := s.store.Put(r.Context(), dir, name, body); err != nil {
 			writeStoreErr(w, err)
 			return
@@ -163,6 +178,10 @@ func writeStoreErr(w http.ResponseWriter, err error) {
 		http.Error(w, err.Error(), http.StatusNotFound)
 		return
 	}
+	if errors.Is(err, ErrVersionConflict) {
+		http.Error(w, err.Error(), http.StatusPreconditionFailed)
+		return
+	}
 	http.Error(w, err.Error(), http.StatusInternalServerError)
 }
 
@@ -201,6 +220,17 @@ func (h *HTTPStore) objURL(dir, name string) string {
 // Put implements Store.
 func (h *HTTPStore) Put(ctx context.Context, dir, name string, data []byte) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPut, h.objURL(dir, name), strings.NewReader(string(data)))
+	if err != nil {
+		return err
+	}
+	return h.expectNoContent(req)
+}
+
+// PutIf implements Store via the ?if-version conditional PUT; the server
+// answers 412 Precondition Failed on a version conflict.
+func (h *HTTPStore) PutIf(ctx context.Context, dir, name string, data []byte, ifDirVersion uint64) error {
+	u := h.objURL(dir, name) + "?if-version=" + strconv.FormatUint(ifDirVersion, 10)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, u, strings.NewReader(string(data)))
 	if err != nil {
 		return err
 	}
@@ -327,6 +357,9 @@ func (h *HTTPStore) expectNoContent(req *http.Request) error {
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusNotFound {
 		return fmt.Errorf("%w: %s", ErrNotFound, req.URL.Path)
+	}
+	if resp.StatusCode == http.StatusPreconditionFailed {
+		return fmt.Errorf("%w: %s", ErrVersionConflict, req.URL.Path)
 	}
 	if resp.StatusCode != http.StatusNoContent {
 		return httpError(resp)

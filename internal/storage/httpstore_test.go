@@ -1,0 +1,135 @@
+package storage
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newHTTPPair spins up a Server over a MemStore and returns the client-side
+// HTTPStore together with the backing store (for white-box assertions).
+func newHTTPPair(t *testing.T) (*HTTPStore, *MemStore) {
+	t.Helper()
+	mem := NewMemStore(Latency{})
+	srv := httptest.NewServer(NewServer(mem))
+	t.Cleanup(srv.Close)
+	return NewHTTPStore(srv.URL), mem
+}
+
+func TestHTTPStoreFullRoundTrip(t *testing.T) {
+	hs, mem := newHTTPPair(t)
+	ctx := context.Background()
+
+	// Put + Get.
+	if err := hs.Put(ctx, "g", "p1", []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := hs.Get(ctx, "g", "p1")
+	if err != nil || !bytes.Equal(got, []byte("one")) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+
+	// List is sorted and complete.
+	if err := hs.Put(ctx, "g", "p0", []byte("zero")); err != nil {
+		t.Fatal(err)
+	}
+	names, err := hs.List(ctx, "g")
+	if err != nil || len(names) != 2 || names[0] != "p0" || names[1] != "p1" {
+		t.Fatalf("List = %v, %v", names, err)
+	}
+
+	// Version advanced once per mutation and agrees with the backing store.
+	v, err := hs.Version(ctx, "g")
+	if err != nil || v != 2 {
+		t.Fatalf("Version = %d, %v", v, err)
+	}
+	mv, _ := mem.Version(ctx, "g")
+	if v != mv {
+		t.Fatalf("client sees version %d, store has %d", v, mv)
+	}
+
+	// Poll returns immediately when behind.
+	pv, err := hs.Poll(ctx, "g", 0)
+	if err != nil || pv != v {
+		t.Fatalf("Poll(0) = %d, %v", pv, err)
+	}
+
+	// Poll blocks until a mutation, across the wire.
+	var (
+		wg     sync.WaitGroup
+		wokeAt uint64
+		wErr   error
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		wokeAt, wErr = hs.Poll(ctx, "g", v)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	if err := hs.Put(ctx, "g", "p2", []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if wErr != nil || wokeAt <= v {
+		t.Fatalf("Poll woke at %d, %v", wokeAt, wErr)
+	}
+
+	// Delete removes the object and a second delete is NotFound.
+	if err := hs.Delete(ctx, "g", "p2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hs.Get(ctx, "g", "p2"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted object: %v", err)
+	}
+	if err := hs.Delete(ctx, "g", "p2"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestHTTPStorePutIf(t *testing.T) {
+	hs, _ := newHTTPPair(t)
+	ctx := context.Background()
+
+	// Conditional create against a fresh directory (version 0).
+	if err := hs.PutIf(ctx, "g", "p1", []byte("v1"), 0); err != nil {
+		t.Fatalf("PutIf at 0: %v", err)
+	}
+	// A stale writer conflicts and must not overwrite.
+	if err := hs.PutIf(ctx, "g", "p1", []byte("stale"), 0); !errors.Is(err, ErrVersionConflict) {
+		t.Fatalf("stale PutIf: %v", err)
+	}
+	got, err := hs.Get(ctx, "g", "p1")
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("after conflict Get = %q, %v", got, err)
+	}
+	// The current version succeeds again.
+	v, _ := hs.Version(ctx, "g")
+	if err := hs.PutIf(ctx, "g", "p1", []byte("v2"), v); err != nil {
+		t.Fatalf("PutIf at %d: %v", v, err)
+	}
+	got, _ = hs.Get(ctx, "g", "p1")
+	if string(got) != "v2" {
+		t.Fatalf("after CAS Get = %q", got)
+	}
+}
+
+func TestHTTPServerRejectsBadIfVersion(t *testing.T) {
+	hs, _ := newHTTPPair(t)
+	req, err := http.NewRequest(http.MethodPut, hs.BaseURL+"/v1/obj/g/p?if-version=nope", bytes.NewReader([]byte("x")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad if-version accepted: %d", resp.StatusCode)
+	}
+}

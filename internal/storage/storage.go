@@ -23,6 +23,9 @@ import (
 var (
 	// ErrNotFound reports a missing object or directory.
 	ErrNotFound = errors.New("storage: not found")
+	// ErrVersionConflict reports a conditional mutation whose expected
+	// directory version no longer matches — another writer got there first.
+	ErrVersionConflict = errors.New("storage: directory version conflict")
 )
 
 // Store is the cloud interface used by administrators (Put/Delete) and
@@ -33,6 +36,13 @@ var (
 type Store interface {
 	// Put creates or replaces an object.
 	Put(ctx context.Context, dir, name string, data []byte) error
+	// PutIf creates or replaces an object only if the directory version
+	// still equals ifDirVersion (0 for a directory that never existed),
+	// failing with ErrVersionConflict otherwise. It is the optimistic-
+	// concurrency primitive multi-administrator deployments serialise on:
+	// a writer whose view of the directory is stale aborts cleanly instead
+	// of clobbering a concurrent writer's records.
+	PutIf(ctx context.Context, dir, name string, data []byte, ifDirVersion uint64) error
 	// Delete removes an object; deleting a missing object is an error.
 	Delete(ctx context.Context, dir, name string) error
 	// Get fetches an object.
@@ -103,6 +113,32 @@ func (m *MemStore) Put(ctx context.Context, dir, name string, data []byte) error
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	d := m.dirs[dir]
+	if d == nil {
+		d = &memDir{objects: make(map[string][]byte)}
+		m.dirs[dir] = d
+	}
+	d.objects[name] = append([]byte(nil), data...)
+	m.puts++
+	m.byteRx += int64(len(data))
+	m.bump(d)
+	return nil
+}
+
+// PutIf implements Store.
+func (m *MemStore) PutIf(ctx context.Context, dir, name string, data []byte, ifDirVersion uint64) error {
+	if err := sleepCtx(ctx, m.lat.Put); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := m.dirs[dir]
+	cur := uint64(0)
+	if d != nil {
+		cur = d.version
+	}
+	if cur != ifDirVersion {
+		return fmt.Errorf("%w: %s at %d, want %d", ErrVersionConflict, dir, cur, ifDirVersion)
+	}
 	if d == nil {
 		d = &memDir{objects: make(map[string][]byte)}
 		m.dirs[dir] = d

@@ -374,3 +374,88 @@ func TestServerRejectsMalformedPaths(t *testing.T) {
 		t.Fatalf("unknown route: %d", resp.StatusCode)
 	}
 }
+
+// putIfBackends covers every backend for the CAS tests, including the
+// durable FileStore the shared backends helper leaves out.
+func putIfBackends(t *testing.T) map[string]Store {
+	t.Helper()
+	out := backends(t)
+	fs, err := NewFileStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["file"] = fs
+	return out
+}
+
+func TestPutIfAllBackends(t *testing.T) {
+	for name, st := range putIfBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			ctx := context.Background()
+			// Create at version 0, then a stale CAS must conflict and leave
+			// the winner's data untouched.
+			if err := st.PutIf(ctx, "g", "p", []byte("winner"), 0); err != nil {
+				t.Fatalf("PutIf at 0: %v", err)
+			}
+			if err := st.PutIf(ctx, "g", "p", []byte("loser"), 0); !errors.Is(err, ErrVersionConflict) {
+				t.Fatalf("stale PutIf: %v", err)
+			}
+			got, err := st.Get(ctx, "g", "p")
+			if err != nil || string(got) != "winner" {
+				t.Fatalf("after conflict: %q %v", got, err)
+			}
+			// CAS at the observed version succeeds and bumps like Put.
+			v, err := st.Version(ctx, "g")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.PutIf(ctx, "g", "p2", []byte("x"), v); err != nil {
+				t.Fatalf("PutIf at %d: %v", v, err)
+			}
+			v2, _ := st.Version(ctx, "g")
+			if v2 != v+1 {
+				t.Fatalf("PutIf bumped %d → %d", v, v2)
+			}
+			// Unconditional mutations still interleave with CAS expectations.
+			if err := st.Put(ctx, "g", "p3", []byte("y")); err != nil {
+				t.Fatal(err)
+			}
+			if err := st.PutIf(ctx, "g", "p", []byte("late"), v2); !errors.Is(err, ErrVersionConflict) {
+				t.Fatalf("CAS after unconditional put: %v", err)
+			}
+		})
+	}
+}
+
+func TestPutIfSingleWinnerUnderRace(t *testing.T) {
+	for name, st := range putIfBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			ctx := context.Background()
+			const racers = 8
+			var (
+				wg   sync.WaitGroup
+				mu   sync.Mutex
+				wins int
+			)
+			for i := 0; i < racers; i++ {
+				i := i
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					err := st.PutIf(ctx, "race", "obj", []byte(fmt.Sprintf("w%d", i)), 0)
+					if err == nil {
+						mu.Lock()
+						wins++
+						mu.Unlock()
+					} else if !errors.Is(err, ErrVersionConflict) {
+						t.Errorf("racer %d: %v", i, err)
+					}
+				}()
+			}
+			wg.Wait()
+			if wins != 1 {
+				t.Fatalf("CAS winners = %d, want exactly 1", wins)
+			}
+		})
+	}
+}
