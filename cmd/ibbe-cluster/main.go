@@ -18,18 +18,30 @@
 //	curl -X POST :9091/admin/create -d '{"group":"g","members":["a","b"]}'
 //	curl -X POST :9091/admin/add    -d '{"group":"g","user":"c"}'
 //
+// The member set is elastic. The gateway's control endpoint grows or
+// drains the cluster live — each change bumps the membership epoch, moves
+// only the joining/leaving shard's arc, and fences out writes from the
+// superseded epoch:
+//
+//	curl :9091/admin/cluster/membership                                  (status)
+//	curl -X POST :9091/admin/cluster/membership -d '{"action":"add"}'    (grow)
+//	curl -X POST :9091/admin/cluster/membership -d '{"action":"drain","shard":"shard-2"}'
+//
 // Kill a shard (it logs its port) and the next request for its groups fails
 // over: a peer waits out the lease, reclaims the groups from the cloud and
 // rotates their keys.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"github.com/ibbesgx/ibbesgx/internal/cluster"
@@ -92,28 +104,166 @@ func run(shards int, listen, storeURL string, capacity int, paramsName string, l
 	}
 	c.Start()
 
+	g := &gateway{c: c, targets: make(map[string]string)}
 	// Each shard listens on its own ephemeral port; the gateway is the only
 	// address clients need.
-	targets := make(map[string]string, shards)
-	for _, s := range c.Shards {
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
+	for _, s := range c.Shards() {
+		if err := g.serveShard(s); err != nil {
 			return err
 		}
-		targets[s.ID] = "http://" + ln.Addr().String()
-		log.Printf("ibbe-cluster: %s serving on %s", s.ID, ln.Addr())
-		go func(s http.Handler, ln net.Listener) {
-			if err := http.Serve(ln, s); err != nil {
-				log.Printf("ibbe-cluster: shard server: %v", err)
-			}
-		}(s, ln)
 	}
-	router, err := cluster.NewRouter(c.Ring, targets)
+	router, err := cluster.NewRouter(c.Membership(), g.targetSnapshot())
 	if err != nil {
 		return err
 	}
 	// One request must be able to wait out a dead shard's lease.
 	router.RouteTimeout = 2*leaseTTL + 10*time.Second
-	log.Printf("ibbe-cluster: gateway serving on %s (lease TTL %v)", listen, leaseTTL)
-	return http.ListenAndServe(listen, router)
+	g.rt = router
+	// Membership changes reach the router BEFORE the shards drain, so
+	// requests flow toward the new owners throughout the hand-off.
+	c.OnMembership = func(m *cluster.Membership) {
+		if err := router.ApplyMembership(m, g.targetSnapshot()); err != nil {
+			log.Printf("ibbe-cluster: router rejected membership %d: %v", m.Epoch, err)
+		}
+	}
+	log.Printf("ibbe-cluster: gateway serving on %s (lease TTL %v, membership epoch %d)", listen, leaseTTL, c.Epoch())
+	return http.ListenAndServe(listen, g)
+}
+
+// gateway fronts the router with the cluster-control surface: the
+// membership endpoint mutates the member set; everything else forwards.
+type gateway struct {
+	c  *cluster.Cluster
+	rt *cluster.Router
+
+	mu      sync.Mutex
+	targets map[string]string
+}
+
+// serveShard gives one shard its own listener and records the target URL.
+func (g *gateway) serveShard(s *cluster.Shard) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	url := "http://" + ln.Addr().String()
+	g.mu.Lock()
+	g.targets[s.ID] = url
+	g.mu.Unlock()
+	log.Printf("ibbe-cluster: %s serving on %s", s.ID, ln.Addr())
+	go func() {
+		if err := http.Serve(ln, s); err != nil {
+			log.Printf("ibbe-cluster: shard server: %v", err)
+		}
+	}()
+	return nil
+}
+
+func (g *gateway) targetSnapshot() map[string]string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]string, len(g.targets))
+	for id, u := range g.targets {
+		out[id] = u
+	}
+	return out
+}
+
+func (g *gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/admin/cluster/membership" {
+		g.handleMembership(w, r)
+		return
+	}
+	g.rt.ServeHTTP(w, r)
+}
+
+// membershipStatus is the control endpoint's GET (and mutation) response.
+// Warning, when set, reports a hand-off step that failed AFTER the change
+// took effect (the epoch advanced and routing switched): the operator must
+// NOT retry the change — the affected leases heal through TTL expiry.
+type membershipStatus struct {
+	Epoch   uint64            `json:"epoch"`
+	Members []string          `json:"members"`
+	Targets map[string]string `json:"targets"`
+	Warning string            `json:"warning,omitempty"`
+}
+
+func (g *gateway) status() membershipStatus {
+	m := g.c.Membership()
+	return membershipStatus{Epoch: m.Epoch, Members: m.Members(), Targets: g.targetSnapshot()}
+}
+
+// writeApplied reports a membership change that took effect. A hand-off
+// error is a warning, not a failure: answering 5xx would invite the
+// operator to retry a change that is already live (minting yet another
+// shard); the leases behind the warning heal through TTL expiry.
+func (g *gateway) writeApplied(w http.ResponseWriter, handOffErr error) {
+	st := g.status()
+	if handOffErr != nil {
+		st.Warning = handOffErr.Error()
+		log.Printf("ibbe-cluster: membership applied with hand-off warning: %v", handOffErr)
+	}
+	writeJSON(w, st)
+}
+
+// handleMembership serves the elastic-membership control endpoint:
+//
+//	GET  → {"epoch": e, "members": [...], "targets": {...}}
+//	POST {"action":"add"}                  → mint + admit a shard
+//	POST {"action":"drain","shard":"id"}   → hand the shard's groups off
+func (g *gateway) handleMembership(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, g.status())
+	case http.MethodPost:
+		var req struct {
+			Action string `json:"action"`
+			Shard  string `json:"shard,omitempty"`
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil || json.Unmarshal(body, &req) != nil {
+			http.Error(w, "cluster: bad membership request", http.StatusBadRequest)
+			return
+		}
+		switch req.Action {
+		case "add":
+			s, err := g.c.AddShard()
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			if err := g.serveShard(s); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			m, err := g.c.Admit(r.Context(), s.ID)
+			if m == nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			log.Printf("ibbe-cluster: %s admitted at membership epoch %d", s.ID, m.Epoch)
+			g.writeApplied(w, err)
+		case "drain":
+			if req.Shard == "" {
+				http.Error(w, "cluster: drain needs a shard id", http.StatusBadRequest)
+				return
+			}
+			m, err := g.c.RemoveShard(r.Context(), req.Shard)
+			if m == nil {
+				http.Error(w, err.Error(), http.StatusConflict)
+				return
+			}
+			log.Printf("ibbe-cluster: %s drained at membership epoch %d", req.Shard, m.Epoch)
+			g.writeApplied(w, err)
+		default:
+			http.Error(w, fmt.Sprintf("cluster: unknown action %q (want add or drain)", req.Action), http.StatusBadRequest)
+		}
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
 }

@@ -40,6 +40,11 @@ type Admin struct {
 	// last observed, so two administrators racing the same group cannot
 	// interleave records from different group keys. See EnableCAS.
 	cas bool
+	// fence, when set, supplies the cluster membership epoch stamped on
+	// every conditional write (storage.PutFenced): the store rejects writes
+	// from an admin operating under a superseded membership with ErrFenced —
+	// terminal, never retried. See SetFence.
+	fence func() uint64
 	// verMu guards dirVer, the per-group directory versions this admin's
 	// cached state corresponds to. Entries are set by RestoreGroup and
 	// advanced only by this admin's own writes — a conditional write against
@@ -91,6 +96,33 @@ func (a *Admin) groupOpLock(group string) *sync.Mutex {
 // deployments (internal/cluster) must enable this; a single-admin
 // deployment does not need it.
 func (a *Admin) EnableCAS() { a.cas = true }
+
+// SetFence installs the epoch provider fencing this admin's conditional
+// writes — in a cluster, the shard's current membership epoch. Must be set
+// before the admin serves concurrent operations. A provider returning 0
+// disables fencing for that write (plain PutIf).
+func (a *Admin) SetFence(epoch func() uint64) { a.fence = epoch }
+
+// condPut issues one conditional write, fenced by the current membership
+// epoch when a fence is installed.
+func (a *Admin) condPut(ctx context.Context, dir, name string, data []byte, ifVersion uint64) error {
+	if a.fence != nil {
+		if e := a.fence(); e > 0 {
+			return a.store.PutFenced(ctx, dir, name, data, ifVersion, e)
+		}
+	}
+	return a.store.PutIf(ctx, dir, name, data, ifVersion)
+}
+
+// LockGroup acquires the per-group operation lock and returns its unlock.
+// The cluster layer uses it to flush in-flight operations before handing a
+// group to another shard: once LockGroup returns, no operation on the group
+// is mid-apply on this admin.
+func (a *Admin) LockGroup(group string) func() {
+	l := a.groupOpLock(group)
+	l.Lock()
+	return l.Unlock
+}
 
 // casAttempts bounds the refresh-and-retry loop: a persistent conflict
 // (e.g. an ownership race that keeps losing) aborts cleanly instead of
@@ -391,7 +423,7 @@ func (a *Admin) applyCAS(ctx context.Context, up *core.Update) error {
 		// write the sealed key up front as the guard (it is written again
 		// at the final version below), so a stale admin conflicts before
 		// destroying any object.
-		if err := a.store.PutIf(ctx, up.Group, sealedGKObject, sealed, v); err != nil {
+		if err := a.condPut(ctx, up.Group, sealedGKObject, sealed, v); err != nil {
 			return fail(fmt.Errorf("admin: putting sealed group key: %w", err))
 		}
 		v++
@@ -401,7 +433,7 @@ func (a *Admin) applyCAS(ctx context.Context, up *core.Update) error {
 		if err != nil {
 			return fail(err)
 		}
-		if err := a.store.PutIf(ctx, up.Group, id, blob, v); err != nil {
+		if err := a.condPut(ctx, up.Group, id, blob, v); err != nil {
 			return fail(fmt.Errorf("admin: putting %s/%s: %w", up.Group, id, err))
 		}
 		v++
@@ -416,7 +448,7 @@ func (a *Admin) applyCAS(ctx context.Context, up *core.Update) error {
 		}
 		v++
 	}
-	if err := a.store.PutIf(ctx, up.Group, sealedGKObject, sealed, v); err != nil {
+	if err := a.condPut(ctx, up.Group, sealedGKObject, sealed, v); err != nil {
 		return fail(fmt.Errorf("admin: putting sealed group key: %w", err))
 	}
 	v++
@@ -459,7 +491,7 @@ func (a *Admin) updateCatalog(ctx context.Context, group string) error {
 		if !a.cas {
 			return a.store.Put(ctx, catalogDir, catalogObject, blob)
 		}
-		err = a.store.PutIf(ctx, catalogDir, catalogObject, blob, ver)
+		err = a.condPut(ctx, catalogDir, catalogObject, blob, ver)
 		if err == nil || !errors.Is(err, storage.ErrVersionConflict) || attempt >= casAttempts-1 {
 			return err
 		}

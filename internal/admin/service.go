@@ -16,6 +16,7 @@ import (
 	"github.com/ibbesgx/ibbesgx/internal/ibbe"
 	"github.com/ibbesgx/ibbesgx/internal/pairing"
 	"github.com/ibbesgx/ibbesgx/internal/pki"
+	"github.com/ibbesgx/ibbesgx/internal/storage"
 )
 
 // Service exposes an administrator and the user-key provisioning channel
@@ -175,6 +176,14 @@ func (s *Service) handleAdmin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
+		// A fenced write means this admin operates under a superseded
+		// cluster membership: answer 503 so a routing gateway retries on
+		// the rightful owner instead of surfacing a terminal conflict.
+		if errors.Is(err, storage.ErrFenced) {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
 		http.Error(w, err.Error(), http.StatusConflict)
 		return
 	}

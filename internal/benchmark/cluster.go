@@ -121,7 +121,7 @@ func runClusterOnce(cfg Config, shards int, traces []*trace.Trace) (ClusterRow, 
 	perShard := make(map[string]int, shards)
 	for cand := 0; len(names) < len(traces); cand++ {
 		n := fmt.Sprintf("bench-%d-g%03d", shards, cand)
-		if owner := c.Ring.Owner(n); perShard[owner] < quota {
+		if owner := c.Ring().Owner(n); perShard[owner] < quota {
 			perShard[owner]++
 			names = append(names, n)
 		}
@@ -132,7 +132,7 @@ func runClusterOnce(cfg Config, shards int, traces []*trace.Trace) (ClusterRow, 
 	// replays its groups sequentially — N shards = N serial admin pipelines.
 	byShard := make(map[string][]int)
 	for i := range traces {
-		owner := c.Ring.Owner(groupName(i))
+		owner := c.Ring().Owner(groupName(i))
 		byShard[owner] = append(byShard[owner], i)
 	}
 
@@ -206,7 +206,7 @@ func clusterOp(c *cluster.Cluster, group, route string, body map[string]any) err
 	if err != nil {
 		return err
 	}
-	shard := c.Shard(c.Ring.Owner(group))
+	shard := c.Shard(c.Ring().Owner(group))
 	req := httptest.NewRequest(http.MethodPost, "/admin/"+route, strings.NewReader(string(blob)))
 	req.Header.Set("Content-Type", "application/json")
 	rec := httptest.NewRecorder()

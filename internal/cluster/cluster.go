@@ -1,15 +1,41 @@
+// Package cluster implements sharded multi-administrator operation — the
+// horizontal scale-out the paper's §VIII names as future work. A
+// consistent-hash ring maps every group to an owning admin shard; each
+// shard runs its own enclave-backed core.Manager + admin.Admin (all
+// enclaves share one master secret via sealed exchange on the same
+// platform, so user keys and partition records are interchangeable across
+// shards); ownership is enforced by per-group lease records in the cloud
+// store, acquired and renewed with compare-and-swap writes; and a Router
+// gateway exposes the unchanged /admin/* surface, forwarding each request
+// to the owning shard — client.AdminAPI drives a whole cluster exactly
+// like a single admin.
+//
+// The member set is ELASTIC: a Membership (epoch + ring) versions it, and
+// ApplyMembership moves a live cluster to a new member set — shards losing
+// an arc drain and hand their groups off, the joining shard adopts them
+// through the existing restore-and-rotate path, and the epoch fences every
+// storage write (storage.PutFenced) so an administrator still operating
+// under a superseded membership is rejected outright.
+//
+// Safety does not rest on the ring or the leases alone: every shard's
+// Admin runs in CAS mode (storage.PutIf), so even two shards that both
+// believe they own a group — a lease-expiry race — serialise on the group
+// directory version and can never interleave records from different group
+// keys.
 package cluster
 
 import (
 	"context"
 	"crypto/rand"
 	"fmt"
+	"sync"
 	"time"
 
 	"github.com/ibbesgx/ibbesgx/internal/admin"
 	"github.com/ibbesgx/ibbesgx/internal/attest"
 	"github.com/ibbesgx/ibbesgx/internal/core"
 	"github.com/ibbesgx/ibbesgx/internal/enclave"
+	"github.com/ibbesgx/ibbesgx/internal/ibbe"
 	"github.com/ibbesgx/ibbesgx/internal/pairing"
 	"github.com/ibbesgx/ibbesgx/internal/pki"
 	"github.com/ibbesgx/ibbesgx/internal/storage"
@@ -41,25 +67,53 @@ type Options struct {
 	now func() time.Time
 }
 
-// Cluster is a set of admin shards over one shared cloud store. All shard
-// enclaves run on the same (simulated) platform and share the IBBE master
-// secret: shard 0 runs EcallSetup and the others EcallRestore its sealed
-// MSK — the sealed blob only opens inside the same enclave code on the same
+// Cluster is an elastic set of admin shards over one shared cloud store.
+// All shard enclaves run on the same (simulated) platform and share the
+// IBBE master secret: the first shard runs EcallSetup and every later one —
+// including shards minted at runtime by AddShard — EcallRestores its sealed
+// MSK; the sealed blob only opens inside the same enclave code on the same
 // platform, which is exactly the paper's multi-admin trust story. User keys
 // provisioned by any shard therefore decrypt records written by any other.
 type Cluster struct {
-	Shards []*Shard
-	Ring   *Ring
-	Store  storage.Store
+	Store storage.Store
 
 	// Platform hosts every shard enclave (one machine, N admin processes).
 	Platform *enclave.Platform
+
+	// OnMembership, when set (before the first membership change), is
+	// invoked with each new membership BEFORE it reaches the shards: the
+	// hook updates routing first, so requests already flow toward the new
+	// owners while the old owners drain — the hand-off pause collapses to
+	// the gateway's retry loop.
+	OnMembership func(*Membership)
+
+	// Build-time material for minting shards at runtime.
+	opts       Options
+	params     *pairing.Params
+	paramsName string
+	ias        *attest.IAS
+	auditor    *pki.Auditor
+	sealedMSK  []byte
+	masterPK   *ibbe.PublicKey
+
+	// changeMu serialises whole membership transitions (the read-compute-
+	// apply of ApplyMembership/RemoveShard), so two concurrent operator
+	// requests cannot build successor memberships from the same base and
+	// silently drop each other's changes. mu (below) only guards field
+	// access and is never held across shard calls.
+	changeMu sync.Mutex
+
+	mu         sync.Mutex
+	shards     []*Shard
+	membership *Membership
+	nextShard  int
+	started    bool
 }
 
 // ShardID names shard i.
 func ShardID(i int) string { return fmt.Sprintf("shard-%d", i) }
 
-// New builds (but does not start) a cluster.
+// New builds (but does not start) a cluster at membership epoch 1.
 func New(opts Options) (*Cluster, error) {
 	if opts.Shards < 1 {
 		return nil, fmt.Errorf("cluster: need at least one shard, got %d", opts.Shards)
@@ -93,60 +147,220 @@ func New(opts Options) (*Cluster, error) {
 		return nil, err
 	}
 
-	c := &Cluster{Store: store, Platform: platform}
-	var sealedMSK []byte
-	ids := make([]string, 0, opts.Shards)
-	for i := 0; i < opts.Shards; i++ {
-		id := ShardID(i)
-		ids = append(ids, id)
-		encl, err := enclave.NewIBBEEnclave(platform, params)
-		if err != nil {
-			return nil, err
-		}
-		if i == 0 {
-			if _, sealedMSK, err = encl.EcallSetup(opts.Capacity); err != nil {
-				return nil, err
-			}
-		} else if err := encl.EcallRestore(sealedMSK, c.Shards[0].Admin.Manager().PublicKey()); err != nil {
-			return nil, fmt.Errorf("cluster: sharing master secret with %s: %w", id, err)
-		}
-		cert, err := auditor.AttestAndCertify(ias, encl)
-		if err != nil {
-			return nil, fmt.Errorf("cluster: attesting %s: %w", id, err)
-		}
-		mgr, err := core.NewManager(encl, opts.Capacity, opts.Seed+int64(i))
-		if err != nil {
-			return nil, err
-		}
-		if opts.Workers > 0 {
-			mgr.SetParallelism(opts.Workers)
-		}
-		opLog, err := core.NewOpLog()
-		if err != nil {
-			return nil, err
-		}
-		adm := admin.New(id, mgr, store, opLog)
-		adm.EnableCAS()
-		svc := &admin.Service{
-			Admin:          adm,
-			Encl:           encl,
-			EnclaveCertDER: cert.Raw,
-			RootCertDER:    auditor.RootDER(),
-			ParamsName:     paramsName,
-		}
-		c.Shards = append(c.Shards, newShard(id, adm, svc, encl, store, opts.LeaseTTL, opts.now))
+	c := &Cluster{
+		Store:      store,
+		Platform:   platform,
+		opts:       opts,
+		params:     params,
+		paramsName: paramsName,
+		ias:        ias,
+		auditor:    auditor,
 	}
-	ring, err := NewRing(ids, opts.VirtualNodes)
+	ids := make([]string, opts.Shards)
+	for i := range ids {
+		ids[i] = ShardID(i)
+	}
+	m, err := NewMembership(ids, opts.VirtualNodes)
 	if err != nil {
 		return nil, err
 	}
-	c.Ring = ring
+	c.membership = m
+	for range ids {
+		if _, err := c.mintShard(m); err != nil {
+			return nil, err
+		}
+	}
 	return c, nil
 }
 
-// Start launches every shard's lease renewal loop.
+// mintShard builds one shard sharing the cluster master secret, appends it
+// to the shard list and returns it. The first shard ever minted runs
+// EcallSetup and donates the sealed MSK every later shard restores. Caller
+// holds no lock (New) or c.mu is expected NOT to be held — mintShard locks
+// internally only for the list append.
+func (c *Cluster) mintShard(m *Membership) (*Shard, error) {
+	c.mu.Lock()
+	i := c.nextShard
+	c.nextShard++
+	c.mu.Unlock()
+	id := ShardID(i)
+	encl, err := enclave.NewIBBEEnclave(c.Platform, c.params)
+	if err != nil {
+		return nil, err
+	}
+	if i == 0 {
+		if _, c.sealedMSK, err = encl.EcallSetup(c.opts.Capacity); err != nil {
+			return nil, err
+		}
+	} else if err := encl.EcallRestore(c.sealedMSK, c.masterPK); err != nil {
+		return nil, fmt.Errorf("cluster: sharing master secret with %s: %w", id, err)
+	}
+	cert, err := c.auditor.AttestAndCertify(c.ias, encl)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: attesting %s: %w", id, err)
+	}
+	mgr, err := core.NewManager(encl, c.opts.Capacity, c.opts.Seed+int64(i))
+	if err != nil {
+		return nil, err
+	}
+	if c.opts.Workers > 0 {
+		mgr.SetParallelism(c.opts.Workers)
+	}
+	if i == 0 {
+		c.masterPK = mgr.PublicKey()
+	}
+	opLog, err := core.NewOpLog()
+	if err != nil {
+		return nil, err
+	}
+	adm := admin.New(id, mgr, c.Store, opLog)
+	adm.EnableCAS()
+	svc := &admin.Service{
+		Admin:          adm,
+		Encl:           encl,
+		EnclaveCertDER: cert.Raw,
+		RootCertDER:    c.auditor.RootDER(),
+		ParamsName:     c.paramsName,
+	}
+	s := newShard(id, adm, svc, encl, c.Store, c.opts.LeaseTTL, c.opts.now, m)
+	// started is read in the SAME critical section as the append: a
+	// concurrent Cluster.Start() either sees this shard in its snapshot or
+	// has already set started — either way exactly one Start reaches it
+	// (Shard.Start is idempotent).
+	c.mu.Lock()
+	c.shards = append(c.shards, s)
+	started := c.started
+	c.mu.Unlock()
+	if started {
+		s.Start()
+	}
+	return s, nil
+}
+
+// AddShard mints a new shard sharing the cluster master secret. The shard
+// serves provisioning immediately but owns no groups until a subsequent
+// ApplyMembership names it a member.
+func (c *Cluster) AddShard() (*Shard, error) {
+	return c.mintShard(c.Membership())
+}
+
+// ApplyMembership moves the live cluster to a new member set: it builds the
+// successor membership (epoch+1) over the given shard IDs, hands it to the
+// routing hook first (requests start flowing to the new owners), then to
+// every shard — members first, so the joining shard knows the new epoch
+// before the losing shards drain their moved groups into the store. Shards
+// left out of the member set drain everything they own; they keep serving
+// provisioning and can be shut down (or re-admitted) by the operator.
+//
+// A non-nil Membership returned WITH a non-nil error means the change IS
+// in effect (epoch bumped, routing switched) but some hand-off step failed
+// — do not retry the whole change; the affected leases heal through TTL
+// expiry and the new owners' adoption path. Only a nil Membership means
+// nothing was applied.
+func (c *Cluster) ApplyMembership(ctx context.Context, members []string) (*Membership, error) {
+	c.changeMu.Lock()
+	defer c.changeMu.Unlock()
+	return c.applyMembership(ctx, members)
+}
+
+// Admit grows the membership by one already-minted shard (AddShard) — the
+// read-compute-apply runs under the transition lock, so concurrent admits
+// cannot build successor memberships from the same base and drop each
+// other's shards.
+func (c *Cluster) Admit(ctx context.Context, id string) (*Membership, error) {
+	c.changeMu.Lock()
+	defer c.changeMu.Unlock()
+	next, err := c.Membership().AddShard(id)
+	if err != nil {
+		return nil, err
+	}
+	return c.applyMembership(ctx, next.Members())
+}
+
+// applyMembership is ApplyMembership with c.changeMu already held.
+func (c *Cluster) applyMembership(ctx context.Context, members []string) (*Membership, error) {
+	c.mu.Lock()
+	for _, id := range members {
+		if c.lookup(id) == nil {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("cluster: no such shard %s", id)
+		}
+	}
+	next, err := membershipAt(c.membership.Epoch+1, members, c.opts.VirtualNodes)
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.membership = next
+	shards := append([]*Shard(nil), c.shards...)
+	hook := c.OnMembership
+	c.mu.Unlock()
+
+	if hook != nil {
+		hook(next)
+	}
+	var firstErr error
+	apply := func(s *Shard) {
+		if err := s.ApplyMembership(ctx, next); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, s := range shards { // members first: they adopt, they never drain
+		if next.Has(s.ID) {
+			apply(s)
+		}
+	}
+	for _, s := range shards { // leavers drain under the new epoch
+		if !next.Has(s.ID) {
+			apply(s)
+		}
+	}
+	return next, firstErr
+}
+
+// RemoveShard drains one member out of the cluster: the successor
+// membership excludes it, so applyMembership hands every group it owns to
+// the surviving members. The shard object stays alive (and in the shard
+// list) so an operator can Shutdown it — or re-admit it later.
+func (c *Cluster) RemoveShard(ctx context.Context, id string) (*Membership, error) {
+	c.changeMu.Lock()
+	defer c.changeMu.Unlock()
+	next, err := c.Membership().RemoveShard(id)
+	if err != nil {
+		return nil, err
+	}
+	return c.applyMembership(ctx, next.Members())
+}
+
+// Membership returns the cluster's current membership.
+func (c *Cluster) Membership() *Membership {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.membership
+}
+
+// Ring returns the current membership's ring (owner lookups).
+func (c *Cluster) Ring() *Ring { return c.Membership().Ring }
+
+// Epoch returns the current membership epoch.
+func (c *Cluster) Epoch() uint64 { return c.Membership().Epoch }
+
+// Shards returns a snapshot of every shard ever minted (members and
+// drained leavers alike), in creation order.
+func (c *Cluster) Shards() []*Shard {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Shard(nil), c.shards...)
+}
+
+// Start launches every shard's lease renewal loop (and those of shards
+// minted later).
 func (c *Cluster) Start() {
-	for _, s := range c.Shards {
+	c.mu.Lock()
+	c.started = true
+	shards := append([]*Shard(nil), c.shards...)
+	c.mu.Unlock()
+	for _, s := range shards {
 		s.Start()
 	}
 }
@@ -154,7 +368,7 @@ func (c *Cluster) Start() {
 // Shutdown stops every shard gracefully.
 func (c *Cluster) Shutdown(ctx context.Context) error {
 	var firstErr error
-	for _, s := range c.Shards {
+	for _, s := range c.Shards() {
 		if err := s.Shutdown(ctx); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -164,7 +378,14 @@ func (c *Cluster) Shutdown(ctx context.Context) error {
 
 // Shard returns a shard by ID (nil if unknown).
 func (c *Cluster) Shard(id string) *Shard {
-	for _, s := range c.Shards {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lookup(id)
+}
+
+// lookup finds a shard by ID; callers hold c.mu.
+func (c *Cluster) lookup(id string) *Shard {
+	for _, s := range c.shards {
 		if s.ID == id {
 			return s
 		}

@@ -18,11 +18,17 @@ import (
 
 // testCluster is a full in-process deployment: N shards behind real HTTP
 // servers, a router gateway in front, and an AdminAPI client driving it.
+// Shards minted at runtime (addShard) get their own servers, and membership
+// changes reach the router through the cluster's OnMembership hook exactly
+// as in cmd/ibbe-cluster.
 type testCluster struct {
 	c      *Cluster
 	router *Router
 	api    *client.AdminAPI
 	srvs   map[string]*httptest.Server
+
+	mu      sync.Mutex
+	targets map[string]string
 }
 
 func startCluster(t *testing.T, opts Options) *testCluster {
@@ -37,28 +43,65 @@ func startCluster(t *testing.T, opts Options) *testCluster {
 		defer cancel()
 		_ = c.Shutdown(ctx)
 	})
-	srvs := make(map[string]*httptest.Server, len(c.Shards))
-	targets := make(map[string]string, len(c.Shards))
-	for _, s := range c.Shards {
-		srv := httptest.NewServer(s)
-		t.Cleanup(srv.Close)
-		srvs[s.ID] = srv
-		targets[s.ID] = srv.URL
+	tc := &testCluster{
+		c:       c,
+		srvs:    make(map[string]*httptest.Server),
+		targets: make(map[string]string),
 	}
-	rt, err := NewRouter(c.Ring, targets)
+	for _, s := range c.Shards() {
+		tc.serveShard(t, s)
+	}
+	rt, err := NewRouter(c.Membership(), tc.targetSnapshot())
 	if err != nil {
 		t.Fatal(err)
 	}
 	rt.RetryInterval = 20 * time.Millisecond
 	rt.RouteTimeout = 20 * time.Second
+	c.OnMembership = func(m *Membership) {
+		if err := rt.ApplyMembership(m, tc.targetSnapshot()); err != nil {
+			t.Errorf("router rejected membership %d: %v", m.Epoch, err)
+		}
+	}
 	rtSrv := httptest.NewServer(rt)
 	t.Cleanup(rtSrv.Close)
-	return &testCluster{
-		c:      c,
-		router: rt,
-		api:    client.NewAdminAPI(nil, rtSrv.URL),
-		srvs:   srvs,
+	tc.router = rt
+	tc.api = client.NewAdminAPI(nil, rtSrv.URL)
+	return tc
+}
+
+// serveShard puts one shard behind a real HTTP server and records its URL.
+func (tc *testCluster) serveShard(t *testing.T, s *Shard) {
+	t.Helper()
+	srv := httptest.NewServer(s)
+	t.Cleanup(srv.Close)
+	tc.mu.Lock()
+	tc.srvs[s.ID] = srv
+	tc.targets[s.ID] = srv.URL
+	tc.mu.Unlock()
+}
+
+func (tc *testCluster) targetSnapshot() map[string]string {
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	out := make(map[string]string, len(tc.targets))
+	for id, u := range tc.targets {
+		out[id] = u
 	}
+	return out
+}
+
+// addShard mints a shard, serves it and admits it to the membership.
+func (tc *testCluster) addShard(t *testing.T, ctx context.Context) *Shard {
+	t.Helper()
+	s, err := tc.c.AddShard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.serveShard(t, s)
+	if _, err := tc.c.Admit(ctx, s.ID); err != nil {
+		t.Fatal(err)
+	}
+	return s
 }
 
 // clientFor provisions a user key from shard 0's enclave — records written
@@ -66,7 +109,7 @@ func startCluster(t *testing.T, opts Options) *testCluster {
 // secret property the cluster depends on.
 func (tc *testCluster) clientFor(t *testing.T, id, group string) *client.Client {
 	t.Helper()
-	encl := tc.c.Shards[0].Encl
+	encl := tc.c.Shards()[0].Encl
 	priv, err := ecdh.P256().GenerateKey(rand.Reader)
 	if err != nil {
 		t.Fatal(err)
@@ -79,7 +122,7 @@ func (tc *testCluster) clientFor(t *testing.T, id, group string) *client.Client 
 	if err != nil {
 		t.Fatal(err)
 	}
-	cl, err := client.New(encl.Scheme(), tc.c.Shards[0].Admin.Manager().PublicKey(), id, uk, tc.c.Store, group)
+	cl, err := client.New(encl.Scheme(), tc.c.Shards()[0].Admin.Manager().PublicKey(), id, uk, tc.c.Store, group)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,13 +209,13 @@ func TestClusterDisjointGroupsConcurrentAdmins(t *testing.T) {
 	}
 	// Leases match the ring: each group is owned by exactly the shard the
 	// ring names, and more than one shard carries load.
-	for _, s := range tc.c.Shards {
+	for _, s := range tc.c.Shards() {
 		got := s.OwnedGroups()
 		owned += len(got)
 		for _, g := range got {
 			spread[s.ID]++
-			if tc.c.Ring.Owner(g) != s.ID {
-				t.Fatalf("%s owns %s but the ring says %s", s.ID, g, tc.c.Ring.Owner(g))
+			if tc.c.Ring().Owner(g) != s.ID {
+				t.Fatalf("%s owns %s but the ring says %s", s.ID, g, tc.c.Ring().Owner(g))
 			}
 		}
 	}
@@ -197,9 +240,9 @@ func TestClusterSameGroupRaceAcrossShards(t *testing.T) {
 	// handover leaves both believing they own the group. The CAS layer must
 	// serialise them across enclave boundaries (sealed group keys written by
 	// one shard unseal in the other's enclave).
-	owner := tc.c.Shard(tc.c.Ring.Owner("raced"))
+	owner := tc.c.Shard(tc.c.Ring().Owner("raced"))
 	var other *Shard
-	for _, s := range tc.c.Shards {
+	for _, s := range tc.c.Shards() {
 		if s.ID != owner.ID {
 			other = s
 			break
@@ -233,7 +276,7 @@ func TestClusterSameGroupRaceAcrossShards(t *testing.T) {
 	// A fresh verifier restored from the cloud is the ground truth: all
 	// writes survived, every surviving member decrypts one group key, and
 	// no partition record was corrupted by the race.
-	verifier := tc.c.Shards[2].Admin
+	verifier := tc.c.Shards()[2].Admin
 	verifier.DropGroup("raced")
 	if err := verifier.RestoreGroup(ctx, "raced"); err != nil {
 		t.Fatal(err)
@@ -269,7 +312,7 @@ func TestClusterFailoverKillShardMidBatch(t *testing.T) {
 	if err := tc.api.CreateGroup(ctx, "ops", members); err != nil {
 		t.Fatal(err)
 	}
-	ownerID := tc.c.Ring.Owner("ops")
+	ownerID := tc.c.Ring().Owner("ops")
 	owner := tc.c.Shard(ownerID)
 
 	// The owner dies mid-batch: a removal batch starts re-keying and the
@@ -296,7 +339,7 @@ func TestClusterFailoverKillShardMidBatch(t *testing.T) {
 
 	// A peer (not the dead shard) now owns the group.
 	var newOwner *Shard
-	for _, s := range tc.c.Shards {
+	for _, s := range tc.c.Shards() {
 		if s.ID == ownerID {
 			continue
 		}
@@ -367,7 +410,7 @@ func TestClusterGracefulShutdownHandsOver(t *testing.T) {
 	if err := tc.api.CreateGroup(ctx, "handover", groupUsers("handover", 4)); err != nil {
 		t.Fatal(err)
 	}
-	owner := tc.c.Shard(tc.c.Ring.Owner("handover"))
+	owner := tc.c.Shard(tc.c.Ring().Owner("handover"))
 	// Despite the hour-long TTL, a graceful shutdown releases the lease, so
 	// the peer takes over without waiting.
 	if err := owner.Shutdown(ctx); err != nil {

@@ -1,20 +1,5 @@
-// Package cluster implements sharded multi-administrator operation — the
-// horizontal scale-out the paper's §VIII names as future work. A
-// consistent-hash ring maps every group to an owning admin shard; each
-// shard runs its own enclave-backed core.Manager + admin.Admin (all
-// enclaves share one master secret via sealed exchange on the same
-// platform, so user keys and partition records are interchangeable across
-// shards); ownership is enforced by per-group lease records in the cloud
-// store, acquired and renewed with compare-and-swap writes; and a Router
-// gateway exposes the unchanged /admin/* HTTP surface, forwarding each
-// request to the owning shard — client.AdminAPI drives a whole cluster
-// exactly like a single admin.
-//
-// Safety does not rest on the ring or the leases alone: every shard's
-// Admin runs in CAS mode (storage.PutIf), so even two shards that both
-// believe they own a group — a lease-expiry race — serialise on the group
-// directory version and can never interleave records from different group
-// keys.
+// Consistent-hash ring and the versioned Membership built on it. The
+// package documentation lives in cluster.go.
 package cluster
 
 import (
@@ -79,6 +64,17 @@ func (r *Ring) Members() []string {
 	return append([]string(nil), r.members...)
 }
 
+// has reports membership without copying the member slice (the ring is
+// immutable) — Membership.Has sits on the per-request hot path.
+func (r *Ring) has(id string) bool {
+	for _, s := range r.members {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}
+
 // Owner returns the shard owning a group: the first virtual node at or
 // after the group's point on the circle.
 func (r *Ring) Owner(group string) string {
@@ -110,4 +106,79 @@ func (r *Ring) search(group string) int {
 		i = 0 // wrap around the circle
 	}
 	return i
+}
+
+// Membership is the versioned member set of the cluster: a consistent-hash
+// ring plus a monotone epoch. Every membership change — a shard joining or
+// leaving — produces a NEW Membership with the epoch advanced by one; the
+// epoch is the fencing token threaded through lease records and storage
+// writes (storage.PutFenced), so a shard still operating under a superseded
+// membership is rejected outright instead of racing CAS. Membership values
+// are immutable and safe for concurrent use.
+//
+// Because ownership is decided by consistent hashing, a membership change
+// moves only the groups on the joining (or leaving) shard's arc; everything
+// else keeps its owner — the property that makes live rebalancing cheap.
+type Membership struct {
+	// Epoch is the version of this member set; it only ever grows.
+	Epoch uint64
+	// Ring maps groups to owners for this member set.
+	Ring *Ring
+
+	vnodes int
+}
+
+// NewMembership builds the epoch-1 membership over the initial shard set.
+func NewMembership(shards []string, vnodes int) (*Membership, error) {
+	return membershipAt(1, shards, vnodes)
+}
+
+// membershipAt builds a membership with an explicit epoch — the successor
+// constructor AddShard/RemoveShard/Cluster.ApplyMembership chain through.
+func membershipAt(epoch uint64, shards []string, vnodes int) (*Membership, error) {
+	ring, err := NewRing(shards, vnodes)
+	if err != nil {
+		return nil, err
+	}
+	return &Membership{Epoch: epoch, Ring: ring, vnodes: vnodes}, nil
+}
+
+// Members returns the member shard IDs, sorted.
+func (m *Membership) Members() []string { return m.Ring.Members() }
+
+// Has reports whether id is a member.
+func (m *Membership) Has(id string) bool { return m.Ring.has(id) }
+
+// Owner returns the shard owning a group under this membership.
+func (m *Membership) Owner(group string) string { return m.Ring.Owner(group) }
+
+// Owners returns the failover candidate sequence for a group.
+func (m *Membership) Owners(group string) []string { return m.Ring.Owners(group) }
+
+// AddShard returns the successor membership with id joined and the epoch
+// advanced. Only groups on the joining shard's arc change owner.
+func (m *Membership) AddShard(id string) (*Membership, error) {
+	if m.Has(id) {
+		return nil, fmt.Errorf("cluster: %s is already a member", id)
+	}
+	return membershipAt(m.Epoch+1, append(m.Members(), id), m.vnodes)
+}
+
+// RemoveShard returns the successor membership with id drained out and the
+// epoch advanced. Only the leaving shard's groups change owner.
+func (m *Membership) RemoveShard(id string) (*Membership, error) {
+	members := m.Members()
+	kept := make([]string, 0, len(members))
+	for _, s := range members {
+		if s != id {
+			kept = append(kept, s)
+		}
+	}
+	if len(kept) == len(members) {
+		return nil, fmt.Errorf("cluster: %s is not a member", id)
+	}
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("cluster: cannot remove the last member %s", id)
+	}
+	return membershipAt(m.Epoch+1, kept, m.vnodes)
 }

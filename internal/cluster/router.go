@@ -8,19 +8,28 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 )
 
+// DefaultHealthTTL bounds how long the router trusts a cached "shard is
+// down" verdict before probing the shard again.
+const DefaultHealthTTL = 2 * time.Second
+
 // Router is the cluster gateway: it exposes the exact HTTP surface of a
 // single admin.Service and forwards each request to the shard owning the
-// requested group (per the ring), failing over along the ring when the
-// owner is unreachable or answers 503 (dead shard whose leases have not
-// expired yet, or a lease race). client.AdminAPI pointed at a Router drives
-// the whole cluster transparently.
+// requested group (per the current membership's ring), failing over along
+// the ring when the owner is unreachable or answers 503 (dead shard whose
+// leases have not expired yet, or a lease race). client.AdminAPI pointed at
+// a Router drives the whole cluster transparently.
+//
+// The membership is swappable at runtime (ApplyMembership): an epoch bump
+// atomically changes both the candidate rings and the target set, so a
+// request that started under the old membership finishes its sweep under
+// the new one. A short-TTL health cache remembers unreachable shards, so a
+// dead shard costs one connection attempt per TTL instead of one per
+// request sweep.
 type Router struct {
-	ring *Ring
-	// targets maps shard IDs to their HTTP base URLs.
-	targets map[string]string
 	// Client is the forwarding HTTP client (http.DefaultClient if nil).
 	Client *http.Client
 	// RouteTimeout bounds one request's failover chase — it must cover a
@@ -28,22 +37,73 @@ type Router struct {
 	RouteTimeout time.Duration
 	// RetryInterval separates failover sweeps over the candidates.
 	RetryInterval time.Duration
+	// HealthTTL is how long an unreachable shard is skipped without a new
+	// probe (0 selects DefaultHealthTTL; negative disables the cache).
+	HealthTTL time.Duration
+
+	mu         sync.Mutex
+	membership *Membership
+	// targets maps shard IDs to their HTTP base URLs.
+	targets map[string]string
+	// downUntil caches per-shard deadness: a shard in the map is skipped
+	// until the deadline passes. Entries are dropped on success and the
+	// whole map is invalidated by a membership change.
+	downUntil map[string]time.Time
 }
 
-// NewRouter builds a gateway over the ring; targets must provide a base
-// URL for every ring member.
-func NewRouter(ring *Ring, targets map[string]string) (*Router, error) {
-	for _, id := range ring.Members() {
+// NewRouter builds a gateway over the membership; targets must provide a
+// base URL for every member.
+func NewRouter(m *Membership, targets map[string]string) (*Router, error) {
+	for _, id := range m.Members() {
 		if targets[id] == "" {
 			return nil, fmt.Errorf("cluster: router has no target URL for %s", id)
 		}
 	}
+	t := make(map[string]string, len(targets))
+	for id, u := range targets {
+		t[id] = u
+	}
 	return &Router{
-		ring:          ring,
-		targets:       targets,
+		membership:    m,
+		targets:       t,
+		downUntil:     make(map[string]time.Time),
 		RouteTimeout:  30 * time.Second,
 		RetryInterval: 25 * time.Millisecond,
 	}, nil
+}
+
+// ApplyMembership swaps the router onto a newer membership and target set.
+// Stale epochs are ignored. The health cache is invalidated: a membership
+// change is exactly the moment liveness verdicts stop being trustworthy
+// (shards join, drain, restart).
+func (rt *Router) ApplyMembership(m *Membership, targets map[string]string) error {
+	if m == nil {
+		return nil
+	}
+	for _, id := range m.Members() {
+		if targets[id] == "" {
+			return fmt.Errorf("cluster: router has no target URL for %s", id)
+		}
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.membership != nil && m.Epoch <= rt.membership.Epoch {
+		return nil
+	}
+	rt.membership = m
+	rt.targets = make(map[string]string, len(targets))
+	for id, u := range targets {
+		rt.targets[id] = u
+	}
+	rt.downUntil = make(map[string]time.Time)
+	return nil
+}
+
+// Membership returns the membership the router currently routes by.
+func (rt *Router) Membership() *Membership {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.membership
 }
 
 func (rt *Router) httpClient() *http.Client {
@@ -53,6 +113,65 @@ func (rt *Router) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
+func (rt *Router) healthTTL() time.Duration {
+	if rt.HealthTTL == 0 {
+		return DefaultHealthTTL
+	}
+	return rt.HealthTTL
+}
+
+// snapshot returns the candidate sequence and target map for one sweep —
+// re-read per sweep, so a mid-request membership change redirects the next
+// sweep instead of stranding the request on dead candidates.
+func (rt *Router) snapshot(group string) ([]string, map[string]string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var candidates []string
+	if group == "" {
+		candidates = rt.membership.Members()
+	} else {
+		candidates = rt.membership.Owners(group)
+	}
+	return candidates, rt.targets
+}
+
+// markDown records a failed connection; markUp clears the verdict.
+func (rt *Router) markDown(id string) {
+	ttl := rt.healthTTL()
+	if ttl <= 0 {
+		return
+	}
+	rt.mu.Lock()
+	rt.downUntil[id] = time.Now().Add(ttl)
+	rt.mu.Unlock()
+}
+
+func (rt *Router) markUp(id string) {
+	rt.mu.Lock()
+	delete(rt.downUntil, id)
+	rt.mu.Unlock()
+}
+
+// skipDown partitions candidates into probe-worthy and cached-down. When
+// every candidate is cached down the cache is ignored — a sweep must always
+// probe something, otherwise a full outage would never be re-examined
+// before the TTL.
+func (rt *Router) skipDown(candidates []string) []string {
+	rt.mu.Lock()
+	now := time.Now()
+	live := make([]string, 0, len(candidates))
+	for _, id := range candidates {
+		if until, ok := rt.downUntil[id]; !ok || now.After(until) {
+			live = append(live, id)
+		}
+	}
+	rt.mu.Unlock()
+	if len(live) == 0 {
+		return candidates
+	}
+	return live
+}
+
 // ServeHTTP implements http.Handler.
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
@@ -60,7 +179,7 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	candidates := rt.ring.Members()
+	group := ""
 	if strings.HasPrefix(r.URL.Path, "/admin/") {
 		var req struct {
 			Group string `json:"group"`
@@ -69,20 +188,28 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, "cluster: missing group", http.StatusBadRequest)
 			return
 		}
-		// Owner first, then the ring-order failover sequence.
-		candidates = rt.ring.Owners(req.Group)
+		group = req.Group
 	}
 
 	ctx, cancel := context.WithTimeout(r.Context(), rt.RouteTimeout)
 	defer cancel()
 	lastErr := "no shard reachable"
 	for sweep := 0; ; sweep++ {
-		for _, id := range candidates {
-			resp, err := rt.forward(ctx, r, rt.targets[id], body)
+		candidates, targets := rt.snapshot(group)
+		for _, id := range rt.skipDown(candidates) {
+			resp, err := rt.forward(ctx, r, targets[id], body)
 			if err != nil {
+				// Only cache a down verdict for genuine transport failures:
+				// when OUR deadline (or the client's disconnect) aborted the
+				// forward, the shard's health is unknown and poisoning the
+				// shared cache would skew unrelated requests.
+				if ctx.Err() == nil {
+					rt.markDown(id)
+				}
 				lastErr = fmt.Sprintf("%s: %v", id, err)
 				continue // dead shard: next candidate
 			}
+			rt.markUp(id)
 			if resp.StatusCode == http.StatusServiceUnavailable {
 				// Not the owner (yet): drain and try the next candidate.
 				msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))

@@ -1,0 +1,87 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func testRouter(t *testing.T) (*Router, *Membership) {
+	t.Helper()
+	m, err := NewMembership([]string{"a", "b", "c"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := map[string]string{"a": "http://a", "b": "http://b", "c": "http://c"}
+	rt, err := NewRouter(m, targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, m
+}
+
+func TestRouterHealthCacheSkipsDownShards(t *testing.T) {
+	rt, _ := testRouter(t)
+	rt.HealthTTL = time.Hour
+
+	rt.markDown("b")
+	live := rt.skipDown([]string{"a", "b", "c"})
+	if len(live) != 2 || live[0] != "a" || live[1] != "c" {
+		t.Fatalf("skipDown = %v, want [a c]", live)
+	}
+	// A successful probe clears the verdict.
+	rt.markUp("b")
+	if live := rt.skipDown([]string{"a", "b", "c"}); len(live) != 3 {
+		t.Fatalf("skipDown after markUp = %v", live)
+	}
+	// With EVERY candidate cached down, the cache is ignored — a sweep must
+	// always probe something.
+	rt.markDown("a")
+	rt.markDown("b")
+	rt.markDown("c")
+	if live := rt.skipDown([]string{"a", "b", "c"}); len(live) != 3 {
+		t.Fatalf("skipDown under full outage = %v, want all candidates", live)
+	}
+}
+
+func TestRouterHealthCacheExpires(t *testing.T) {
+	rt, _ := testRouter(t)
+	rt.HealthTTL = time.Millisecond
+	rt.markDown("b")
+	time.Sleep(5 * time.Millisecond)
+	if live := rt.skipDown([]string{"a", "b"}); len(live) != 2 {
+		t.Fatalf("verdict survived its TTL: %v", live)
+	}
+}
+
+func TestRouterApplyMembership(t *testing.T) {
+	rt, m := testRouter(t)
+	rt.HealthTTL = time.Hour
+	rt.markDown("b")
+
+	// Stale epochs are ignored.
+	if err := rt.ApplyMembership(m, map[string]string{"a": "http://a", "b": "http://b", "c": "http://c"}); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Membership() != m {
+		t.Fatal("duplicate epoch replaced the membership")
+	}
+	// Missing targets are rejected.
+	grown, err := m.AddShard("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.ApplyMembership(grown, map[string]string{"a": "http://a", "b": "http://b", "c": "http://c"}); err == nil {
+		t.Fatal("membership without a target for d accepted")
+	}
+	// A real epoch bump swaps membership and invalidates the health cache.
+	targets := map[string]string{"a": "http://a", "b": "http://b", "c": "http://c", "d": "http://d"}
+	if err := rt.ApplyMembership(grown, targets); err != nil {
+		t.Fatal(err)
+	}
+	if rt.Membership().Epoch != grown.Epoch {
+		t.Fatalf("router epoch = %d, want %d", rt.Membership().Epoch, grown.Epoch)
+	}
+	if live := rt.skipDown([]string{"a", "b"}); len(live) != 2 {
+		t.Fatalf("health cache survived the epoch change: %v", live)
+	}
+}

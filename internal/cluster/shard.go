@@ -23,11 +23,31 @@ import (
 // exercise expiry-driven takeover quickly.
 const DefaultLeaseTTL = 15 * time.Second
 
+// DefaultStealBackoffStep is the unit of the lease-steal backoff: a shard
+// that is NOT the ring owner of a group waits its ring-order priority times
+// this step (plus jitter, doubling per consecutive loss) before racing an
+// expired lease. After an owner dies, the surviving shards therefore claim
+// its groups in ring order instead of stampeding the CAS — the first
+// failover candidate usually wins on its first try and everyone else never
+// fires a conflicting write.
+const DefaultStealBackoffStep = 25 * time.Millisecond
+
+// stealBackoffMaxShift caps the exponential growth of the per-group steal
+// backoff (2^6 · step ≈ 1.6 s at the default step).
+const stealBackoffMaxShift = 6
+
 // Shard is one admin node of the cluster: an enclave-backed CAS
 // administrator that serves the /admin/* surface only for groups whose
 // lease it holds. It is an http.Handler — the Router forwards to it, and a
 // shard that does not (or cannot) own the requested group answers 503 so
 // the router fails over.
+//
+// A shard tracks the cluster membership it last learned (ApplyMembership):
+// the membership epoch fences every storage write the shard's admin issues,
+// and an epoch bump that moves a group's arc away triggers the hand-off
+// protocol — stop renewing, flush in-flight operations under the per-group
+// lock, release the lease stamped with the new epoch, and let the new owner
+// adopt through the existing restore-and-rotate path.
 type Shard struct {
 	// ID is the shard's ring identity and lease owner name.
 	ID string
@@ -38,12 +58,19 @@ type Shard struct {
 	// Encl is the shard's enclave (sharing the cluster master secret).
 	Encl *enclave.IBBEEnclave
 
+	// StealBackoffStep overrides DefaultStealBackoffStep (tests).
+	StealBackoffStep time.Duration
+
 	ls  *leaseStore
 	ttl time.Duration
 
-	mu      sync.Mutex
-	leases  map[string]Lease
-	stopped bool
+	mu         sync.Mutex
+	leases     map[string]Lease
+	membership *Membership
+	// stealFail counts consecutive lost acquisition races per group,
+	// driving the exponential half of the steal backoff.
+	stealFail map[string]int
+	stopped   bool
 
 	startOnce sync.Once
 	started   bool
@@ -52,24 +79,102 @@ type Shard struct {
 	done      chan struct{}
 }
 
-func newShard(id string, adm *admin.Admin, svc *admin.Service, encl *enclave.IBBEEnclave, store storage.Store, ttl time.Duration, now func() time.Time) *Shard {
+func newShard(id string, adm *admin.Admin, svc *admin.Service, encl *enclave.IBBEEnclave, store storage.Store, ttl time.Duration, now func() time.Time, m *Membership) *Shard {
 	if ttl <= 0 {
 		ttl = DefaultLeaseTTL
 	}
 	if now == nil {
 		now = time.Now
 	}
-	return &Shard{
-		ID:      id,
-		Admin:   adm,
-		Service: svc,
-		Encl:    encl,
-		ls:      &leaseStore{store: store, now: now},
-		ttl:     ttl,
-		leases:  make(map[string]Lease),
-		stopc:   make(chan struct{}),
-		done:    make(chan struct{}),
+	s := &Shard{
+		ID:         id,
+		Admin:      adm,
+		Service:    svc,
+		Encl:       encl,
+		ls:         &leaseStore{store: store, now: now},
+		ttl:        ttl,
+		leases:     make(map[string]Lease),
+		membership: m,
+		stealFail:  make(map[string]int),
+		stopc:      make(chan struct{}),
+		done:       make(chan struct{}),
 	}
+	// Every conditional write this shard's admin issues carries the
+	// membership epoch as a fencing token.
+	adm.SetFence(s.Epoch)
+	return s
+}
+
+// Epoch returns the membership epoch this shard currently operates under.
+func (s *Shard) Epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.membership == nil {
+		return 0
+	}
+	return s.membership.Epoch
+}
+
+// Membership returns the membership this shard last learned.
+func (s *Shard) Membership() *Membership {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.membership
+}
+
+// ApplyMembership installs a newer membership on this shard. Groups whose
+// arc moved to another member are handed off: in-flight operations are
+// flushed under the per-group admin lock, the local cache dropped, and the
+// lease released stamped with the NEW epoch — so the new owner takes over
+// immediately while shards still on older epochs stay fenced out. Stale or
+// duplicate memberships are ignored; a stopped shard (crashed process)
+// cannot hand off — its leases simply expire.
+func (s *Shard) ApplyMembership(ctx context.Context, m *Membership) error {
+	if m == nil {
+		return nil
+	}
+	s.mu.Lock()
+	if s.stopped || (s.membership != nil && m.Epoch <= s.membership.Epoch) {
+		s.mu.Unlock()
+		return nil
+	}
+	s.membership = m
+	var lost []string
+	for g := range s.leases {
+		if m.Owner(g) != s.ID {
+			lost = append(lost, g)
+		}
+	}
+	s.mu.Unlock()
+	sort.Strings(lost)
+	var firstErr error
+	for _, g := range lost {
+		if err := s.handOff(ctx, g, m.Epoch); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// handOff drains one group out of this shard: the per-group admin lock
+// flushes whatever operation is mid-apply, then the local cache is dropped
+// and the lease released under the new epoch. The new owner adopts the
+// group's cloud state (restore + heal-rotate) on its first request.
+func (s *Shard) handOff(ctx context.Context, group string, epoch uint64) error {
+	unlock := s.Admin.LockGroup(group)
+	defer unlock()
+	s.mu.Lock()
+	_, held := s.leases[group]
+	delete(s.leases, group)
+	s.mu.Unlock()
+	if !held {
+		return nil
+	}
+	s.Admin.DropGroup(group)
+	if err := s.ls.release(ctx, group, s.ID, epoch, true); err != nil {
+		return fmt.Errorf("cluster: %s releasing %s for hand-off: %w", s.ID, group, err)
+	}
+	return nil
 }
 
 // Start launches the lease renewal loop.
@@ -114,11 +219,15 @@ func (s *Shard) Shutdown(ctx context.Context) error {
 		groups = append(groups, g)
 	}
 	s.leases = make(map[string]Lease)
+	epoch := uint64(0)
+	if s.membership != nil {
+		epoch = s.membership.Epoch
+	}
 	s.mu.Unlock()
 	var firstErr error
 	for _, g := range groups {
 		s.Admin.DropGroup(g)
-		if err := s.ls.release(ctx, g, s.ID); err != nil && firstErr == nil {
+		if err := s.ls.release(ctx, g, s.ID, epoch, false); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -157,16 +266,23 @@ func (s *Shard) renewAll() {
 	ctx, cancel := context.WithTimeout(context.Background(), s.ttl)
 	defer cancel()
 	for _, g := range s.OwnedGroups() {
-		l, err := s.ls.renew(ctx, g, s.ID, s.ttl)
+		l, err := s.ls.renew(ctx, g, s.ID, s.ttl, s.Epoch())
 		if err == nil {
 			s.mu.Lock()
-			s.leases[g] = l
+			// Only refresh a lease the shard still tracks: a hand-off can
+			// have drained the group between the snapshot above and this
+			// renewal, and re-inserting it would resurrect the ownership
+			// the drain just gave away.
+			if _, still := s.leases[g]; still {
+				s.leases[g] = l
+			}
 			s.mu.Unlock()
 			continue
 		}
 		if errors.Is(err, ErrLeaseLost) {
 			// Another shard took the group over (we must have been stalled
-			// past expiry): stop serving it and forget the local cache.
+			// past expiry, or a newer membership moved it): stop serving it
+			// and forget the local cache.
 			s.mu.Lock()
 			delete(s.leases, g)
 			s.mu.Unlock()
@@ -181,22 +297,74 @@ func (s *Shard) renewAll() {
 // if a live lease is already held, otherwise it tries to acquire one (which
 // succeeds only if the lease is free or expired) and then adopts the
 // group's cloud state. ErrLeaseHeld means another shard owns the group.
+//
+// Before racing for a lease it does not hold, the shard serves its steal
+// backoff: ring-order priority staggers the contenders (the rightful owner
+// under the current membership waits nothing) and consecutive losses grow
+// the wait exponentially, cutting CAS conflict churn during mass failover.
 func (s *Shard) EnsureOwnership(ctx context.Context, group string) error {
 	s.mu.Lock()
 	l, held := s.leases[group]
 	stopped := s.stopped
+	m := s.membership
 	s.mu.Unlock()
 	if stopped {
 		return fmt.Errorf("cluster: shard %s is stopped", s.ID)
 	}
+	if m != nil && !m.Has(s.ID) {
+		// A drained leaver must never (re)claim ownership: the router only
+		// routes to members, so a lease it grabbed — e.g. through a stale
+		// in-flight request that arrived mid-drain — would strand the group
+		// behind an owner nobody queries. Answer "held" so the gateway
+		// retries on a member.
+		return fmt.Errorf("%w: shard %s is not a member at epoch %d", ErrLeaseHeld, s.ID, m.Epoch)
+	}
 	if held && s.ls.now().Before(l.Expires) {
 		return nil
 	}
-	lease, prevOwner, err := s.acquire(ctx, group)
+	if delay := s.stealDelay(m, group); delay > 0 {
+		if err := sleepCtx(ctx, delay); err != nil {
+			return err
+		}
+		// The membership can have changed while we slept (that is exactly
+		// when contention spikes): re-read it so the acquisition below runs
+		// under the freshest view.
+		s.mu.Lock()
+		m = s.membership
+		s.mu.Unlock()
+		if m != nil && !m.Has(s.ID) {
+			return fmt.Errorf("%w: shard %s is not a member at epoch %d", ErrLeaseHeld, s.ID, m.Epoch)
+		}
+	}
+	lease, prevOwner, err := s.acquire(ctx, group, m)
 	if err != nil {
+		// Only a lost CAS race grows the backoff — finding the lease held,
+		// fenced, or reserved is a routine probe (e.g. a router failover
+		// sweep), and counting those would inflate the wait for the next
+		// REAL failover. A held-probe even resets the counter: the group is
+		// evidently not in a contention storm.
+		if errors.Is(err, errAcquireRace) {
+			s.noteStealLoss(group)
+		} else if errors.Is(err, ErrLeaseHeld) {
+			s.clearStealLoss(group)
+		}
 		return err
 	}
+	s.clearStealLoss(group)
 	s.mu.Lock()
+	// Re-validate under the lock: a membership change can have landed while
+	// the acquisition was in flight — ApplyMembership's hand-off scan could
+	// not see this lease yet, so IT won't drain the group. If the new
+	// membership drained this shard out entirely, or moved the group's arc
+	// to another member since the epoch the lease was stamped with, keeping
+	// the lease would strand the group — give it straight back as a
+	// hand-off.
+	if cm := s.membership; cm != nil &&
+		(!cm.Has(s.ID) || (cm.Epoch > lease.RingEpoch && cm.Owner(group) != s.ID)) {
+		s.mu.Unlock()
+		_ = s.ls.release(ctx, group, s.ID, cm.Epoch, true)
+		return fmt.Errorf("%w: shard %s lost %s to membership epoch %d mid-acquisition", ErrLeaseHeld, s.ID, group, cm.Epoch)
+	}
 	s.leases[group] = lease
 	s.mu.Unlock()
 	if prevOwner == s.ID {
@@ -207,14 +375,63 @@ func (s *Shard) EnsureOwnership(ctx context.Context, group string) error {
 	return s.adopt(ctx, group, prevOwner != "")
 }
 
+// stealDelay computes the wait this shard owes before racing for a lease it
+// does not hold: priority · step  +  (2^losses − 1) · step  +  jitter, where
+// priority is the shard's position in the group's ring-order failover
+// sequence under the current membership (the owner itself waits nothing on
+// its first attempt) and jitter is a deterministic per-(shard, group) slice
+// of one step, de-synchronising equal-priority contenders.
+func (s *Shard) stealDelay(m *Membership, group string) time.Duration {
+	step := s.StealBackoffStep
+	if step <= 0 {
+		step = DefaultStealBackoffStep
+	}
+	priority := 0
+	if m != nil {
+		owners := m.Owners(group)
+		priority = len(owners) // not on the ring at all: lowest priority
+		for i, id := range owners {
+			if id == s.ID {
+				priority = i
+				break
+			}
+		}
+	}
+	s.mu.Lock()
+	losses := s.stealFail[group]
+	s.mu.Unlock()
+	if losses > stealBackoffMaxShift {
+		losses = stealBackoffMaxShift
+	}
+	if priority == 0 && losses == 0 {
+		return 0
+	}
+	delay := time.Duration(priority)*step + time.Duration((uint64(1)<<losses)-1)*step
+	jitter := time.Duration(ringHash(fmt.Sprintf("steal|%s|%s|%d", s.ID, group, priority)) % uint64(step))
+	return delay + jitter
+}
+
+func (s *Shard) noteStealLoss(group string) {
+	s.mu.Lock()
+	s.stealFail[group]++
+	s.mu.Unlock()
+}
+
+func (s *Shard) clearStealLoss(group string) {
+	s.mu.Lock()
+	delete(s.stealFail, group)
+	s.mu.Unlock()
+}
+
 // acquire wraps leaseStore.acquire, also reporting who owned the lease
 // before (empty for a never-leased group).
-func (s *Shard) acquire(ctx context.Context, group string) (Lease, string, error) {
+func (s *Shard) acquire(ctx context.Context, group string, m *Membership) (Lease, string, error) {
 	cur, _, err := s.ls.read(ctx, group)
 	if err != nil {
 		return Lease{}, "", err
 	}
-	l, err := s.ls.acquire(ctx, group, s.ID, s.ttl)
+	ringOwner := m != nil && m.Owner(group) == s.ID
+	l, err := s.ls.acquire(ctx, group, s.ID, s.ttl, s.Epoch(), ringOwner)
 	if err != nil {
 		return Lease{}, "", err
 	}
@@ -248,6 +465,15 @@ func (s *Shard) adopt(ctx context.Context, group string, takeover bool) error {
 		}
 	}
 	return nil
+}
+
+// holdsLive reports whether the shard currently holds an unexpired lease on
+// the group.
+func (s *Shard) holdsLive(group string) bool {
+	s.mu.Lock()
+	l, held := s.leases[group]
+	s.mu.Unlock()
+	return held && s.ls.now().Before(l.Expires)
 }
 
 // ServeHTTP gates /admin/* behind group ownership and delegates everything
@@ -300,5 +526,72 @@ func (s *Shard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	r2 := r.Clone(r.Context())
 	r2.Body = io.NopCloser(bytes.NewReader(body))
 	r2.ContentLength = int64(len(body))
-	s.Service.ServeHTTP(w, r2)
+	// Buffer the response: if the operation failed and the lease is gone,
+	// the likely cause is a hand-off mid-request (a membership change
+	// drained the group between the ownership gate above and the apply) —
+	// answer 503 so the gateway retries on the new owner instead of
+	// surfacing a spurious error. A failure with its OWN cause (say, a
+	// duplicate user) that merely coincided with losing the lease is
+	// re-run once on the new owner, which returns the same genuine error
+	// to the client — nothing is masked, at the cost of one extra hop.
+	buf := &bufferedResponse{header: make(http.Header)}
+	s.Service.ServeHTTP(buf, r2)
+	if buf.code >= 400 && !s.holdsLive(req.Group) {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "cluster: group handed off mid-operation", http.StatusServiceUnavailable)
+		return
+	}
+	buf.flush(w)
+}
+
+// bufferedResponse captures a handler's response so the shard can decide to
+// replace it (hand-off race) before anything reaches the wire. Bodies on
+// this path are already capped at 8 MiB by the read above.
+type bufferedResponse struct {
+	header http.Header
+	code   int
+	body   bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.header }
+
+func (b *bufferedResponse) WriteHeader(code int) {
+	if b.code == 0 {
+		b.code = code
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	if b.code == 0 {
+		b.code = http.StatusOK
+	}
+	return b.body.Write(p)
+}
+
+func (b *bufferedResponse) flush(w http.ResponseWriter) {
+	for k, vs := range b.header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	if b.code == 0 {
+		b.code = http.StatusOK
+	}
+	w.WriteHeader(b.code)
+	_, _ = w.Write(b.body.Bytes())
+}
+
+// sleepCtx sleeps for dur unless the context ends first.
+func sleepCtx(ctx context.Context, dur time.Duration) error {
+	if dur <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(dur)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }

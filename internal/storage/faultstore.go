@@ -20,10 +20,15 @@ type FaultStore struct {
 	// failEveryPut fails every n-th Put when > 0.
 	failEveryPut int
 	putCount     int
-	// failEveryPutIf injects ErrVersionConflict on every n-th PutIf when
-	// > 0 — deterministic exercise for CAS retry/abort paths.
+	// failEveryPutIf injects ErrVersionConflict on every n-th conditional
+	// put (PutIf or PutFenced) when > 0 — deterministic exercise for CAS
+	// retry/abort paths.
 	failEveryPutIf int
 	putIfCount     int
+	// failEveryPutFenced injects ErrFenced on every n-th PutFenced when
+	// > 0 — deterministic exercise for zombie-rejection paths.
+	failEveryPutFenced int
+	putFencedCount     int
 	// failGets / failPuts force all reads / mutations to fail.
 	failGets bool
 	failPuts bool
@@ -49,6 +54,16 @@ func (f *FaultStore) FailEveryPutIf(n int) {
 	defer f.mu.Unlock()
 	f.failEveryPutIf = n
 	f.putIfCount = 0
+}
+
+// FailEveryPutFenced makes every n-th PutFenced fail with ErrFenced
+// (0 disables), simulating a newer membership epoch having fenced this
+// writer out.
+func (f *FaultStore) FailEveryPutFenced(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failEveryPutFenced = n
+	f.putFencedCount = 0
 }
 
 // SetFailGets toggles failing all reads (Get/List/Version/Poll).
@@ -113,6 +128,31 @@ func (f *FaultStore) putIfShouldConflict() bool {
 	}
 	f.putIfCount++
 	return f.putIfCount%f.failEveryPutIf == 0
+}
+
+// PutFenced implements Store. Injected fences (FailEveryPutFenced) surface
+// as ErrFenced; injected conflicts and mutation faults behave as for PutIf.
+func (f *FaultStore) PutFenced(ctx context.Context, dir, name string, data []byte, ifDirVersion, epoch uint64) error {
+	if f.putFencedShouldFail() {
+		return fmt.Errorf("%w: injected on %s", ErrFenced, dir)
+	}
+	if f.putIfShouldConflict() {
+		return fmt.Errorf("%w: injected on %s", ErrVersionConflict, dir)
+	}
+	if f.putShouldFail() {
+		return ErrInjected
+	}
+	return f.Inner.PutFenced(ctx, dir, name, data, ifDirVersion, epoch)
+}
+
+func (f *FaultStore) putFencedShouldFail() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failEveryPutFenced <= 0 {
+		return false
+	}
+	f.putFencedCount++
+	return f.putFencedCount%f.failEveryPutFenced == 0
 }
 
 // Delete implements Store.

@@ -49,7 +49,13 @@ func (f *FileStore) objPath(dir, name string) string {
 	return filepath.Join(f.dirPath(dir), "obj-"+escape(name))
 }
 
-const versionFile = ".version"
+const (
+	versionFile = ".version"
+	// epochFile persists the directory's fencing watermark (highest epoch a
+	// PutFenced ever carried), so a cloudsim restart cannot resurrect a
+	// fenced-out administrator.
+	epochFile = ".epoch"
+)
 
 // Put implements Store.
 func (f *FileStore) Put(ctx context.Context, dir, name string, data []byte) error {
@@ -92,13 +98,36 @@ func (f *FileStore) writeObject(dir, name string, data []byte) error {
 // PutIf implements Store. The version check, object write and version bump
 // run under the store lock, so concurrent conditional writers serialise.
 func (f *FileStore) PutIf(ctx context.Context, dir, name string, data []byte, ifDirVersion uint64) error {
+	return f.PutFenced(ctx, dir, name, data, ifDirVersion, 0)
+}
+
+// PutFenced implements Store. The fence check, version check, object write,
+// watermark persist and version bump all run under the store lock.
+func (f *FileStore) PutFenced(ctx context.Context, dir, name string, data []byte, ifDirVersion, epoch uint64) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	var watermark uint64
+	if epoch > 0 {
+		if watermark = f.readCounter(dir, epochFile); epoch < watermark {
+			return fmt.Errorf("%w: %s fenced at epoch %d, write carries %d", ErrFenced, dir, watermark, epoch)
+		}
+	}
 	if cur := f.readVersion(dir); cur != ifDirVersion {
 		return fmt.Errorf("%w: %s at %d, want %d", ErrVersionConflict, dir, cur, ifDirVersion)
+	}
+	// The watermark persists BEFORE the object: a crash in between leaves
+	// the fence conservatively high (a same-epoch writer simply retries its
+	// CAS), whereas object-first would leave a restart window in which a
+	// fenced-out zombie passes both checks and clobbers the newer write.
+	// Rewriting only on advance also skips a write per same-epoch op (lease
+	// renewals, CAS applies — the hot path).
+	if epoch > watermark {
+		if err := f.writeCounter(dir, epochFile, epoch); err != nil {
+			return fmt.Errorf("storage: persisting fence epoch: %w", err)
+		}
 	}
 	if err := f.writeObject(dir, name, data); err != nil {
 		return err
@@ -192,11 +221,28 @@ func (f *FileStore) Poll(ctx context.Context, dir string, since uint64) (uint64,
 }
 
 func (f *FileStore) readVersion(dir string) uint64 {
-	raw, err := os.ReadFile(filepath.Join(f.dirPath(dir), versionFile))
+	return f.readCounter(dir, versionFile)
+}
+
+// readCounter reads one of the directory's 8-byte bookkeeping files
+// (.version, .epoch); absent or malformed means 0.
+func (f *FileStore) readCounter(dir, file string) uint64 {
+	raw, err := os.ReadFile(filepath.Join(f.dirPath(dir), file))
 	if err != nil || len(raw) != 8 {
 		return 0
 	}
 	return binary.BigEndian.Uint64(raw)
+}
+
+// writeCounter persists one bookkeeping counter, creating the directory if
+// this fenced write is its first mutation.
+func (f *FileStore) writeCounter(dir, file string, v uint64) error {
+	if err := os.MkdirAll(f.dirPath(dir), 0o755); err != nil {
+		return err
+	}
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	return os.WriteFile(filepath.Join(f.dirPath(dir), file), buf[:], 0o644)
 }
 
 // bump persists the next version and wakes pollers. Serialised by f.mu so
@@ -210,10 +256,7 @@ func (f *FileStore) bump(dir string) error {
 // bumpLocked is bump with f.mu already held (PutIf holds it across the
 // version check and the object write).
 func (f *FileStore) bumpLocked(dir string) error {
-	v := f.readVersion(dir) + 1
-	var buf [8]byte
-	binary.BigEndian.PutUint64(buf[:], v)
-	if err := os.WriteFile(filepath.Join(f.dirPath(dir), versionFile), buf[:], 0o644); err != nil {
+	if err := f.writeCounter(dir, versionFile, f.readVersion(dir)+1); err != nil {
 		return fmt.Errorf("storage: persisting version: %w", err)
 	}
 	for _, ch := range f.waiters[dir] {

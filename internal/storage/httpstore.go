@@ -84,15 +84,24 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request, path strin
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		// ?if-version=n selects the conditional PUT (PutIf): the write
-		// succeeds only when the directory version still equals n.
+		// ?if-version=n selects the conditional PUT (PutIf); adding
+		// &fence-epoch=e makes it a fenced write (PutFenced). A fenced-out
+		// writer gets 412 with the X-Fenced header set, distinguishing the
+		// terminal fence from a retryable version conflict.
 		if cond := r.URL.Query().Get("if-version"); cond != "" {
 			want, err := strconv.ParseUint(cond, 10, 64)
 			if err != nil {
 				http.Error(w, "bad if-version", http.StatusBadRequest)
 				return
 			}
-			if err := s.store.PutIf(r.Context(), dir, name, body, want); err != nil {
+			var epoch uint64
+			if fe := r.URL.Query().Get("fence-epoch"); fe != "" {
+				if epoch, err = strconv.ParseUint(fe, 10, 64); err != nil {
+					http.Error(w, "bad fence-epoch", http.StatusBadRequest)
+					return
+				}
+			}
+			if err := s.store.PutFenced(r.Context(), dir, name, body, want, epoch); err != nil {
 				writeStoreErr(w, err)
 				return
 			}
@@ -173,9 +182,18 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request, path string)
 	writeJSON(w, map[string]uint64{"version": v})
 }
 
+// fencedHeader marks a 412 as a fence rejection rather than a version
+// conflict, so the client can map it back to ErrFenced.
+const fencedHeader = "X-Fenced"
+
 func writeStoreErr(w http.ResponseWriter, err error) {
 	if errors.Is(err, ErrNotFound) {
 		http.Error(w, err.Error(), http.StatusNotFound)
+		return
+	}
+	if errors.Is(err, ErrFenced) {
+		w.Header().Set(fencedHeader, "1")
+		http.Error(w, err.Error(), http.StatusPreconditionFailed)
 		return
 	}
 	if errors.Is(err, ErrVersionConflict) {
@@ -227,9 +245,18 @@ func (h *HTTPStore) Put(ctx context.Context, dir, name string, data []byte) erro
 }
 
 // PutIf implements Store via the ?if-version conditional PUT; the server
-// answers 412 Precondition Failed on a version conflict.
+// answers 412 Precondition Failed on a version conflict. Epoch 0 is the
+// unfenced degenerate case of PutFenced, mirroring the other backends.
 func (h *HTTPStore) PutIf(ctx context.Context, dir, name string, data []byte, ifDirVersion uint64) error {
-	u := h.objURL(dir, name) + "?if-version=" + strconv.FormatUint(ifDirVersion, 10)
+	return h.PutFenced(ctx, dir, name, data, ifDirVersion, 0)
+}
+
+// PutFenced implements Store via ?if-version=n&fence-epoch=e; the server
+// answers 412 for both rejections and sets X-Fenced when the cause is the
+// fencing token rather than the version.
+func (h *HTTPStore) PutFenced(ctx context.Context, dir, name string, data []byte, ifDirVersion, epoch uint64) error {
+	u := h.objURL(dir, name) + "?if-version=" + strconv.FormatUint(ifDirVersion, 10) +
+		"&fence-epoch=" + strconv.FormatUint(epoch, 10)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPut, u, strings.NewReader(string(data)))
 	if err != nil {
 		return err
@@ -359,6 +386,9 @@ func (h *HTTPStore) expectNoContent(req *http.Request) error {
 		return fmt.Errorf("%w: %s", ErrNotFound, req.URL.Path)
 	}
 	if resp.StatusCode == http.StatusPreconditionFailed {
+		if resp.Header.Get(fencedHeader) != "" {
+			return fmt.Errorf("%w: %s", ErrFenced, req.URL.Path)
+		}
 		return fmt.Errorf("%w: %s", ErrVersionConflict, req.URL.Path)
 	}
 	if resp.StatusCode != http.StatusNoContent {

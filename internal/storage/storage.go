@@ -26,6 +26,10 @@ var (
 	// ErrVersionConflict reports a conditional mutation whose expected
 	// directory version no longer matches — another writer got there first.
 	ErrVersionConflict = errors.New("storage: directory version conflict")
+	// ErrFenced reports a fenced mutation carrying an epoch older than the
+	// highest the directory has seen — the writer is a zombie from a
+	// superseded cluster membership and must stop, not retry.
+	ErrFenced = errors.New("storage: write fenced by newer epoch")
 )
 
 // Store is the cloud interface used by administrators (Put/Delete) and
@@ -43,6 +47,14 @@ type Store interface {
 	// a writer whose view of the directory is stale aborts cleanly instead
 	// of clobbering a concurrent writer's records.
 	PutIf(ctx context.Context, dir, name string, data []byte, ifDirVersion uint64) error
+	// PutFenced is PutIf with a fencing token: each directory remembers the
+	// highest epoch ever written to it, and a write whose epoch is LOWER
+	// fails with ErrFenced before any version check. Leases alone cannot
+	// stop a paused-then-resumed administrator from an old cluster
+	// membership; the fencing token lets the store reject it outright
+	// instead of relying on it losing every CAS race. epoch 0 degrades to
+	// plain PutIf (no fence carried, no watermark raised).
+	PutFenced(ctx context.Context, dir, name string, data []byte, ifDirVersion, epoch uint64) error
 	// Delete removes an object; deleting a missing object is an error.
 	Delete(ctx context.Context, dir, name string) error
 	// Get fetches an object.
@@ -82,7 +94,10 @@ type MemStore struct {
 type memDir struct {
 	objects map[string][]byte
 	version uint64
-	waiters []chan struct{}
+	// fenceEpoch is the highest epoch a PutFenced ever carried into this
+	// directory; lower-epoch fenced writes are rejected (ErrFenced).
+	fenceEpoch uint64
+	waiters    []chan struct{}
 }
 
 // NewMemStore creates an empty store with the given injected latency.
@@ -126,6 +141,11 @@ func (m *MemStore) Put(ctx context.Context, dir, name string, data []byte) error
 
 // PutIf implements Store.
 func (m *MemStore) PutIf(ctx context.Context, dir, name string, data []byte, ifDirVersion uint64) error {
+	return m.PutFenced(ctx, dir, name, data, ifDirVersion, 0)
+}
+
+// PutFenced implements Store.
+func (m *MemStore) PutFenced(ctx context.Context, dir, name string, data []byte, ifDirVersion, epoch uint64) error {
 	if err := sleepCtx(ctx, m.lat.Put); err != nil {
 		return err
 	}
@@ -135,6 +155,11 @@ func (m *MemStore) PutIf(ctx context.Context, dir, name string, data []byte, ifD
 	cur := uint64(0)
 	if d != nil {
 		cur = d.version
+		// The fence dominates the version check: a zombie must learn it is
+		// fenced (terminal) rather than conflicted (retryable).
+		if epoch > 0 && epoch < d.fenceEpoch {
+			return fmt.Errorf("%w: %s fenced at epoch %d, write carries %d", ErrFenced, dir, d.fenceEpoch, epoch)
+		}
 	}
 	if cur != ifDirVersion {
 		return fmt.Errorf("%w: %s at %d, want %d", ErrVersionConflict, dir, cur, ifDirVersion)
@@ -142,6 +167,9 @@ func (m *MemStore) PutIf(ctx context.Context, dir, name string, data []byte, ifD
 	if d == nil {
 		d = &memDir{objects: make(map[string][]byte)}
 		m.dirs[dir] = d
+	}
+	if epoch > d.fenceEpoch {
+		d.fenceEpoch = epoch
 	}
 	d.objects[name] = append([]byte(nil), data...)
 	m.puts++
