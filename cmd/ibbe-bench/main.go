@@ -16,12 +16,16 @@
 // -json writes the experiment's rows as a machine-readable report (CI
 // archives BENCH_cluster.json as the perf trajectory artifact); it applies
 // to a single experiment, not to "all".
+//
+// -cpuprofile writes a pprof CPU profile covering the whole run, for local
+// profiling of the crypto substrate under the real workloads.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	"github.com/ibbesgx/ibbesgx/internal/benchmark"
@@ -30,8 +34,24 @@ import (
 func main() {
 	scale := flag.String("scale", "ci", "experiment scale: ci, medium, paper")
 	jsonPath := flag.String("json", "", "write the experiment's rows as JSON to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
 	flag.Parse()
-	if err := run(*scale, *jsonPath, flag.Args()); err != nil {
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ibbe-bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ibbe-bench:", err)
+			os.Exit(1)
+		}
+	}
+	err := run(*scale, *jsonPath, flag.Args())
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ibbe-bench:", err)
 		os.Exit(1)
 	}
@@ -43,7 +63,7 @@ func run(scale, jsonPath string, args []string) error {
 		return fmt.Errorf("unknown scale %q (want ci, medium or paper)", scale)
 	}
 	if len(args) != 1 {
-		return fmt.Errorf("want exactly one experiment: fig2, fig6, fig7a, fig7b, fig8a, fig8b, fig9, fig10, table1, epc, parallel, batch, cluster, rebalance or all")
+		return fmt.Errorf("want exactly one experiment: fig2, fig6, fig7a, fig7b, fig8a, fig8b, fig9, fig10, table1, epc, parallel, batch, cluster, rebalance, crypto or all")
 	}
 	exp := args[0]
 
@@ -63,12 +83,13 @@ func run(scale, jsonPath string, args []string) error {
 		"batch":     runBatch,
 		"cluster":   runCluster,
 		"rebalance": runRebalance,
+		"crypto":    runCrypto,
 	}
 	if exp == "all" {
 		if jsonPath != "" {
 			return fmt.Errorf("-json applies to a single experiment, not all")
 		}
-		order := []string{"fig2", "fig6", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "table1", "epc", "parallel", "batch", "cluster", "rebalance"}
+		order := []string{"fig2", "fig6", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "table1", "epc", "parallel", "batch", "cluster", "rebalance", "crypto"}
 		for _, name := range order {
 			if _, err := timed(name, cfg, runners[name]); err != nil {
 				return err
@@ -227,5 +248,14 @@ func runRebalance(cfg benchmark.Config) (any, error) {
 		return nil, err
 	}
 	benchmark.PrintRebalance(os.Stdout, rows)
+	return rows, nil
+}
+
+func runCrypto(cfg benchmark.Config) (any, error) {
+	rows, err := benchmark.RunCrypto(cfg)
+	if err != nil {
+		return nil, err
+	}
+	benchmark.PrintCrypto(os.Stdout, rows)
 	return rows, nil
 }

@@ -1,0 +1,302 @@
+package ibbe
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/ibbesgx/ibbesgx/internal/pairing"
+)
+
+// detRand is a deterministic byte stream (SHA-256 in counter mode). Feeding
+// two scheme instances the same seed makes them draw identical scalars and
+// points, which is what lets the differential tests demand bit-identical
+// outputs rather than just "both decrypt".
+type detRand struct {
+	seed [32]byte
+	ctr  uint64
+	buf  []byte
+}
+
+func newDetRand(seed string) *detRand {
+	return &detRand{seed: sha256.Sum256([]byte(seed))}
+}
+
+func (d *detRand) Read(p []byte) (int, error) {
+	for len(d.buf) < len(p) {
+		var block [40]byte
+		copy(block[:32], d.seed[:])
+		binary.BigEndian.PutUint64(block[32:], d.ctr)
+		d.ctr++
+		sum := sha256.Sum256(block[:])
+		d.buf = append(d.buf, sum[:]...)
+	}
+	n := copy(p, d.buf)
+	d.buf = d.buf[n:]
+	return n, nil
+}
+
+// fastPathParamSets returns the parameter sets the differential suite runs
+// on; the larger two only outside -short to keep local iteration quick.
+func fastPathParamSets(t *testing.T) []*pairing.Params {
+	t.Helper()
+	sets := []*pairing.Params{pairing.TypeA160()}
+	if !testing.Short() {
+		sets = append(sets, pairing.TypeA256(), pairing.TypeA512())
+	}
+	return sets
+}
+
+// TestFastPathMatchesReference pins every operation of the table-driven fast
+// path against the reference arithmetic, bit for bit: same deterministic
+// randomness in, byte-identical keys, headers and broadcast keys out.
+func TestFastPathMatchesReference(t *testing.T) {
+	for _, params := range fastPathParamSets(t) {
+		t.Run(params.Name(), func(t *testing.T) {
+			const m = 12
+			slow := NewScheme(params)
+			slow.DisableFastPath = true
+			fast := NewScheme(params)
+			group := ids(m)
+
+			// Setup: identical rng stream must yield identical key material.
+			mskS, pkS, err := slow.Setup(m, newDetRand("setup"))
+			if err != nil {
+				t.Fatalf("slow Setup: %v", err)
+			}
+			mskF, pkF, err := fast.Setup(m, newDetRand("setup"))
+			if err != nil {
+				t.Fatalf("fast Setup: %v", err)
+			}
+			if !bytes.Equal(slow.MarshalPublicKey(pkS), fast.MarshalPublicKey(pkF)) {
+				t.Fatal("Setup public keys differ between fast and reference paths")
+			}
+			if !params.G1.Equal(mskS.G, mskF.G) || mskS.Gamma.Cmp(mskF.Gamma) != 0 {
+				t.Fatal("Setup master secrets differ between fast and reference paths")
+			}
+
+			// From here on both paths share one key set; only the arithmetic
+			// route differs.
+			msk, pk := mskF, pkF
+
+			ukS, err := slow.Extract(msk, group[0])
+			if err != nil {
+				t.Fatalf("slow Extract: %v", err)
+			}
+			ukF, err := fast.Extract(msk, group[0])
+			if err != nil {
+				t.Fatalf("fast Extract: %v", err)
+			}
+			if !bytes.Equal(slow.MarshalUserKey(ukS), fast.MarshalUserKey(ukF)) {
+				t.Fatal("Extract differs between fast and reference paths")
+			}
+
+			type op struct {
+				name string
+				run  func(s *Scheme) ([]byte, []byte, error)
+			}
+			_, baseCt, err := fast.EncryptMSK(msk, pk, group, newDetRand("base"))
+			if err != nil {
+				t.Fatalf("base EncryptMSK: %v", err)
+			}
+			ops := []op{
+				{"EncryptMSK", func(s *Scheme) ([]byte, []byte, error) {
+					bk, ct, err := s.EncryptMSK(msk, pk, group, newDetRand("enc"))
+					if err != nil {
+						return nil, nil, err
+					}
+					return params.GTMarshal(bk), s.MarshalCiphertext(ct), nil
+				}},
+				{"EncryptClassic", func(s *Scheme) ([]byte, []byte, error) {
+					bk, ct, err := s.EncryptClassic(pk, group, newDetRand("classic"))
+					if err != nil {
+						return nil, nil, err
+					}
+					return params.GTMarshal(bk), s.MarshalCiphertext(ct), nil
+				}},
+				{"Decrypt", func(s *Scheme) ([]byte, []byte, error) {
+					bk, err := s.Decrypt(pk, group[0], ukF, group, baseCt)
+					if err != nil {
+						return nil, nil, err
+					}
+					return params.GTMarshal(bk), nil, nil
+				}},
+				{"AddUsers", func(s *Scheme) ([]byte, []byte, error) {
+					ct := s.AddUsers(msk, baseCt, []string{"new-a@x", "new-b@x"})
+					return nil, s.MarshalCiphertext(ct), nil
+				}},
+				{"RemoveUsers", func(s *Scheme) ([]byte, []byte, error) {
+					bk, ct, err := s.RemoveUsers(msk, pk, baseCt, group[:2], newDetRand("rm"))
+					if err != nil {
+						return nil, nil, err
+					}
+					return params.GTMarshal(bk), s.MarshalCiphertext(ct), nil
+				}},
+				{"Rekey", func(s *Scheme) ([]byte, []byte, error) {
+					bk, ct, err := s.Rekey(pk, baseCt, newDetRand("rekey"))
+					if err != nil {
+						return nil, nil, err
+					}
+					return params.GTMarshal(bk), s.MarshalCiphertext(ct), nil
+				}},
+			}
+			for _, o := range ops {
+				bkS, ctS, err := o.run(slow)
+				if err != nil {
+					t.Fatalf("slow %s: %v", o.name, err)
+				}
+				bkF, ctF, err := o.run(fast)
+				if err != nil {
+					t.Fatalf("fast %s: %v", o.name, err)
+				}
+				if !bytes.Equal(bkS, bkF) {
+					t.Fatalf("%s: broadcast keys differ between fast and reference paths", o.name)
+				}
+				if !bytes.Equal(ctS, ctF) {
+					t.Fatalf("%s: ciphertexts differ between fast and reference paths", o.name)
+				}
+			}
+		})
+	}
+}
+
+// TestFastPathDecryptsReferenceCiphertext crosses the paths: reference
+// encrypt / fast decrypt and vice versa, on a shared key set.
+func TestFastPathDecryptsReferenceCiphertext(t *testing.T) {
+	slow := NewScheme(pairing.TypeA160())
+	slow.DisableFastPath = true
+	fast := NewScheme(pairing.TypeA160())
+	msk, pk := setup(t, fast, 8)
+	group := ids(8)
+	uk, err := fast.Extract(msk, group[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk, ct, err := slow.EncryptMSK(msk, pk, group, newDetRand("cross-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fast.Decrypt(pk, group[3], uk, group, ct)
+	if err != nil || !fast.P.GTEqual(got, bk) {
+		t.Fatalf("fast Decrypt of reference ciphertext: %v", err)
+	}
+	bk, ct, err = fast.EncryptMSK(msk, pk, group, newDetRand("cross-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = slow.Decrypt(pk, group[3], uk, group, ct)
+	if err != nil || !slow.P.GTEqual(got, bk) {
+		t.Fatalf("reference Decrypt of fast ciphertext: %v", err)
+	}
+}
+
+func TestHashIDMemoMatchesUncachedAndCopies(t *testing.T) {
+	s := testScheme(t)
+	for i := 0; i < 64; i++ {
+		id := fmt.Sprintf("memo-%03d@example.com", i)
+		first := s.HashID(id)  // fills the memo
+		second := s.HashID(id) // memo hit
+		if first.Cmp(second) != 0 {
+			t.Fatalf("memoized hash differs for %s", id)
+		}
+		if first.Cmp(s.hashIDUncached(id)) != 0 {
+			t.Fatalf("memoized hash differs from uncached for %s", id)
+		}
+		// Mutating a returned value must not poison the cache.
+		second.SetInt64(1)
+		if s.HashID(id).Cmp(first) != 0 {
+			t.Fatalf("cache poisoned through returned value for %s", id)
+		}
+	}
+}
+
+func TestHashIDMemoBounded(t *testing.T) {
+	s := testScheme(t)
+	for i := 0; i < hashMemoCap+64; i++ {
+		s.HashID(fmt.Sprintf("bound-%05d@example.com", i))
+	}
+	s.hashMu.RLock()
+	n := len(s.hashMemo)
+	s.hashMu.RUnlock()
+	if n > hashMemoCap {
+		t.Fatalf("hash memo grew to %d entries, cap is %d", n, hashMemoCap)
+	}
+}
+
+// TestHashIDConcurrent hammers the memo from many goroutines over an id set
+// that deliberately wraps the cap mid-run (forcing resets under load) and
+// checks every result; run under -race this proves the memo is race-clean.
+func TestHashIDConcurrent(t *testing.T) {
+	s := testScheme(t)
+	slow := NewScheme(s.P)
+	slow.DisableFastPath = true
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				id := fmt.Sprintf("conc-%03d@example.com", (i+w)%97)
+				if s.HashID(id).Cmp(slow.HashID(id)) != 0 {
+					errs <- fmt.Errorf("worker %d: hash mismatch for %s", w, id)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestPrecomputeConcurrent exercises the lazy per-key tables from many
+// goroutines at once: every operation must agree with the reference path no
+// matter which goroutine wins the sync.Once races.
+func TestPrecomputeConcurrent(t *testing.T) {
+	fast := NewScheme(pairing.TypeA160())
+	slow := NewScheme(pairing.TypeA160())
+	slow.DisableFastPath = true
+	msk, pk := setup(t, fast, 8)
+	group := ids(8)
+	uk, err := fast.Extract(msk, group[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	bk, ct, err := slow.EncryptMSK(msk, pk, group, newDetRand("pre"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			seed := fmt.Sprintf("pre-%d", w)
+			if _, _, err := fast.EncryptMSK(msk, pk, group, newDetRand(seed)); err != nil {
+				errs <- err
+				return
+			}
+			got, err := fast.Decrypt(pk, group[0], uk, group, ct)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !fast.P.GTEqual(got, bk) {
+				errs <- fmt.Errorf("worker %d: wrong broadcast key", w)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 
 	"github.com/ibbesgx/ibbesgx/internal/curve"
 	"github.com/ibbesgx/ibbesgx/internal/pairing"
@@ -43,9 +44,28 @@ var (
 
 // Scheme binds the IBBE algorithms to a pairing parameter set. Metrics, when
 // non-nil, receives operation counts (used by the Table I reproduction).
+//
+// A Scheme must not be copied after first use (it carries the identity-hash
+// memo); share it by pointer, as NewScheme hands it out.
 type Scheme struct {
 	P       *pairing.Params
 	Metrics *Metrics
+
+	// DisableFastPath forces the reference arithmetic everywhere: plain
+	// double-and-add scalar multiplication, the coefficient-by-coefficient
+	// HPowers loop, square-and-multiply GT exponentiation, and uncached
+	// identity hashing. The differential tests pin the fast path against
+	// this mode bit-for-bit, and the crypto benchmark uses it as the
+	// "old path" arm. Leave it false in production.
+	DisableFastPath bool
+
+	// Identity-hash memo (HashID is deterministic, so caching is safe).
+	hashMu   sync.RWMutex
+	hashMemo map[string]*big.Int
+
+	// rMinus1 = r − 1, hoisted out of HashID.
+	rm1Once sync.Once
+	rm1     *big.Int
 }
 
 // NewScheme returns an IBBE scheme over the given pairing parameters.
@@ -60,10 +80,59 @@ type MasterSecretKey struct {
 
 // PublicKey is PK = (w, v, h, h^γ, …, h^γ^m) with w = g^γ and v = e(g, h).
 // HPowers[i] holds h^(γ^i), so HPowers[0] = h and len(HPowers) = m+1.
+//
+// A PublicKey lazily accretes precomputed fixed-base and multi-exponentiation
+// tables on first use (see pkPrecomp); because of the embedded sync.Once
+// guards it must be shared by pointer, never copied by value — which is how
+// every layer above already handles it.
 type PublicKey struct {
 	W       *curve.Point
 	V       *pairing.GT
 	HPowers []*curve.Point
+
+	pre pkPrecomp
+}
+
+// pkPrecomp holds the per-public-key table caches behind the fast paths.
+// Each table is built at most once (computed lazily under its own sync.Once,
+// so e.g. an encrypt-only workload never pays for the Straus table) and then
+// reused across every operation on the key — including the per-partition
+// ECALLs core.Manager issues concurrently, for which Once provides the
+// memory barrier.
+type pkPrecomp struct {
+	wOnce sync.Once
+	w     *curve.FixedBase // fixed-base table for W = g^γ (C1 = w^−k)
+	hOnce sync.Once
+	h     *curve.FixedBase // fixed-base table for HPowers[0] = h (C2, C3)
+	vOnce sync.Once
+	v     *pairing.GTFixedBase // fixed-base table for v = e(g, h) (bk = v^k)
+	tOnce sync.Once
+	t     *curve.MultiExpTable // odd multiples of every HPowers[i] (Straus)
+}
+
+// fbW returns the lazily-built fixed-base table for pk.W.
+func (s *Scheme) fbW(pk *PublicKey) *curve.FixedBase {
+	pk.pre.wOnce.Do(func() { pk.pre.w = s.P.G1.NewFixedBase(pk.W) })
+	return pk.pre.w
+}
+
+// fbH returns the lazily-built fixed-base table for h = pk.HPowers[0].
+func (s *Scheme) fbH(pk *PublicKey) *curve.FixedBase {
+	pk.pre.hOnce.Do(func() { pk.pre.h = s.P.G1.NewFixedBase(pk.HPowers[0]) })
+	return pk.pre.h
+}
+
+// fbV returns the lazily-built GT fixed-base table for pk.V.
+func (s *Scheme) fbV(pk *PublicKey) *pairing.GTFixedBase {
+	pk.pre.vOnce.Do(func() { pk.pre.v = s.P.NewGTFixedBase(pk.V) })
+	return pk.pre.v
+}
+
+// hTable returns the lazily-built Straus multi-exponentiation table over the
+// full HPowers vector.
+func (s *Scheme) hTable(pk *PublicKey) *curve.MultiExpTable {
+	pk.pre.tOnce.Do(func() { pk.pre.t = s.P.G1.NewMultiExpTable(pk.HPowers) })
+	return pk.pre.t
 }
 
 // MaxGroupSize returns m, the largest receiver set this key supports.
@@ -89,10 +158,43 @@ func (c *Ciphertext) Clone() *Ciphertext {
 // BroadcastKey is bk = v^k ∈ GT; its hash is used as a symmetric key.
 type BroadcastKey = pairing.GT
 
+// hashMemoCap bounds the identity-hash memo. Partitions top out in the low
+// thousands of members (the paper's sweet spot is 1000–2000), so 4096
+// entries cover every working set; when the cap is hit the memo is dropped
+// wholesale, keeping memory bounded with zero bookkeeping on the hot path.
+const hashMemoCap = 4096
+
 // HashID maps an identity string into Z_r* (the function H of the paper).
 // It is deterministic, never returns zero, and oversamples SHA-256 output to
 // keep the modular bias negligible.
+//
+// Because the map is deterministic, results are memoized per Scheme (bounded
+// by hashMemoCap, safe for concurrent use): every partition operation
+// re-derives the same member hashes, so the repeated SHA-256 expansion and
+// wide reduction collapse to one map lookup after first sight of an id.
 func (s *Scheme) HashID(id string) *big.Int {
+	if s.DisableFastPath {
+		return s.hashIDUncached(id)
+	}
+	s.hashMu.RLock()
+	v, ok := s.hashMemo[id]
+	s.hashMu.RUnlock()
+	if !ok {
+		v = s.hashIDUncached(id)
+		s.hashMu.Lock()
+		if s.hashMemo == nil || len(s.hashMemo) >= hashMemoCap {
+			s.hashMemo = make(map[string]*big.Int, 64)
+		}
+		s.hashMemo[id] = v
+		s.hashMu.Unlock()
+	}
+	// Hand out a copy: big.Ints are mutable and the cached value must stay
+	// pristine no matter what a caller does with the result.
+	return new(big.Int).Set(v)
+}
+
+// hashIDUncached is the actual hash computation behind HashID.
+func (s *Scheme) hashIDUncached(id string) *big.Int {
 	r := s.P.R
 	need := (r.BitLen()+7)/8 + 16
 	out := make([]byte, 0, need+sha256.Size)
@@ -107,10 +209,15 @@ func (s *Scheme) HashID(id string) *big.Int {
 		block++
 	}
 	v := new(big.Int).SetBytes(out[:need])
-	rMinus1 := new(big.Int).Sub(r, bigOne)
-	v.Mod(v, rMinus1)
+	v.Mod(v, s.rMinus1())
 	v.Add(v, bigOne) // uniform in [1, r−1]
 	return v
+}
+
+// rMinus1 returns r − 1, computed once per Scheme instead of once per hash.
+func (s *Scheme) rMinus1() *big.Int {
+	s.rm1Once.Do(func() { s.rm1 = new(big.Int).Sub(s.P.R, bigOne) })
+	return s.rm1
 }
 
 // Setup runs the system setup for maximal group size m: it draws
@@ -136,15 +243,34 @@ func (s *Scheme) Setup(m int, rng io.Reader) (*MasterSecretKey, *PublicKey, erro
 	msk := &MasterSecretKey{G: g, Gamma: gamma}
 
 	pk := &PublicKey{
-		W:       s.expG1(g, gamma),
-		V:       s.pair(g, h),
-		HPowers: make([]*curve.Point, m+1),
+		W: s.expG1(g, gamma),
+		V: s.pair(g, h),
 	}
+	if s.DisableFastPath {
+		pk.HPowers = make([]*curve.Point, m+1)
+		acc := big.NewInt(1)
+		for i := 0; i <= m; i++ {
+			pk.HPowers[i] = s.expG1(h, acc)
+			acc = s.P.Zr.Mul(acc, gamma)
+		}
+		return msk, pk, nil
+	}
+	// Fast path: one fixed-base table for h serves all m+1 powers (each is
+	// ≈ bits(r)/4 mixed additions, no doublings), and the results share a
+	// single batch normalisation instead of one inversion per point. The
+	// table is kept on the public key, pre-warming the EncryptMSK hot path.
+	fb := s.P.G1.NewFixedBase(h)
+	exps := make([]*big.Int, m+1)
 	acc := big.NewInt(1)
 	for i := 0; i <= m; i++ {
-		pk.HPowers[i] = s.expG1(h, acc)
+		exps[i] = acc
 		acc = s.P.Zr.Mul(acc, gamma)
 	}
+	if s.Metrics != nil {
+		s.Metrics.G1Exp.Add(int64(m + 1))
+	}
+	pk.HPowers = fb.MulMany(exps)
+	pk.pre.hOnce.Do(func() { pk.pre.h = fb })
 	return msk, pk, nil
 }
 
@@ -185,13 +311,26 @@ func (s *Scheme) EncryptMSK(msk *MasterSecretKey, pk *PublicKey, ids []string, r
 	for _, id := range ids {
 		prod = s.mulZr(prod, zr.Add(msk.Gamma, s.HashID(id)))
 	}
-	h := pk.HPowers[0]
-	ct := &Ciphertext{
-		C1: s.expG1(pk.W, zr.Neg(k)),
-		C2: s.expG1(h, s.mulZr(k, prod)),
-		C3: s.expG1(h, prod),
+	if s.DisableFastPath {
+		h := pk.HPowers[0]
+		ct := &Ciphertext{
+			C1: s.expG1(pk.W, zr.Neg(k)),
+			C2: s.expG1(h, s.mulZr(k, prod)),
+			C3: s.expG1(h, prod),
+		}
+		bk := s.expGT(pk.V, k)
+		return bk, ct, nil
 	}
-	bk := s.expGT(pk.V, k)
+	// Fast path: all three header points are powers of the long-lived
+	// generators w and h, and bk is a power of v — every exponentiation is
+	// table-driven.
+	fbH := s.fbH(pk)
+	ct := &Ciphertext{
+		C1: s.expFixed(s.fbW(pk), zr.Neg(k)),
+		C2: s.expFixed(fbH, s.mulZr(k, prod)),
+		C3: s.expFixed(fbH, prod),
+	}
+	bk := s.expGTFixed(s.fbV(pk), k)
 	return bk, ct, nil
 }
 
@@ -213,12 +352,21 @@ func (s *Scheme) EncryptClassic(pk *PublicKey, ids []string, rng io.Reader) (*Br
 	coeffs := s.expandProductPoly(ids) // O(n²)
 	// C3 = h^Π(γ+H(u)) = Σ_i coeffs[i]·HPowers[i] in additive notation.
 	c3 := s.multiExpHPowers(pk, coeffs, 0)
+	if s.DisableFastPath {
+		ct := &Ciphertext{
+			C1: s.expG1(pk.W, s.P.Zr.Neg(k)),
+			C2: s.expG1(c3, k),
+			C3: c3,
+		}
+		bk := s.expGT(pk.V, k)
+		return bk, ct, nil
+	}
 	ct := &Ciphertext{
-		C1: s.expG1(pk.W, s.P.Zr.Neg(k)),
-		C2: s.expG1(c3, k),
+		C1: s.expFixed(s.fbW(pk), s.P.Zr.Neg(k)),
+		C2: s.expG1(c3, k), // fresh base: no table pays off for one use
 		C3: c3,
 	}
-	bk := s.expGT(pk.V, k)
+	bk := s.expGTFixed(s.fbV(pk), k)
 	return bk, ct, nil
 }
 
@@ -321,12 +469,22 @@ func (s *Scheme) RemoveUsers(msk *MasterSecretKey, pk *PublicKey, ct *Ciphertext
 	if err != nil {
 		return nil, nil, fmt.Errorf("ibbe: drawing k: %w", err)
 	}
-	out := &Ciphertext{
-		C1: s.expG1(pk.W, zr.Neg(k)),
-		C2: s.expG1(c3, k),
-		C3: c3,
+	bk, out := s.rotateHeader(pk, c3, k)
+	return bk, out, nil
+}
+
+// rotateHeader assembles the rotated header (C1 = w^−k, C2 = C3^k) and fresh
+// broadcast key bk = v^k for an established C3 — the shared tail of Rekey
+// and both Remove operations. C1 and bk ride the w and v fixed-base tables;
+// C2's base C3 changes every call, so it takes the generic windowed path.
+func (s *Scheme) rotateHeader(pk *PublicKey, c3 *curve.Point, k *big.Int) (*BroadcastKey, *Ciphertext) {
+	zr := s.P.Zr
+	if s.DisableFastPath {
+		out := &Ciphertext{C1: s.expG1(pk.W, zr.Neg(k)), C2: s.expG1(c3, k), C3: c3}
+		return s.expGT(pk.V, k), out
 	}
-	return s.expGT(pk.V, k), out, nil
+	out := &Ciphertext{C1: s.expFixed(s.fbW(pk), zr.Neg(k)), C2: s.expG1(c3, k), C3: c3}
+	return s.expGTFixed(s.fbV(pk), k), out
 }
 
 // RemoveUser revokes id and re-keys in O(1) using the master secret
@@ -346,12 +504,8 @@ func (s *Scheme) RemoveUser(msk *MasterSecretKey, pk *PublicKey, ct *Ciphertext,
 	if err != nil {
 		return nil, nil, fmt.Errorf("ibbe: drawing k: %w", err)
 	}
-	out := &Ciphertext{
-		C1: s.expG1(pk.W, zr.Neg(k)),
-		C2: s.expG1(c3, k),
-		C3: c3,
-	}
-	return s.expGT(pk.V, k), out, nil
+	bk, out := s.rotateHeader(pk, c3, k)
+	return bk, out, nil
 }
 
 // Rekey draws a fresh broadcast key for an unchanged receiver set in O(1)
@@ -361,12 +515,8 @@ func (s *Scheme) Rekey(pk *PublicKey, ct *Ciphertext, rng io.Reader) (*Broadcast
 	if err != nil {
 		return nil, nil, fmt.Errorf("ibbe: drawing k: %w", err)
 	}
-	out := &Ciphertext{
-		C1: s.expG1(pk.W, s.P.Zr.Neg(k)),
-		C2: s.expG1(ct.C3, k),
-		C3: ct.C3.Clone(),
-	}
-	return s.expGT(pk.V, k), out, nil
+	bk, out := s.rotateHeader(pk, ct.C3.Clone(), k)
+	return bk, out, nil
 }
 
 // expandProductPoly returns the coefficients a_0..a_n of
@@ -394,15 +544,34 @@ func (s *Scheme) expandProductPoly(ids []string) []*big.Int {
 }
 
 // multiExpHPowers computes Σ_i coeffs[i] · HPowers[i+offset].
+//
+// The fast path runs the interleaved Straus evaluation over the public key's
+// precomputed odd-multiple table: one shared doubling chain for every base
+// plus one mixed addition per non-zero w-NAF digit, instead of a full
+// scalar multiplication per coefficient. Metrics still count one G1
+// exponentiation per non-zero coefficient — the complexity the Table I
+// reproduction asserts is about operation counts, not their unit price.
 func (s *Scheme) multiExpHPowers(pk *PublicKey, coeffs []*big.Int, offset int) *curve.Point {
-	acc := s.P.G1.Infinity()
-	for i, c := range coeffs {
-		if c.Sign() == 0 {
-			continue
+	if s.DisableFastPath {
+		acc := s.P.G1.Infinity()
+		for i, c := range coeffs {
+			if c.Sign() == 0 {
+				continue
+			}
+			acc = s.P.G1.Add(acc, s.expG1(pk.HPowers[i+offset], c))
 		}
-		acc = s.P.G1.Add(acc, s.expG1(pk.HPowers[i+offset], c))
+		return acc
 	}
-	return acc
+	if s.Metrics != nil {
+		nz := int64(0)
+		for _, c := range coeffs {
+			if c.Sign() != 0 {
+				nz++
+			}
+		}
+		s.Metrics.G1Exp.Add(nz)
+	}
+	return s.hTable(pk).MultiExp(coeffs, offset)
 }
 
 var bigOne = big.NewInt(1)

@@ -51,14 +51,38 @@ func (s *Scheme) expG1(p *curve.Point, k *big.Int) *curve.Point {
 	if s.Metrics != nil {
 		s.Metrics.G1Exp.Add(1)
 	}
+	if s.DisableFastPath {
+		return s.P.G1.ScalarMultBinary(p, new(big.Int).Mod(k, s.P.R))
+	}
 	return s.P.G1.ScalarMultReduced(p, k)
+}
+
+// expFixed is expG1 through a precomputed fixed-base table; it counts as the
+// same one G1 exponentiation.
+func (s *Scheme) expFixed(fb *curve.FixedBase, k *big.Int) *curve.Point {
+	if s.Metrics != nil {
+		s.Metrics.G1Exp.Add(1)
+	}
+	return fb.Mul(k)
 }
 
 func (s *Scheme) expGT(a *pairing.GT, k *big.Int) *pairing.GT {
 	if s.Metrics != nil {
 		s.Metrics.GTExp.Add(1)
 	}
+	if s.DisableFastPath {
+		return s.P.GTExpBinary(a, k)
+	}
 	return s.P.GTExp(a, k)
+}
+
+// expGTFixed is expGT through a precomputed GT table; it counts as the same
+// one GT exponentiation.
+func (s *Scheme) expGTFixed(t *pairing.GTFixedBase, k *big.Int) *pairing.GT {
+	if s.Metrics != nil {
+		s.Metrics.GTExp.Add(1)
+	}
+	return t.Exp(k)
 }
 
 func (s *Scheme) pair(p, q *curve.Point) *pairing.GT {

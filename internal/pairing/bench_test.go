@@ -24,6 +24,7 @@ func BenchmarkPairing(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Pair(P, Q)
@@ -40,9 +41,45 @@ func BenchmarkG1ScalarMult(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.G1.ScalarMult(P, k)
+	}
+}
+
+func BenchmarkG1ScalarMultBinary(b *testing.B) {
+	p := benchParams(b)
+	P, err := p.G1.RandPoint(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, err := p.G1.RandScalar(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.G1.ScalarMultBinary(P, k)
+	}
+}
+
+func BenchmarkG1FixedBaseMul(b *testing.B) {
+	p := benchParams(b)
+	P, err := p.G1.RandPoint(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	k, err := p.G1.RandScalar(rand.Reader)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fb := p.G1.NewFixedBase(P)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fb.Mul(k)
 	}
 }
 
@@ -52,9 +89,37 @@ func BenchmarkGTExp(b *testing.B) {
 	Q, _ := p.G1.RandPoint(rand.Reader)
 	e := p.Pair(P, Q)
 	k, _ := p.G1.RandScalar(rand.Reader)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.GTExp(e, k)
+	}
+}
+
+func BenchmarkGTExpBinary(b *testing.B) {
+	p := benchParams(b)
+	P, _ := p.G1.RandPoint(rand.Reader)
+	Q, _ := p.G1.RandPoint(rand.Reader)
+	e := p.Pair(P, Q)
+	k, _ := p.G1.RandScalar(rand.Reader)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.GTExpBinary(e, k)
+	}
+}
+
+func BenchmarkGTFixedBaseExp(b *testing.B) {
+	p := benchParams(b)
+	P, _ := p.G1.RandPoint(rand.Reader)
+	Q, _ := p.G1.RandPoint(rand.Reader)
+	e := p.Pair(P, Q)
+	k, _ := p.G1.RandScalar(rand.Reader)
+	t := p.NewGTFixedBase(e)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t.Exp(k)
 	}
 }
 
@@ -82,6 +147,7 @@ func BenchmarkPairing512(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Pair(P, Q)

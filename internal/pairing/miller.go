@@ -31,6 +31,12 @@ func (p *Params) Pair(P, Q *curve.Point) *GT {
 // millerLoop evaluates f_{r,P} at φ(Q) using a double-and-add walk over the
 // bits of r. Line functions through points of E(F_q) evaluated at
 // φ(Q) = (−x_Q, i·y_Q) take the sparse form (c₀ + y_Q·i) with c₀ ∈ F_q.
+//
+// The accumulator f is updated in place through an E2Scratch (SqrInto and a
+// sparse MulInto), and each step shares one field inversion between the line
+// slope λ and the point update it implies — the chord/tangent formulas reuse
+// the same λ — so an iteration allocates a handful of small big.Ints instead
+// of rebuilding every intermediate.
 func (p *Params) millerLoop(P, Q *curve.Point) *ff.E2 {
 	fq := p.F
 	e2 := p.E2
@@ -39,73 +45,87 @@ func (p *Params) millerLoop(P, Q *curve.Point) *ff.E2 {
 	yQ := Q.Y             // imaginary y-coordinate of φ(Q)
 
 	f := e2.One()
+	sc := ff.NewE2Scratch()
 	T := P.Clone()
 	r := p.R
 	for i := r.BitLen() - 2; i >= 0; i-- {
-		f = e2.Sqr(f)
-		l, next := p.lineDouble(T, xPrime, yQ)
-		f = e2.Mul(f, l)
+		e2.SqrInto(sc, f, f)
+		c0, next := p.stepDouble(T, xPrime)
+		if c0 != nil {
+			e2.MulSparseInto(sc, f, f, c0, yQ)
+		}
 		T = next
 		if r.Bit(i) == 1 {
-			l, next = p.lineAdd(T, P, xPrime, yQ)
-			f = e2.Mul(f, l)
+			c0, next = p.stepAdd(T, P, xPrime)
+			if c0 != nil {
+				e2.MulSparseInto(sc, f, f, c0, yQ)
+			}
 			T = next
 		}
 	}
 	return f
 }
 
-// lineDouble returns the tangent line at T evaluated at φ(Q), and 2T.
-// A vertical tangent (y_T = 0) contributes only an F_q* factor, which the
-// final exponentiation kills, so it is replaced by 1.
-func (p *Params) lineDouble(T *curve.Point, xPrime, yQ *big.Int) (*ff.E2, *curve.Point) {
+// stepDouble returns the tangent-line coefficient c₀ at T (the line value is
+// c₀ + y_Q·i) together with 2T, computing both from a single inversion: the
+// doubled point is derived from the same slope λ the line needs
+// (x₃ = λ² − 2x, y₃ = λ(x − x₃) − y). A nil c₀ means the line was vertical,
+// its value lies in F_q* and the final exponentiation eliminates it.
+func (p *Params) stepDouble(T *curve.Point, xPrime *big.Int) (*big.Int, *curve.Point) {
 	fq := p.F
 	if T.Inf {
-		return p.E2.One(), T.Clone()
+		return nil, T.Clone()
 	}
 	if T.Y.Sign() == 0 {
-		return p.E2.One(), p.G1.Infinity()
+		return nil, p.G1.Infinity()
 	}
 	// λ = (3x² + 1) / 2y
 	num := fq.Add(fq.Mul(three, fq.Sqr(T.X)), one)
 	den, err := fq.Inv(fq.Add(T.Y, T.Y))
 	if err != nil {
-		return p.E2.One(), p.G1.Infinity()
+		return nil, p.G1.Infinity()
 	}
 	lambda := fq.Mul(num, den)
 	// l(φ(Q)) = y_Q·i − y_T − λ(x' − x_T)
 	c0 := fq.Sub(fq.Neg(T.Y), fq.Mul(lambda, fq.Sub(xPrime, T.X)))
-	return p.E2.New(c0, yQ), p.G1.Double(T)
+	x3 := fq.Sub(fq.Sqr(lambda), fq.Add(T.X, T.X))
+	y3 := fq.Sub(fq.Mul(lambda, fq.Sub(T.X, x3)), T.Y)
+	return c0, &curve.Point{X: x3, Y: y3}
 }
 
-// lineAdd returns the chord through T and P evaluated at φ(Q), and T + P.
-// Vertical chords (T = −P) again contribute only F_q* factors.
-func (p *Params) lineAdd(T, P *curve.Point, xPrime, yQ *big.Int) (*ff.E2, *curve.Point) {
+// stepAdd returns the chord coefficient c₀ through T and P evaluated at
+// φ(Q), together with T + P, sharing the slope inversion exactly like
+// stepDouble. Vertical chords (T = −P) again contribute only F_q* factors.
+func (p *Params) stepAdd(T, P *curve.Point, xPrime *big.Int) (*big.Int, *curve.Point) {
 	fq := p.F
 	if T.Inf {
-		return p.E2.One(), P.Clone()
+		return nil, P.Clone()
 	}
 	if P.Inf {
-		return p.E2.One(), T.Clone()
+		return nil, T.Clone()
 	}
 	if T.X.Cmp(P.X) == 0 {
 		if fq.Add(T.Y, P.Y).Sign() == 0 {
 			// Vertical line x = x_T: value x' − x_T ∈ F_q*, eliminated.
-			return p.E2.One(), p.G1.Infinity()
+			return nil, p.G1.Infinity()
 		}
-		return p.lineDouble(T, xPrime, yQ)
+		return p.stepDouble(T, xPrime)
 	}
 	den, err := fq.Inv(fq.Sub(P.X, T.X))
 	if err != nil {
-		return p.E2.One(), p.G1.Infinity()
+		return nil, p.G1.Infinity()
 	}
 	lambda := fq.Mul(fq.Sub(P.Y, T.Y), den)
 	c0 := fq.Sub(fq.Neg(T.Y), fq.Mul(lambda, fq.Sub(xPrime, T.X)))
-	return p.E2.New(c0, yQ), p.G1.Add(T, P)
+	x3 := fq.Sub(fq.Sub(fq.Sqr(lambda), T.X), P.X)
+	y3 := fq.Sub(fq.Mul(lambda, fq.Sub(T.X, x3)), T.Y)
+	return c0, &curve.Point{X: x3, Y: y3}
 }
 
 // finalExp raises a Miller value to (q²−1)/r = (q−1)·h, using the Frobenius
-// (conjugation in F_q²) for the (q−1) part: f^(q−1) = f̄ · f⁻¹.
+// (conjugation in F_q²) for the (q−1) part: f^(q−1) = f̄ · f⁻¹. The hard
+// part f^h runs through the windowed ladder, which matters because h is as
+// wide as q−r (352 bits on the paper parameters).
 func (p *Params) finalExp(f *ff.E2) *GT {
 	e2 := p.E2
 	if e2.IsZero(f) {
@@ -119,9 +139,10 @@ func (p *Params) finalExp(f *ff.E2) *GT {
 		return p.GTOne()
 	}
 	easy := e2.Mul(e2.Conj(f), inv)
-	out, err := e2.Exp(easy, p.H)
+	out, err := e2.ExpWindowed(easy, p.H)
 	if err != nil {
-		return p.GTOne()
+		// Unreachable: h > 0, and non-negative exponents cannot fail.
+		panic("pairing: finalExp: " + err.Error())
 	}
 	return &GT{v: out}
 }
