@@ -6,7 +6,7 @@
 // Usage:
 //
 //	ibbe-bench [-scale ci|medium|paper] [-json out.json] \
-//	           fig2|fig6|fig7a|fig7b|fig8a|fig8b|fig9|fig10|table1|epc|parallel|batch|cluster|rebalance|all
+//	           fig2|fig6|fig7a|fig7b|fig8a|fig8b|fig9|fig10|table1|epc|parallel|batch|cluster|rebalance|autoscale|all
 //
 // The ci scale (default) runs the whole suite in well under a minute on
 // reduced grids with identical shapes; medium takes minutes; paper runs the
@@ -63,7 +63,7 @@ func run(scale, jsonPath string, args []string) error {
 		return fmt.Errorf("unknown scale %q (want ci, medium or paper)", scale)
 	}
 	if len(args) != 1 {
-		return fmt.Errorf("want exactly one experiment: fig2, fig6, fig7a, fig7b, fig8a, fig8b, fig9, fig10, table1, epc, parallel, batch, cluster, rebalance, crypto or all")
+		return fmt.Errorf("want exactly one experiment: fig2, fig6, fig7a, fig7b, fig8a, fig8b, fig9, fig10, table1, epc, parallel, batch, cluster, rebalance, autoscale, crypto or all")
 	}
 	exp := args[0]
 
@@ -83,13 +83,14 @@ func run(scale, jsonPath string, args []string) error {
 		"batch":     runBatch,
 		"cluster":   runCluster,
 		"rebalance": runRebalance,
+		"autoscale": runAutoscale,
 		"crypto":    runCrypto,
 	}
 	if exp == "all" {
 		if jsonPath != "" {
 			return fmt.Errorf("-json applies to a single experiment, not all")
 		}
-		order := []string{"fig2", "fig6", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "table1", "epc", "parallel", "batch", "cluster", "rebalance", "crypto"}
+		order := []string{"fig2", "fig6", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "table1", "epc", "parallel", "batch", "cluster", "rebalance", "autoscale", "crypto"}
 		for _, name := range order {
 			if _, err := timed(name, cfg, runners[name]); err != nil {
 				return err
@@ -248,6 +249,15 @@ func runRebalance(cfg benchmark.Config) (any, error) {
 		return nil, err
 	}
 	benchmark.PrintRebalance(os.Stdout, rows)
+	return rows, nil
+}
+
+func runAutoscale(cfg benchmark.Config) (any, error) {
+	rows, err := benchmark.RunAutoscale(cfg)
+	if err != nil {
+		return nil, err
+	}
+	benchmark.PrintAutoscale(os.Stdout, rows)
 	return rows, nil
 }
 

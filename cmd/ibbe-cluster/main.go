@@ -27,12 +27,28 @@
 //	curl -X POST :9091/admin/cluster/membership -d '{"action":"add"}'    (grow)
 //	curl -X POST :9091/admin/cluster/membership -d '{"action":"drain","shard":"shard-2"}'
 //
+// The membership itself is STORE-BACKED: every change is CAS-published to
+// the cloud store (fenced by its epoch) before it takes effect, and the
+// gateway, router and shards all watch the record. Restart the whole
+// process against a durable store (-store pointing at a cloudsim run with
+// -data) and it re-adopts the persisted epoch and member set instead of
+// resetting — the -shards flag only sizes a FRESH store.
+//
+// An optional autoscaler (-autoscale) watches per-shard load (groups
+// owned × weighted crypto-op rate) and drives the same grow/drain path
+// automatically:
+//
+//	curl :9091/admin/cluster/autoscale                                   (status + live loads)
+//	curl -X POST :9091/admin/cluster/autoscale -d '{"action":"enable","min":2,"max":6}'
+//	curl -X POST :9091/admin/cluster/autoscale -d '{"action":"disable"}'
+//
 // Kill a shard (it logs its port) and the next request for its groups fails
 // over: a peer waits out the lease, reclaims the groups from the cloud and
 // rotates their keys.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -49,23 +65,46 @@ import (
 	"github.com/ibbesgx/ibbesgx/internal/storage"
 )
 
+// options carries the parsed flags.
+type options struct {
+	shards     int
+	listen     string
+	storeURL   string
+	capacity   int
+	paramsName string
+	leaseTTL   time.Duration
+	workers    int
+
+	autoscale bool
+	asCfg     cluster.AutoscalerConfig
+}
+
 func main() {
-	shards := flag.Int("shards", 3, "number of admin shards")
-	listen := flag.String("listen", ":9091", "address the routing gateway serves on")
-	storeURL := flag.String("store", "", "cloudsim base URL (empty = embedded in-memory store)")
-	capacity := flag.Int("capacity", 1000, "partition capacity |p|")
-	paramsName := flag.String("params", "fast-160", "pairing scale: fast-160, medium-256, paper-512")
-	leaseTTL := flag.Duration("lease-ttl", cluster.DefaultLeaseTTL, "group lease duration (failover latency bound)")
-	workers := flag.Int("workers", 0, "per-shard partition worker-pool size (0 = number of CPUs)")
+	var o options
+	flag.IntVar(&o.shards, "shards", 3, "number of admin shards for a FRESH store (a persisted membership record wins)")
+	flag.StringVar(&o.listen, "listen", ":9091", "address the routing gateway serves on")
+	flag.StringVar(&o.storeURL, "store", "", "cloudsim base URL (empty = embedded in-memory store)")
+	flag.IntVar(&o.capacity, "capacity", 1000, "partition capacity |p|")
+	flag.StringVar(&o.paramsName, "params", "fast-160", "pairing scale: fast-160, medium-256, paper-512")
+	flag.DurationVar(&o.leaseTTL, "lease-ttl", cluster.DefaultLeaseTTL, "group lease duration (failover latency bound)")
+	flag.IntVar(&o.workers, "workers", 0, "per-shard partition worker-pool size (0 = number of CPUs)")
+	flag.BoolVar(&o.autoscale, "autoscale", false, "start the load-driven autoscaler")
+	flag.IntVar(&o.asCfg.Min, "autoscale-min", 0, "autoscaler: minimum member count (0 = the boot member count)")
+	flag.IntVar(&o.asCfg.Max, "autoscale-max", 0, "autoscaler: maximum member count (0 = default)")
+	flag.Float64Var(&o.asCfg.GrowLoad, "autoscale-grow", 0, "autoscaler: per-member load above which to grow (0 = default)")
+	flag.Float64Var(&o.asCfg.ShrinkLoad, "autoscale-shrink", 0, "autoscaler: per-member load below which to drain (0 = default)")
+	flag.DurationVar(&o.asCfg.Interval, "autoscale-interval", 0, "autoscaler: sampling/decision period (0 = default)")
 	flag.Parse()
 
-	if err := run(*shards, *listen, *storeURL, *capacity, *paramsName, *leaseTTL, *workers); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "ibbe-cluster:", err)
 		os.Exit(1)
 	}
 }
 
-func run(shards int, listen, storeURL string, capacity int, paramsName string, leaseTTL time.Duration, workers int) error {
+func run(o options) error {
+	shards, listen, storeURL := o.shards, o.listen, o.storeURL
+	capacity, paramsName, leaseTTL, workers := o.capacity, o.paramsName, o.leaseTTL, o.workers
 	var params *pairing.Params
 	var wireName string
 	switch paramsName {
@@ -102,9 +141,17 @@ func run(shards int, listen, storeURL string, capacity int, paramsName string, l
 	if err != nil {
 		return err
 	}
-	c.Start()
+	boot := c.Membership()
+	if boot.Epoch > 1 {
+		// A persisted membership record was adopted: the store, not the
+		// -shards flag, named the member set. Restart-safe boot.
+		log.Printf("ibbe-cluster: adopted persisted membership epoch %d over %v", boot.Epoch, boot.Members())
+	}
 
 	g := &gateway{c: c, targets: make(map[string]string)}
+	// Published membership records carry the live shard URLs, so a watching
+	// router (or a second gateway) can resolve members it never served.
+	c.Targets = g.targetSnapshot
 	// Each shard listens on its own ephemeral port; the gateway is the only
 	// address clients need.
 	for _, s := range c.Shards() {
@@ -112,7 +159,12 @@ func run(shards int, listen, storeURL string, capacity int, paramsName string, l
 			return err
 		}
 	}
-	router, err := cluster.NewRouter(c.Membership(), g.targetSnapshot())
+	// The boot-time record was published before any listener existed:
+	// stamp the live URLs into it so store-watching routers resolve us.
+	if err := c.PublishTargets(context.Background()); err != nil {
+		log.Printf("ibbe-cluster: publishing target URLs: %v", err)
+	}
+	router, err := cluster.NewRouter(boot, g.targetSnapshot())
 	if err != nil {
 		return err
 	}
@@ -120,24 +172,64 @@ func run(shards int, listen, storeURL string, capacity int, paramsName string, l
 	router.RouteTimeout = 2*leaseTTL + 10*time.Second
 	g.rt = router
 	// Membership changes reach the router BEFORE the shards drain, so
-	// requests flow toward the new owners throughout the hand-off.
+	// requests flow toward the new owners throughout the hand-off...
 	c.OnMembership = func(m *cluster.Membership) {
 		if err := router.ApplyMembership(m, g.targetSnapshot()); err != nil {
 			log.Printf("ibbe-cluster: router rejected membership %d: %v", m.Epoch, err)
 		}
+	}
+	// ...and the router ALSO follows the persisted record itself, so epoch
+	// bumps published by anyone (a second gateway, an operator script)
+	// redirect routing without a call into this process. Fenced shard
+	// responses trigger an immediate record re-read on top of the watch.
+	router.EnableDiscovery(store)
+	go router.Watch(context.Background())
+	c.Start()
+
+	asCfg := o.asCfg
+	if asCfg.Min == 0 {
+		asCfg.Min = len(boot.Members())
+	}
+	g.installAutoscaler(cluster.NewAutoscaler(c, asCfg))
+	if o.autoscale {
+		g.as.Start()
+		eff := g.as.Config()
+		log.Printf("ibbe-cluster: autoscaler on (members %d..%d, grow>%.0f, shrink<%.0f, every %v)",
+			eff.Min, eff.Max, eff.GrowLoad, eff.ShrinkLoad, eff.Interval)
 	}
 	log.Printf("ibbe-cluster: gateway serving on %s (lease TTL %v, membership epoch %d)", listen, leaseTTL, c.Epoch())
 	return http.ListenAndServe(listen, g)
 }
 
 // gateway fronts the router with the cluster-control surface: the
-// membership endpoint mutates the member set; everything else forwards.
+// membership and autoscale endpoints mutate the member set; everything
+// else forwards.
 type gateway struct {
 	c  *cluster.Cluster
 	rt *cluster.Router
 
 	mu      sync.Mutex
 	targets map[string]string
+	as      *cluster.Autoscaler
+}
+
+// installAutoscaler swaps the controller (stopping any predecessor) and
+// wires its mint hook to the gateway's shard servers.
+func (g *gateway) installAutoscaler(as *cluster.Autoscaler) {
+	as.OnMint = g.serveShard
+	g.mu.Lock()
+	old := g.as
+	g.as = as
+	g.mu.Unlock()
+	if old != nil {
+		old.Stop()
+	}
+}
+
+func (g *gateway) autoscaler() *cluster.Autoscaler {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.as
 }
 
 // serveShard gives one shard its own listener and records the target URL.
@@ -170,11 +262,78 @@ func (g *gateway) targetSnapshot() map[string]string {
 }
 
 func (g *gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if r.URL.Path == "/admin/cluster/membership" {
+	switch r.URL.Path {
+	case "/admin/cluster/membership":
 		g.handleMembership(w, r)
-		return
+	case "/admin/cluster/autoscale":
+		g.handleAutoscale(w, r)
+	default:
+		g.rt.ServeHTTP(w, r)
 	}
-	g.rt.ServeHTTP(w, r)
+}
+
+// handleAutoscale serves the autoscaler control endpoint:
+//
+//	GET  → cluster.AutoscalerStatus (config, live per-shard loads, last action)
+//	POST {"action":"enable", "min":2,"max":6,"grow_load":...,"shrink_load":...,"interval":"2s"}
+//	POST {"action":"disable"}
+//
+// Enable with any bound/threshold set rebuilds the controller with that
+// configuration; omitted fields take the defaults.
+func (g *gateway) handleAutoscale(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, g.autoscaler().Status())
+	case http.MethodPost:
+		var req struct {
+			Action     string  `json:"action"`
+			Min        int     `json:"min,omitempty"`
+			Max        int     `json:"max,omitempty"`
+			GrowLoad   float64 `json:"grow_load,omitempty"`
+			ShrinkLoad float64 `json:"shrink_load,omitempty"`
+			Interval   string  `json:"interval,omitempty"`
+		}
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil || json.Unmarshal(body, &req) != nil {
+			http.Error(w, "cluster: bad autoscale request", http.StatusBadRequest)
+			return
+		}
+		switch req.Action {
+		case "enable":
+			// A plain enable resumes the existing controller with its
+			// current configuration; any explicit field rebuilds it (with
+			// Min defaulting to the live member count).
+			if req.Min != 0 || req.Max != 0 || req.GrowLoad != 0 || req.ShrinkLoad != 0 || req.Interval != "" {
+				cfg := cluster.AutoscalerConfig{
+					Min: req.Min, Max: req.Max,
+					GrowLoad: req.GrowLoad, ShrinkLoad: req.ShrinkLoad,
+				}
+				if req.Interval != "" {
+					if cfg.Interval, err = time.ParseDuration(req.Interval); err != nil {
+						http.Error(w, "cluster: bad interval: "+err.Error(), http.StatusBadRequest)
+						return
+					}
+				}
+				if cfg.Min == 0 {
+					cfg.Min = len(g.c.Membership().Members())
+				}
+				g.installAutoscaler(cluster.NewAutoscaler(g.c, cfg))
+			}
+			as := g.autoscaler()
+			as.Start()
+			log.Printf("ibbe-cluster: autoscaler enabled (%+v)", as.Config())
+			writeJSON(w, as.Status())
+		case "disable":
+			as := g.autoscaler()
+			as.Stop()
+			log.Printf("ibbe-cluster: autoscaler disabled")
+			writeJSON(w, as.Status())
+		default:
+			http.Error(w, fmt.Sprintf("cluster: unknown action %q (want enable or disable)", req.Action), http.StatusBadRequest)
+		}
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
 }
 
 // membershipStatus is the control endpoint's GET (and mutation) response.

@@ -177,11 +177,14 @@ func (s *Service) handleAdmin(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		// A fenced write means this admin operates under a superseded
-		// cluster membership: answer 503 so a routing gateway retries on
-		// the rightful owner instead of surfacing a terminal conflict.
+		// cluster membership: answer 412 with the storage layer's X-Fenced
+		// marker (the same signal an HTTPStore server emits), so a routing
+		// gateway refreshes its membership from the store record and
+		// re-routes to the rightful owner instead of surfacing the failure.
 		if errors.Is(err, storage.ErrFenced) {
+			w.Header().Set(storage.FencedHeader, "1")
 			w.Header().Set("Retry-After", "1")
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			http.Error(w, err.Error(), http.StatusPreconditionFailed)
 			return
 		}
 		http.Error(w, err.Error(), http.StatusConflict)

@@ -1,0 +1,289 @@
+package benchmark
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"github.com/ibbesgx/ibbesgx/internal/cluster"
+	"github.com/ibbesgx/ibbesgx/internal/storage"
+	"github.com/ibbesgx/ibbesgx/internal/trace"
+)
+
+// AutoscaleRow is one phase of the autoscaling figure: a mixed membership
+// workload runs continuously while the cluster.Autoscaler — not an
+// operator — grows the cluster from 2 to 4 shards off its load signal
+// (groups owned × weighted crypto-op rate). The "pre" row is the loaded
+// steady state at 2 shards before the controller starts; "grow" covers the
+// window from enabling the controller to the membership reaching 4
+// members, measuring the controller's reaction time and the worst
+// single-op latency any client saw while it acted; "post" is the steady
+// state at 4.
+type AutoscaleRow struct {
+	Phase  string `json:"phase"` // pre | grow | post
+	Shards int    `json:"shards"`
+	Groups int    `json:"groups"`
+	Ops    int    `json:"ops"`
+
+	Elapsed   time.Duration `json:"elapsed_ns"`
+	OpsPerSec float64       `json:"ops_per_sec"`
+
+	// Grow-only fields.
+	// Reaction is the wall time from starting the controller under load to
+	// the persisted membership reaching the target member count.
+	Reaction time.Duration `json:"reaction_ns,omitempty"`
+	// EpochStart/EpochEnd bracket the controller's changes (each grow
+	// bumps the persisted epoch by one).
+	EpochStart uint64 `json:"epoch_start,omitempty"`
+	EpochEnd   uint64 `json:"epoch_end,omitempty"`
+	// MaxOpLatency is the worst single-op latency during the grow window.
+	MaxOpLatency time.Duration `json:"max_op_latency_ns,omitempty"`
+}
+
+// autoscaleTarget is the member count the controller must reach.
+const autoscaleTarget = 4
+
+// RunAutoscale measures the load-driven 2→4 grow: 8 groups churn
+// memberships through the shard handlers (same injected cloud PUT latency
+// as the other cluster figures) while an Autoscaler with a deliberately
+// low grow threshold reacts to the load. Every operation must succeed —
+// the controller's changes ride the same persisted-membership hand-off
+// path the rebalance figure exercises.
+func RunAutoscale(cfg Config) ([]AutoscaleRow, error) {
+	const groups = 8
+	opsPerGroup := cfg.SyntheticOps / 12
+	if opsPerGroup < 9 {
+		opsPerGroup = 9
+	}
+	slice := opsPerGroup / 3
+	initial := cfg.Capacity * 2
+
+	traces := make([]*trace.Trace, groups)
+	for i := range traces {
+		tr, err := trace.Synthetic(trace.SyntheticConfig{
+			Ops:            slice * 3,
+			RevocationRate: 0.3,
+			InitialSize:    initial,
+			Seed:           cfg.Seed + int64(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		traces[i] = tr
+	}
+
+	mem := storage.NewMemStore(storage.Latency{Put: benchPutLatency})
+	c, err := cluster.New(cluster.Options{
+		Shards:   2,
+		Capacity: cfg.Capacity,
+		Params:   cfg.Params,
+		Store:    mem,
+		LeaseTTL: 10 * time.Minute, // no expiry churn inside a bench run
+		Seed:     cfg.Seed,
+		Workers:  1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	groupName := func(i int) string { return fmt.Sprintf("autoscale-g%03d", i) }
+	for i, tr := range traces {
+		if err := rebalanceOp(c, groupName(i), "create", map[string]any{
+			"group": groupName(i), "members": tr.Initial,
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// The controller: any sustained load should grow the cluster (threshold
+	// ~one weighted exponentiation per second per member), sampled fast so
+	// the figure measures reaction, not polling slack.
+	as := cluster.NewAutoscaler(c, cluster.AutoscalerConfig{
+		Min:      2,
+		Max:      autoscaleTarget,
+		GrowLoad: 1_000,
+		Interval: 25 * time.Millisecond,
+		Cooldown: 50 * time.Millisecond,
+	})
+	defer as.Stop()
+
+	runPhase := func(from, to int) (int, time.Duration, time.Duration, error) {
+		var (
+			wg       sync.WaitGroup
+			mu       sync.Mutex
+			firstErr error
+			total    int
+			maxLat   time.Duration
+		)
+		start := time.Now()
+		for i := range traces {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				g := groupName(i)
+				ops := 0
+				worst := time.Duration(0)
+				for _, op := range traces[i].Ops[from:to] {
+					route := "add"
+					if op.Kind == trace.OpRemove {
+						route = "remove"
+					}
+					opStart := time.Now()
+					err := rebalanceOp(c, g, route, map[string]any{"group": g, "user": op.User})
+					if lat := time.Since(opStart); lat > worst {
+						worst = lat
+					}
+					if err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("%s %s on %s: %w", route, op.User, g, err)
+						}
+						mu.Unlock()
+						return
+					}
+					ops++
+				}
+				mu.Lock()
+				total += ops
+				if worst > maxLat {
+					maxLat = worst
+				}
+				mu.Unlock()
+			}(i)
+		}
+		wg.Wait()
+		return total, time.Since(start), maxLat, firstErr
+	}
+
+	row := func(phase string, shards, ops int, elapsed time.Duration) AutoscaleRow {
+		r := AutoscaleRow{Phase: phase, Shards: shards, Groups: groups, Ops: ops, Elapsed: elapsed}
+		if ops > 0 && elapsed > 0 {
+			r.OpsPerSec = float64(ops) / elapsed.Seconds()
+		}
+		return r
+	}
+	rows := make([]AutoscaleRow, 0, 3)
+
+	// Phase 1: loaded steady state on 2 shards, controller off.
+	ops, elapsed, _, err := runPhase(0, slice)
+	if err != nil {
+		return nil, fmt.Errorf("pre phase: %w", err)
+	}
+	rows = append(rows, row("pre", 2, ops, elapsed))
+
+	// Phase 2: a continuous churn workload (each driver cycles an add +
+	// remove of a synthetic user) keeps the load signal alive for as long
+	// as the controller needs; the phase ends when the persisted membership
+	// reaches 4 members. The reaction time is start-of-controller →
+	// target-member-count.
+	epochStart := c.Epoch()
+	var (
+		stop     = make(chan struct{})
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		churnOps int
+		maxLat   time.Duration
+		churnErr error
+	)
+	growStart := time.Now()
+	for i := range traces {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g := groupName(i)
+			for k := 0; ; k++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				u := fmt.Sprintf("%s-churn%03d@example.com", g, k)
+				for _, route := range []string{"add", "remove"} {
+					opStart := time.Now()
+					err := rebalanceOp(c, g, route, map[string]any{"group": g, "user": u})
+					lat := time.Since(opStart)
+					mu.Lock()
+					if lat > maxLat {
+						maxLat = lat
+					}
+					if err != nil && churnErr == nil {
+						churnErr = fmt.Errorf("%s %s on %s: %w", route, u, g, err)
+					}
+					churnOps++
+					mu.Unlock()
+					if err != nil {
+						return
+					}
+				}
+			}
+		}(i)
+	}
+	as.Start()
+	reaction, err := waitForMembers(c, autoscaleTarget, growStart, 60*time.Second)
+	close(stop)
+	wg.Wait()
+	growElapsed := time.Since(growStart)
+	if err != nil {
+		return nil, err
+	}
+	if churnErr != nil {
+		return nil, fmt.Errorf("grow phase: %w", churnErr)
+	}
+	as.Stop() // freeze the member set for the post phase
+	grow := row("grow", autoscaleTarget, churnOps, growElapsed)
+	grow.Reaction = reaction
+	grow.EpochStart = epochStart
+	grow.EpochEnd = c.Epoch()
+	grow.MaxOpLatency = maxLat
+	rows = append(rows, grow)
+
+	if got := len(c.Membership().Members()); got != autoscaleTarget {
+		return nil, fmt.Errorf("benchmark: autoscaler settled on %d members, want %d", got, autoscaleTarget)
+	}
+
+	// Phase 3: steady state on 4 shards.
+	ops, elapsed, _, err = runPhase(slice, 2*slice)
+	if err != nil {
+		return nil, fmt.Errorf("post phase: %w", err)
+	}
+	rows = append(rows, row("post", autoscaleTarget, ops, elapsed))
+	return rows, nil
+}
+
+// waitForMembers polls the cluster until its membership has n members,
+// returning the elapsed time since start.
+func waitForMembers(c *cluster.Cluster, n int, start time.Time, timeout time.Duration) (time.Duration, error) {
+	deadline := start.Add(timeout)
+	for {
+		if len(c.Membership().Members()) >= n {
+			return time.Since(start), nil
+		}
+		if time.Now().After(deadline) {
+			return 0, fmt.Errorf("benchmark: autoscaler did not reach %d members within %v (at %d)",
+				n, timeout, len(c.Membership().Members()))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// PrintAutoscale writes the autoscaling table.
+func PrintAutoscale(w io.Writer, rows []AutoscaleRow) {
+	fmt.Fprintln(w, "Autoscale — load-driven grow 2→4 shards under a mixed add/remove workload (controller, not operator)")
+	fmt.Fprintf(w, "%6s  %7s  %7s  %7s  %12s  %10s  %12s  %8s  %14s\n",
+		"phase", "shards", "groups", "ops", "elapsed", "ops/s", "reaction", "epochs", "max-op-pause")
+	for _, r := range rows {
+		reaction, epochs, pause := "", "", ""
+		if r.Phase == "grow" {
+			reaction = Dur(r.Reaction)
+			epochs = fmt.Sprintf("%d→%d", r.EpochStart, r.EpochEnd)
+			pause = Dur(r.MaxOpLatency)
+		}
+		fmt.Fprintf(w, "%6s  %7d  %7d  %7d  %12s  %10.1f  %12s  %8s  %14s\n",
+			r.Phase, r.Shards, r.Groups, r.Ops, Dur(r.Elapsed), r.OpsPerSec, reaction, epochs, pause)
+	}
+	if len(rows) == 3 {
+		pre, grow, post := rows[0], rows[1], rows[2]
+		fmt.Fprintf(w, "shape: controller grew 2→4 in %s with zero failed ops (epochs %d→%d, worst client pause %s); steady state %.1f ops/s before vs %.1f after\n",
+			Dur(grow.Reaction), grow.EpochStart, grow.EpochEnd, Dur(grow.MaxOpLatency), pre.OpsPerSec, post.OpsPerSec)
+	}
+}

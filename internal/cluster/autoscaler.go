@@ -1,0 +1,324 @@
+// Autoscaler: the policy half of the elastic membership layer. PR 3 built
+// the mechanism (epoch-fenced AddShard/drain); this controller watches
+// per-shard load — groups owned × weighted primitive-op rate from the
+// crypto metrics hooks — and drives grow/drain decisions through the
+// persisted-membership path, so every change it makes is durable in the
+// store and discovered by shards and routers exactly like an operator's.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Autoscaler defaults; all overridable per config.
+const (
+	// DefaultGrowLoad is the per-member average load (groups × weighted
+	// ops/s) above which the cluster grows. The weighted unit is
+	// ibbe.Metrics.Total: one pairing ≈ 3000, one exponentiation ≈ 1000.
+	DefaultGrowLoad = 200_000
+	// DefaultShrinkLoad is the per-member average load below which the
+	// cluster drains its least-loaded member. Kept well under GrowLoad so
+	// the controller cannot oscillate on a flat workload.
+	DefaultShrinkLoad = DefaultGrowLoad / 8
+	// DefaultAutoscaleInterval is the control-loop period.
+	DefaultAutoscaleInterval = 2 * time.Second
+	// DefaultCooldownTicks spaces consecutive scaling actions, in units of
+	// the interval: a change must prove itself before the next one fires.
+	DefaultCooldownTicks = 3
+)
+
+// AutoscalerConfig bounds and tunes the controller.
+type AutoscalerConfig struct {
+	// Min / Max bound the member count (defaults: 1 / 8).
+	Min, Max int
+	// GrowLoad / ShrinkLoad are the per-member average load thresholds
+	// (defaults above). ShrinkLoad must stay below GrowLoad.
+	GrowLoad, ShrinkLoad float64
+	// Interval is the sampling/decision period (default 2s).
+	Interval time.Duration
+	// Cooldown is the minimum time between scaling actions (default
+	// DefaultCooldownTicks × Interval).
+	Cooldown time.Duration
+}
+
+// withDefaults fills the zero fields.
+func (c AutoscalerConfig) withDefaults() AutoscalerConfig {
+	if c.Min < 1 {
+		c.Min = 1
+	}
+	if c.Max < c.Min {
+		if c.Max == 0 {
+			c.Max = 8
+		} else {
+			c.Max = c.Min
+		}
+	}
+	if c.GrowLoad <= 0 {
+		c.GrowLoad = DefaultGrowLoad
+	}
+	if c.ShrinkLoad <= 0 || c.ShrinkLoad >= c.GrowLoad {
+		c.ShrinkLoad = c.GrowLoad / 8
+	}
+	if c.Interval <= 0 {
+		c.Interval = DefaultAutoscaleInterval
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = DefaultCooldownTicks * c.Interval
+	}
+	return c
+}
+
+// ShardLoad is one shard's sampled load.
+type ShardLoad struct {
+	ID     string `json:"id"`
+	Member bool   `json:"member"`
+	// Groups is the number of group leases the shard holds.
+	Groups int `json:"groups"`
+	// OpRate is the weighted primitive-operation rate (ibbe.Metrics.Total
+	// units per second) since the previous sample.
+	OpRate float64 `json:"op_rate"`
+	// Load is Groups × OpRate — the controller's scaling signal.
+	Load float64 `json:"load"`
+}
+
+// AutoscalerStatus is the observable state served by the control endpoint.
+type AutoscalerStatus struct {
+	Running      bool          `json:"running"`
+	Min          int           `json:"min"`
+	Max          int           `json:"max"`
+	GrowLoad     float64       `json:"grow_load"`
+	ShrinkLoad   float64       `json:"shrink_load"`
+	Interval     time.Duration `json:"interval_ns"`
+	Epoch        uint64        `json:"epoch"`
+	Members      []string      `json:"members"`
+	Loads        []ShardLoad   `json:"loads,omitempty"`
+	LastAction   string        `json:"last_action,omitempty"`
+	LastActionAt time.Time     `json:"last_action_at,omitempty"`
+}
+
+// Autoscaler drives a Cluster's member count from its measured load. All
+// changes flow through Admit/RemoveShard, i.e. the persisted-membership
+// path: each is CAS-published to the store before it takes effect, fenced
+// by its epoch, and discovered by every shard and router watch loop.
+type Autoscaler struct {
+	// OnMint, when set, is invoked with each newly minted shard BEFORE it
+	// is admitted to the membership — the gateway's hook to put the shard
+	// behind a listener so routing can reach it the moment the epoch bumps.
+	OnMint func(*Shard) error
+
+	c   *Cluster
+	cfg AutoscalerConfig
+
+	mu           sync.Mutex
+	running      bool
+	prev         map[string]int64
+	prevAt       time.Time
+	loads        []ShardLoad
+	lastAction   string
+	lastActionAt time.Time
+	stopc        chan struct{}
+	done         chan struct{}
+}
+
+// NewAutoscaler builds a controller over the cluster (not started).
+func NewAutoscaler(c *Cluster, cfg AutoscalerConfig) *Autoscaler {
+	return &Autoscaler{c: c, cfg: cfg.withDefaults(), prev: make(map[string]int64)}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (a *Autoscaler) Config() AutoscalerConfig { return a.cfg }
+
+// Start launches the control loop; restartable after Stop.
+func (a *Autoscaler) Start() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.running {
+		return
+	}
+	a.running = true
+	// Re-baseline the rate samples: counters kept growing while the
+	// controller was off, and a stale baseline would read as a huge burst.
+	a.prev = make(map[string]int64)
+	a.prevAt = time.Time{}
+	a.stopc = make(chan struct{})
+	a.done = make(chan struct{})
+	go a.run(a.stopc, a.done)
+}
+
+// Stop halts the control loop and waits for it; no-op when not running.
+func (a *Autoscaler) Stop() {
+	a.mu.Lock()
+	if !a.running {
+		a.mu.Unlock()
+		return
+	}
+	a.running = false
+	stopc, done := a.stopc, a.done
+	a.mu.Unlock()
+	close(stopc)
+	<-done
+}
+
+// Status snapshots the controller for the control endpoint.
+func (a *Autoscaler) Status() AutoscalerStatus {
+	m := a.c.Membership()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AutoscalerStatus{
+		Running:      a.running,
+		Min:          a.cfg.Min,
+		Max:          a.cfg.Max,
+		GrowLoad:     a.cfg.GrowLoad,
+		ShrinkLoad:   a.cfg.ShrinkLoad,
+		Interval:     a.cfg.Interval,
+		Epoch:        m.Epoch,
+		Members:      m.Members(),
+		Loads:        append([]ShardLoad(nil), a.loads...),
+		LastAction:   a.lastAction,
+		LastActionAt: a.lastActionAt,
+	}
+}
+
+func (a *Autoscaler) run(stopc, done chan struct{}) {
+	defer close(done)
+	t := time.NewTicker(a.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stopc:
+			return
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			a.tick(ctx)
+			cancel()
+		}
+	}
+}
+
+// tick samples every shard's load and applies at most one scaling action.
+func (a *Autoscaler) tick(ctx context.Context) {
+	m := a.c.Membership()
+	shards := a.c.Shards()
+	now := time.Now()
+
+	a.mu.Lock()
+	dt := now.Sub(a.prevAt).Seconds()
+	first := a.prevAt.IsZero()
+	a.prevAt = now
+	loads := make([]ShardLoad, 0, len(shards))
+	var memberLoad float64
+	for _, s := range shards {
+		total := s.MetricsTotal()
+		prev, seen := a.prev[s.ID]
+		a.prev[s.ID] = total
+		l := ShardLoad{ID: s.ID, Member: m.Has(s.ID), Groups: len(s.OwnedGroups())}
+		// The first sample of a shard (or of the controller) has no
+		// baseline: report zero rather than the counter's whole history.
+		if seen && !first && dt > 0 {
+			l.OpRate = float64(total-prev) / dt
+			l.Load = float64(l.Groups) * l.OpRate
+		}
+		if l.Member {
+			memberLoad += l.Load
+		}
+		loads = append(loads, l)
+	}
+	a.loads = loads
+	cooled := a.lastActionAt.IsZero() || now.Sub(a.lastActionAt) >= a.cfg.Cooldown
+	a.mu.Unlock()
+
+	members := m.Members()
+	if first || !cooled || len(members) == 0 {
+		return
+	}
+	avg := memberLoad / float64(len(members))
+	switch {
+	case avg > a.cfg.GrowLoad && len(members) < a.cfg.Max:
+		a.grow(ctx, avg)
+	case avg < a.cfg.ShrinkLoad && len(members) > a.cfg.Min:
+		a.shrink(ctx, avg, loads, m)
+	}
+}
+
+// grow admits one more member: a previously drained (but still live) shard
+// is re-admitted before a brand-new one is minted, so shrink/grow cycles
+// do not accumulate enclaves.
+func (a *Autoscaler) grow(ctx context.Context, avg float64) {
+	m := a.c.Membership()
+	var s *Shard
+	for _, cand := range a.c.Shards() {
+		if !m.Has(cand.ID) && !cand.Stopped() {
+			s = cand
+			break
+		}
+	}
+	if s == nil {
+		minted, err := a.c.AddShard()
+		if err != nil {
+			a.note(fmt.Sprintf("grow failed (mint): %v", err))
+			return
+		}
+		if a.OnMint != nil {
+			if err := a.OnMint(minted); err != nil {
+				a.note(fmt.Sprintf("grow failed (serve %s): %v", minted.ID, err))
+				return
+			}
+		}
+		s = minted
+	}
+	next, err := a.c.Admit(ctx, s.ID)
+	if next == nil {
+		a.note(fmt.Sprintf("grow failed (admit %s): %v", s.ID, err))
+		return
+	}
+	// A non-nil next WITH an error means the change is in effect but a
+	// hand-off step failed (heals through lease TTL); an operator reading
+	// the status must see that, not a clean success.
+	a.note(withWarning(fmt.Sprintf("grew to %d members (admitted %s at epoch %d; avg load %.0f > %.0f)",
+		len(next.Members()), s.ID, next.Epoch, avg, a.cfg.GrowLoad), err))
+}
+
+// shrink drains the least-loaded member (ties resolve to the highest ID,
+// so the founding shards are drained last).
+func (a *Autoscaler) shrink(ctx context.Context, avg float64, loads []ShardLoad, m *Membership) {
+	byID := make(map[string]ShardLoad, len(loads))
+	for _, l := range loads {
+		byID[l.ID] = l
+	}
+	members := m.Members()
+	sort.SliceStable(members, func(i, j int) bool {
+		li, lj := byID[members[i]], byID[members[j]]
+		if li.Load != lj.Load {
+			return li.Load < lj.Load
+		}
+		return members[i] > members[j]
+	})
+	victim := members[0]
+	next, err := a.c.RemoveShard(ctx, victim)
+	if next == nil {
+		a.note(fmt.Sprintf("shrink failed (drain %s): %v", victim, err))
+		return
+	}
+	a.note(withWarning(fmt.Sprintf("shrank to %d members (drained %s at epoch %d; avg load %.0f < %.0f)",
+		len(next.Members()), victim, next.Epoch, avg, a.cfg.ShrinkLoad), err))
+}
+
+// withWarning appends a partial-failure warning (failed hand-off step
+// behind an applied change) to an action description.
+func withWarning(action string, err error) string {
+	if err == nil {
+		return action
+	}
+	return action + "; WARNING hand-off step failed, heals via lease TTL: " + err.Error()
+}
+
+func (a *Autoscaler) note(action string) {
+	a.mu.Lock()
+	a.lastAction = action
+	a.lastActionAt = time.Now()
+	a.mu.Unlock()
+}

@@ -27,6 +27,7 @@ package cluster
 import (
 	"context"
 	"crypto/rand"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -87,6 +88,12 @@ type Cluster struct {
 	// the gateway's retry loop.
 	OnMembership func(*Membership)
 
+	// Targets, when set (before the first membership change), supplies the
+	// shard-ID → base-URL map published alongside each membership record,
+	// so a watching router (or a second gateway) can resolve members it
+	// has never served itself.
+	Targets func() map[string]string
+
 	// Build-time material for minting shards at runtime.
 	opts       Options
 	params     *pairing.Params
@@ -108,12 +115,21 @@ type Cluster struct {
 	membership *Membership
 	nextShard  int
 	started    bool
+
+	stopOnce sync.Once
+	stopc    chan struct{}
 }
 
 // ShardID names shard i.
 func ShardID(i int) string { return fmt.Sprintf("shard-%d", i) }
 
-// New builds (but does not start) a cluster at membership epoch 1.
+// New builds (but does not start) a cluster. A store that already holds a
+// membership record — a restarted deployment — is authoritative: the
+// cluster adopts the persisted epoch and member set (minting one shard per
+// member, opts.Shards notwithstanding), so a gateway restart loses no
+// membership state and its writes stay correctly fenced. A fresh store is
+// bootstrapped at epoch 1 over opts.Shards members and the record
+// published, CAS-guarded against a concurrently bootstrapping peer.
 func New(opts Options) (*Cluster, error) {
 	if opts.Shards < 1 {
 		return nil, fmt.Errorf("cluster: need at least one shard, got %d", opts.Shards)
@@ -155,40 +171,121 @@ func New(opts Options) (*Cluster, error) {
 		paramsName: paramsName,
 		ias:        ias,
 		auditor:    auditor,
+		stopc:      make(chan struct{}),
 	}
-	ids := make([]string, opts.Shards)
-	for i := range ids {
-		ids[i] = ShardID(i)
-	}
-	m, err := NewMembership(ids, opts.VirtualNodes)
-	if err != nil {
-		return nil, err
-	}
-	c.membership = m
-	for range ids {
-		if _, err := c.mintShard(m); err != nil {
+
+	ctx := context.Background()
+	rec, ver, err := LoadMembership(ctx, store)
+	switch {
+	case err == nil:
+		// Restart: the persisted record, not opts.Shards, names the member
+		// set and epoch. Every write this incarnation issues is fenced at
+		// (or above) the adopted epoch, so nothing it does can race a
+		// predecessor's leftovers.
+		m, err := rec.Membership()
+		if err != nil {
 			return nil, err
 		}
+		c.membership = m
+		c.nextShard = nextShardIndex(rec.Members)
+		for _, id := range rec.Members {
+			if _, err := c.mintShardID(id, m); err != nil {
+				return nil, err
+			}
+		}
+	case errors.Is(err, ErrNoMembership):
+		ids := make([]string, opts.Shards)
+		for i := range ids {
+			ids[i] = ShardID(i)
+		}
+		m, err := NewMembership(ids, opts.VirtualNodes)
+		if err != nil {
+			return nil, err
+		}
+		c.membership = m
+		c.nextShard = nextShardIndex(ids)
+		for _, id := range ids {
+			if _, err := c.mintShardID(id, m); err != nil {
+				return nil, err
+			}
+		}
+		if err := PublishMembership(ctx, store, recordOf(m, nil), ver); err != nil {
+			if !errors.Is(err, storage.ErrVersionConflict) && !errors.Is(err, storage.ErrFenced) {
+				return nil, fmt.Errorf("cluster: bootstrapping membership record: %w", err)
+			}
+			// A peer bootstrapped the same store first. Identical member
+			// sets merely lost a harmless race; anything else is a real
+			// configuration conflict the operator must resolve.
+			won, _, rerr := LoadMembership(ctx, store)
+			if rerr != nil {
+				return nil, fmt.Errorf("cluster: membership bootstrap race: %w", rerr)
+			}
+			theirs, rerr := won.Membership()
+			if rerr != nil {
+				return nil, rerr
+			}
+			if !sameMembers(theirs.Members(), m.Members()) {
+				return nil, fmt.Errorf("cluster: store already holds membership epoch %d over %v", won.Epoch, won.Members)
+			}
+			c.membership = theirs
+		}
+	default:
+		return nil, fmt.Errorf("cluster: reading membership record: %w", err)
 	}
 	return c, nil
 }
 
-// mintShard builds one shard sharing the cluster master secret, appends it
-// to the shard list and returns it. The first shard ever minted runs
-// EcallSetup and donates the sealed MSK every later shard restores. Caller
-// holds no lock (New) or c.mu is expected NOT to be held — mintShard locks
-// internally only for the list append.
-func (c *Cluster) mintShard(m *Membership) (*Shard, error) {
-	c.mu.Lock()
-	i := c.nextShard
-	c.nextShard++
-	c.mu.Unlock()
-	id := ShardID(i)
+// shardIndex parses the numeric index out of a ShardID (0 for a foreign
+// ID, which New/AddShard never mint).
+func shardIndex(id string) int {
+	var i int
+	if _, err := fmt.Sscanf(id, "shard-%d", &i); err == nil {
+		return i
+	}
+	return 0
+}
+
+// nextShardIndex returns the smallest index no persisted member uses, so
+// shards minted after a restart never collide with adopted IDs.
+func nextShardIndex(members []string) int {
+	next := 0
+	for _, id := range members {
+		if i := shardIndex(id); i+1 > next {
+			next = i + 1
+		}
+	}
+	return next
+}
+
+// sameMembers reports whether two sorted member lists are identical.
+func sameMembers(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mintShardID builds the shard named id sharing the cluster master secret,
+// appends it to the shard list and returns it. The first shard ever minted
+// runs EcallSetup and donates the sealed MSK every later shard restores.
+// Caller holds no lock (New) or c.mu is expected NOT to be held —
+// mintShardID locks internally only for the list append.
+func (c *Cluster) mintShardID(id string, m *Membership) (*Shard, error) {
 	encl, err := enclave.NewIBBEEnclave(c.Platform, c.params)
 	if err != nil {
 		return nil, err
 	}
-	if i == 0 {
+	// Per-shard primitive-operation counters: the autoscaler's load signal
+	// (groups owned × op rate). Attached before the first ECALL, so the
+	// scheme field is never written concurrently with an operation.
+	encl.Scheme().Metrics = &ibbe.Metrics{}
+	first := c.sealedMSK == nil
+	if first {
 		if _, c.sealedMSK, err = encl.EcallSetup(c.opts.Capacity); err != nil {
 			return nil, err
 		}
@@ -199,14 +296,18 @@ func (c *Cluster) mintShard(m *Membership) (*Shard, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster: attesting %s: %w", id, err)
 	}
-	mgr, err := core.NewManager(encl, c.opts.Capacity, c.opts.Seed+int64(i))
+	// The partition-picking seed derives from the shard's ID, not the list
+	// length: concurrent mints (operator add racing an autoscaler grow)
+	// must never share a PRNG stream, and a restarted shard-N re-seeds
+	// exactly as its predecessor did.
+	mgr, err := core.NewManager(encl, c.opts.Capacity, c.opts.Seed+int64(shardIndex(id)))
 	if err != nil {
 		return nil, err
 	}
 	if c.opts.Workers > 0 {
 		mgr.SetParallelism(c.opts.Workers)
 	}
-	if i == 0 {
+	if first {
 		c.masterPK = mgr.PublicKey()
 	}
 	opLog, err := core.NewOpLog()
@@ -241,7 +342,11 @@ func (c *Cluster) mintShard(m *Membership) (*Shard, error) {
 // serves provisioning immediately but owns no groups until a subsequent
 // ApplyMembership names it a member.
 func (c *Cluster) AddShard() (*Shard, error) {
-	return c.mintShard(c.Membership())
+	c.mu.Lock()
+	id := ShardID(c.nextShard)
+	c.nextShard++
+	c.mu.Unlock()
+	return c.mintShardID(id, c.Membership())
 }
 
 // ApplyMembership moves the live cluster to a new member set: it builds the
@@ -277,7 +382,15 @@ func (c *Cluster) Admit(ctx context.Context, id string) (*Membership, error) {
 	return c.applyMembership(ctx, next.Members())
 }
 
-// applyMembership is ApplyMembership with c.changeMu already held.
+// applyMembership is ApplyMembership with c.changeMu already held. The
+// successor record is CAS-published to the store BEFORE anything changes
+// locally: a membership change that is not durable never reaches the
+// shards, and a concurrent writer (a second gateway, an autoscaler
+// elsewhere) loses the CAS instead of silently dropping our change. A
+// change computed against a view the store has already superseded is
+// refused outright — the member list would be stale — so the epoch
+// sequence can neither fork nor silently drop a concurrent writer's
+// members.
 func (c *Cluster) applyMembership(ctx context.Context, members []string) (*Membership, error) {
 	c.mu.Lock()
 	for _, id := range members {
@@ -286,10 +399,48 @@ func (c *Cluster) applyMembership(ctx context.Context, members []string) (*Membe
 			return nil, fmt.Errorf("cluster: no such shard %s", id)
 		}
 	}
-	next, err := membershipAt(c.membership.Epoch+1, members, c.opts.VirtualNodes)
+	base := c.membership.Epoch
+	c.mu.Unlock()
+
+	rec, ver, err := LoadMembership(ctx, c.Store)
+	if err != nil && !errors.Is(err, ErrNoMembership) {
+		return nil, fmt.Errorf("cluster: reading membership record: %w", err)
+	}
+	if rec != nil && rec.Epoch > base {
+		// The store is ahead of the view this change was computed from: the
+		// caller's member list is stale and publishing it would silently
+		// drop whatever the concurrent writer changed. Refuse — the
+		// discovery watcher adopts the newer record, and the operator
+		// recomputes against it.
+		return nil, fmt.Errorf("cluster: membership change computed against epoch %d but the store is at %d — superseded, recompute and retry", base, rec.Epoch)
+	}
+	next, err := membershipAt(base+1, members, c.opts.VirtualNodes)
 	if err != nil {
-		c.mu.Unlock()
 		return nil, err
+	}
+	var targets map[string]string
+	if c.Targets != nil {
+		targets = c.Targets()
+	}
+	if err := PublishMembership(ctx, c.Store, recordOf(next, targets), ver); err != nil {
+		if errors.Is(err, storage.ErrVersionConflict) || errors.Is(err, storage.ErrFenced) {
+			return nil, fmt.Errorf("cluster: membership change superseded by a concurrent writer: %w", err)
+		}
+		return nil, fmt.Errorf("cluster: persisting membership record: %w", err)
+	}
+	return next, c.propagate(ctx, next)
+}
+
+// propagate installs a membership that is already durable (published by
+// this cluster or discovered in the store): the routing hook first, then
+// every shard — members first, so the joining shard knows the new epoch
+// before the losing shards drain their moved groups into the store.
+// Stale or duplicate memberships are ignored.
+func (c *Cluster) propagate(ctx context.Context, next *Membership) error {
+	c.mu.Lock()
+	if c.membership != nil && next.Epoch <= c.membership.Epoch {
+		c.mu.Unlock()
+		return nil
 	}
 	c.membership = next
 	shards := append([]*Shard(nil), c.shards...)
@@ -315,7 +466,69 @@ func (c *Cluster) applyMembership(ctx context.Context, members []string) (*Membe
 			apply(s)
 		}
 	}
-	return next, firstErr
+	return firstErr
+}
+
+// PublishTargets re-publishes the current membership record with the
+// freshest URLs from the Targets hook. New publishes the bootstrap record
+// before the caller can serve any shard (so its Targets are empty);
+// calling this once the listeners are up lets a store-watching router —
+// or a NewRouterFromStore restart — resolve every member without ever
+// having talked to this gateway. A CAS loss means a membership change is
+// in flight; that change's own record carries fresh targets, so the loss
+// is ignored.
+func (c *Cluster) PublishTargets(ctx context.Context) error {
+	if c.Targets == nil {
+		return nil
+	}
+	c.changeMu.Lock()
+	defer c.changeMu.Unlock()
+	rec, ver, err := LoadMembership(ctx, c.Store)
+	if err != nil {
+		return err
+	}
+	if rec.Epoch != c.Epoch() {
+		return nil // mid-change or behind; the next record carries targets
+	}
+	rec.Targets = c.Targets()
+	err = PublishMembership(ctx, c.Store, rec, ver)
+	if errors.Is(err, storage.ErrVersionConflict) || errors.Is(err, storage.ErrFenced) {
+		return nil
+	}
+	return err
+}
+
+// watchMembership is the cluster's own discovery loop: it adopts records
+// published by OTHER writers to the shared store (a second gateway, an
+// operator script), keeping this gateway's routing and shards current
+// without an operator call. Its own publishes arrive here too and dedupe
+// on the epoch check inside propagate.
+func (c *Cluster) watchMembership() {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() { <-c.stopc; cancel() }()
+	WatchMembership(ctx, c.Store, func(rec *MembershipRecord) {
+		c.adoptDiscovered(ctx, rec)
+	})
+}
+
+// adoptDiscovered applies a membership learned from the store. It runs
+// under the transition lock so a discovery cannot interleave with an
+// operator-driven change mid-apply.
+func (c *Cluster) adoptDiscovered(ctx context.Context, rec *MembershipRecord) {
+	if rec.Epoch <= c.Epoch() {
+		return
+	}
+	c.changeMu.Lock()
+	defer c.changeMu.Unlock()
+	if rec.Epoch <= c.Epoch() {
+		return
+	}
+	m, err := rec.Membership()
+	if err != nil {
+		return
+	}
+	_ = c.propagate(ctx, m)
 }
 
 // RemoveShard drains one member out of the cluster: the successor
@@ -353,20 +566,26 @@ func (c *Cluster) Shards() []*Shard {
 	return append([]*Shard(nil), c.shards...)
 }
 
-// Start launches every shard's lease renewal loop (and those of shards
-// minted later).
+// Start launches every shard's lease renewal and membership discovery
+// loops (and those of shards minted later), plus the cluster's own
+// discovery watcher.
 func (c *Cluster) Start() {
 	c.mu.Lock()
+	launchWatcher := !c.started
 	c.started = true
 	shards := append([]*Shard(nil), c.shards...)
 	c.mu.Unlock()
+	if launchWatcher {
+		go c.watchMembership()
+	}
 	for _, s := range shards {
 		s.Start()
 	}
 }
 
-// Shutdown stops every shard gracefully.
+// Shutdown stops the discovery watcher and every shard gracefully.
 func (c *Cluster) Shutdown(ctx context.Context) error {
+	c.stopOnce.Do(func() { close(c.stopc) })
 	var firstErr error
 	for _, s := range c.Shards() {
 		if err := s.Shutdown(ctx); err != nil && firstErr == nil {

@@ -48,8 +48,15 @@ func startCluster(t *testing.T, opts Options) *testCluster {
 		srvs:    make(map[string]*httptest.Server),
 		targets: make(map[string]string),
 	}
+	// Published membership records carry the live shard URLs (exactly as
+	// cmd/ibbe-cluster wires it), so store-watching routers can resolve
+	// members they never served.
+	c.Targets = tc.targetSnapshot
 	for _, s := range c.Shards() {
 		tc.serveShard(t, s)
+	}
+	if err := c.PublishTargets(context.Background()); err != nil {
+		t.Fatalf("publishing boot targets: %v", err)
 	}
 	rt, err := NewRouter(c.Membership(), tc.targetSnapshot())
 	if err != nil {

@@ -10,6 +10,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"github.com/ibbesgx/ibbesgx/internal/storage"
 )
 
 // DefaultHealthTTL bounds how long the router trusts a cached "shard is
@@ -49,6 +51,15 @@ type Router struct {
 	// until the deadline passes. Entries are dropped on success and the
 	// whole map is invalidated by a membership change.
 	downUntil map[string]time.Time
+	// store, when discovery is enabled, holds the cloud store carrying the
+	// persisted membership record; lastRefresh rate-limits event-driven
+	// refreshes (a burst of fenced responses collapses to one read).
+	store       storage.Store
+	lastRefresh time.Time
+	// localTargets pins URLs for shards this router's process serves
+	// itself: they win over anything a discovered record claims, while all
+	// other entries follow the record (the freshest published info).
+	localTargets map[string]string
 }
 
 // NewRouter builds a gateway over the membership; targets must provide a
@@ -70,6 +81,110 @@ func NewRouter(m *Membership, targets map[string]string) (*Router, error) {
 		RouteTimeout:  30 * time.Second,
 		RetryInterval: 25 * time.Millisecond,
 	}, nil
+}
+
+// NewRouterFromStore builds a gateway from the membership record persisted
+// in the store — the restart path: a router process that crashed re-adopts
+// the current epoch and member set instead of resetting to whatever a
+// static config said. localTargets (may be nil) names the shards the
+// caller serves itself: those URLs win over the record's now and on every
+// future discovery, while everyone else's follow the record. Discovery is
+// enabled on the returned router; call Watch to also follow future epoch
+// bumps.
+func NewRouterFromStore(ctx context.Context, store storage.Store, localTargets map[string]string) (*Router, error) {
+	rec, _, err := LoadMembership(ctx, store)
+	if err != nil {
+		return nil, err
+	}
+	m, err := rec.Membership()
+	if err != nil {
+		return nil, err
+	}
+	rt, err := NewRouter(m, mergeTargets(rec.Targets, localTargets))
+	if err != nil {
+		return nil, err
+	}
+	rt.localTargets = mergeTargets(localTargets, nil)
+	rt.EnableDiscovery(store)
+	return rt, nil
+}
+
+// mergeTargets layers override entries on top of a base map.
+func mergeTargets(base, override map[string]string) map[string]string {
+	out := make(map[string]string, len(base)+len(override))
+	for id, u := range base {
+		out[id] = u
+	}
+	for id, u := range override {
+		out[id] = u
+	}
+	return out
+}
+
+// EnableDiscovery points the router at the store carrying the persisted
+// membership record, so it can refresh itself (refreshFromStore) when a
+// shard's fenced response proves its view stale, and follow epoch bumps
+// via Watch.
+func (rt *Router) EnableDiscovery(store storage.Store) {
+	rt.mu.Lock()
+	rt.store = store
+	rt.mu.Unlock()
+}
+
+// Watch follows the persisted membership record until ctx ends, adopting
+// each newer epoch — the router half of store-backed discovery: membership
+// changes published by anyone (operator, autoscaler, second gateway) reach
+// routing without a call into this process.
+func (rt *Router) Watch(ctx context.Context) {
+	rt.mu.Lock()
+	store := rt.store
+	rt.mu.Unlock()
+	if store == nil {
+		return
+	}
+	WatchMembership(ctx, store, rt.applyRecord)
+}
+
+// applyRecord adopts one discovered membership record. Target precedence:
+// the record's published URLs override the router's current map (the
+// record is the freshest information anyone published — a shard restarted
+// elsewhere carries its new address there), EXCEPT for shards this
+// router's own process serves (localTargets), whose URLs it knows better
+// than any record. A record naming a member nobody has a URL for is
+// skipped (ApplyMembership refuses it) until a complete record lands;
+// stale epochs are dropped by ApplyMembership itself.
+func (rt *Router) applyRecord(rec *MembershipRecord) {
+	m, err := rec.Membership()
+	if err != nil {
+		return
+	}
+	rt.mu.Lock()
+	targets := mergeTargets(mergeTargets(rt.targets, rec.Targets), rt.localTargets)
+	rt.mu.Unlock()
+	_ = rt.ApplyMembership(m, targets)
+}
+
+// refreshRateLimit bounds how often fenced responses may trigger a record
+// re-read; within the window the router just re-sweeps under whatever the
+// watch loop has already delivered.
+const refreshRateLimit = 250 * time.Millisecond
+
+// refreshFromStore re-reads the membership record once, rate-limited — the
+// event-driven reaction to a fenced shard response.
+func (rt *Router) refreshFromStore(ctx context.Context) {
+	rt.mu.Lock()
+	store := rt.store
+	if store == nil || time.Since(rt.lastRefresh) < refreshRateLimit {
+		rt.mu.Unlock()
+		return
+	}
+	rt.lastRefresh = time.Now()
+	rt.mu.Unlock()
+	rec, _, err := LoadMembership(ctx, store)
+	if err != nil {
+		return
+	}
+	rt.applyRecord(rec)
 }
 
 // ApplyMembership swaps the router onto a newer membership and target set.
@@ -215,6 +330,18 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 				resp.Body.Close()
 				lastErr = fmt.Sprintf("%s: %s", id, strings.TrimSpace(string(msg)))
+				continue
+			}
+			if resp.StatusCode == http.StatusPreconditionFailed && resp.Header.Get(storage.FencedHeader) != "" {
+				// The shard's write was fenced: somebody advanced the
+				// membership past what this router routes by. Refresh from
+				// the store record and re-route instead of surfacing the
+				// fence to the client — the rightful owner under the newer
+				// epoch serves the retry.
+				msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+				resp.Body.Close()
+				lastErr = fmt.Sprintf("%s (fenced): %s", id, strings.TrimSpace(string(msg)))
+				rt.refreshFromStore(ctx)
 				continue
 			}
 			defer resp.Body.Close()

@@ -71,12 +71,16 @@ type Shard struct {
 	// driving the exponential half of the steal backoff.
 	stealFail map[string]int
 	stopped   bool
+	// lastRefresh rate-limits fence-triggered membership re-reads: a burst
+	// of fenced responses collapses to one store read per window.
+	lastRefresh time.Time
 
 	startOnce sync.Once
 	started   bool
 	stopOnce  sync.Once
 	stopc     chan struct{}
 	done      chan struct{}
+	watchDone chan struct{}
 }
 
 func newShard(id string, adm *admin.Admin, svc *admin.Service, encl *enclave.IBBEEnclave, store storage.Store, ttl time.Duration, now func() time.Time, m *Membership) *Shard {
@@ -98,6 +102,7 @@ func newShard(id string, adm *admin.Admin, svc *admin.Service, encl *enclave.IBB
 		stealFail:  make(map[string]int),
 		stopc:      make(chan struct{}),
 		done:       make(chan struct{}),
+		watchDone:  make(chan struct{}),
 	}
 	// Every conditional write this shard's admin issues carries the
 	// membership epoch as a fencing token.
@@ -177,17 +182,19 @@ func (s *Shard) handOff(ctx context.Context, group string, epoch uint64) error {
 	return nil
 }
 
-// Start launches the lease renewal loop.
+// Start launches the lease renewal loop and the membership discovery loop.
 func (s *Shard) Start() {
 	s.startOnce.Do(func() {
 		s.mu.Lock()
 		s.started = true
 		s.mu.Unlock()
 		go s.run()
+		go s.watchMembership()
 	})
 }
 
-// stopLoop halts the renewal loop (if it ever started) and waits for it.
+// stopLoop halts the renewal and discovery loops (if they ever started)
+// and waits for them.
 func (s *Shard) stopLoop() {
 	s.stopOnce.Do(func() { close(s.stopc) })
 	s.mu.Lock()
@@ -195,6 +202,7 @@ func (s *Shard) stopLoop() {
 	s.mu.Unlock()
 	if started {
 		<-s.done
+		<-s.watchDone
 	}
 }
 
@@ -234,6 +242,24 @@ func (s *Shard) Shutdown(ctx context.Context) error {
 	return firstErr
 }
 
+// MetricsTotal returns the shard's weighted primitive-operation total
+// (ibbe.Metrics.Total of its enclave's scheme): pairings, exponentiations
+// and scalar multiplications weighted by relative latency. The autoscaler
+// samples deltas of this counter as the shard's op rate.
+func (s *Shard) MetricsTotal() int64 {
+	if m := s.Encl.Scheme().Metrics; m != nil {
+		return m.Total()
+	}
+	return 0
+}
+
+// Stopped reports whether the shard was killed or shut down.
+func (s *Shard) Stopped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopped
+}
+
 // OwnedGroups returns the groups this shard currently holds leases for,
 // sorted.
 func (s *Shard) OwnedGroups() []string {
@@ -260,6 +286,62 @@ func (s *Shard) run() {
 			s.renewAll()
 		}
 	}
+}
+
+// watchMembership is the shard's self-discovery loop: epoch bumps arrive
+// from the persisted membership record itself (storage.Store.Poll on the
+// record directory), not only from an operator's ApplyMembership fan-out —
+// so a shard that missed a drain (partitioned, paused, restarted) catches
+// up and hands its moved groups off without any operator action.
+func (s *Shard) watchMembership() {
+	defer close(s.watchDone)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		<-s.stopc
+		cancel()
+	}()
+	WatchMembership(ctx, s.ls.store, func(rec *MembershipRecord) {
+		s.applyRecord(ctx, rec)
+	})
+}
+
+// applyRecord turns a discovered membership record into an ApplyMembership
+// (stale epochs are dropped before the ring is even rebuilt).
+func (s *Shard) applyRecord(ctx context.Context, rec *MembershipRecord) {
+	if rec.Epoch <= s.Epoch() {
+		return
+	}
+	m, err := rec.Membership()
+	if err != nil {
+		return
+	}
+	actx, cancel := context.WithTimeout(ctx, time.Minute)
+	defer cancel()
+	_ = s.ApplyMembership(actx, m)
+}
+
+// refreshMembership is the event-driven half of discovery: a fenced write
+// just proved this shard operates under a superseded membership, so it
+// re-reads the record immediately instead of waiting for the watch loop.
+// Rate-limited (like the router's refreshFromStore): a stale shard hit by
+// a burst of in-flight requests must not multiply redundant store reads
+// at exactly the moment the store is busiest.
+func (s *Shard) refreshMembership() {
+	s.mu.Lock()
+	if time.Since(s.lastRefresh) < refreshRateLimit {
+		s.mu.Unlock()
+		return
+	}
+	s.lastRefresh = time.Now()
+	s.mu.Unlock()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	rec, _, err := LoadMembership(ctx, s.ls.store)
+	if err != nil {
+		return
+	}
+	s.applyRecord(ctx, rec)
 }
 
 func (s *Shard) renewAll() {
@@ -536,6 +618,15 @@ func (s *Shard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// to the client — nothing is masked, at the cost of one extra hop.
 	buf := &bufferedResponse{header: make(http.Header)}
 	s.Service.ServeHTTP(buf, r2)
+	if buf.header.Get(storage.FencedHeader) != "" {
+		// A fenced write: this shard operated under a superseded membership.
+		// Surface the fence verdict unmasked — the router refreshes its own
+		// membership from the store and re-routes — and catch up ourselves
+		// without waiting for the watch loop's next wake-up.
+		go s.refreshMembership()
+		buf.flush(w)
+		return
+	}
 	if buf.code >= 400 && !s.holdsLive(req.Group) {
 		w.Header().Set("Retry-After", "1")
 		http.Error(w, "cluster: group handed off mid-operation", http.StatusServiceUnavailable)

@@ -68,9 +68,16 @@ func (f *FileStore) Put(ctx context.Context, dir, name string, data []byte) erro
 	return f.bump(dir)
 }
 
-// writeObject atomically replaces one object file (temp write + rename).
+// writeObject atomically replaces one object file.
 func (f *FileStore) writeObject(dir, name string, data []byte) error {
-	dp := f.dirPath(dir)
+	return atomicWrite(f.dirPath(dir), f.objPath(dir, name), data)
+}
+
+// atomicWrite commits data to path via temp+rename inside dp (created if
+// missing): a crash at any point leaves either the previous file intact or
+// a stray temp file List ignores — never a truncated target. The single
+// crash-safety discipline for objects AND bookkeeping counters.
+func atomicWrite(dp, path string, data []byte) error {
 	if err := os.MkdirAll(dp, 0o755); err != nil {
 		return fmt.Errorf("storage: creating directory: %w", err)
 	}
@@ -82,15 +89,15 @@ func (f *FileStore) writeObject(dir, name string, data []byte) error {
 	if _, err := tmp.Write(data); err != nil {
 		tmp.Close()
 		os.Remove(tmpName)
-		return fmt.Errorf("storage: writing object: %w", err)
+		return fmt.Errorf("storage: writing %s: %w", filepath.Base(path), err)
 	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpName)
 		return err
 	}
-	if err := os.Rename(tmpName, f.objPath(dir, name)); err != nil {
+	if err := os.Rename(tmpName, path); err != nil {
 		os.Remove(tmpName)
-		return fmt.Errorf("storage: committing object: %w", err)
+		return fmt.Errorf("storage: committing %s: %w", filepath.Base(path), err)
 	}
 	return nil
 }
@@ -111,11 +118,22 @@ func (f *FileStore) PutFenced(ctx context.Context, dir, name string, data []byte
 	defer f.mu.Unlock()
 	var watermark uint64
 	if epoch > 0 {
-		if watermark = f.readCounter(dir, epochFile); epoch < watermark {
+		var err error
+		if watermark, err = f.readCounter(dir, epochFile); err != nil {
+			// A corrupt watermark must NEVER decode as "no fence": failing
+			// loud keeps a crash-truncated .epoch from silently unfencing
+			// the directory for zombies from superseded memberships.
+			return err
+		}
+		if epoch < watermark {
 			return fmt.Errorf("%w: %s fenced at epoch %d, write carries %d", ErrFenced, dir, watermark, epoch)
 		}
 	}
-	if cur := f.readVersion(dir); cur != ifDirVersion {
+	cur, err := f.readVersion(dir)
+	if err != nil {
+		return err
+	}
+	if cur != ifDirVersion {
 		return fmt.Errorf("%w: %s at %d, want %d", ErrVersionConflict, dir, cur, ifDirVersion)
 	}
 	// The watermark persists BEFORE the object: a crash in between leaves
@@ -195,13 +213,15 @@ func (f *FileStore) Version(ctx context.Context, dir string) (uint64, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
-	return f.readVersion(dir), nil
+	return f.readVersion(dir)
 }
 
 // Poll implements Store.
 func (f *FileStore) Poll(ctx context.Context, dir string, since uint64) (uint64, error) {
 	for {
-		if v := f.readVersion(dir); v > since {
+		if v, err := f.readVersion(dir); err != nil {
+			return 0, err
+		} else if v > since {
 			return v, nil
 		}
 		f.mu.Lock()
@@ -209,7 +229,9 @@ func (f *FileStore) Poll(ctx context.Context, dir string, since uint64) (uint64,
 		f.waiters[dir] = append(f.waiters[dir], ch)
 		f.mu.Unlock()
 		// Re-check after arming to close the race with a concurrent bump.
-		if v := f.readVersion(dir); v > since {
+		if v, err := f.readVersion(dir); err != nil {
+			return 0, err
+		} else if v > since {
 			return v, nil
 		}
 		select {
@@ -220,29 +242,39 @@ func (f *FileStore) Poll(ctx context.Context, dir string, since uint64) (uint64,
 	}
 }
 
-func (f *FileStore) readVersion(dir string) uint64 {
+func (f *FileStore) readVersion(dir string) (uint64, error) {
 	return f.readCounter(dir, versionFile)
 }
 
 // readCounter reads one of the directory's 8-byte bookkeeping files
-// (.version, .epoch); absent or malformed means 0.
-func (f *FileStore) readCounter(dir, file string) uint64 {
+// (.version, .epoch). Absent means 0; a short or unreadable file is a
+// corruption error, never 0 — decoding a truncated .epoch as zero would
+// silently unfence the directory, and a zero .version would re-open every
+// CAS writer's window.
+func (f *FileStore) readCounter(dir, file string) (uint64, error) {
 	raw, err := os.ReadFile(filepath.Join(f.dirPath(dir), file))
-	if err != nil || len(raw) != 8 {
-		return 0
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
 	}
-	return binary.BigEndian.Uint64(raw)
+	if err != nil {
+		return 0, fmt.Errorf("storage: reading %s counter for %s: %w", file, dir, err)
+	}
+	if len(raw) != 8 {
+		return 0, fmt.Errorf("storage: corrupt %s counter for %s: %d bytes, want 8", file, dir, len(raw))
+	}
+	return binary.BigEndian.Uint64(raw), nil
 }
 
 // writeCounter persists one bookkeeping counter, creating the directory if
-// this fenced write is its first mutation.
+// this fenced write is its first mutation. Counters share the objects'
+// temp+rename discipline: a crash mid-write must leave the previous
+// counter intact, not a truncated file that readCounter would reject (or,
+// worse, a bare-WriteFile torso that could decode as a smaller value).
 func (f *FileStore) writeCounter(dir, file string, v uint64) error {
-	if err := os.MkdirAll(f.dirPath(dir), 0o755); err != nil {
-		return err
-	}
+	dp := f.dirPath(dir)
 	var buf [8]byte
 	binary.BigEndian.PutUint64(buf[:], v)
-	return os.WriteFile(filepath.Join(f.dirPath(dir), file), buf[:], 0o644)
+	return atomicWrite(dp, filepath.Join(dp, file), buf[:])
 }
 
 // bump persists the next version and wakes pollers. Serialised by f.mu so
@@ -256,7 +288,11 @@ func (f *FileStore) bump(dir string) error {
 // bumpLocked is bump with f.mu already held (PutIf holds it across the
 // version check and the object write).
 func (f *FileStore) bumpLocked(dir string) error {
-	if err := f.writeCounter(dir, versionFile, f.readVersion(dir)+1); err != nil {
+	cur, err := f.readVersion(dir)
+	if err != nil {
+		return err
+	}
+	if err := f.writeCounter(dir, versionFile, cur+1); err != nil {
 		return fmt.Errorf("storage: persisting version: %w", err)
 	}
 	for _, ch := range f.waiters[dir] {

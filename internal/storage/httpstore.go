@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -182,9 +183,11 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request, path string)
 	writeJSON(w, map[string]uint64{"version": v})
 }
 
-// fencedHeader marks a 412 as a fence rejection rather than a version
-// conflict, so the client can map it back to ErrFenced.
-const fencedHeader = "X-Fenced"
+// FencedHeader marks a 412 as a fence rejection rather than a version
+// conflict, so the client can map it back to ErrFenced. Cluster layers
+// reuse the same header to mark an admin response caused by a fenced
+// write, letting a routing gateway refresh its membership and re-route.
+const FencedHeader = "X-Fenced"
 
 func writeStoreErr(w http.ResponseWriter, err error) {
 	if errors.Is(err, ErrNotFound) {
@@ -192,7 +195,7 @@ func writeStoreErr(w http.ResponseWriter, err error) {
 		return
 	}
 	if errors.Is(err, ErrFenced) {
-		w.Header().Set(fencedHeader, "1")
+		w.Header().Set(FencedHeader, "1")
 		http.Error(w, err.Error(), http.StatusPreconditionFailed)
 		return
 	}
@@ -237,11 +240,20 @@ func (h *HTTPStore) objURL(dir, name string) string {
 
 // Put implements Store.
 func (h *HTTPStore) Put(ctx context.Context, dir, name string, data []byte) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPut, h.objURL(dir, name), strings.NewReader(string(data)))
+	req, err := h.putRequest(ctx, h.objURL(dir, name), data)
 	if err != nil {
 		return err
 	}
 	return h.expectNoContent(req)
+}
+
+// putRequest builds a PUT over the payload without copying it: a
+// bytes.Reader wraps the caller's slice directly (strings.NewReader(string(
+// data)) would duplicate every object body on every PUT), and NewRequest
+// derives GetBody and ContentLength from it, so the transport can replay
+// the body safely when a reused connection dies mid-request.
+func (h *HTTPStore) putRequest(ctx context.Context, u string, data []byte) (*http.Request, error) {
+	return http.NewRequestWithContext(ctx, http.MethodPut, u, bytes.NewReader(data))
 }
 
 // PutIf implements Store via the ?if-version conditional PUT; the server
@@ -257,7 +269,7 @@ func (h *HTTPStore) PutIf(ctx context.Context, dir, name string, data []byte, if
 func (h *HTTPStore) PutFenced(ctx context.Context, dir, name string, data []byte, ifDirVersion, epoch uint64) error {
 	u := h.objURL(dir, name) + "?if-version=" + strconv.FormatUint(ifDirVersion, 10) +
 		"&fence-epoch=" + strconv.FormatUint(epoch, 10)
-	req, err := http.NewRequestWithContext(ctx, http.MethodPut, u, strings.NewReader(string(data)))
+	req, err := h.putRequest(ctx, u, data)
 	if err != nil {
 		return err
 	}
@@ -386,7 +398,7 @@ func (h *HTTPStore) expectNoContent(req *http.Request) error {
 		return fmt.Errorf("%w: %s", ErrNotFound, req.URL.Path)
 	}
 	if resp.StatusCode == http.StatusPreconditionFailed {
-		if resp.Header.Get(fencedHeader) != "" {
+		if resp.Header.Get(FencedHeader) != "" {
 			return fmt.Errorf("%w: %s", ErrFenced, req.URL.Path)
 		}
 		return fmt.Errorf("%w: %s", ErrVersionConflict, req.URL.Path)
