@@ -31,7 +31,7 @@ short:
 
 ## race: race detector over the concurrent layers (core manager, admin, cluster, storage) and the crypto substrate
 race:
-	$(GO) test -race ./internal/core/... ./internal/admin/... ./internal/enclave/... ./internal/cluster/... ./internal/storage/... ./internal/ff/... ./internal/curve/... ./internal/pairing/... ./internal/ibbe/...
+	$(GO) test -race ./internal/core/... ./internal/admin/... ./internal/enclave/... ./internal/cluster/... ./internal/dkg/... ./internal/storage/... ./internal/ff/... ./internal/curve/... ./internal/pairing/... ./internal/ibbe/...
 
 ## bench: one pass over every benchmark (smoke; use cmd/ibbe-bench for figures)
 bench:

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	ibbe-bench [-scale ci|medium|paper] [-json out.json] \
-//	           fig2|fig6|fig7a|fig7b|fig8a|fig8b|fig9|fig10|table1|epc|parallel|batch|cluster|rebalance|autoscale|all
+//	           fig2|fig6|fig7a|fig7b|fig8a|fig8b|fig9|fig10|table1|epc|parallel|batch|cluster|rebalance|autoscale|crypto|dkg|all
 //
 // The ci scale (default) runs the whole suite in well under a minute on
 // reduced grids with identical shapes; medium takes minutes; paper runs the
@@ -63,7 +63,7 @@ func run(scale, jsonPath string, args []string) error {
 		return fmt.Errorf("unknown scale %q (want ci, medium or paper)", scale)
 	}
 	if len(args) != 1 {
-		return fmt.Errorf("want exactly one experiment: fig2, fig6, fig7a, fig7b, fig8a, fig8b, fig9, fig10, table1, epc, parallel, batch, cluster, rebalance, autoscale, crypto or all")
+		return fmt.Errorf("want exactly one experiment: fig2, fig6, fig7a, fig7b, fig8a, fig8b, fig9, fig10, table1, epc, parallel, batch, cluster, rebalance, autoscale, crypto, dkg or all")
 	}
 	exp := args[0]
 
@@ -85,12 +85,13 @@ func run(scale, jsonPath string, args []string) error {
 		"rebalance": runRebalance,
 		"autoscale": runAutoscale,
 		"crypto":    runCrypto,
+		"dkg":       runDKG,
 	}
 	if exp == "all" {
 		if jsonPath != "" {
 			return fmt.Errorf("-json applies to a single experiment, not all")
 		}
-		order := []string{"fig2", "fig6", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "table1", "epc", "parallel", "batch", "cluster", "rebalance", "autoscale", "crypto"}
+		order := []string{"fig2", "fig6", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "table1", "epc", "parallel", "batch", "cluster", "rebalance", "autoscale", "crypto", "dkg"}
 		for _, name := range order {
 			if _, err := timed(name, cfg, runners[name]); err != nil {
 				return err
@@ -267,5 +268,14 @@ func runCrypto(cfg benchmark.Config) (any, error) {
 		return nil, err
 	}
 	benchmark.PrintCrypto(os.Stdout, rows)
+	return rows, nil
+}
+
+func runDKG(cfg benchmark.Config) (any, error) {
+	rows, err := benchmark.RunDKG(cfg)
+	if err != nil {
+		return nil, err
+	}
+	benchmark.PrintDKG(os.Stdout, rows)
 	return rows, nil
 }

@@ -11,21 +11,24 @@
 //	ibbe-cluster -shards 3 -listen :9091 \
 //	             [-store http://127.0.0.1:8080]   (empty = embedded in-memory store)
 //	             [-capacity 1000] [-params fast-160|medium-256|paper-512] \
-//	             [-lease-ttl 15s] [-workers N]
+//	             [-lease-ttl 15s] [-workers N] [-provisioning sealed|threshold]
 //
 // Then drive the gateway exactly like a single admin:
 //
 //	curl -X POST :9091/admin/create -d '{"group":"g","members":["a","b"]}'
 //	curl -X POST :9091/admin/add    -d '{"group":"g","user":"c"}'
 //
-// The member set is elastic. The gateway's control endpoint grows or
-// drains the cluster live — each change bumps the membership epoch, moves
-// only the joining/leaving shard's arc, and fences out writes from the
-// superseded epoch:
+// The member set is elastic. The gateway's control API lives under
+// /admin/cluster/v1/ (the unversioned paths remain as deprecated aliases)
+// and answers every request with the uniform envelope
+// {"epoch":…,"status":"ok"|"error","error":{"code","msg"},"result":…}.
+// Membership changes bump the epoch, move only the joining/leaving shard's
+// arc, and fence out writes from the superseded epoch:
 //
-//	curl :9091/admin/cluster/membership                                  (status)
-//	curl -X POST :9091/admin/cluster/membership -d '{"action":"add"}'    (grow)
-//	curl -X POST :9091/admin/cluster/membership -d '{"action":"drain","shard":"shard-2"}'
+//	curl :9091/admin/cluster/v1/membership                                  (status)
+//	curl -X POST :9091/admin/cluster/v1/membership -d '{"action":"add"}'    (grow)
+//	curl -X POST :9091/admin/cluster/v1/membership -d '{"action":"drain","shard":"shard-2"}'
+//	curl :9091/admin/cluster/v1/dkg                                         (key-provisioning status)
 //
 // The membership itself is STORE-BACKED: every change is CAS-published to
 // the cloud store (fenced by its epoch) before it takes effect, and the
@@ -38,9 +41,9 @@
 // owned × weighted crypto-op rate) and drives the same grow/drain path
 // automatically:
 //
-//	curl :9091/admin/cluster/autoscale                                   (status + live loads)
-//	curl -X POST :9091/admin/cluster/autoscale -d '{"action":"enable","min":2,"max":6}'
-//	curl -X POST :9091/admin/cluster/autoscale -d '{"action":"disable"}'
+//	curl :9091/admin/cluster/v1/autoscale                                   (status + live loads)
+//	curl -X POST :9091/admin/cluster/v1/autoscale -d '{"action":"enable","min":2,"max":6}'
+//	curl -X POST :9091/admin/cluster/v1/autoscale -d '{"action":"disable"}'
 //
 // Kill a shard (it logs its port) and the next request for its groups fails
 // over: a peer waits out the lease, reclaims the groups from the cloud and
@@ -60,6 +63,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/ibbesgx/ibbesgx/internal/admin"
 	"github.com/ibbesgx/ibbesgx/internal/cluster"
 	"github.com/ibbesgx/ibbesgx/internal/pairing"
 	"github.com/ibbesgx/ibbesgx/internal/storage"
@@ -74,6 +78,7 @@ type options struct {
 	paramsName string
 	leaseTTL   time.Duration
 	workers    int
+	provision  string
 
 	autoscale bool
 	asCfg     cluster.AutoscalerConfig
@@ -88,6 +93,7 @@ func main() {
 	flag.StringVar(&o.paramsName, "params", "fast-160", "pairing scale: fast-160, medium-256, paper-512")
 	flag.DurationVar(&o.leaseTTL, "lease-ttl", cluster.DefaultLeaseTTL, "group lease duration (failover latency bound)")
 	flag.IntVar(&o.workers, "workers", 0, "per-shard partition worker-pool size (0 = number of CPUs)")
+	flag.StringVar(&o.provision, "provisioning", "sealed", "master-key provisioning: sealed (every enclave holds the full secret) or threshold (Feldman-VSS shares, no enclave ever reconstructs it)")
 	flag.BoolVar(&o.autoscale, "autoscale", false, "start the load-driven autoscaler")
 	flag.IntVar(&o.asCfg.Min, "autoscale-min", 0, "autoscaler: minimum member count (0 = the boot member count)")
 	flag.IntVar(&o.asCfg.Max, "autoscale-max", 0, "autoscaler: maximum member count (0 = default)")
@@ -128,15 +134,25 @@ func run(o options) error {
 	}
 
 	log.Printf("ibbe-cluster: setting up %d shards (m=%d, %s)…", shards, capacity, wireName)
+	var provisioning cluster.ProvisioningMode
+	switch o.provision {
+	case "sealed":
+		provisioning = cluster.ProvisionSealed
+	case "threshold":
+		provisioning = cluster.ProvisionThreshold
+	default:
+		return fmt.Errorf("unknown -provisioning %q (want sealed or threshold)", o.provision)
+	}
 	c, err := cluster.New(cluster.Options{
-		Shards:     shards,
-		Capacity:   capacity,
-		Params:     params,
-		ParamsName: wireName,
-		Store:      store,
-		LeaseTTL:   leaseTTL,
-		Workers:    workers,
-		Seed:       1,
+		Shards:       shards,
+		Capacity:     capacity,
+		Params:       params,
+		ParamsName:   wireName,
+		Store:        store,
+		LeaseTTL:     leaseTTL,
+		Workers:      workers,
+		Seed:         1,
+		Provisioning: provisioning,
 	})
 	if err != nil {
 		return err
@@ -263,13 +279,36 @@ func (g *gateway) targetSnapshot() map[string]string {
 
 func (g *gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
+	case "/admin/cluster/v1/membership":
+		g.handleMembership(w, r)
+	case "/admin/cluster/v1/autoscale":
+		g.handleAutoscale(w, r)
+	case "/admin/cluster/v1/dkg":
+		g.handleDKG(w, r)
 	case "/admin/cluster/membership":
+		// Deprecated pre-v1 alias; same handler, so existing scripts keep
+		// working while the header nudges them to the versioned path.
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</admin/cluster/v1/membership>; rel="successor-version"`)
 		g.handleMembership(w, r)
 	case "/admin/cluster/autoscale":
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", `</admin/cluster/v1/autoscale>; rel="successor-version"`)
 		g.handleAutoscale(w, r)
 	default:
 		g.rt.ServeHTTP(w, r)
 	}
+}
+
+// handleDKG reports the key-provisioning state: mode (sealed vs threshold)
+// and, in threshold mode, the sharing's generation, degree, quorum sizes,
+// holder set and completed-reshare count.
+func (g *gateway) handleDKG(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		admin.WriteEnvelopeError(w, http.StatusMethodNotAllowed, g.c.Epoch(), admin.CodeBadRequest, "method not allowed")
+		return
+	}
+	admin.WriteEnvelope(w, g.c.Epoch(), g.c.Provisioner().Status())
 }
 
 // handleAutoscale serves the autoscaler control endpoint:
@@ -283,7 +322,7 @@ func (g *gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 func (g *gateway) handleAutoscale(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		writeJSON(w, g.autoscaler().Status())
+		admin.WriteEnvelope(w, g.c.Epoch(), g.autoscaler().Status())
 	case http.MethodPost:
 		var req struct {
 			Action     string  `json:"action"`
@@ -295,7 +334,7 @@ func (g *gateway) handleAutoscale(w http.ResponseWriter, r *http.Request) {
 		}
 		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 		if err != nil || json.Unmarshal(body, &req) != nil {
-			http.Error(w, "cluster: bad autoscale request", http.StatusBadRequest)
+			admin.WriteEnvelopeError(w, http.StatusBadRequest, g.c.Epoch(), admin.CodeBadRequest, "cluster: bad autoscale request")
 			return
 		}
 		switch req.Action {
@@ -310,7 +349,7 @@ func (g *gateway) handleAutoscale(w http.ResponseWriter, r *http.Request) {
 				}
 				if req.Interval != "" {
 					if cfg.Interval, err = time.ParseDuration(req.Interval); err != nil {
-						http.Error(w, "cluster: bad interval: "+err.Error(), http.StatusBadRequest)
+						admin.WriteEnvelopeError(w, http.StatusBadRequest, g.c.Epoch(), admin.CodeBadRequest, "cluster: bad interval: "+err.Error())
 						return
 					}
 				}
@@ -322,17 +361,17 @@ func (g *gateway) handleAutoscale(w http.ResponseWriter, r *http.Request) {
 			as := g.autoscaler()
 			as.Start()
 			log.Printf("ibbe-cluster: autoscaler enabled (%+v)", as.Config())
-			writeJSON(w, as.Status())
+			admin.WriteEnvelope(w, g.c.Epoch(), as.Status())
 		case "disable":
 			as := g.autoscaler()
 			as.Stop()
 			log.Printf("ibbe-cluster: autoscaler disabled")
-			writeJSON(w, as.Status())
+			admin.WriteEnvelope(w, g.c.Epoch(), as.Status())
 		default:
-			http.Error(w, fmt.Sprintf("cluster: unknown action %q (want enable or disable)", req.Action), http.StatusBadRequest)
+			admin.WriteEnvelopeError(w, http.StatusBadRequest, g.c.Epoch(), admin.CodeBadRequest, fmt.Sprintf("cluster: unknown action %q (want enable or disable)", req.Action))
 		}
 	default:
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		admin.WriteEnvelopeError(w, http.StatusMethodNotAllowed, g.c.Epoch(), admin.CodeBadRequest, "method not allowed")
 	}
 }
 
@@ -362,7 +401,7 @@ func (g *gateway) writeApplied(w http.ResponseWriter, handOffErr error) {
 		st.Warning = handOffErr.Error()
 		log.Printf("ibbe-cluster: membership applied with hand-off warning: %v", handOffErr)
 	}
-	writeJSON(w, st)
+	admin.WriteEnvelope(w, st.Epoch, st)
 }
 
 // handleMembership serves the elastic-membership control endpoint:
@@ -373,7 +412,8 @@ func (g *gateway) writeApplied(w http.ResponseWriter, handOffErr error) {
 func (g *gateway) handleMembership(w http.ResponseWriter, r *http.Request) {
 	switch r.Method {
 	case http.MethodGet:
-		writeJSON(w, g.status())
+		st := g.status()
+		admin.WriteEnvelope(w, st.Epoch, st)
 	case http.MethodPost:
 		var req struct {
 			Action string `json:"action"`
@@ -381,44 +421,44 @@ func (g *gateway) handleMembership(w http.ResponseWriter, r *http.Request) {
 		}
 		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 		if err != nil || json.Unmarshal(body, &req) != nil {
-			http.Error(w, "cluster: bad membership request", http.StatusBadRequest)
+			admin.WriteEnvelopeError(w, http.StatusBadRequest, g.c.Epoch(), admin.CodeBadRequest, "cluster: bad membership request")
 			return
 		}
 		switch req.Action {
 		case "add":
 			s, err := g.c.AddShard()
 			if err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
+				admin.WriteEnvelopeError(w, http.StatusInternalServerError, g.c.Epoch(), admin.CodeInternal, err.Error())
 				return
 			}
 			if err := g.serveShard(s); err != nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
+				admin.WriteEnvelopeError(w, http.StatusInternalServerError, g.c.Epoch(), admin.CodeInternal, err.Error())
 				return
 			}
 			m, err := g.c.Admit(r.Context(), s.ID)
 			if m == nil {
-				http.Error(w, err.Error(), http.StatusInternalServerError)
+				admin.WriteEnvelopeError(w, http.StatusInternalServerError, g.c.Epoch(), admin.CodeInternal, err.Error())
 				return
 			}
 			log.Printf("ibbe-cluster: %s admitted at membership epoch %d", s.ID, m.Epoch)
 			g.writeApplied(w, err)
 		case "drain":
 			if req.Shard == "" {
-				http.Error(w, "cluster: drain needs a shard id", http.StatusBadRequest)
+				admin.WriteEnvelopeError(w, http.StatusBadRequest, g.c.Epoch(), admin.CodeBadRequest, "cluster: drain needs a shard id")
 				return
 			}
 			m, err := g.c.RemoveShard(r.Context(), req.Shard)
 			if m == nil {
-				http.Error(w, err.Error(), http.StatusConflict)
+				admin.WriteEnvelopeError(w, http.StatusConflict, g.c.Epoch(), admin.CodeConflict, err.Error())
 				return
 			}
 			log.Printf("ibbe-cluster: %s drained at membership epoch %d", req.Shard, m.Epoch)
 			g.writeApplied(w, err)
 		default:
-			http.Error(w, fmt.Sprintf("cluster: unknown action %q (want add or drain)", req.Action), http.StatusBadRequest)
+			admin.WriteEnvelopeError(w, http.StatusBadRequest, g.c.Epoch(), admin.CodeBadRequest, fmt.Sprintf("cluster: unknown action %q (want add or drain)", req.Action))
 		}
 	default:
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		admin.WriteEnvelopeError(w, http.StatusMethodNotAllowed, g.c.Epoch(), admin.CodeBadRequest, "method not allowed")
 	}
 }
 

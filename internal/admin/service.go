@@ -44,6 +44,17 @@ type Service struct {
 	Admin *Admin
 	// Encl is the enclave behind the admin (for provisioning).
 	Encl *enclave.IBBEEnclave
+	// Extract, when set, overrides the local-enclave user-key extraction:
+	// a threshold cluster routes /provision through its share-holder quorum
+	// (no single enclave holds the master secret), with the combine — and
+	// the signature — still made inside this shard's enclave. Nil means
+	// the local enclave extracts directly.
+	Extract func(id string, userPub *ecdh.PublicKey) (*enclave.ProvisionedKey, error)
+	// Epoch, when set, reports the membership epoch this service operates
+	// under; it is stamped into every error envelope so clients can tell a
+	// current owner's verdict from a superseded one's. Nil reports 0
+	// (single-admin deployments have no epochs).
+	Epoch func() uint64
 	// EnclaveCertDER / RootCertDER are served to users for verification.
 	EnclaveCertDER []byte
 	RootCertDER    []byte
@@ -130,7 +141,11 @@ func (s *Service) handleProvision(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad ecdh_pub point", http.StatusBadRequest)
 		return
 	}
-	prov, err := s.Encl.EcallExtractUserKey(req.ID, pub)
+	extract := s.Extract
+	if extract == nil {
+		extract = s.Encl.EcallExtractUserKey
+	}
+	prov, err := extract(req.ID, pub)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -181,16 +196,26 @@ func (s *Service) handleAdmin(w http.ResponseWriter, r *http.Request) {
 		// marker (the same signal an HTTPStore server emits), so a routing
 		// gateway refreshes its membership from the store record and
 		// re-routes to the rightful owner instead of surfacing the failure.
+		// The body is the typed envelope, so API clients get fenced_epoch
+		// without sniffing headers.
 		if errors.Is(err, storage.ErrFenced) {
 			w.Header().Set(storage.FencedHeader, "1")
 			w.Header().Set("Retry-After", "1")
-			http.Error(w, err.Error(), http.StatusPreconditionFailed)
+			WriteEnvelopeError(w, http.StatusPreconditionFailed, s.epoch(), CodeFencedEpoch, err.Error())
 			return
 		}
-		http.Error(w, err.Error(), http.StatusConflict)
+		WriteEnvelopeError(w, http.StatusConflict, s.epoch(), CodeConflict, err.Error())
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// epoch evaluates the optional Epoch hook.
+func (s *Service) epoch() uint64 {
+	if s.Epoch == nil {
+		return 0
+	}
+	return s.Epoch()
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

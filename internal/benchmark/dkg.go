@@ -1,0 +1,112 @@
+package benchmark
+
+import (
+	"crypto/ecdh"
+	"crypto/rand"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/ibbesgx/ibbesgx/internal/cluster"
+	"github.com/ibbesgx/ibbesgx/internal/storage"
+)
+
+// DKGRow is one provisioning mode's user-key extraction cost. The sealed
+// row is the paper's baseline — one enclave holding the full master secret
+// extracts locally. The threshold row runs the same extraction through the
+// Feldman-VSS share-holder quorum (blinded partial evaluations plus a
+// combine, no enclave ever reconstructing the secret); its overhead over
+// the baseline is the price of removing the single point of compromise.
+type DKGRow struct {
+	Mode    string `json:"mode"`
+	Shards  int    `json:"shards"`
+	Samples int    `json:"samples"`
+
+	Elapsed      time.Duration `json:"elapsed_ns"`
+	NsPerExtract int64         `json:"ns_per_extract"`
+	PerSec       float64       `json:"extracts_per_sec"`
+}
+
+// Ratio returns this row's per-extraction cost relative to base.
+func (r DKGRow) Ratio(base DKGRow) float64 {
+	if base.NsPerExtract == 0 {
+		return 0
+	}
+	return float64(r.NsPerExtract) / float64(base.NsPerExtract)
+}
+
+// dkgShards is the threshold cluster size (privacy degree 1: quorum 3,
+// recovery floor 2) — the acceptance configuration.
+const dkgShards = 4
+
+// RunDKG times user-key extraction under both provisioning modes.
+func RunDKG(cfg Config) ([]DKGRow, error) {
+	rows := make([]DKGRow, 0, 2)
+	for _, mode := range []cluster.ProvisioningMode{cluster.ProvisionSealed, cluster.ProvisionThreshold} {
+		row, err := runDKGOnce(cfg, mode)
+		if err != nil {
+			return nil, fmt.Errorf("dkg %s: %w", mode, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runDKGOnce(cfg Config, mode cluster.ProvisioningMode) (DKGRow, error) {
+	shards := 1
+	if mode == cluster.ProvisionThreshold {
+		shards = dkgShards
+	}
+	c, err := cluster.New(cluster.Options{
+		Shards:       shards,
+		Capacity:     cfg.Capacity,
+		Params:       cfg.Params,
+		Store:        storage.NewMemStore(storage.Latency{}),
+		LeaseTTL:     10 * time.Minute,
+		Seed:         cfg.Seed,
+		Provisioning: mode,
+	})
+	if err != nil {
+		return DKGRow{}, err
+	}
+	priv, err := ecdh.P256().GenerateKey(rand.Reader)
+	if err != nil {
+		return DKGRow{}, err
+	}
+	extract := c.Provisioner().Extract
+	// Warm-up outside the timed region (table initialisation, first-use
+	// allocations), then the timed samples.
+	if _, err := extract("dkg-warmup", priv.PublicKey()); err != nil {
+		return DKGRow{}, err
+	}
+	start := time.Now()
+	for i := 0; i < cfg.ExtractSamples; i++ {
+		if _, err := extract(fmt.Sprintf("dkg-user-%d", i), priv.PublicKey()); err != nil {
+			return DKGRow{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	return DKGRow{
+		Mode:         string(mode),
+		Shards:       shards,
+		Samples:      cfg.ExtractSamples,
+		Elapsed:      elapsed,
+		NsPerExtract: elapsed.Nanoseconds() / int64(cfg.ExtractSamples),
+		PerSec:       float64(cfg.ExtractSamples) / elapsed.Seconds(),
+	}, nil
+}
+
+// PrintDKG writes the threshold-extraction table.
+func PrintDKG(w io.Writer, rows []DKGRow) {
+	fmt.Fprintln(w, "DKG — user-key extraction: sealed single enclave vs threshold share-holder quorum")
+	fmt.Fprintf(w, "%10s  %7s  %8s  %12s  %14s  %12s\n",
+		"mode", "shards", "samples", "elapsed", "ns/extract", "extracts/s")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%10s  %7d  %8d  %12s  %14d  %12.1f\n",
+			r.Mode, r.Shards, r.Samples, Dur(r.Elapsed), r.NsPerExtract, r.PerSec)
+	}
+	if len(rows) == 2 {
+		fmt.Fprintf(w, "shape: threshold extraction over %d shards costs %.2f× the single sealed enclave (no enclave ever holds the master secret)\n",
+			rows[1].Shards, rows[1].Ratio(rows[0]))
+	}
+}

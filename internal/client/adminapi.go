@@ -4,11 +4,66 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strings"
 )
+
+// Typed admin-API failures, decoded from the service's error envelope.
+// Branch with errors.Is; the full detail (op, HTTP status, server epoch,
+// message) is on the wrapping *APIError via errors.As.
+var (
+	// ErrFencedEpoch: the serving process operated under a superseded
+	// membership epoch and the store fenced its write. The cluster is
+	// mid-reconfiguration — re-resolve the owner and retry.
+	ErrFencedEpoch = errors.New("client: admin operates under a fenced (superseded) membership epoch")
+	// ErrNotOwner: the addressed shard does not own the group's lease
+	// (hand-off in progress or routing staleness). Retry after a beat.
+	ErrNotOwner = errors.New("client: addressed shard does not own the group")
+)
+
+// APIError is a non-2xx admin-API response. Code and Epoch are populated
+// when the service answered with the typed JSON envelope; plain-text error
+// bodies (older servers, proxies) leave Code empty and carry the body in
+// Msg, so the error is useful either way.
+type APIError struct {
+	Op         string // admin operation ("create", "add-batch", …)
+	StatusCode int    // HTTP status
+	Code       string // envelope error code ("fenced_epoch", …), "" if untyped
+	Epoch      uint64 // serving process's membership epoch, 0 if untyped
+	Msg        string // human-readable server message
+}
+
+func (e *APIError) Error() string {
+	if e.Code != "" {
+		return fmt.Sprintf("client: admin %s failed: %d %s (epoch %d): %s", e.Op, e.StatusCode, e.Code, e.Epoch, e.Msg)
+	}
+	return fmt.Sprintf("client: admin %s failed: %d: %s", e.Op, e.StatusCode, e.Msg)
+}
+
+// Unwrap maps envelope codes to the package's sentinel errors.
+func (e *APIError) Unwrap() error {
+	switch e.Code {
+	case "fenced_epoch":
+		return ErrFencedEpoch
+	case "not_owner":
+		return ErrNotOwner
+	default:
+		return nil
+	}
+}
+
+// envelope mirrors admin.Envelope's error half (the client package stays
+// independent of the server package).
+type envelope struct {
+	Epoch uint64 `json:"epoch"`
+	Error *struct {
+		Code string `json:"code"`
+		Msg  string `json:"msg"`
+	} `json:"error"`
+}
 
 // AdminAPI is a thin HTTP client for the administrator service
 // (internal/admin.Service): it drives membership operations — including the
@@ -88,8 +143,15 @@ func (c *AdminAPI) post(ctx context.Context, op string, body adminOpRequest) err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("client: admin %s failed: %d: %s", op, resp.StatusCode, strings.TrimSpace(string(msg)))
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		apiErr := &APIError{Op: op, StatusCode: resp.StatusCode, Msg: strings.TrimSpace(string(body))}
+		var env envelope
+		if json.Unmarshal(body, &env) == nil && env.Error != nil {
+			apiErr.Code = env.Error.Code
+			apiErr.Epoch = env.Epoch
+			apiErr.Msg = env.Error.Msg
+		}
+		return apiErr
 	}
 	return nil
 }

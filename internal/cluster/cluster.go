@@ -26,6 +26,7 @@ package cluster
 
 import (
 	"context"
+	"crypto/ecdh"
 	"crypto/rand"
 	"errors"
 	"fmt"
@@ -35,6 +36,7 @@ import (
 	"github.com/ibbesgx/ibbesgx/internal/admin"
 	"github.com/ibbesgx/ibbesgx/internal/attest"
 	"github.com/ibbesgx/ibbesgx/internal/core"
+	"github.com/ibbesgx/ibbesgx/internal/dkg"
 	"github.com/ibbesgx/ibbesgx/internal/enclave"
 	"github.com/ibbesgx/ibbesgx/internal/ibbe"
 	"github.com/ibbesgx/ibbesgx/internal/pairing"
@@ -63,6 +65,15 @@ type Options struct {
 	Workers int
 	// VirtualNodes per shard on the ring (0 = default).
 	VirtualNodes int
+	// Provisioning selects how shards obtain master-key material: sealed
+	// exchange (default) or threshold DKG. A store that already carries a
+	// DKG record forces threshold mode regardless — shares in the store
+	// must be re-adopted, never clobbered by a fresh full-secret setup.
+	Provisioning ProvisioningMode
+	// Platform, when set, hosts the shard enclaves instead of a freshly
+	// generated one. A restarted threshold cluster MUST reuse its original
+	// platform: the persisted share blobs are sealed to it.
+	Platform *enclave.Platform
 
 	// now overrides the clock (tests).
 	now func() time.Time
@@ -100,8 +111,9 @@ type Cluster struct {
 	paramsName string
 	ias        *attest.IAS
 	auditor    *pki.Auditor
-	sealedMSK  []byte
-	masterPK   *ibbe.PublicKey
+	// prov decides what key material a minted shard receives (the full
+	// sealed secret or a threshold share) and runs the DKG life-cycle.
+	prov KeyProvisioner
 
 	// changeMu serialises whole membership transitions (the read-compute-
 	// apply of ApplyMembership/RemoveShard), so two concurrent operator
@@ -149,9 +161,13 @@ func New(opts Options) (*Cluster, error) {
 		store = storage.NewMemStore(storage.Latency{})
 	}
 
-	platform, err := enclave.NewPlatform("cluster-platform", rand.Reader)
-	if err != nil {
-		return nil, err
+	platform := opts.Platform
+	if platform == nil {
+		var err error
+		platform, err = enclave.NewPlatform("cluster-platform", rand.Reader)
+		if err != nil {
+			return nil, err
+		}
 	}
 	ias, err := attest.NewIAS()
 	if err != nil {
@@ -176,6 +192,36 @@ func New(opts Options) (*Cluster, error) {
 
 	ctx := context.Background()
 	rec, ver, err := LoadMembership(ctx, store)
+	if err != nil && !errors.Is(err, ErrNoMembership) {
+		return nil, fmt.Errorf("cluster: reading membership record: %w", err)
+	}
+
+	// The provisioner is chosen BEFORE any shard is minted: a persisted DKG
+	// record forces threshold mode (the shares in the store are the master
+	// secret — a fresh sealed setup would fork the key), otherwise the
+	// operator's option decides.
+	mode := opts.Provisioning
+	if mode == "" {
+		mode = ProvisionSealed
+	}
+	var dkgRec *dkg.Record
+	if rec != nil && rec.DKG != nil {
+		dkgRec = rec.DKG
+		mode = ProvisionThreshold
+	}
+	switch mode {
+	case ProvisionSealed:
+		c.prov = newSealedProvisioner(opts.Capacity, c.shardAlive)
+	case ProvisionThreshold:
+		tp, perr := newThresholdProvisioner(opts.Capacity, ibbe.NewScheme(params), store, c.shardAlive, c.Epoch, dkgRec)
+		if perr != nil {
+			return nil, perr
+		}
+		c.prov = tp
+	default:
+		return nil, fmt.Errorf("cluster: unknown provisioning mode %q", mode)
+	}
+
 	switch {
 	case err == nil:
 		// Restart: the persisted record, not opts.Shards, names the member
@@ -229,11 +275,28 @@ func New(opts Options) (*Cluster, error) {
 			}
 			c.membership = theirs
 		}
-	default:
-		return nil, fmt.Errorf("cluster: reading membership record: %w", err)
+	}
+	// Bootstrap (or restart) is only done once the provisioner completes:
+	// in threshold mode this is where the DKG runs — the transient dealer
+	// shares γ across the members and drops it, and the record lands in
+	// the fenced membership record.
+	if err := c.prov.Complete(ctx); err != nil {
+		return nil, err
 	}
 	return c, nil
 }
+
+// shardAlive reports whether a shard is minted and still serving — the
+// provisioner's liveness oracle for picking extraction quorums and reshare
+// dealers.
+func (c *Cluster) shardAlive(id string) bool {
+	s := c.Shard(id)
+	return s != nil && !s.Stopped()
+}
+
+// Provisioner exposes the cluster's key provisioner (status endpoints,
+// threshold extraction, tests).
+func (c *Cluster) Provisioner() KeyProvisioner { return c.prov }
 
 // shardIndex parses the numeric index out of a ShardID (0 for a foreign
 // ID, which New/AddShard never mint).
@@ -270,11 +333,13 @@ func sameMembers(a, b []string) bool {
 	return true
 }
 
-// mintShardID builds the shard named id sharing the cluster master secret,
-// appends it to the shard list and returns it. The first shard ever minted
-// runs EcallSetup and donates the sealed MSK every later shard restores.
-// Caller holds no lock (New) or c.mu is expected NOT to be held —
-// mintShardID locks internally only for the list append.
+// mintShardID builds the shard named id, appends it to the shard list and
+// returns it. What key material the new enclave receives is entirely the
+// provisioner's call: the full sealed secret (legacy), a restored share
+// (threshold restart) or just the master public key (threshold runtime
+// mint — the shard becomes a holder at the next reshare). Caller holds no
+// lock (New) or c.mu is expected NOT to be held — mintShardID locks
+// internally only for the list append.
 func (c *Cluster) mintShardID(id string, m *Membership) (*Shard, error) {
 	encl, err := enclave.NewIBBEEnclave(c.Platform, c.params)
 	if err != nil {
@@ -284,13 +349,8 @@ func (c *Cluster) mintShardID(id string, m *Membership) (*Shard, error) {
 	// (groups owned × op rate). Attached before the first ECALL, so the
 	// scheme field is never written concurrently with an operation.
 	encl.Scheme().Metrics = &ibbe.Metrics{}
-	first := c.sealedMSK == nil
-	if first {
-		if _, c.sealedMSK, err = encl.EcallSetup(c.opts.Capacity); err != nil {
-			return nil, err
-		}
-	} else if err := encl.EcallRestore(c.sealedMSK, c.masterPK); err != nil {
-		return nil, fmt.Errorf("cluster: sharing master secret with %s: %w", id, err)
+	if err := c.prov.Provision(id, encl); err != nil {
+		return nil, err
 	}
 	cert, err := c.auditor.AttestAndCertify(c.ias, encl)
 	if err != nil {
@@ -307,9 +367,6 @@ func (c *Cluster) mintShardID(id string, m *Membership) (*Shard, error) {
 	if c.opts.Workers > 0 {
 		mgr.SetParallelism(c.opts.Workers)
 	}
-	if first {
-		c.masterPK = mgr.PublicKey()
-	}
 	opLog, err := core.NewOpLog()
 	if err != nil {
 		return nil, err
@@ -322,6 +379,16 @@ func (c *Cluster) mintShardID(id string, m *Membership) (*Shard, error) {
 		EnclaveCertDER: cert.Raw,
 		RootCertDER:    c.auditor.RootDER(),
 		ParamsName:     c.paramsName,
+		Epoch:          c.Epoch,
+	}
+	if tp, threshold := c.prov.(*thresholdProvisioner); threshold {
+		// /provision on a threshold shard routes through the provisioner's
+		// quorum protocol instead of the (share-less) local enclave; this
+		// shard's own enclave does the combine, so the signature verifies
+		// against the certificate the shard serves.
+		svc.Extract = func(uid string, userPub *ecdh.PublicKey) (*enclave.ProvisionedKey, error) {
+			return tp.extractVia(id, uid, userPub)
+		}
 	}
 	s := newShard(id, adm, svc, encl, c.Store, c.opts.LeaseTTL, c.opts.now, m)
 	// started is read in the SAME critical section as the append: a
@@ -422,7 +489,12 @@ func (c *Cluster) applyMembership(ctx context.Context, members []string) (*Membe
 	if c.Targets != nil {
 		targets = c.Targets()
 	}
-	if err := PublishMembership(ctx, c.Store, recordOf(next, targets), ver); err != nil {
+	nextRec := recordOf(next, targets)
+	// Carry the committed sharing into the successor record: if this
+	// process dies before the new epoch's reshare publishes, the store
+	// still holds commitments + sealed shares a restart can adopt.
+	nextRec.DKG = c.prov.Record()
+	if err := PublishMembership(ctx, c.Store, nextRec, ver); err != nil {
 		if errors.Is(err, storage.ErrVersionConflict) || errors.Is(err, storage.ErrFenced) {
 			return nil, fmt.Errorf("cluster: membership change superseded by a concurrent writer: %w", err)
 		}
@@ -465,6 +537,13 @@ func (c *Cluster) propagate(ctx context.Context, next *Membership) error {
 		if !next.Has(s.ID) {
 			apply(s)
 		}
+	}
+	// Reshare AFTER the shards hold the new epoch: the provisioner deals
+	// the secret to the new member set and publishes the new record under
+	// next.Epoch. A reshare superseded by an even newer epoch is expected
+	// under churn — that epoch's own propagate reshares.
+	if err := c.prov.OnMembership(ctx, next); err != nil && !errors.Is(err, ErrReshareSuperseded) && firstErr == nil {
+		firstErr = err
 	}
 	return firstErr
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/ibbesgx/ibbesgx/internal/dkg"
 	"github.com/ibbesgx/ibbesgx/internal/storage"
 )
 
@@ -43,6 +44,11 @@ type MembershipRecord struct {
 	Members []string          `json:"members"`
 	VNodes  int               `json:"vnodes,omitempty"`
 	Targets map[string]string `json:"targets,omitempty"`
+	// DKG is the threshold sharing of the master secret (nil in sealed
+	// mode): commitments, holder indices and sealed per-shard share blobs.
+	// Riding inside the fenced membership record gives the sharing the same
+	// CAS/epoch protection as the member set it belongs to.
+	DKG *dkg.Record `json:"dkg,omitempty"`
 }
 
 // Membership rebuilds the ring from the record.

@@ -1,0 +1,599 @@
+// Key provisioning is the one decision that shapes the cluster's whole
+// trust story: what secret material lands on a freshly minted shard. The
+// KeyProvisioner interface pins that decision behind one call surface with
+// two implementations — the legacy sealed-MSK exchange (every enclave holds
+// the full master secret) and threshold DKG (every enclave holds one
+// Feldman-VSS share; the full secret exists nowhere after bootstrap).
+package cluster
+
+import (
+	"context"
+	"crypto/ecdh"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/ibbesgx/ibbesgx/internal/dkg"
+	"github.com/ibbesgx/ibbesgx/internal/enclave"
+	"github.com/ibbesgx/ibbesgx/internal/ibbe"
+	"github.com/ibbesgx/ibbesgx/internal/storage"
+)
+
+// ProvisioningMode selects how shards obtain master-key material.
+type ProvisioningMode string
+
+const (
+	// ProvisionSealed is the legacy mode: the first shard runs EcallSetup
+	// and every later shard EcallRestores the sealed master-secret blob.
+	ProvisionSealed ProvisioningMode = "sealed"
+	// ProvisionThreshold is DKG mode: the master secret is Feldman-shared
+	// across the member enclaves at bootstrap and reshared on every
+	// membership epoch; no enclave keeps the full secret.
+	ProvisionThreshold ProvisioningMode = "threshold"
+)
+
+// ErrReshareSuperseded reports a reshare abandoned because the membership
+// epoch moved on mid-protocol; the newer epoch runs its own reshare, so the
+// error is expected under churn and callers treat it as benign.
+var ErrReshareSuperseded = errors.New("cluster: reshare superseded by a newer membership epoch")
+
+// ProvisionerStatus is the operator-facing view of the provisioning state,
+// served by the /admin/cluster/v1/dkg endpoint.
+type ProvisionerStatus struct {
+	// Mode is "sealed" or "threshold".
+	Mode string `json:"mode"`
+	// Generation is the committed sharing's generation (threshold only).
+	Generation uint64 `json:"generation,omitempty"`
+	// Degree is the sharing polynomial degree d (threshold only).
+	Degree int `json:"degree,omitempty"`
+	// Quorum (2d+1) is the holder count a blinded extraction needs; Recovery
+	// (d+1) is the floor below which the secret is unrecoverable.
+	Quorum   int `json:"quorum,omitempty"`
+	Recovery int `json:"recovery,omitempty"`
+	// Holders are the share-holding shard IDs, sorted.
+	Holders []string `json:"holders,omitempty"`
+	// Reshares counts completed reshares since this process started.
+	Reshares uint64 `json:"reshares,omitempty"`
+}
+
+// KeyProvisioner is the single call surface for master-key provisioning.
+// A Cluster drives it at four points: Provision when a shard enclave is
+// minted, Complete once the bootstrap member set is fully minted,
+// OnMembership after each membership change reaches the shards, and
+// Extract for every user-key request in threshold mode.
+//
+// Implementations must be safe for concurrent use; Extract in particular
+// races shard HTTP handlers against membership transitions.
+type KeyProvisioner interface {
+	// Provision installs key material on a freshly minted shard enclave:
+	// the full sealed secret (sealed mode), a restored share (threshold
+	// restart), or just the master public key (threshold runtime mint — a
+	// new shard becomes a holder only at the next reshare, so a full-secret
+	// blob can never leak onto an unproven member).
+	Provision(id string, encl *enclave.IBBEEnclave) error
+	// Complete finishes bootstrap after the initial member set is minted.
+	// In threshold mode this runs the DKG: the (single, transient) dealer
+	// shares γ across the members, every member verifies and adopts its
+	// share, the dealer drops the full secret, and the record is published
+	// in the fenced membership record.
+	Complete(ctx context.Context) error
+	// Extract derives the wrapped user key for id. Sealed mode asks any
+	// live enclave; threshold mode runs the blinded-quorum protocol (2d+1
+	// live holders) or the degraded recover path (d+1), so extraction
+	// survives the loss of any d holders.
+	Extract(id string, userPub *ecdh.PublicKey) (*enclave.ProvisionedKey, error)
+	// OnMembership runs after membership m is durable and installed on the
+	// shards. Threshold mode reshares to the new member set and publishes
+	// the new record under m's epoch; ErrReshareSuperseded is benign.
+	OnMembership(ctx context.Context, m *Membership) error
+	// PublicKey returns the master public key (nil before bootstrap).
+	PublicKey() *ibbe.PublicKey
+	// Record returns a snapshot of the committed DKG record (nil in sealed
+	// mode); it is what applyMembership carries into successor publishes so
+	// a crash mid-reshare never loses the share state.
+	Record() *dkg.Record
+	// Status reports the operator-facing provisioning state.
+	Status() ProvisionerStatus
+}
+
+// ---------------------------------------------------------------------------
+// Sealed-exchange provisioner (legacy mode).
+
+// sealedProvisioner reproduces the original behaviour: first Provision runs
+// EcallSetup, every later one EcallRestores the sealed blob.
+type sealedProvisioner struct {
+	capacity int
+	live     func(id string) bool
+
+	mu        sync.Mutex
+	sealedMSK []byte
+	masterPK  *ibbe.PublicKey
+	encls     map[string]*enclave.IBBEEnclave
+	order     []string // provision order; Extract prefers earlier shards
+}
+
+func newSealedProvisioner(capacity int, live func(string) bool) *sealedProvisioner {
+	return &sealedProvisioner{
+		capacity: capacity,
+		live:     live,
+		encls:    make(map[string]*enclave.IBBEEnclave),
+	}
+}
+
+func (p *sealedProvisioner) Provision(id string, encl *enclave.IBBEEnclave) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.sealedMSK == nil {
+		pk, sealed, err := encl.EcallSetup(p.capacity)
+		if err != nil {
+			return err
+		}
+		p.sealedMSK, p.masterPK = sealed, pk
+	} else if err := encl.EcallRestore(p.sealedMSK, p.masterPK); err != nil {
+		return fmt.Errorf("cluster: sharing master secret with %s: %w", id, err)
+	}
+	p.encls[id] = encl
+	p.order = append(p.order, id)
+	return nil
+}
+
+func (p *sealedProvisioner) Complete(context.Context) error { return nil }
+
+func (p *sealedProvisioner) Extract(id string, userPub *ecdh.PublicKey) (*enclave.ProvisionedKey, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, sid := range p.order {
+		if p.live == nil || p.live(sid) {
+			return p.encls[sid].EcallExtractUserKey(id, userPub)
+		}
+	}
+	return nil, errors.New("cluster: no live shard to extract from")
+}
+
+func (p *sealedProvisioner) OnMembership(context.Context, *Membership) error { return nil }
+
+func (p *sealedProvisioner) PublicKey() *ibbe.PublicKey {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.masterPK
+}
+
+func (p *sealedProvisioner) Record() *dkg.Record { return nil }
+
+func (p *sealedProvisioner) Status() ProvisionerStatus {
+	return ProvisionerStatus{Mode: string(ProvisionSealed)}
+}
+
+// ---------------------------------------------------------------------------
+// Threshold-DKG provisioner.
+
+// thresholdProvisioner holds the cluster-side (untrusted) half of the DKG:
+// it relays sealed protocol blobs between shard enclaves and publishes the
+// public record — it never sees a share or the secret. All state mutation
+// happens under p.mu; Extract holds it too, so an extraction can never
+// straddle a share-generation commit and combine partials from different
+// polynomials.
+type thresholdProvisioner struct {
+	capacity int
+	scheme   *ibbe.Scheme
+	store    storage.Store
+	live     func(id string) bool
+	epoch    func() uint64
+
+	// beforePublish, when set (tests), runs right before a reshare's record
+	// publish — the window where a concurrent epoch bump must abort the
+	// reshare cleanly.
+	beforePublish func()
+
+	mu       sync.Mutex
+	encls    map[string]*enclave.IBBEEnclave
+	rec      *dkg.Record // committed sharing (nil until bootstrap/restart)
+	masterPK *ibbe.PublicKey
+	dealer   string // bootstrap dealer (holds full MSK until Complete)
+	reshares uint64
+}
+
+func newThresholdProvisioner(capacity int, scheme *ibbe.Scheme, store storage.Store, live func(string) bool, epoch func() uint64, rec *dkg.Record) (*thresholdProvisioner, error) {
+	p := &thresholdProvisioner{
+		capacity: capacity,
+		scheme:   scheme,
+		store:    store,
+		live:     live,
+		epoch:    epoch,
+		encls:    make(map[string]*enclave.IBBEEnclave),
+		rec:      rec.Clone(),
+	}
+	if rec != nil {
+		pk, err := scheme.UnmarshalPublicKey(rec.MasterPK)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: persisted DKG record: %w", err)
+		}
+		p.masterPK = pk
+	}
+	return p, nil
+}
+
+func (p *thresholdProvisioner) Provision(id string, encl *enclave.IBBEEnclave) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch {
+	case p.rec != nil:
+		// Restart (or runtime mint against a committed sharing): holders
+		// reload their sealed share from the published record; non-holders
+		// get only the public key and become holders at the next reshare.
+		if sealed, ok := p.rec.SealedShares[id]; ok && p.rec.Index(id) != 0 {
+			if err := encl.EcallRestoreShare(p.rec, id, sealed); err != nil {
+				return fmt.Errorf("cluster: restoring share on %s: %w", id, err)
+			}
+		} else if err := encl.EcallAdoptPublicKey(p.rec.MasterPK); err != nil {
+			return err
+		}
+	case p.masterPK == nil:
+		// Bootstrap dealer: the ONLY enclave that ever holds the full γ,
+		// and only until Complete deals it away.
+		pk, _, err := encl.EcallSetup(p.capacity)
+		if err != nil {
+			return err
+		}
+		p.masterPK, p.dealer = pk, id
+	default:
+		if err := encl.EcallAdoptPublicKey(p.scheme.MarshalPublicKey(p.masterPK)); err != nil {
+			return err
+		}
+	}
+	p.encls[id] = encl
+	return nil
+}
+
+// Complete runs the bootstrap DKG once every initial member is minted: deal
+// shares from the transient dealer, adopt+verify on every member (adoption
+// drops the dealer's full secret), publish the record inside the fenced
+// membership record. Restarted clusters (rec already set) skip it.
+func (p *thresholdProvisioner) Complete(ctx context.Context) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rec != nil {
+		return nil
+	}
+	if p.dealer == "" {
+		return errors.New("cluster: threshold bootstrap without a dealer enclave")
+	}
+	gen := p.epoch()
+	holders := p.holderIndicesLocked(p.sortedShardsLocked())
+	rec, transport, err := p.encls[p.dealer].EcallDealShares(gen, holders)
+	if err != nil {
+		return fmt.Errorf("cluster: dealing bootstrap shares: %w", err)
+	}
+	for id := range holders {
+		sealed, err := p.encls[id].EcallAdoptShare(rec, id, transport[id])
+		if err != nil {
+			return fmt.Errorf("cluster: %s adopting bootstrap share: %w", id, err)
+		}
+		rec.SealedShares[id] = sealed
+	}
+	if err := p.publishLocked(ctx, gen, rec); err != nil {
+		return err
+	}
+	p.rec = rec
+	return nil
+}
+
+// publishLocked installs rec as the DKG field of the membership record at
+// epoch gen. The reshare's correctness hinges on the epoch check: a record
+// published by a newer membership means this sharing is already stale.
+func (p *thresholdProvisioner) publishLocked(ctx context.Context, gen uint64, rec *dkg.Record) error {
+	for {
+		mrec, ver, err := LoadMembership(ctx, p.store)
+		if err != nil {
+			return fmt.Errorf("cluster: reading membership record for DKG publish: %w", err)
+		}
+		if mrec.Epoch != gen {
+			return fmt.Errorf("%w: sharing is for epoch %d, store is at %d", ErrReshareSuperseded, gen, mrec.Epoch)
+		}
+		if mrec.DKG != nil && mrec.DKG.Generation >= gen && mrec.DKG.Generation != p.generationLocked() {
+			// Someone else (a second gateway) already published this
+			// generation's sharing; ours would clobber theirs.
+			return fmt.Errorf("%w: generation %d already published", ErrReshareSuperseded, mrec.DKG.Generation)
+		}
+		mrec.DKG = rec
+		err = PublishMembership(ctx, p.store, mrec, ver)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, storage.ErrVersionConflict) && !errors.Is(err, storage.ErrFenced) {
+			return fmt.Errorf("cluster: publishing DKG record: %w", err)
+		}
+		// CAS loss: re-read and retry — the epoch check above decides
+		// whether the sharing is still the one the store wants.
+	}
+}
+
+func (p *thresholdProvisioner) generationLocked() uint64 {
+	if p.rec == nil {
+		return 0
+	}
+	return p.rec.Generation
+}
+
+// sortedShardsLocked returns every registered shard ID, sorted.
+func (p *thresholdProvisioner) sortedShardsLocked() []string {
+	ids := make([]string, 0, len(p.encls))
+	for id := range p.encls {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// holderIndicesLocked assigns 1-based share indices in sorted-ID order.
+func (p *thresholdProvisioner) holderIndicesLocked(ids []string) map[string]int {
+	holders := make(map[string]int, len(ids))
+	for i, id := range ids {
+		holders[id] = i + 1
+	}
+	return holders
+}
+
+// liveHoldersLocked returns the committed record's holders that are still
+// serving, sorted by shard ID.
+func (p *thresholdProvisioner) liveHoldersLocked() []string {
+	if p.rec == nil {
+		return nil
+	}
+	out := make([]string, 0, len(p.rec.Holders))
+	for id := range p.rec.Holders {
+		if p.encls[id] != nil && (p.live == nil || p.live(id)) {
+			out = append(out, id)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Extract runs the threshold extraction. With a full blinded quorum (2d+1
+// live holders) no enclave ever reconstructs γ; between d+1 and 2d no
+// quorum exists, so the survivors fall back to a recovery combine where ONE
+// coordinating enclave transiently reconstructs γ inside and discards it —
+// degraded, but the secret still never exists outside enclave code.
+func (p *thresholdProvisioner) Extract(id string, userPub *ecdh.PublicKey) (*enclave.ProvisionedKey, error) {
+	return p.extractVia("", id, userPub)
+}
+
+// extractVia is Extract with an explicit coordinating shard: the quorum's
+// partials are combined (and the user key signed) inside coord's enclave,
+// so the signature verifies against the certificate of the shard that
+// served the request. An empty (or unknown) coord falls back to the first
+// live holder.
+func (p *thresholdProvisioner) extractVia(coord, id string, userPub *ecdh.PublicKey) (*enclave.ProvisionedKey, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rec == nil {
+		return nil, errors.New("cluster: threshold sharing not bootstrapped")
+	}
+	live := p.liveHoldersLocked()
+	if len(live) == 0 {
+		return nil, errors.New("cluster: no live share holders")
+	}
+	combiner := p.encls[coord]
+	if combiner == nil {
+		combiner = p.encls[live[0]]
+	}
+	d := p.rec.Degree
+	if len(live) >= dkg.Quorum(d) {
+		pk, err := p.blindExtractLocked(id, userPub, live[:dkg.Quorum(d)], combiner)
+		if err == nil {
+			return pk, nil
+		}
+		// A holder may have died between the liveness snapshot and its
+		// ECALL; the degraded path below needs fewer survivors.
+	}
+	if len(live) >= dkg.Threshold(d) {
+		return p.recoverExtractLocked(id, userPub, live, combiner)
+	}
+	return nil, fmt.Errorf("cluster: only %d of %d share holders live, need %d to extract", len(live), len(p.rec.Holders), dkg.Threshold(d))
+}
+
+// blindExtractLocked is the full protocol: every quorum member deals fresh
+// blinding+zero sharings (round 1), aggregates the quorum's contributions
+// into its (u_i, P_i) partial (round 2), and the combiner enclave folds
+// the partials into the wrapped user key.
+func (p *thresholdProvisioner) blindExtractLocked(id string, userPub *ecdh.PublicKey, quorum []string, combiner *enclave.IBBEEnclave) (*enclave.ProvisionedKey, error) {
+	nonce := make([]byte, 16)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	indices := make([]int, len(quorum))
+	for k, sid := range quorum {
+		indices[k] = p.rec.Index(sid)
+	}
+	// Round 1: dealer index → (target index → sealed contribution).
+	byTarget := make(map[int]map[int][]byte, len(quorum))
+	for _, sid := range quorum {
+		out, err := p.encls[sid].EcallBlindRound(nonce, indices)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: blind round on %s: %w", sid, err)
+		}
+		dealerIdx := p.rec.Index(sid)
+		for target, blob := range out {
+			if byTarget[target] == nil {
+				byTarget[target] = make(map[int][]byte, len(quorum))
+			}
+			byTarget[target][dealerIdx] = blob
+		}
+	}
+	// Round 2: each member publishes its blinded partial.
+	partials := make([]dkg.ExtractPartial, 0, len(quorum))
+	for _, sid := range quorum {
+		part, err := p.encls[sid].EcallPartialExtract(id, nonce, indices, byTarget[p.rec.Index(sid)])
+		if err != nil {
+			return nil, fmt.Errorf("cluster: partial extract on %s: %w", sid, err)
+		}
+		partials = append(partials, *part)
+	}
+	return combiner.EcallCombineExtract(id, userPub, p.rec.Degree, partials)
+}
+
+// recoverExtractLocked is the degraded path: d+1 survivors export their
+// shares (sealed, nonce-bound) to the combiner enclave, which verifies
+// them, transiently reconstructs γ and extracts.
+func (p *thresholdProvisioner) recoverExtractLocked(id string, userPub *ecdh.PublicKey, live []string, combiner *enclave.IBBEEnclave) (*enclave.ProvisionedKey, error) {
+	nonce := make([]byte, 16)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	need := dkg.Threshold(p.rec.Degree)
+	blobs := make([][]byte, 0, need)
+	for _, sid := range live {
+		blob, err := p.encls[sid].EcallExportShare(nonce)
+		if err != nil {
+			continue // dead since the snapshot; any d+1 exports suffice
+		}
+		blobs = append(blobs, blob)
+		if len(blobs) == need {
+			break
+		}
+	}
+	if len(blobs) < need {
+		return nil, fmt.Errorf("cluster: only %d shares exported, need %d", len(blobs), need)
+	}
+	return combiner.EcallRecoverExtract(id, userPub, nonce, p.rec, blobs)
+}
+
+// OnMembership reshares the secret to membership m's member set: d_old+1
+// live holders each sub-deal their share at the new degree, every member
+// verifies and combines the sub-deals into a PENDING share, the new record
+// is published under m's epoch, and only then do the members commit (and
+// dropped holders wipe). A publish lost to a newer epoch drops every
+// pending share and reports ErrReshareSuperseded — the newer epoch's own
+// OnMembership reshares from the still-committed old generation.
+func (p *thresholdProvisioner) OnMembership(ctx context.Context, m *Membership) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.rec == nil {
+		return nil // bootstrap not finished; Complete publishes for this epoch
+	}
+	if m.Epoch <= p.rec.Generation {
+		return nil // already sharing at (or past) this epoch
+	}
+	cur := p.rec
+	newGen := m.Epoch
+
+	// New holder set = the new members (all minted by the time propagate
+	// runs). Dealers = d_old+1 live holders of the committed sharing.
+	members := m.Members()
+	for _, id := range members {
+		if p.encls[id] == nil {
+			return fmt.Errorf("cluster: reshare target %s has no enclave", id)
+		}
+	}
+	newHolders := p.holderIndicesLocked(members)
+	newDegree := dkg.PrivacyDegree(len(members))
+	newIndices := make([]int, 0, len(members))
+	for _, id := range members {
+		newIndices = append(newIndices, newHolders[id])
+	}
+	sort.Ints(newIndices)
+	liveOld := p.liveHoldersLocked()
+	need := dkg.Threshold(cur.Degree)
+	if len(liveOld) < need {
+		return fmt.Errorf("cluster: only %d share holders live, need %d to reshare", len(liveOld), need)
+	}
+	dealerIDs := liveOld[:need]
+	dealers := make([]int, len(dealerIDs))
+	subComms := make(map[int][][]byte, need)
+	subBlobs := make(map[int]map[int][]byte, need) // dealer idx → target idx → blob
+	for k, sid := range dealerIDs {
+		di := cur.Index(sid)
+		comms, blobs, err := p.encls[sid].EcallSubDeal(newGen, newDegree, newIndices)
+		if err != nil {
+			return fmt.Errorf("cluster: sub-deal on %s: %w", sid, err)
+		}
+		dealers[k] = di
+		subComms[di] = comms
+		subBlobs[di] = blobs
+	}
+
+	newRec := &dkg.Record{
+		Generation:   newGen,
+		Degree:       newDegree,
+		ExtractBase:  append([]byte(nil), cur.ExtractBase...),
+		MasterPK:     append([]byte(nil), cur.MasterPK...),
+		Holders:      newHolders,
+		SealedShares: make(map[string][]byte, len(members)),
+	}
+	adopted := make([]string, 0, len(members))
+	drop := func() {
+		for _, id := range adopted {
+			p.encls[id].EcallDropReshare(newGen)
+		}
+	}
+	for _, id := range members {
+		ni := newHolders[id]
+		blobs := make(map[int][]byte, len(dealers))
+		for _, di := range dealers {
+			blobs[di] = subBlobs[di][ni]
+		}
+		sealed, comms, err := p.encls[id].EcallAdoptReshare(cur, newGen, newDegree, ni, dealers, subComms, blobs)
+		if err != nil {
+			drop()
+			return fmt.Errorf("cluster: %s adopting reshare: %w", id, err)
+		}
+		adopted = append(adopted, id)
+		newRec.SealedShares[id] = sealed
+		newRec.Commitments = comms // every member combines the same commitments
+	}
+
+	if p.beforePublish != nil {
+		p.beforePublish()
+	}
+	if err := p.publishLocked(ctx, newGen, newRec); err != nil {
+		drop()
+		return err
+	}
+	for _, id := range members {
+		if err := p.encls[id].EcallCommitReshare(newGen); err != nil {
+			return fmt.Errorf("cluster: %s committing reshare: %w", id, err)
+		}
+	}
+	// Proactive security: holders dropped from the set wipe their (now
+	// superseded) shares, so old and new shares can never be pooled.
+	for id := range cur.Holders {
+		if _, still := newHolders[id]; !still && p.encls[id] != nil {
+			p.encls[id].EcallWipeShare()
+		}
+	}
+	p.rec = newRec
+	p.reshares++
+	return nil
+}
+
+func (p *thresholdProvisioner) PublicKey() *ibbe.PublicKey {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.masterPK
+}
+
+func (p *thresholdProvisioner) Record() *dkg.Record {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rec.Clone()
+}
+
+func (p *thresholdProvisioner) Status() ProvisionerStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := ProvisionerStatus{Mode: string(ProvisionThreshold), Reshares: p.reshares}
+	if p.rec != nil {
+		st.Generation = p.rec.Generation
+		st.Degree = p.rec.Degree
+		st.Quorum = dkg.Quorum(p.rec.Degree)
+		st.Recovery = dkg.Threshold(p.rec.Degree)
+		for id := range p.rec.Holders {
+			st.Holders = append(st.Holders, id)
+		}
+		sort.Strings(st.Holders)
+	}
+	return st
+}

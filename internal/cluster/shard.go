@@ -588,7 +588,7 @@ func (s *Shard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if err := s.EnsureOwnership(r.Context(), req.Group); err != nil {
 		if errors.Is(err, ErrLeaseHeld) {
 			w.Header().Set("Retry-After", "1")
-			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			admin.WriteEnvelopeError(w, http.StatusServiceUnavailable, s.epoch(), admin.CodeNotOwner, err.Error())
 			return
 		}
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -629,10 +629,21 @@ func (s *Shard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	if buf.code >= 400 && !s.holdsLive(req.Group) {
 		w.Header().Set("Retry-After", "1")
-		http.Error(w, "cluster: group handed off mid-operation", http.StatusServiceUnavailable)
+		admin.WriteEnvelopeError(w, http.StatusServiceUnavailable, s.epoch(), admin.CodeNotOwner, "cluster: group handed off mid-operation")
 		return
 	}
 	buf.flush(w)
+}
+
+// epoch reports the shard's view of the membership epoch for error
+// envelopes (0 before any membership is applied).
+func (s *Shard) epoch() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.membership == nil {
+		return 0
+	}
+	return s.membership.Epoch
 }
 
 // bufferedResponse captures a handler's response so the shard can decide to

@@ -335,11 +335,15 @@ func (m *Manager) AddUsers(name string, users []string) (*Update, error) {
 		}
 		byID[t.id] = p
 	}
+	// A threshold shard has no γ, so the O(1) ciphertext extension is
+	// unavailable; it rebuilds each touched partition from its full member
+	// list via classic encryption instead. Same records, different cost.
+	hasMSK := m.encl.HasMasterSecret()
 	outs := make([]*enclave.PartitionCrypto, len(tasks))
 	newCTs := make([]*ibbe.Ciphertext, len(tasks))
 	err = m.fanOut(len(tasks), func(i int) error {
 		t := tasks[i]
-		if t.fresh {
+		if t.fresh || !hasMSK {
 			pc, err := m.encl.EcallCreatePartition(name, g.sealedGK, byID[t.id].Members)
 			if err != nil {
 				return err
@@ -361,7 +365,7 @@ func (m *Manager) AddUsers(name string, users []string) (*Update, error) {
 
 	up := newUpdate(name)
 	for i, t := range tasks {
-		if t.fresh {
+		if t.fresh || !hasMSK {
 			g.crypto[t.id] = outs[i]
 		} else {
 			g.crypto[t.id].CT = newCTs[i]
@@ -436,6 +440,10 @@ func (m *Manager) RemoveUsers(name string, users []string) (*Update, error) {
 		return nil, rollback(err)
 	}
 	parts := g.table.Partitions()
+	// Threshold shards cannot divide (γ+H(id)) terms out of a ciphertext;
+	// partitions that lost members are rebuilt classically from the
+	// post-removal member list. Plain re-keys are pk-only and unchanged.
+	hasMSK := m.encl.HasMasterSecret()
 	outs := make([]*enclave.PartitionCrypto, len(parts))
 	err = m.fanOut(len(parts), func(i int) error {
 		p := parts[i]
@@ -444,9 +452,12 @@ func (m *Manager) RemoveUsers(name string, users []string) (*Update, error) {
 			pc   *enclave.PartitionCrypto
 			ierr error
 		)
-		if rem := removedBy[p.ID]; len(rem) > 0 {
+		switch rem := removedBy[p.ID]; {
+		case len(rem) > 0 && hasMSK:
 			pc, ierr = m.encl.EcallRemoveUsersFromPartition(name, sealedGK, old, rem)
-		} else {
+		case len(rem) > 0:
+			pc, ierr = m.encl.EcallCreatePartition(name, sealedGK, p.Members)
+		default:
 			pc, ierr = m.encl.EcallRekeyPartition(name, sealedGK, old)
 		}
 		if ierr != nil {

@@ -1,0 +1,403 @@
+// Package dkg implements the verifiable secret sharing that turns the IBBE
+// master secret from a single sealed blob into a t-of-n threshold secret:
+// Feldman-VSS dealing and verification over the existing curve/field
+// arithmetic, Lagrange interpolation, proactive resharing to a new holder
+// set, and the blinded-inversion protocol that lets a quorum of share
+// holders jointly compute USK = g^(1/(γ+H(id))) without any party ever
+// reconstructing γ.
+//
+// The commitment base is deliberately h = PK.HPowers[0], the same generator
+// whose γ-powers make up the published public key: the zeroth Feldman
+// commitment C₀ = h^γ then equals PK.HPowers[1], binding every sharing to
+// the master public key already in the membership record — any observer can
+// check that a reshare still shares the ORIGINAL secret.
+//
+// Why blinded inversion instead of "partial extract + Lagrange": the user
+// secret key is g^(1/(γ+H(id))), and 1/f(x) is not a polynomial, so shares
+// of γ cannot be combined into the inverse in one round. The classic
+// Bar-Ilan–Beaver trick is used instead: the quorum jointly samples a
+// random blinding r (each member deals a degree-d sharing of a fresh ρⱼ,
+// plus a degree-2d sharing of zero that hides the cross terms), every
+// member i publishes uᵢ = rᵢ·(sᵢ+H(id)) + zᵢ and Pᵢ = g^{rᵢ}, the
+// coordinator interpolates u(0) = r·(γ+H(id)) from 2d+1 points, recovers
+// g^r from d+1 of the Pᵢ, and computes USK = (g^r)^{1/u(0)} — revealing
+// only the uniformly random product r·(γ+H(id)).
+package dkg
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"github.com/ibbesgx/ibbesgx/internal/curve"
+	"github.com/ibbesgx/ibbesgx/internal/ff"
+	"github.com/ibbesgx/ibbesgx/internal/pairing"
+)
+
+// Errors returned by the package.
+var (
+	// ErrShareInvalid reports a share failing its Feldman commitment check.
+	ErrShareInvalid = errors.New("dkg: share does not match polynomial commitments")
+	// ErrTooFewShares reports an interpolation below the required threshold.
+	ErrTooFewShares = errors.New("dkg: not enough shares")
+	// ErrBadIndex reports a zero, negative or duplicate share index.
+	ErrBadIndex = errors.New("dkg: share indices must be distinct positive integers")
+)
+
+// Suite fixes the algebra one sharing lives in: the scalar field Z_r the
+// secret and shares inhabit, the curve group the commitments live in, and
+// the commitment base.
+type Suite struct {
+	// Zr is the scalar field (the pairing group order).
+	Zr *ff.Field
+	// G is the commitment group (G1 of the pairing).
+	G *curve.Curve
+	// Base is the Feldman commitment base.
+	Base *curve.Point
+}
+
+// NewSuite builds a suite over the pairing's G1 with the given commitment
+// base (IBBE uses h = PK.HPowers[0], see the package comment).
+func NewSuite(p *pairing.Params, base *curve.Point) *Suite {
+	return &Suite{Zr: p.Zr, G: p.G1, Base: base}
+}
+
+// PrivacyDegree returns the sharing polynomial degree d for n holders:
+// the largest d with 2d+1 ≤ n (so a full blinded-extraction quorum fits),
+// at least 1 once there are two holders (so no single holder ever knows
+// the secret). d+1 holders reconstruct; d holders learn nothing.
+func PrivacyDegree(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	d := (n - 1) / 2
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Quorum returns the number of distinct holders a blinded extraction
+// round needs at degree d: the 2d+1 evaluation points that determine the
+// degree-2d product polynomial.
+func Quorum(degree int) int { return 2*degree + 1 }
+
+// Threshold returns the number of shares that reconstruct a degree-d
+// secret: d+1.
+func Threshold(degree int) int { return degree + 1 }
+
+// Share is one evaluation of the sharing polynomial: Value = f(Index).
+type Share struct {
+	Index int
+	Value *big.Int
+}
+
+// Deal is one dealer's output: the Feldman commitments C_j = Base^{a_j} to
+// the polynomial coefficients, and the per-holder shares.
+type Deal struct {
+	Degree      int
+	Commitments []*curve.Point
+	Shares      []Share
+}
+
+// checkIndices validates a share-index set.
+func checkIndices(indices []int) error {
+	seen := make(map[int]bool, len(indices))
+	for _, i := range indices {
+		if i < 1 || seen[i] {
+			return fmt.Errorf("%w: %v", ErrBadIndex, indices)
+		}
+		seen[i] = true
+	}
+	return nil
+}
+
+// randPoly draws a uniformly random degree-`degree` polynomial over Zr with
+// the given constant term.
+func (s *Suite) randPoly(constant *big.Int, degree int, rng io.Reader) ([]*big.Int, error) {
+	coeffs := make([]*big.Int, degree+1)
+	coeffs[0] = s.Zr.Reduce(new(big.Int).Set(constant))
+	for j := 1; j <= degree; j++ {
+		c, err := s.Zr.Rand(rng)
+		if err != nil {
+			return nil, fmt.Errorf("dkg: drawing coefficient: %w", err)
+		}
+		coeffs[j] = c
+	}
+	return coeffs, nil
+}
+
+// evalPoly evaluates the polynomial at x = index (Horner).
+func (s *Suite) evalPoly(coeffs []*big.Int, index int) *big.Int {
+	x := big.NewInt(int64(index))
+	acc := new(big.Int).Set(coeffs[len(coeffs)-1])
+	for j := len(coeffs) - 2; j >= 0; j-- {
+		acc = s.Zr.Add(s.Zr.Mul(acc, x), coeffs[j])
+	}
+	return acc
+}
+
+// Deal shares `secret` at the given degree among the holder indices,
+// committing to every coefficient. The secret is recoverable from any
+// degree+1 shares; degree shares reveal nothing.
+func (s *Suite) Deal(secret *big.Int, degree int, indices []int, rng io.Reader) (*Deal, error) {
+	if err := checkIndices(indices); err != nil {
+		return nil, err
+	}
+	if len(indices) < degree+1 {
+		return nil, fmt.Errorf("dkg: %d holders cannot carry a degree-%d sharing", len(indices), degree)
+	}
+	coeffs, err := s.randPoly(secret, degree, rng)
+	if err != nil {
+		return nil, err
+	}
+	d := &Deal{Degree: degree, Commitments: make([]*curve.Point, degree+1)}
+	for j, a := range coeffs {
+		d.Commitments[j] = s.G.ScalarMult(s.Base, a)
+	}
+	d.Shares = make([]Share, len(indices))
+	for k, i := range indices {
+		d.Shares[k] = Share{Index: i, Value: s.evalPoly(coeffs, i)}
+	}
+	return d, nil
+}
+
+// CommitmentEval evaluates the committed polynomial in the exponent:
+// Base^{f(index)} = Π_j C_j^{index^j}.
+func (s *Suite) CommitmentEval(comms []*curve.Point, index int) *curve.Point {
+	x := big.NewInt(int64(index))
+	scalars := make([]*big.Int, len(comms))
+	acc := big.NewInt(1)
+	for j := range comms {
+		scalars[j] = new(big.Int).Set(acc)
+		acc = s.Zr.Mul(acc, x)
+	}
+	return s.G.MultiExp(comms, scalars)
+}
+
+// VerifyShare checks a share against the dealer's commitments:
+// Base^{share} must equal the committed polynomial at the share's index.
+func (s *Suite) VerifyShare(comms []*curve.Point, sh Share) error {
+	if sh.Index < 1 || sh.Value == nil {
+		return ErrBadIndex
+	}
+	lhs := s.G.ScalarMult(s.Base, sh.Value)
+	if !s.G.Equal(lhs, s.CommitmentEval(comms, sh.Index)) {
+		return fmt.Errorf("%w (index %d)", ErrShareInvalid, sh.Index)
+	}
+	return nil
+}
+
+// LagrangeAtZero returns the interpolation weights λ_i with
+// f(0) = Σ λ_i·f(i) for the given distinct indices.
+func (s *Suite) LagrangeAtZero(indices []int) (map[int]*big.Int, error) {
+	if err := checkIndices(indices); err != nil {
+		return nil, err
+	}
+	out := make(map[int]*big.Int, len(indices))
+	for _, i := range indices {
+		num := big.NewInt(1)
+		den := big.NewInt(1)
+		xi := big.NewInt(int64(i))
+		for _, j := range indices {
+			if j == i {
+				continue
+			}
+			xj := big.NewInt(int64(j))
+			num = s.Zr.Mul(num, xj)
+			den = s.Zr.Mul(den, s.Zr.Sub(xj, xi))
+		}
+		inv, err := s.Zr.Inv(den)
+		if err != nil {
+			return nil, fmt.Errorf("dkg: degenerate index set %v: %w", indices, err)
+		}
+		out[i] = s.Zr.Mul(num, inv)
+	}
+	return out, nil
+}
+
+// Reconstruct interpolates the secret f(0) from the given shares. The
+// caller must supply at least degree+1 shares of the SAME polynomial;
+// shares of inconsistent polynomials produce garbage (use VerifyShare
+// against the published commitments first).
+func (s *Suite) Reconstruct(degree int, shares []Share) (*big.Int, error) {
+	if len(shares) < degree+1 {
+		return nil, fmt.Errorf("%w: %d of %d", ErrTooFewShares, len(shares), degree+1)
+	}
+	use := shares[:degree+1]
+	indices := make([]int, len(use))
+	for k, sh := range use {
+		indices[k] = sh.Index
+	}
+	lam, err := s.LagrangeAtZero(indices)
+	if err != nil {
+		return nil, err
+	}
+	acc := big.NewInt(0)
+	for _, sh := range use {
+		acc = s.Zr.Add(acc, s.Zr.Mul(lam[sh.Index], sh.Value))
+	}
+	return acc, nil
+}
+
+// SubDeal re-shares one EXISTING share to a new holder set: the old holder
+// at oldShare.Index deals its share value at newDegree among newIndices.
+// The returned deal's zeroth commitment is Base^{oldShare.Value}, which any
+// party can check against CommitmentEval(oldComms, oldShare.Index) — a
+// corrupt dealer cannot smuggle a different value into the reshare.
+func (s *Suite) SubDeal(oldShare Share, newDegree int, newIndices []int, rng io.Reader) (*Deal, error) {
+	return s.Deal(oldShare.Value, newDegree, newIndices, rng)
+}
+
+// CombineSubShares folds the sub-shares a NEW holder received from the
+// dealer set T (old indices) into its share of the original secret:
+// f'(k) = Σ_{i∈T} λ_i·f_i(k). Every new holder must combine over the SAME
+// dealer set, otherwise the resulting shares lie on different polynomials.
+func (s *Suite) CombineSubShares(oldIndices []int, values []*big.Int) (*big.Int, error) {
+	if len(oldIndices) != len(values) {
+		return nil, errors.New("dkg: dealer set and sub-share count differ")
+	}
+	lam, err := s.LagrangeAtZero(oldIndices)
+	if err != nil {
+		return nil, err
+	}
+	acc := big.NewInt(0)
+	for k, i := range oldIndices {
+		acc = s.Zr.Add(acc, s.Zr.Mul(lam[i], values[k]))
+	}
+	return acc, nil
+}
+
+// CombineCommitments folds the dealers' sub-deal commitments into the new
+// sharing's commitments: C'_j = Π_{i∈T} C_{i,j}^{λ_i}. The zeroth combined
+// commitment equals the ORIGINAL C₀ = Base^secret, which is how observers
+// verify a reshare preserved the secret.
+func (s *Suite) CombineCommitments(oldIndices []int, comms [][]*curve.Point) ([]*curve.Point, error) {
+	if len(oldIndices) != len(comms) {
+		return nil, errors.New("dkg: dealer set and commitment count differ")
+	}
+	if len(comms) == 0 {
+		return nil, ErrTooFewShares
+	}
+	width := len(comms[0])
+	for _, cs := range comms {
+		if len(cs) != width {
+			return nil, errors.New("dkg: ragged sub-deal commitments")
+		}
+	}
+	lam, err := s.LagrangeAtZero(oldIndices)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*curve.Point, width)
+	for j := 0; j < width; j++ {
+		points := make([]*curve.Point, len(comms))
+		scalars := make([]*big.Int, len(comms))
+		for k, i := range oldIndices {
+			points[k] = comms[k][j]
+			scalars[k] = lam[i]
+		}
+		out[j] = s.G.MultiExp(points, scalars)
+	}
+	return out, nil
+}
+
+// BlindDeal is one quorum member's contribution to a blinded-extraction
+// round: a degree-d sharing of a fresh random ρ (R) and a degree-2d sharing
+// of zero (Z). Summing every member's contributions gives each holder i its
+// blinding share r_i (degree d, of r = Σρ_j) and masking share z_i (degree
+// 2d, of 0) — the zero-sharing hides the cross terms of r_i·(s_i+H(id)) so
+// the published u_i values reveal nothing beyond u(0).
+type BlindDeal struct {
+	// R maps holder index → share of this dealer's random ρ (degree d).
+	R map[int]*big.Int
+	// Z maps holder index → share of zero (degree 2d).
+	Z map[int]*big.Int
+}
+
+// BlindDeal draws one member's round contribution for the given quorum
+// indices at sharing degree `degree` (the master sharing's degree d).
+func (s *Suite) BlindDeal(degree int, indices []int, rng io.Reader) (*BlindDeal, error) {
+	if err := checkIndices(indices); err != nil {
+		return nil, err
+	}
+	if len(indices) < Quorum(degree) {
+		return nil, fmt.Errorf("%w: blind round needs %d holders, got %d", ErrTooFewShares, Quorum(degree), len(indices))
+	}
+	rho, err := s.Zr.Rand(rng)
+	if err != nil {
+		return nil, fmt.Errorf("dkg: drawing blinding: %w", err)
+	}
+	rPoly, err := s.randPoly(rho, degree, rng)
+	if err != nil {
+		return nil, err
+	}
+	zPoly, err := s.randPoly(big.NewInt(0), 2*degree, rng)
+	if err != nil {
+		return nil, err
+	}
+	bd := &BlindDeal{R: make(map[int]*big.Int, len(indices)), Z: make(map[int]*big.Int, len(indices))}
+	for _, i := range indices {
+		bd.R[i] = s.evalPoly(rPoly, i)
+		bd.Z[i] = s.evalPoly(zPoly, i)
+	}
+	return bd, nil
+}
+
+// ExtractPartial is one holder's public output in a blinded extraction
+// round: U = r_i·(s_i + H(id)) + z_i and P = g^{r_i}, where g is the
+// extraction base (the IBBE generator the user key is a power of).
+type ExtractPartial struct {
+	Index int
+	U     *big.Int
+	P     *curve.Point
+}
+
+// CombineExtract finishes a blinded extraction: given ≥ 2d+1 partials it
+// interpolates u(0) = r·(γ+H(id)), recovers g^r from d+1 of the P_i, and
+// returns USK = (g^r)^{1/u(0)} = g^{1/(γ+H(id))}. Only the coordinator
+// (inside an enclave — the result IS the user secret key) calls this.
+func (s *Suite) CombineExtract(degree int, partials []ExtractPartial) (*curve.Point, error) {
+	need := Quorum(degree)
+	if len(partials) < need {
+		return nil, fmt.Errorf("%w: blinded extraction needs %d partials, got %d", ErrTooFewShares, need, len(partials))
+	}
+	use := partials[:need]
+	indices := make([]int, len(use))
+	for k, p := range use {
+		indices[k] = p.Index
+	}
+	lamWide, err := s.LagrangeAtZero(indices)
+	if err != nil {
+		return nil, err
+	}
+	u0 := big.NewInt(0)
+	for _, p := range use {
+		u0 = s.Zr.Add(u0, s.Zr.Mul(lamWide[p.Index], p.U))
+	}
+	inv, err := s.Zr.Inv(u0)
+	if err != nil {
+		// u(0) = r·(γ+H(id)) vanishes only if r = 0 or H(id) = −γ.
+		return nil, fmt.Errorf("dkg: degenerate blinding, retry the round: %w", err)
+	}
+	// g^r from the first d+1 partials (r_i is a degree-d sharing), with the
+	// final inversion folded into one multi-exponentiation:
+	// USK = Π P_i^{λ'_i / u(0)}.
+	narrow := use[:degree+1]
+	nIdx := make([]int, len(narrow))
+	for k, p := range narrow {
+		nIdx[k] = p.Index
+	}
+	lamNarrow, err := s.LagrangeAtZero(nIdx)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]*curve.Point, len(narrow))
+	scalars := make([]*big.Int, len(narrow))
+	for k, p := range narrow {
+		points[k] = p.P
+		scalars[k] = s.Zr.Mul(lamNarrow[p.Index], inv)
+	}
+	return s.G.MultiExp(points, scalars), nil
+}

@@ -1,0 +1,204 @@
+package dkg
+
+import (
+	"crypto/rand"
+	"math/big"
+	"testing"
+
+	"github.com/ibbesgx/ibbesgx/internal/curve"
+	"github.com/ibbesgx/ibbesgx/internal/pairing"
+)
+
+func testSuite(t *testing.T) *Suite {
+	t.Helper()
+	p := pairing.TypeA160()
+	base, err := p.G1.RandPoint(rand.Reader)
+	if err != nil {
+		t.Fatalf("drawing base: %v", err)
+	}
+	return NewSuite(p, base)
+}
+
+func TestPrivacyDegree(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 1, 4: 1, 5: 2, 6: 2, 7: 3, 9: 4}
+	for n, want := range cases {
+		if got := PrivacyDegree(n); got != want {
+			t.Errorf("PrivacyDegree(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestDealVerifyReconstruct(t *testing.T) {
+	s := testSuite(t)
+	secret, err := s.Zr.Rand(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indices := []int{1, 2, 3, 4}
+	d, err := s.Deal(secret, 1, indices, rand.Reader)
+	if err != nil {
+		t.Fatalf("Deal: %v", err)
+	}
+	// C₀ commits to the secret itself.
+	if !s.G.Equal(d.Commitments[0], s.G.ScalarMult(s.Base, secret)) {
+		t.Fatal("zeroth commitment does not commit to the secret")
+	}
+	for _, sh := range d.Shares {
+		if err := s.VerifyShare(d.Commitments, sh); err != nil {
+			t.Fatalf("share %d rejected: %v", sh.Index, err)
+		}
+	}
+	// A corrupted share must be rejected.
+	bad := Share{Index: d.Shares[0].Index, Value: s.Zr.Add(d.Shares[0].Value, big.NewInt(1))}
+	if err := s.VerifyShare(d.Commitments, bad); err == nil {
+		t.Fatal("corrupted share verified")
+	}
+	// Any d+1 = 2 shares reconstruct; every pair agrees.
+	for i := 0; i < len(d.Shares); i++ {
+		for j := i + 1; j < len(d.Shares); j++ {
+			got, err := s.Reconstruct(1, []Share{d.Shares[i], d.Shares[j]})
+			if err != nil {
+				t.Fatalf("Reconstruct: %v", err)
+			}
+			if got.Cmp(secret) != 0 {
+				t.Fatalf("shares (%d,%d) reconstructed the wrong secret", d.Shares[i].Index, d.Shares[j].Index)
+			}
+		}
+	}
+	// One share is not enough.
+	if _, err := s.Reconstruct(1, d.Shares[:1]); err == nil {
+		t.Fatal("reconstructed from a single share of a degree-1 sharing")
+	}
+}
+
+func TestReshareToNewHolderSet(t *testing.T) {
+	s := testSuite(t)
+	secret, err := s.Zr.Rand(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldIdx := []int{1, 2, 3, 4}
+	d, err := s.Deal(secret, 1, oldIdx, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dealer set T = {2, 4} (any d+1 old holders); new holder set 1..6 at
+	// the larger degree for 6 members.
+	newIdx := []int{1, 2, 3, 4, 5, 6}
+	newDeg := PrivacyDegree(len(newIdx))
+	dealers := []int{2, 4}
+	subs := make(map[int]*Deal, len(dealers))
+	for _, i := range dealers {
+		sub, err := s.SubDeal(d.Shares[i-1], newDeg, newIdx, rand.Reader)
+		if err != nil {
+			t.Fatalf("SubDeal(%d): %v", i, err)
+		}
+		// The sub-deal's zeroth commitment must match the dealer's old
+		// share under the OLD commitments.
+		if !s.G.Equal(sub.Commitments[0], s.CommitmentEval(d.Commitments, i)) {
+			t.Fatalf("dealer %d sub-deal commits to a different value", i)
+		}
+		subs[i] = sub
+	}
+	// Combine shares per new holder and verify against combined commitments.
+	subComms := make([][]*curve.Point, len(dealers))
+	for k, di := range dealers {
+		subComms[k] = subs[di].Commitments
+	}
+	combined, err := s.CombineCommitments(dealers, subComms)
+	if err != nil {
+		t.Fatalf("CombineCommitments: %v", err)
+	}
+	if !s.G.Equal(combined[0], d.Commitments[0]) {
+		t.Fatal("reshare changed the committed secret")
+	}
+	newShares := make([]Share, 0, len(newIdx))
+	for k, ni := range newIdx {
+		vals := make([]*big.Int, len(dealers))
+		for j, di := range dealers {
+			vals[j] = subs[di].Shares[k].Value
+		}
+		v, err := s.CombineSubShares(dealers, vals)
+		if err != nil {
+			t.Fatalf("CombineSubShares(%d): %v", ni, err)
+		}
+		sh := Share{Index: ni, Value: v}
+		if err := s.VerifyShare(combined, sh); err != nil {
+			t.Fatalf("combined share %d rejected: %v", ni, err)
+		}
+		newShares = append(newShares, sh)
+	}
+	got, err := s.Reconstruct(newDeg, newShares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cmp(secret) != 0 {
+		t.Fatal("reshared holders reconstruct a different secret")
+	}
+	// Old and new shares must NOT mix: they lie on different polynomials.
+	mixed, err := s.Reconstruct(newDeg, []Share{newShares[0], newShares[1], d.Shares[2]})
+	if err == nil && mixed.Cmp(secret) == 0 {
+		t.Fatal("mixing generations reconstructed the secret — reshare is not proactive")
+	}
+}
+
+func TestBlindedExtraction(t *testing.T) {
+	s := testSuite(t)
+	zr := s.Zr
+	gamma, err := zr.Rand(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := s.G.RandPoint(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hID, err := zr.Rand(rand.Reader) // stands in for H(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 4
+	deg := PrivacyDegree(n) // 1 → quorum 3
+	indices := []int{1, 2, 3, 4}
+	d, err := s.Deal(gamma, deg, indices, rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quorum := indices[:Quorum(deg)]
+	// Every quorum member contributes a blind deal.
+	deals := make([]*BlindDeal, len(quorum))
+	for k := range quorum {
+		deals[k], err = s.BlindDeal(deg, quorum, rand.Reader)
+		if err != nil {
+			t.Fatalf("BlindDeal: %v", err)
+		}
+	}
+	// Each member aggregates its r_i, z_i and publishes (u_i, P_i).
+	partials := make([]ExtractPartial, 0, len(quorum))
+	for _, i := range quorum {
+		ri, zi := big.NewInt(0), big.NewInt(0)
+		for _, bd := range deals {
+			ri = zr.Add(ri, bd.R[i])
+			zi = zr.Add(zi, bd.Z[i])
+		}
+		si := d.Shares[i-1].Value
+		u := zr.Add(zr.Mul(ri, zr.Add(si, hID)), zi)
+		partials = append(partials, ExtractPartial{Index: i, U: u, P: s.G.ScalarMult(g, ri)})
+	}
+	usk, err := s.CombineExtract(deg, partials)
+	if err != nil {
+		t.Fatalf("CombineExtract: %v", err)
+	}
+	inv, err := zr.Inv(zr.Add(gamma, hID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := s.G.ScalarMult(g, inv)
+	if !s.G.Equal(usk, want) {
+		t.Fatal("blinded extraction produced the wrong user key")
+	}
+	// Too few partials must fail.
+	if _, err := s.CombineExtract(deg, partials[:Quorum(deg)-1]); err == nil {
+		t.Fatal("combined below the quorum")
+	}
+}

@@ -50,6 +50,13 @@ type IBBEEnclave struct {
 	msk *ibbe.MasterSecretKey
 	pk  *ibbe.PublicKey
 
+	// thr is the enclave's threshold share of γ when the cluster runs in
+	// DKG mode (msk is then nil: the full secret never rests here).
+	// pendingThr stages an adopted-but-uncommitted reshare so a publish
+	// failure can roll back to the active share (see EcallAdoptReshare).
+	thr        *thresholdShare
+	pendingThr *thresholdShare
+
 	// idKey is the enclave identity key generated at launch (Fig. 3 step 0);
 	// its public half is certified by the Auditor/CA after attestation.
 	idKey *ecdsa.PrivateKey
@@ -140,12 +147,22 @@ func (ie *IBBEEnclave) EcallExtractUserKey(id string, userPub *ecdh.PublicKey) (
 	ie.mu.RLock()
 	defer ie.mu.RUnlock()
 	if ie.msk == nil {
+		if ie.thr != nil {
+			return nil, ErrThresholdMode
+		}
 		return nil, ErrEnclaveNotInitialized
 	}
 	uk, err := ie.scheme.Extract(ie.msk, id)
 	if err != nil {
 		return nil, err
 	}
+	return ie.provisionLocked(id, uk, userPub)
+}
+
+// provisionLocked wraps an extracted user key for delivery: ECIES to the
+// user's public key, then an ECDSA signature by the enclave identity key.
+// Callers hold ie.mu (read or write).
+func (ie *IBBEEnclave) provisionLocked(id string, uk *ibbe.UserKey, userPub *ecdh.PublicKey) (*ProvisionedKey, error) {
 	box, err := hybrid.SealECIES(userPub, ie.scheme.MarshalUserKey(uk), []byte("usk|"+id), rand.Reader)
 	if err != nil {
 		return nil, fmt.Errorf("enclave: wrapping user key: %w", err)
@@ -165,7 +182,7 @@ func (ie *IBBEEnclave) EcallExtractUserKey(id string, userPub *ecdh.PublicKey) (
 func (ie *IBBEEnclave) EcallCreateGroup(groupLabel string, partitions [][]string) ([]byte, []PartitionCrypto, error) {
 	ie.mu.RLock()
 	defer ie.mu.RUnlock()
-	if ie.msk == nil {
+	if ie.pk == nil {
 		return nil, nil, ErrEnclaveNotInitialized
 	}
 	gk, err := kdf.RandomKey(rand.Reader)
@@ -202,7 +219,7 @@ func (ie *IBBEEnclave) EcallCreateGroup(groupLabel string, partitions [][]string
 func (ie *IBBEEnclave) EcallCreatePartition(groupLabel string, sealedGK []byte, members []string) (*PartitionCrypto, error) {
 	ie.mu.RLock()
 	defer ie.mu.RUnlock()
-	if ie.msk == nil {
+	if ie.pk == nil {
 		return nil, ErrEnclaveNotInitialized
 	}
 	gk, err := ie.unsealGKLocked(groupLabel, sealedGK)
@@ -238,6 +255,12 @@ func (ie *IBBEEnclave) EcallAddUsersToPartition(ct *ibbe.Ciphertext, newUsers []
 	ie.mu.RLock()
 	defer ie.mu.RUnlock()
 	if ie.msk == nil {
+		// The O(1) incremental extension multiplies by (γ+H(id)) and needs γ;
+		// a threshold shard rebuilds the partition classically instead (the
+		// core manager routes around this via HasMasterSecret).
+		if ie.thr != nil {
+			return nil, ErrThresholdMode
+		}
 		return nil, ErrEnclaveNotInitialized
 	}
 	return ie.scheme.AddUsers(ie.msk, ct, newUsers), nil
@@ -251,7 +274,7 @@ func (ie *IBBEEnclave) EcallAddUsersToPartition(ct *ibbe.Ciphertext, newUsers []
 func (ie *IBBEEnclave) EcallNewGroupKey(groupLabel string) ([]byte, error) {
 	ie.mu.RLock()
 	defer ie.mu.RUnlock()
-	if ie.msk == nil {
+	if ie.pk == nil {
 		return nil, ErrEnclaveNotInitialized
 	}
 	gk, err := kdf.RandomKey(rand.Reader)
@@ -267,7 +290,7 @@ func (ie *IBBEEnclave) EcallNewGroupKey(groupLabel string) ([]byte, error) {
 func (ie *IBBEEnclave) EcallRekeyPartition(groupLabel string, sealedGK []byte, ct *ibbe.Ciphertext) (*PartitionCrypto, error) {
 	ie.mu.RLock()
 	defer ie.mu.RUnlock()
-	if ie.msk == nil {
+	if ie.pk == nil {
 		return nil, ErrEnclaveNotInitialized
 	}
 	gk, err := ie.unsealGKLocked(groupLabel, sealedGK)
@@ -305,6 +328,11 @@ func (ie *IBBEEnclave) EcallRemoveUsersFromPartition(groupLabel string, sealedGK
 	ie.mu.RLock()
 	defer ie.mu.RUnlock()
 	if ie.msk == nil {
+		// Incremental removal divides out (γ+H(id)) terms and needs γ; a
+		// threshold shard rebuilds the shrunken partition classically.
+		if ie.thr != nil {
+			return nil, ErrThresholdMode
+		}
 		return nil, ErrEnclaveNotInitialized
 	}
 	gk, err := ie.unsealGKLocked(groupLabel, sealedGK)
@@ -341,9 +369,21 @@ func (ie *IBBEEnclave) PublicKey() *ibbe.PublicKey {
 	return ie.pk
 }
 
-// createPartitionLocked builds one partition's (cᵢ, yᵢ) pair.
+// createPartitionLocked builds one partition's (cᵢ, yᵢ) pair. With the full
+// master secret it uses the O(|S|) MSK-accelerated encryption; a threshold
+// shard (share only, no γ) falls back to classic public-key encryption,
+// which costs O(|S|²) in the partition size but needs nothing secret.
 func (ie *IBBEEnclave) createPartitionLocked(groupLabel string, members []string, gk [kdf.KeySize]byte) (*PartitionCrypto, error) {
-	bk, ct, err := ie.scheme.EncryptMSK(ie.msk, ie.pk, members, rand.Reader)
+	var (
+		bk  *ibbe.BroadcastKey
+		ct  *ibbe.Ciphertext
+		err error
+	)
+	if ie.msk != nil {
+		bk, ct, err = ie.scheme.EncryptMSK(ie.msk, ie.pk, members, rand.Reader)
+	} else {
+		bk, ct, err = ie.scheme.EncryptClassic(ie.pk, members, rand.Reader)
+	}
 	if err != nil {
 		return nil, err
 	}
