@@ -12,6 +12,7 @@
 //	             [-store http://127.0.0.1:8080]   (empty = embedded in-memory store)
 //	             [-capacity 1000] [-params fast-160|medium-256|paper-512] \
 //	             [-lease-ttl 15s] [-workers N] [-provisioning sealed|threshold]
+//	             [-platform-state cluster.platform]
 //
 // Then drive the gateway exactly like a single admin:
 //
@@ -35,7 +36,12 @@
 // gateway, router and shards all watch the record. Restart the whole
 // process against a durable store (-store pointing at a cloudsim run with
 // -data) and it re-adopts the persisted epoch and member set instead of
-// resetting — the -shards flag only sizes a FRESH store.
+// resetting — the -shards flag only sizes a FRESH store. For the sealed
+// blobs to survive that restart too (above all the threshold share blobs
+// in the membership record), pass -platform-state FILE: the simulated
+// platform's sealing keys persist there, standing in for the hardware
+// fuses a real SGX machine keeps across reboots. Without it a restarted
+// process is a NEW machine and cannot unseal anything the old one sealed.
 //
 // An optional autoscaler (-autoscale) watches per-shard load (groups
 // owned × weighted crypto-op rate) and drives the same grow/drain path
@@ -52,7 +58,9 @@ package main
 
 import (
 	"context"
+	"crypto/rand"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -65,20 +73,22 @@ import (
 
 	"github.com/ibbesgx/ibbesgx/internal/admin"
 	"github.com/ibbesgx/ibbesgx/internal/cluster"
+	"github.com/ibbesgx/ibbesgx/internal/enclave"
 	"github.com/ibbesgx/ibbesgx/internal/pairing"
 	"github.com/ibbesgx/ibbesgx/internal/storage"
 )
 
 // options carries the parsed flags.
 type options struct {
-	shards     int
-	listen     string
-	storeURL   string
-	capacity   int
-	paramsName string
-	leaseTTL   time.Duration
-	workers    int
-	provision  string
+	shards        int
+	listen        string
+	storeURL      string
+	capacity      int
+	paramsName    string
+	leaseTTL      time.Duration
+	workers       int
+	provision     string
+	platformState string
 
 	autoscale bool
 	asCfg     cluster.AutoscalerConfig
@@ -94,6 +104,7 @@ func main() {
 	flag.DurationVar(&o.leaseTTL, "lease-ttl", cluster.DefaultLeaseTTL, "group lease duration (failover latency bound)")
 	flag.IntVar(&o.workers, "workers", 0, "per-shard partition worker-pool size (0 = number of CPUs)")
 	flag.StringVar(&o.provision, "provisioning", "sealed", "master-key provisioning: sealed (every enclave holds the full secret) or threshold (Feldman-VSS shares, no enclave ever reconstructs it)")
+	flag.StringVar(&o.platformState, "platform-state", "", "file persisting the simulated platform's sealing/attestation keys (created 0600 if absent); REQUIRED for a threshold restart to re-adopt the sealed share blobs — a fresh platform cannot unseal them")
 	flag.BoolVar(&o.autoscale, "autoscale", false, "start the load-driven autoscaler")
 	flag.IntVar(&o.asCfg.Min, "autoscale-min", 0, "autoscaler: minimum member count (0 = the boot member count)")
 	flag.IntVar(&o.asCfg.Max, "autoscale-max", 0, "autoscaler: maximum member count (0 = default)")
@@ -143,6 +154,13 @@ func run(o options) error {
 	default:
 		return fmt.Errorf("unknown -provisioning %q (want sealed or threshold)", o.provision)
 	}
+	platform, err := loadOrCreatePlatform(o.platformState)
+	if err != nil {
+		return err
+	}
+	if o.platformState == "" && (provisioning == cluster.ProvisionThreshold || storeURL != "") {
+		log.Printf("ibbe-cluster: WARNING: no -platform-state; sealed blobs (threshold shares, MSK) die with this process — a restart against the same store cannot re-adopt them")
+	}
 	c, err := cluster.New(cluster.Options{
 		Shards:       shards,
 		Capacity:     capacity,
@@ -153,6 +171,7 @@ func run(o options) error {
 		Workers:      workers,
 		Seed:         1,
 		Provisioning: provisioning,
+		Platform:     platform,
 	})
 	if err != nil {
 		return err
@@ -215,6 +234,45 @@ func run(o options) error {
 	}
 	log.Printf("ibbe-cluster: gateway serving on %s (lease TTL %v, membership epoch %d)", listen, leaseTTL, c.Epoch())
 	return http.ListenAndServe(listen, g)
+}
+
+// loadOrCreatePlatform resolves the simulated SGX platform: a persisted
+// state file is reloaded (same sealing keys, so blobs from the previous run
+// — threshold share blobs above all — open again); an absent file is
+// created from a fresh platform; an empty path returns nil and cluster.New
+// mints an ephemeral platform as before.
+func loadOrCreatePlatform(path string) (*enclave.Platform, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		p, err := enclave.LoadPlatform(data)
+		if err != nil {
+			return nil, fmt.Errorf("loading platform state %s: %w", path, err)
+		}
+		log.Printf("ibbe-cluster: platform state reloaded from %s (id %s)", path, p.ID())
+		return p, nil
+	case errors.Is(err, os.ErrNotExist):
+		p, err := enclave.NewPlatform("cluster-platform", rand.Reader)
+		if err != nil {
+			return nil, err
+		}
+		state, err := p.MarshalState()
+		if err != nil {
+			return nil, err
+		}
+		// The state embeds the root sealing secret — the fused hardware
+		// secret's stand-in — so it is written owner-only.
+		if err := os.WriteFile(path, state, 0o600); err != nil {
+			return nil, fmt.Errorf("persisting platform state: %w", err)
+		}
+		log.Printf("ibbe-cluster: fresh platform state persisted to %s", path)
+		return p, nil
+	default:
+		return nil, fmt.Errorf("reading platform state %s: %w", path, err)
+	}
 }
 
 // gateway fronts the router with the cluster-control surface: the

@@ -440,6 +440,63 @@ func TestThresholdReshareSupersededMidFlight(t *testing.T) {
 	}
 }
 
+// TestThresholdCommitFailureHealsFromPublishedRecord breaks one member's
+// pending reshare (dropping it between the publish decision and the
+// commit) so its EcallCommitReshare fails AFTER the new record is durable:
+// the provisioner must still install the new generation — never stranding
+// itself on the superseded record while other members committed — and heal
+// the failed member by restoring from the published sealed share blob.
+func TestThresholdCommitFailureHealsFromPublishedRecord(t *testing.T) {
+	store := storage.NewMemStore(storage.Latency{})
+	tc := startCluster(t, thresholdOptions(3, store))
+	ctx := context.Background()
+
+	users := groupUsers("heal", 6)
+	if err := tc.api.CreateGroup(ctx, "heal", users); err != nil {
+		t.Fatal(err)
+	}
+
+	tp := tc.c.Provisioner().(*thresholdProvisioner)
+	victim := tc.c.Shards()[1]
+	var broke bool
+	tp.beforePublish = func() {
+		if broke {
+			return
+		}
+		broke = true
+		// The victim "loses" its adopted pending share just before the
+		// publish lands, so its commit for the new generation must fail.
+		victim.Encl.EcallDropReshare(tc.c.Epoch())
+	}
+	if _, err := tc.c.ApplyMembership(ctx, tc.c.Membership().Members()); err != nil {
+		t.Fatalf("epoch bump: %v", err)
+	}
+	if !broke {
+		t.Fatal("beforePublish hook never fired — no reshare ran")
+	}
+
+	// The provisioner is on the published generation, and the victim was
+	// healed (restored from the record's sealed blob), not quarantined.
+	rec := tp.Record()
+	if rec.Generation != tc.c.Epoch() {
+		t.Fatalf("provisioner at generation %d, epoch %d — stranded on the superseded record", rec.Generation, tc.c.Epoch())
+	}
+	for _, s := range tc.c.Shards() {
+		if gen, _, ok := s.Encl.ShareInfo(); !ok || gen != rec.Generation {
+			t.Fatalf("%s at generation %d (ok=%v), want %d", s.ID, gen, ok, rec.Generation)
+		}
+	}
+
+	// With all 3 members healed the blinded quorum (2d+1 = 3) works — an
+	// unhealed victim would force every extraction into degraded recovery.
+	if _, err := tc.c.Provisioner().Extract(users[0], newECDHPub(t)); err != nil {
+		t.Fatalf("extraction after healed commit failure: %v", err)
+	}
+	if _, err := tc.thresholdClient(t, users[1], "heal").GroupKey(ctx); err != nil {
+		t.Fatalf("decrypt after healed commit failure: %v", err)
+	}
+}
+
 // TestThresholdKillDuringReshare kills t−1 = 2 of 4 shards in the middle
 // of a reshare (after the deal, before the publish): the reshare still
 // commits — the enclave objects outlive their serving loops — and

@@ -336,15 +336,30 @@ func (p *thresholdProvisioner) holderIndicesLocked(ids []string) map[string]int 
 	return holders
 }
 
-// liveHoldersLocked returns the committed record's holders that are still
-// serving, sorted by shard ID.
-func (p *thresholdProvisioner) liveHoldersLocked() []string {
-	if p.rec == nil {
+// snapshot copies the state an extraction round needs — the committed
+// record (immutable once installed) and the enclave registry — so the
+// multi-round quorum protocol can run WITHOUT p.mu: holding the lock across
+// 2n+1 scalar-multiplying ECALLs would serialize every user-key extraction
+// cluster-wide and block membership reshares behind extraction traffic.
+func (p *thresholdProvisioner) snapshot() (*dkg.Record, map[string]*enclave.IBBEEnclave) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	encls := make(map[string]*enclave.IBBEEnclave, len(p.encls))
+	for id, e := range p.encls {
+		encls[id] = e
+	}
+	return p.rec, encls
+}
+
+// liveHolders returns rec's holders that are minted and still serving,
+// sorted by shard ID.
+func liveHolders(rec *dkg.Record, encls map[string]*enclave.IBBEEnclave, live func(string) bool) []string {
+	if rec == nil {
 		return nil
 	}
-	out := make([]string, 0, len(p.rec.Holders))
-	for id := range p.rec.Holders {
-		if p.encls[id] != nil && (p.live == nil || p.live(id)) {
+	out := make([]string, 0, len(rec.Holders))
+	for id := range rec.Holders {
+		if encls[id] != nil && (live == nil || live(id)) {
 			out = append(out, id)
 		}
 	}
@@ -366,56 +381,85 @@ func (p *thresholdProvisioner) Extract(id string, userPub *ecdh.PublicKey) (*enc
 // so the signature verifies against the certificate of the shard that
 // served the request. An empty (or unknown) coord falls back to the first
 // live holder.
+//
+// The protocol runs on a snapshot, outside p.mu. The enclaves themselves
+// revalidate the generation — every round blob is sealed under a
+// generation-bound label and the share ECALLs reject a mismatched gen — so
+// an extraction straddling a reshare commit fails loudly instead of
+// combining partials from different polynomials; the bounded retry then
+// re-snapshots (waiting out an in-flight reshare on p.mu) and succeeds on
+// the new generation.
 func (p *thresholdProvisioner) extractVia(coord, id string, userPub *ecdh.PublicKey) (*enclave.ProvisionedKey, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.rec == nil {
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		pk, err := p.extractOnce(coord, id, userPub)
+		if err == nil {
+			return pk, nil
+		}
+		lastErr = err
+		if !errors.Is(err, enclave.ErrShareGeneration) && !errors.Is(err, enclave.ErrSealedDataCorrupt) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// extractOnce runs one extraction attempt against a consistent snapshot.
+func (p *thresholdProvisioner) extractOnce(coord, id string, userPub *ecdh.PublicKey) (*enclave.ProvisionedKey, error) {
+	rec, encls := p.snapshot()
+	if rec == nil {
 		return nil, errors.New("cluster: threshold sharing not bootstrapped")
 	}
-	live := p.liveHoldersLocked()
+	live := liveHolders(rec, encls, p.live)
 	if len(live) == 0 {
 		return nil, errors.New("cluster: no live share holders")
 	}
-	combiner := p.encls[coord]
+	combiner := encls[coord]
 	if combiner == nil {
-		combiner = p.encls[live[0]]
+		combiner = encls[live[0]]
 	}
-	d := p.rec.Degree
+	d := rec.Degree
 	if len(live) >= dkg.Quorum(d) {
-		pk, err := p.blindExtractLocked(id, userPub, live[:dkg.Quorum(d)], combiner)
+		pk, err := p.blindExtract(rec, encls, id, userPub, live[:dkg.Quorum(d)], combiner)
 		if err == nil {
 			return pk, nil
+		}
+		if errors.Is(err, enclave.ErrShareGeneration) || errors.Is(err, enclave.ErrSealedDataCorrupt) {
+			return nil, err // stale snapshot: retry, don't degrade
 		}
 		// A holder may have died between the liveness snapshot and its
 		// ECALL; the degraded path below needs fewer survivors.
 	}
 	if len(live) >= dkg.Threshold(d) {
-		return p.recoverExtractLocked(id, userPub, live, combiner)
+		return p.recoverExtract(rec, encls, id, userPub, live, combiner)
 	}
-	return nil, fmt.Errorf("cluster: only %d of %d share holders live, need %d to extract", len(live), len(p.rec.Holders), dkg.Threshold(d))
+	return nil, fmt.Errorf("cluster: only %d of %d share holders live, need %d to extract", len(live), len(rec.Holders), dkg.Threshold(d))
 }
 
-// blindExtractLocked is the full protocol: every quorum member deals fresh
+// blindExtract is the full protocol: every quorum member deals fresh
 // blinding+zero sharings (round 1), aggregates the quorum's contributions
-// into its (u_i, P_i) partial (round 2), and the combiner enclave folds
-// the partials into the wrapped user key.
-func (p *thresholdProvisioner) blindExtractLocked(id string, userPub *ecdh.PublicKey, quorum []string, combiner *enclave.IBBEEnclave) (*enclave.ProvisionedKey, error) {
+// into its sealed (u_i, P_i) partial (round 2), and the combiner enclave
+// opens the partials and folds them into the wrapped user key. Every blob
+// is sealed between enclaves and bound to (generation, identity, nonce);
+// the untrusted relay below never sees a share, a partial or the key.
+func (p *thresholdProvisioner) blindExtract(rec *dkg.Record, encls map[string]*enclave.IBBEEnclave, id string, userPub *ecdh.PublicKey, quorum []string, combiner *enclave.IBBEEnclave) (*enclave.ProvisionedKey, error) {
 	nonce := make([]byte, 16)
 	if _, err := rand.Read(nonce); err != nil {
 		return nil, err
 	}
+	gen := rec.Generation
 	indices := make([]int, len(quorum))
 	for k, sid := range quorum {
-		indices[k] = p.rec.Index(sid)
+		indices[k] = rec.Index(sid)
 	}
 	// Round 1: dealer index → (target index → sealed contribution).
 	byTarget := make(map[int]map[int][]byte, len(quorum))
 	for _, sid := range quorum {
-		out, err := p.encls[sid].EcallBlindRound(nonce, indices)
+		out, err := encls[sid].EcallBlindRound(gen, id, nonce, indices)
 		if err != nil {
 			return nil, fmt.Errorf("cluster: blind round on %s: %w", sid, err)
 		}
-		dealerIdx := p.rec.Index(sid)
+		dealerIdx := rec.Index(sid)
 		for target, blob := range out {
 			if byTarget[target] == nil {
 				byTarget[target] = make(map[int][]byte, len(quorum))
@@ -423,30 +467,30 @@ func (p *thresholdProvisioner) blindExtractLocked(id string, userPub *ecdh.Publi
 			byTarget[target][dealerIdx] = blob
 		}
 	}
-	// Round 2: each member publishes its blinded partial.
-	partials := make([]dkg.ExtractPartial, 0, len(quorum))
+	// Round 2: each member produces its sealed blinded partial.
+	partials := make([][]byte, 0, len(quorum))
 	for _, sid := range quorum {
-		part, err := p.encls[sid].EcallPartialExtract(id, nonce, indices, byTarget[p.rec.Index(sid)])
+		part, err := encls[sid].EcallPartialExtract(gen, id, nonce, indices, byTarget[rec.Index(sid)])
 		if err != nil {
 			return nil, fmt.Errorf("cluster: partial extract on %s: %w", sid, err)
 		}
-		partials = append(partials, *part)
+		partials = append(partials, part)
 	}
-	return combiner.EcallCombineExtract(id, userPub, p.rec.Degree, partials)
+	return combiner.EcallCombineExtract(id, userPub, gen, rec.Degree, nonce, partials)
 }
 
-// recoverExtractLocked is the degraded path: d+1 survivors export their
-// shares (sealed, nonce-bound) to the combiner enclave, which verifies
-// them, transiently reconstructs γ and extracts.
-func (p *thresholdProvisioner) recoverExtractLocked(id string, userPub *ecdh.PublicKey, live []string, combiner *enclave.IBBEEnclave) (*enclave.ProvisionedKey, error) {
+// recoverExtract is the degraded path: d+1 survivors export their shares
+// (sealed, nonce-bound) to the combiner enclave, which verifies them,
+// transiently reconstructs γ and extracts.
+func (p *thresholdProvisioner) recoverExtract(rec *dkg.Record, encls map[string]*enclave.IBBEEnclave, id string, userPub *ecdh.PublicKey, live []string, combiner *enclave.IBBEEnclave) (*enclave.ProvisionedKey, error) {
 	nonce := make([]byte, 16)
 	if _, err := rand.Read(nonce); err != nil {
 		return nil, err
 	}
-	need := dkg.Threshold(p.rec.Degree)
+	need := dkg.Threshold(rec.Degree)
 	blobs := make([][]byte, 0, need)
 	for _, sid := range live {
-		blob, err := p.encls[sid].EcallExportShare(nonce)
+		blob, err := encls[sid].EcallExportShare(nonce)
 		if err != nil {
 			continue // dead since the snapshot; any d+1 exports suffice
 		}
@@ -458,7 +502,7 @@ func (p *thresholdProvisioner) recoverExtractLocked(id string, userPub *ecdh.Pub
 	if len(blobs) < need {
 		return nil, fmt.Errorf("cluster: only %d shares exported, need %d", len(blobs), need)
 	}
-	return combiner.EcallRecoverExtract(id, userPub, nonce, p.rec, blobs)
+	return combiner.EcallRecoverExtract(id, userPub, nonce, rec, blobs)
 }
 
 // OnMembership reshares the secret to membership m's member set: d_old+1
@@ -495,7 +539,7 @@ func (p *thresholdProvisioner) OnMembership(ctx context.Context, m *Membership) 
 		newIndices = append(newIndices, newHolders[id])
 	}
 	sort.Ints(newIndices)
-	liveOld := p.liveHoldersLocked()
+	liveOld := liveHolders(cur, p.encls, p.live)
 	need := dkg.Threshold(cur.Degree)
 	if len(liveOld) < need {
 		return fmt.Errorf("cluster: only %d share holders live, need %d to reshare", len(liveOld), need)
@@ -552,9 +596,25 @@ func (p *thresholdProvisioner) OnMembership(ctx context.Context, m *Membership) 
 		drop()
 		return err
 	}
+	// The publish is durable: the store now names newGen's sharing, so this
+	// provisioner is on the new generation REGARDLESS of per-member commit
+	// outcomes — staying on the superseded record while some members commit
+	// would combine partials from different polynomials into silently wrong
+	// user keys (the one failure mode the generation-bound seals exist to
+	// prevent).
+	p.rec = newRec
+	p.reshares++
+	var commitErrs []error
 	for _, id := range members {
-		if err := p.encls[id].EcallCommitReshare(newGen); err != nil {
-			return fmt.Errorf("cluster: %s committing reshare: %w", id, err)
+		if err := p.encls[id].EcallCommitReshare(newGen); err == nil {
+			continue
+		} else if rerr := p.encls[id].EcallRestoreShare(newRec, id, newRec.SealedShares[id]); rerr != nil {
+			// Commit failed and the published sealed blob cannot heal it:
+			// quarantine the member by wiping its (stale) share, so it can
+			// only err loudly instead of contributing old-generation
+			// partials. It re-acquires a share at the next reshare.
+			p.encls[id].EcallWipeShare()
+			commitErrs = append(commitErrs, fmt.Errorf("cluster: %s failed to commit reshare (quarantined): %w", id, errors.Join(err, rerr)))
 		}
 	}
 	// Proactive security: holders dropped from the set wipe their (now
@@ -564,9 +624,7 @@ func (p *thresholdProvisioner) OnMembership(ctx context.Context, m *Membership) 
 			p.encls[id].EcallWipeShare()
 		}
 	}
-	p.rec = newRec
-	p.reshares++
-	return nil
+	return errors.Join(commitErrs...)
 }
 
 func (p *thresholdProvisioner) PublicKey() *ibbe.PublicKey {

@@ -57,6 +57,13 @@ type IBBEEnclave struct {
 	thr        *thresholdShare
 	pendingThr *thresholdShare
 
+	// usedNonces/nonceOrder are the bounded replay ledger for blinded
+	// extractions (see EcallPartialExtract); nonceMu guards them separately
+	// because partial extraction only holds mu for reading.
+	nonceMu    sync.Mutex
+	usedNonces map[string]struct{}
+	nonceOrder []string
+
 	// idKey is the enclave identity key generated at launch (Fig. 3 step 0);
 	// its public half is certified by the Auditor/CA after attestation.
 	idKey *ecdsa.PrivateKey

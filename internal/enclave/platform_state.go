@@ -1,0 +1,57 @@
+// Simulated-platform persistence. Real SGX keeps the root sealing secret
+// and the attestation key in hardware fuses, so they trivially survive a
+// process restart; the simulation must persist them explicitly, or sealed
+// blobs from a previous run — the threshold share blobs in the membership
+// record, sealed MSK files — can never be opened again and a "restarted"
+// process is indistinguishable from a brand-new machine.
+//
+// The exported state contains the platform's root secret IN THE CLEAR:
+// it is the analogue of the fused hardware secret, so the file must be
+// protected like one (the ibbe-cluster CLI writes it 0600). This is a
+// simulation affordance only — nothing here exists on real hardware.
+package enclave
+
+import (
+	"crypto/x509"
+	"encoding/json"
+	"fmt"
+)
+
+// platformState is the serialised form of a Platform's fused identity.
+type platformState struct {
+	ID         string `json:"id"`
+	RootSecret []byte `json:"root_secret"`
+	AttestKey  []byte `json:"attest_key"` // SEC1 DER EC private key
+}
+
+// MarshalState serialises the platform's fused identity — ID, root sealing
+// secret and attestation key — so a simulated platform can be re-created
+// after a process restart (LoadPlatform). EPC statistics are not part of
+// the identity and are not persisted.
+func (p *Platform) MarshalState() ([]byte, error) {
+	keyDER, err := x509.MarshalECPrivateKey(p.attestKey)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: marshalling attestation key: %w", err)
+	}
+	return json.Marshal(platformState{ID: p.id, RootSecret: p.rootSecret[:], AttestKey: keyDER})
+}
+
+// LoadPlatform rebuilds a platform from MarshalState output: same sealing
+// keys (blobs sealed by the previous incarnation open again), same
+// attestation key (the simulated IAS recognises it as the same machine).
+func LoadPlatform(data []byte) (*Platform, error) {
+	var st platformState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("enclave: platform state: %w", err)
+	}
+	if len(st.RootSecret) != 32 {
+		return nil, fmt.Errorf("enclave: platform state root secret is %d bytes, want 32", len(st.RootSecret))
+	}
+	key, err := x509.ParseECPrivateKey(st.AttestKey)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: platform state attestation key: %w", err)
+	}
+	p := &Platform{id: st.ID, attestKey: key, epc: &EPCStats{Limit: DefaultEPCBytes}}
+	copy(p.rootSecret[:], st.RootSecret)
+	return p, nil
+}

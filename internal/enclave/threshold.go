@@ -17,6 +17,7 @@ package enclave
 import (
 	"crypto/ecdh"
 	"crypto/rand"
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -38,7 +39,18 @@ var (
 	ErrNoShare = errors.New("enclave: no master-secret share installed")
 	// ErrShareGeneration reports a share/record generation mismatch.
 	ErrShareGeneration = errors.New("enclave: share generation mismatch")
+	// ErrNonceReplayed reports a blinded-extraction nonce this enclave has
+	// already combined its share under: replaying a round's sealed
+	// contributions into a second EcallPartialExtract is refused, so the host
+	// cannot farm related partials from one blinding.
+	ErrNonceReplayed = errors.New("enclave: extraction nonce already used")
 )
+
+// maxUsedNonces bounds the per-enclave replay ledger; beyond it the oldest
+// entries are evicted FIFO. Eviction cannot re-enable the attack the ledger
+// exists for — labels bind every blob to one (generation, identity, nonce)
+// triple regardless — it only bounds enclave memory.
+const maxUsedNonces = 4096
 
 // thresholdShare is the enclave-resident threshold state: this enclave's
 // share of γ plus the public material needed to verify peers and publish
@@ -72,15 +84,26 @@ func (ie *IBBEEnclave) suiteLocked() *dkg.Suite {
 	return dkg.NewSuite(ie.scheme.P, ie.pk.HPowers[0])
 }
 
-// Transport labels: every sealed protocol blob is bound to its step.
+// Transport labels: every sealed protocol blob is bound to its step. The
+// extraction labels additionally bind the share GENERATION (a holder left
+// behind by a reshare produces blobs no current peer can open — mixed-
+// generation rounds fail loudly instead of combining into a wrong key) and
+// the target IDENTITY (a blinding dealt for one id can never be evaluated
+// at another, so the host cannot harvest related u_i values and solve for
+// the master secret).
 func dealLabel(gen uint64, index int) []byte {
 	return []byte(fmt.Sprintf("dkg-deal|%d|%d", gen, index))
 }
 func reshareLabel(gen uint64, dealer, target int) []byte {
 	return []byte(fmt.Sprintf("dkg-reshare|%d|%d|%d", gen, dealer, target))
 }
-func blindLabel(nonce []byte, dealer, target int) []byte {
-	return []byte(fmt.Sprintf("dkg-blind|%x|%d|%d", nonce, dealer, target))
+func blindLabel(gen uint64, id string, nonce []byte, dealer, target int) []byte {
+	idh := sha256.Sum256([]byte(id))
+	return []byte(fmt.Sprintf("dkg-blind|%d|%x|%x|%d|%d", gen, idh, nonce, dealer, target))
+}
+func partialLabel(gen uint64, id string, nonce []byte) []byte {
+	idh := sha256.Sum256([]byte(id))
+	return []byte(fmt.Sprintf("dkg-partial|%d|%x|%x", gen, idh, nonce))
 }
 func exportLabel(nonce []byte) []byte {
 	return []byte(fmt.Sprintf("dkg-export|%x", nonce))
@@ -273,18 +296,23 @@ func (ie *IBBEEnclave) EcallRestoreShare(rec *dkg.Record, shardID string, sealed
 		return err
 	}
 	ie.thr = &thresholdShare{gen: gen, index: index, degree: rec.Degree, value: value, comms: comms, base: base}
+	ie.pendingThr = nil // a restore IS the commit of whatever was pending
 	ie.msk = nil
 	return nil
 }
 
 // EcallBlindRound is round 1 of a blinded extraction: this holder deals its
 // contribution to the quorum's joint blinding — a fresh random ρ shared at
-// degree d plus a zero-sharing at degree 2d — sealed per receiving holder.
-func (ie *IBBEEnclave) EcallBlindRound(nonce []byte, quorum []int) (map[int][]byte, error) {
+// degree d plus a zero-sharing at degree 2d — sealed per receiving holder,
+// bound to this round's (generation, identity, nonce).
+func (ie *IBBEEnclave) EcallBlindRound(gen uint64, id string, nonce []byte, quorum []int) (map[int][]byte, error) {
 	ie.mu.RLock()
 	defer ie.mu.RUnlock()
 	if ie.thr == nil {
 		return nil, ErrNoShare
+	}
+	if ie.thr.gen != gen {
+		return nil, fmt.Errorf("%w: holder is at generation %d, round wants %d", ErrShareGeneration, ie.thr.gen, gen)
 	}
 	if !containsIndex(quorum, ie.thr.index) {
 		return nil, fmt.Errorf("enclave: holder %d is not in the quorum %v", ie.thr.index, quorum)
@@ -298,7 +326,7 @@ func (ie *IBBEEnclave) EcallBlindRound(nonce []byte, quorum []int) (map[int][]by
 	out := make(map[int][]byte, len(quorum))
 	for _, t := range quorum {
 		body := append(zr.ToBytes(bd.R[t]), zr.ToBytes(bd.Z[t])...)
-		blob, err := ie.enc.Seal(body, blindLabel(nonce, ie.thr.index, t))
+		blob, err := ie.enc.Seal(body, blindLabel(ie.thr.gen, id, nonce, ie.thr.index, t))
 		if err != nil {
 			return nil, err
 		}
@@ -307,22 +335,81 @@ func (ie *IBBEEnclave) EcallBlindRound(nonce []byte, quorum []int) (map[int][]by
 	return out, nil
 }
 
+// markNonceUsed enforces one-time use of an extraction nonce inside the
+// enclave (bounded FIFO ledger, its own lock — callers hold ie.mu only for
+// reading).
+func (ie *IBBEEnclave) markNonceUsed(nonce []byte) error {
+	ie.nonceMu.Lock()
+	defer ie.nonceMu.Unlock()
+	if ie.usedNonces == nil {
+		ie.usedNonces = make(map[string]struct{})
+	}
+	k := string(nonce)
+	if _, dup := ie.usedNonces[k]; dup {
+		return ErrNonceReplayed
+	}
+	ie.usedNonces[k] = struct{}{}
+	ie.nonceOrder = append(ie.nonceOrder, k)
+	if len(ie.nonceOrder) > maxUsedNonces {
+		delete(ie.usedNonces, ie.nonceOrder[0])
+		ie.nonceOrder = ie.nonceOrder[1:]
+	}
+	return nil
+}
+
+// encodePartial serialises (index, u_i, P_i) for sealed transport to the
+// combiner.
+func (ie *IBBEEnclave) encodePartial(p *dkg.ExtractPartial) []byte {
+	zr := ie.scheme.P.Zr
+	out := make([]byte, 4, 4+zr.ByteLen())
+	binary.BigEndian.PutUint32(out, uint32(p.Index))
+	out = append(out, zr.ToBytes(p.U)...)
+	return append(out, ie.scheme.P.G1.Marshal(p.P)...)
+}
+
+// decodePartial reverses encodePartial.
+func (ie *IBBEEnclave) decodePartial(b []byte) (*dkg.ExtractPartial, error) {
+	zr := ie.scheme.P.Zr
+	w := zr.ByteLen()
+	if len(b) < 4+w {
+		return nil, errors.New("enclave: extract partial has wrong length")
+	}
+	u, err := zr.FromBytes(b[4 : 4+w])
+	if err != nil {
+		return nil, fmt.Errorf("enclave: extract partial u: %w", err)
+	}
+	pt, err := ie.scheme.P.G1.Unmarshal(b[4+w:])
+	if err != nil {
+		return nil, fmt.Errorf("enclave: extract partial point: %w", err)
+	}
+	return &dkg.ExtractPartial{Index: int(binary.BigEndian.Uint32(b[:4])), U: u, P: pt}, nil
+}
+
 // EcallPartialExtract is round 2: this holder aggregates the quorum's blind
-// contributions into its blinding share r_i and mask z_i, and publishes the
-// pair (u_i, P_i) with u_i = r_i·(s_i+H(id)) + z_i and P_i = g^{r_i}. The
-// u_i values interpolate to the uniformly random r·(γ+H(id)); nothing about
-// s_i leaks.
-func (ie *IBBEEnclave) EcallPartialExtract(id string, nonce []byte, quorum []int, contribs map[int][]byte) (*dkg.ExtractPartial, error) {
+// contributions into its blinding share r_i and mask z_i, and produces the
+// pair (u_i, P_i) with u_i = r_i·(s_i+H(id)) + z_i and P_i = g^{r_i} —
+// SEALED to the combiner enclave, never in host memory: from 2d+1 cleartext
+// u_i the host could interpolate r·(γ+H(id)) and, with g^r from the P_i,
+// compute the raw user key itself. The nonce is consumed here (one share
+// evaluation per round), so replaying a round's sealed contributions cannot
+// farm a second partial.
+func (ie *IBBEEnclave) EcallPartialExtract(gen uint64, id string, nonce []byte, quorum []int, contribs map[int][]byte) ([]byte, error) {
 	ie.mu.RLock()
 	defer ie.mu.RUnlock()
 	if ie.thr == nil {
 		return nil, ErrNoShare
+	}
+	if ie.thr.gen != gen {
+		return nil, fmt.Errorf("%w: holder is at generation %d, round wants %d", ErrShareGeneration, ie.thr.gen, gen)
 	}
 	if !containsIndex(quorum, ie.thr.index) {
 		return nil, fmt.Errorf("enclave: holder %d is not in the quorum %v", ie.thr.index, quorum)
 	}
 	if len(contribs) != len(quorum) {
 		return nil, fmt.Errorf("enclave: blind round needs a contribution from every quorum member (%d of %d)", len(contribs), len(quorum))
+	}
+	if err := ie.markNonceUsed(nonce); err != nil {
+		return nil, err
 	}
 	zr := ie.scheme.P.Zr
 	w := zr.ByteLen()
@@ -332,7 +419,7 @@ func (ie *IBBEEnclave) EcallPartialExtract(id string, nonce []byte, quorum []int
 		if !ok {
 			return nil, fmt.Errorf("enclave: missing blind contribution from holder %d", dealer)
 		}
-		body, err := ie.enc.Unseal(blob, blindLabel(nonce, dealer, ie.thr.index))
+		body, err := ie.enc.Unseal(blob, blindLabel(ie.thr.gen, id, nonce, dealer, ie.thr.index))
 		if err != nil {
 			return nil, err
 		}
@@ -351,19 +438,40 @@ func (ie *IBBEEnclave) EcallPartialExtract(id string, nonce []byte, quorum []int
 		zi = zr.Add(zi, z)
 	}
 	u := zr.Add(zr.Mul(ri, zr.Add(ie.thr.value, ie.scheme.HashID(id))), zi)
-	return &dkg.ExtractPartial{Index: ie.thr.index, U: u, P: ie.thr.extractBase(ie.scheme.P.G1).Mul(ri)}, nil
+	part := &dkg.ExtractPartial{Index: ie.thr.index, U: u, P: ie.thr.extractBase(ie.scheme.P.G1).Mul(ri)}
+	return ie.enc.Seal(ie.encodePartial(part), partialLabel(ie.thr.gen, id, nonce))
 }
 
 // EcallCombineExtract finishes a blinded extraction INSIDE the coordinating
-// enclave: the combined point IS the user secret key, so it is wrapped for
-// the user (ECIES + enclave signature) exactly like EcallExtractUserKey's
-// output and never crosses the boundary in the clear. The coordinator needs
-// no share of its own — only the public key.
-func (ie *IBBEEnclave) EcallCombineExtract(id string, userPub *ecdh.PublicKey, degree int, partials []dkg.ExtractPartial) (*ProvisionedKey, error) {
+// enclave: it opens the sealed partials (bound to this round's generation,
+// identity and nonce — a stale-generation holder's partial fails to open
+// here instead of silently corrupting the key) and folds them into the user
+// secret key, which is wrapped for the user (ECIES + enclave signature)
+// exactly like EcallExtractUserKey's output and never crosses the boundary
+// in the clear. The coordinator needs no share of its own — only the public
+// key.
+func (ie *IBBEEnclave) EcallCombineExtract(id string, userPub *ecdh.PublicKey, gen uint64, degree int, nonce []byte, sealedPartials [][]byte) (*ProvisionedKey, error) {
 	ie.mu.RLock()
 	defer ie.mu.RUnlock()
 	if ie.pk == nil {
 		return nil, ErrEnclaveNotInitialized
+	}
+	partials := make([]dkg.ExtractPartial, 0, len(sealedPartials))
+	seen := make(map[int]bool, len(sealedPartials))
+	for _, blob := range sealedPartials {
+		raw, err := ie.enc.Unseal(blob, partialLabel(gen, id, nonce))
+		if err != nil {
+			return nil, err
+		}
+		part, err := ie.decodePartial(raw)
+		if err != nil {
+			return nil, err
+		}
+		if seen[part.Index] {
+			continue
+		}
+		seen[part.Index] = true
+		partials = append(partials, *part)
 	}
 	suite := ie.suiteLocked()
 	d, err := suite.CombineExtract(degree, partials)
