@@ -47,9 +47,17 @@
 // owned × weighted crypto-op rate) and drives the same grow/drain path
 // automatically:
 //
-//	curl :9091/admin/cluster/v1/autoscale                                   (status + live loads)
+//	curl :9091/admin/cluster/v1/autoscale                                   (status + live loads + decision log)
 //	curl -X POST :9091/admin/cluster/v1/autoscale -d '{"action":"enable","min":2,"max":6}'
 //	curl -X POST :9091/admin/cluster/v1/autoscale -d '{"action":"disable"}'
+//
+// The observability plane (on by default, -obs=false to disable) exposes
+// Prometheus text metrics and recent request traces:
+//
+//	curl :9091/metrics                       (cluster-wide exposition; shards serve their own /metrics too)
+//	curl :9091/admin/cluster/v1/traces       (recent traces: router sweep → shard → ECALL → store spans)
+//	ibbe-cluster -obs-slow 500ms             (log any traced op slower than the threshold)
+//	ibbe-cluster -pprof-addr 127.0.0.1:6060  (net/http/pprof on a dedicated listener)
 //
 // Kill a shard (it logs its port) and the next request for its groups fails
 // over: a peer waits out the lease, reclaims the groups from the cloud and
@@ -67,6 +75,10 @@ import (
 	"log"
 	"net"
 	"net/http"
+	// Registers the profiling handlers on http.DefaultServeMux only; the
+	// gateway serves its own mux, so they are reachable solely through the
+	// dedicated -pprof-addr listener.
+	_ "net/http/pprof"
 	"os"
 	"sync"
 	"time"
@@ -74,6 +86,7 @@ import (
 	"github.com/ibbesgx/ibbesgx/internal/admin"
 	"github.com/ibbesgx/ibbesgx/internal/cluster"
 	"github.com/ibbesgx/ibbesgx/internal/enclave"
+	"github.com/ibbesgx/ibbesgx/internal/obs"
 	"github.com/ibbesgx/ibbesgx/internal/pairing"
 	"github.com/ibbesgx/ibbesgx/internal/storage"
 )
@@ -92,6 +105,11 @@ type options struct {
 
 	autoscale bool
 	asCfg     cluster.AutoscalerConfig
+
+	obsOn     bool
+	obsTraces int
+	obsSlow   time.Duration
+	pprofAddr string
 }
 
 func main() {
@@ -111,6 +129,12 @@ func main() {
 	flag.Float64Var(&o.asCfg.GrowLoad, "autoscale-grow", 0, "autoscaler: per-member load above which to grow (0 = default)")
 	flag.Float64Var(&o.asCfg.ShrinkLoad, "autoscale-shrink", 0, "autoscaler: per-member load below which to drain (0 = default)")
 	flag.DurationVar(&o.asCfg.Interval, "autoscale-interval", 0, "autoscaler: sampling/decision period (0 = default)")
+	flag.Float64Var(&o.asCfg.QueueWeight, "autoscale-queue-weight", 0, "autoscaler: load units per queued router request (0 = default, negative = off)")
+	flag.Float64Var(&o.asCfg.StealWeight, "autoscale-steal-weight", 0, "autoscaler: load units per lease steal/s (0 = default, negative = off)")
+	flag.BoolVar(&o.obsOn, "obs", true, "enable the observability plane: GET /metrics, request tracing, /admin/cluster/v1/traces")
+	flag.IntVar(&o.obsTraces, "obs-traces", 64, "trace ring capacity (recent traces kept for the dump endpoint)")
+	flag.DurationVar(&o.obsSlow, "obs-slow", 0, "log any traced operation slower than this (0 = off)")
+	flag.StringVar(&o.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (empty = off)")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -158,6 +182,26 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	// The observability plane: one registry and one tracer shared by the
+	// cluster, every shard and the router, so the gateway's /metrics and
+	// trace dump see the whole process. Both stay nil when disabled — every
+	// instrumented path degrades to a no-op.
+	var registry *obs.Registry
+	var tracer *obs.Tracer
+	if o.obsOn {
+		registry = obs.NewRegistry()
+		tracer = obs.NewTracer(o.obsTraces)
+		tracer.Slow = o.obsSlow
+		tracer.Logf = log.Printf
+	}
+	if o.pprofAddr != "" {
+		go func() {
+			log.Printf("ibbe-cluster: pprof serving on %s", o.pprofAddr)
+			if err := http.ListenAndServe(o.pprofAddr, nil); err != nil {
+				log.Printf("ibbe-cluster: pprof server: %v", err)
+			}
+		}()
+	}
 	if o.platformState == "" && (provisioning == cluster.ProvisionThreshold || storeURL != "") {
 		log.Printf("ibbe-cluster: WARNING: no -platform-state; sealed blobs (threshold shares, MSK) die with this process — a restart against the same store cannot re-adopt them")
 	}
@@ -172,6 +216,8 @@ func run(o options) error {
 		Seed:         1,
 		Provisioning: provisioning,
 		Platform:     platform,
+		Registry:     registry,
+		Tracer:       tracer,
 	})
 	if err != nil {
 		return err
@@ -183,7 +229,7 @@ func run(o options) error {
 		log.Printf("ibbe-cluster: adopted persisted membership epoch %d over %v", boot.Epoch, boot.Members())
 	}
 
-	g := &gateway{c: c, targets: make(map[string]string)}
+	g := &gateway{c: c, targets: make(map[string]string), reg: registry, tracer: tracer}
 	// Published membership records carry the live shard URLs, so a watching
 	// router (or a second gateway) can resolve members it never served.
 	c.Targets = g.targetSnapshot
@@ -205,6 +251,7 @@ func run(o options) error {
 	}
 	// One request must be able to wait out a dead shard's lease.
 	router.RouteTimeout = 2*leaseTTL + 10*time.Second
+	router.Instrument(registry, tracer)
 	g.rt = router
 	// Membership changes reach the router BEFORE the shards drain, so
 	// requests flow toward the new owners throughout the hand-off...
@@ -279,18 +326,24 @@ func loadOrCreatePlatform(path string) (*enclave.Platform, error) {
 // membership and autoscale endpoints mutate the member set; everything
 // else forwards.
 type gateway struct {
-	c  *cluster.Cluster
-	rt *cluster.Router
+	c      *cluster.Cluster
+	rt     *cluster.Router
+	reg    *obs.Registry
+	tracer *obs.Tracer
 
 	mu      sync.Mutex
 	targets map[string]string
 	as      *cluster.Autoscaler
 }
 
-// installAutoscaler swaps the controller (stopping any predecessor) and
-// wires its mint hook to the gateway's shard servers.
+// installAutoscaler swaps the controller (stopping any predecessor), wires
+// its mint hook to the gateway's shard servers, and feeds it the router's
+// queue depth as a scaling signal.
 func (g *gateway) installAutoscaler(as *cluster.Autoscaler) {
 	as.OnMint = g.serveShard
+	if g.rt != nil {
+		as.Signals.QueueDepth = g.rt.QueueDepth
+	}
 	g.mu.Lock()
 	old := g.as
 	g.as = as
@@ -337,6 +390,13 @@ func (g *gateway) targetSnapshot() map[string]string {
 
 func (g *gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	switch r.URL.Path {
+	case "/metrics":
+		// Cluster-wide exposition: the registry is shared by the router,
+		// every shard, the storage decorator and the DKG provisioner. Nil
+		// registry (observability off) answers 404 from the obs handler.
+		g.reg.Handler().ServeHTTP(w, r)
+	case "/admin/cluster/v1/traces":
+		g.handleTraces(w, r)
 	case "/admin/cluster/v1/membership":
 		g.handleMembership(w, r)
 	case "/admin/cluster/v1/autoscale":
@@ -367,6 +427,21 @@ func (g *gateway) handleDKG(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	admin.WriteEnvelope(w, g.c.Epoch(), g.c.Provisioner().Status())
+}
+
+// handleTraces dumps the recent-trace ring, most recent first: every routed
+// request's span tree (router sweep → shard forward → admin op → ECALL →
+// store writes), merged across the router and shard halves by trace ID.
+func (g *gateway) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		admin.WriteEnvelopeError(w, http.StatusMethodNotAllowed, g.c.Epoch(), admin.CodeBadRequest, "method not allowed")
+		return
+	}
+	if g.tracer == nil {
+		admin.WriteEnvelopeError(w, http.StatusNotFound, g.c.Epoch(), admin.CodeBadRequest, "cluster: tracing disabled (-obs=false)")
+		return
+	}
+	admin.WriteEnvelope(w, g.c.Epoch(), g.tracer.Snapshot())
 }
 
 // handleAutoscale serves the autoscaler control endpoint:

@@ -11,9 +11,11 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"time"
 
 	"github.com/ibbesgx/ibbesgx/internal/enclave"
 	"github.com/ibbesgx/ibbesgx/internal/ibbe"
+	"github.com/ibbesgx/ibbesgx/internal/obs"
 	"github.com/ibbesgx/ibbesgx/internal/pairing"
 	"github.com/ibbesgx/ibbesgx/internal/pki"
 	"github.com/ibbesgx/ibbesgx/internal/storage"
@@ -60,6 +62,28 @@ type Service struct {
 	RootCertDER    []byte
 	// ParamsName identifies the pairing parameter set clients must use.
 	ParamsName string
+
+	// opSeconds / opErrors record per-op latency and failures once
+	// Instrument attaches a registry (nil-safe when it never was).
+	opSeconds *obs.HistogramVec
+	opErrors  *obs.CounterVec
+	shardID   string
+}
+
+// Instrument attaches the service to an observability registry, recording
+// admin op latency by kind (create/add/remove/add-batch/remove-batch/rekey)
+// and op failures, labelled with the given shard ID ("admin" if empty). A
+// nil registry keeps the service un-instrumented.
+func (s *Service) Instrument(r *obs.Registry, shardID string) {
+	if r == nil {
+		return
+	}
+	if shardID == "" {
+		shardID = "admin"
+	}
+	s.shardID = shardID
+	s.opSeconds = r.HistogramVec("ibbe_admin_op_seconds", "Admin operation latency by shard and op kind.", nil, "shard", "op")
+	s.opErrors = r.CounterVec("ibbe_admin_op_errors_total", "Failed admin operations by shard and op kind.", "shard", "op")
 }
 
 // SystemInfo describes the deployment to clients.
@@ -145,7 +169,16 @@ func (s *Service) handleProvision(w http.ResponseWriter, r *http.Request) {
 	if extract == nil {
 		extract = s.Encl.EcallExtractUserKey
 	}
+	_, span := obs.StartSpan(r.Context(), "admin.extract")
+	t0 := time.Now()
 	prov, err := extract(req.ID, pub)
+	span.End(err)
+	if s.opSeconds != nil {
+		s.opSeconds.With(s.shardID, "extract").ObserveSince(t0)
+		if err != nil {
+			s.opErrors.With(s.shardID, "extract").Inc()
+		}
+	}
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -172,23 +205,34 @@ func (s *Service) handleAdmin(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing group", http.StatusBadRequest)
 		return
 	}
+	kind := strings.TrimPrefix(r.URL.Path, "/admin/")
+	ctx, span := obs.StartSpan(r.Context(), "admin."+kind)
+	t0 := time.Now()
 	var err error
-	switch strings.TrimPrefix(r.URL.Path, "/admin/") {
+	switch kind {
 	case "create":
-		err = s.Admin.CreateGroup(r.Context(), req.Group, req.Members)
+		err = s.Admin.CreateGroup(ctx, req.Group, req.Members)
 	case "add":
-		err = s.Admin.AddUser(r.Context(), req.Group, req.User)
+		err = s.Admin.AddUser(ctx, req.Group, req.User)
 	case "remove":
-		err = s.Admin.RemoveUser(r.Context(), req.Group, req.User)
+		err = s.Admin.RemoveUser(ctx, req.Group, req.User)
 	case "add-batch":
-		err = s.Admin.AddUsers(r.Context(), req.Group, req.Users)
+		err = s.Admin.AddUsers(ctx, req.Group, req.Users)
 	case "remove-batch":
-		err = s.Admin.RemoveUsers(r.Context(), req.Group, req.Users)
+		err = s.Admin.RemoveUsers(ctx, req.Group, req.Users)
 	case "rekey":
-		err = s.Admin.RekeyGroup(r.Context(), req.Group)
+		err = s.Admin.RekeyGroup(ctx, req.Group)
 	default:
+		span.End(nil)
 		http.NotFound(w, r)
 		return
+	}
+	span.End(err)
+	if s.opSeconds != nil {
+		s.opSeconds.With(s.shardID, kind).ObserveSince(t0)
+		if err != nil {
+			s.opErrors.With(s.shardID, kind).Inc()
+		}
 	}
 	if err != nil {
 		// A fenced write means this admin operates under a superseded

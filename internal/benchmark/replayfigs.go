@@ -169,14 +169,14 @@ func RunTable1(cfg Config) ([]Table1Row, error) {
 	// exponentiations, and the O(1) claims bound every primitive. metric
 	// selects the counter whose growth is fitted.
 	cost := func(metric string) float64 {
-		g1, gt, pr, zr := s.Metrics.Snapshot()
+		snap := s.Metrics.SnapshotMap()
 		switch metric {
 		case "zr":
-			return float64(zr)
+			return float64(snap["zr_mul"])
 		case "g1":
-			return float64(g1)
+			return float64(snap["g1_exp"])
 		default: // "total"
-			return float64(zr) + 1000*float64(g1+gt) + 3000*float64(pr)
+			return float64(snap["zr_mul"]) + 1000*float64(snap["g1_exp"]+snap["gt_exp"]) + 3000*float64(snap["pairings"])
 		}
 	}
 	measure := func(metric string, op func(group []string) error) (float64, error) {
@@ -305,9 +305,8 @@ func RunTable1(cfg Config) ([]Table1Row, error) {
 		if _, _, err := setupScheme.Setup(n, nil); err != nil {
 			return nil, err
 		}
-		g1, _, _, _ := setupScheme.Metrics.Snapshot()
 		xs[i] = float64(n)
-		ys[i] = float64(g1) + 1
+		ys[i] = float64(setupScheme.Metrics.SnapshotMap()["g1_exp"]) + 1
 	}
 	slope, err = LogLogSlope(xs, ys)
 	if err != nil {

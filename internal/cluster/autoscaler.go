@@ -29,6 +29,17 @@ const (
 	// DefaultCooldownTicks spaces consecutive scaling actions, in units of
 	// the interval: a change must prove itself before the next one fires.
 	DefaultCooldownTicks = 3
+	// DefaultQueueWeight converts one queued router request into load units:
+	// a standing queue means the members cannot keep up regardless of what
+	// the crypto counters say (e.g. requests stuck behind lease waits).
+	DefaultQueueWeight = 20_000
+	// DefaultStealWeight converts one lease steal per second into load
+	// units. Steal churn means groups are bouncing between owners — each
+	// bounce costs a full adopt + heal-rotate — so sustained churn argues
+	// for more members even at modest crypto rates.
+	DefaultStealWeight = 50_000
+	// decisionLogCap bounds the in-memory decision log.
+	decisionLogCap = 64
 )
 
 // AutoscalerConfig bounds and tunes the controller.
@@ -43,6 +54,11 @@ type AutoscalerConfig struct {
 	// Cooldown is the minimum time between scaling actions (default
 	// DefaultCooldownTicks × Interval).
 	Cooldown time.Duration
+	// QueueWeight / StealWeight convert the telemetry signals — router
+	// queue depth (requests) and lease-steal churn (steals/s) — into the
+	// same load units as GrowLoad. Negative disables a signal; zero takes
+	// the default.
+	QueueWeight, StealWeight float64
 }
 
 // withDefaults fills the zero fields.
@@ -69,7 +85,50 @@ func (c AutoscalerConfig) withDefaults() AutoscalerConfig {
 	if c.Cooldown <= 0 {
 		c.Cooldown = DefaultCooldownTicks * c.Interval
 	}
+	if c.QueueWeight == 0 {
+		c.QueueWeight = DefaultQueueWeight
+	} else if c.QueueWeight < 0 {
+		c.QueueWeight = 0
+	}
+	if c.StealWeight == 0 {
+		c.StealWeight = DefaultStealWeight
+	} else if c.StealWeight < 0 {
+		c.StealWeight = 0
+	}
 	return c
+}
+
+// Signals are the telemetry feeds folded into the load average alongside
+// the per-shard crypto rates. Both are optional; a nil func reads as zero.
+// They are sampled once per tick, outside the controller's lock.
+type Signals struct {
+	// QueueDepth returns the router's current in-flight request count
+	// (Router.QueueDepth). A standing queue grows the cluster even when
+	// the crypto counters look calm.
+	QueueDepth func() int64
+	// LeaseSteals returns the cumulative cluster-wide lease-steal count
+	// (clusterObs.LeaseSteals); the controller differentiates it into a
+	// steals/s churn rate.
+	LeaseSteals func() int64
+}
+
+// Decision is one entry of the autoscaler's decision log: what it did and
+// the exact signal values that triggered it.
+type Decision struct {
+	At     time.Time `json:"at"`
+	Action string    `json:"action"` // grow | shrink | grow_failed | shrink_failed
+	Detail string    `json:"detail"`
+	// AvgLoad is the combined per-member signal compared against the
+	// thresholds: (member crypto load + queue and steal terms) / members.
+	AvgLoad float64 `json:"avg_load"`
+	// MemberLoad is the summed groups × op-rate load across members.
+	MemberLoad float64 `json:"member_load"`
+	// QueueDepth and StealRate are the raw telemetry samples behind the
+	// weighted terms.
+	QueueDepth int64   `json:"queue_depth"`
+	StealRate  float64 `json:"steal_rate"`
+	Members    int     `json:"members"`
+	Epoch      uint64  `json:"epoch"`
 }
 
 // ShardLoad is one shard's sampled load.
@@ -96,8 +155,12 @@ type AutoscalerStatus struct {
 	Epoch        uint64        `json:"epoch"`
 	Members      []string      `json:"members"`
 	Loads        []ShardLoad   `json:"loads,omitempty"`
+	QueueDepth   int64         `json:"queue_depth"`
+	StealRate    float64       `json:"steal_rate"`
 	LastAction   string        `json:"last_action,omitempty"`
 	LastActionAt time.Time     `json:"last_action_at,omitempty"`
+	// Decisions is the scaling decision log, most recent first.
+	Decisions []Decision `json:"decisions,omitempty"`
 }
 
 // Autoscaler drives a Cluster's member count from its measured load. All
@@ -109,6 +172,10 @@ type Autoscaler struct {
 	// is admitted to the membership — the gateway's hook to put the shard
 	// behind a listener so routing can reach it the moment the epoch bumps.
 	OnMint func(*Shard) error
+	// Signals feeds the telemetry terms; set before Start. LeaseSteals
+	// defaults to the cluster's own lease-event counter; QueueDepth is
+	// wired by whoever owns the router (the gateway or a test).
+	Signals Signals
 
 	c   *Cluster
 	cfg AutoscalerConfig
@@ -116,17 +183,27 @@ type Autoscaler struct {
 	mu           sync.Mutex
 	running      bool
 	prev         map[string]int64
+	prevSteals   int64
 	prevAt       time.Time
 	loads        []ShardLoad
+	queueDepth   int64
+	stealRate    float64
 	lastAction   string
 	lastActionAt time.Time
+	decisions    []Decision // ring, most recent first, ≤ decisionLogCap
 	stopc        chan struct{}
 	done         chan struct{}
 }
 
-// NewAutoscaler builds a controller over the cluster (not started).
+// NewAutoscaler builds a controller over the cluster (not started). The
+// lease-steal signal defaults to the cluster's own telemetry when the
+// cluster was built with an obs registry.
 func NewAutoscaler(c *Cluster, cfg AutoscalerConfig) *Autoscaler {
-	return &Autoscaler{c: c, cfg: cfg.withDefaults(), prev: make(map[string]int64)}
+	a := &Autoscaler{c: c, cfg: cfg.withDefaults(), prev: make(map[string]int64)}
+	if c != nil && c.co != nil {
+		a.Signals.LeaseSteals = c.co.LeaseSteals
+	}
+	return a
 }
 
 // Config returns the effective (defaulted) configuration.
@@ -143,6 +220,7 @@ func (a *Autoscaler) Start() {
 	// Re-baseline the rate samples: counters kept growing while the
 	// controller was off, and a stale baseline would read as a huge burst.
 	a.prev = make(map[string]int64)
+	a.prevSteals = 0
 	a.prevAt = time.Time{}
 	a.stopc = make(chan struct{})
 	a.done = make(chan struct{})
@@ -178,8 +256,11 @@ func (a *Autoscaler) Status() AutoscalerStatus {
 		Epoch:        m.Epoch,
 		Members:      m.Members(),
 		Loads:        append([]ShardLoad(nil), a.loads...),
+		QueueDepth:   a.queueDepth,
+		StealRate:    a.stealRate,
 		LastAction:   a.lastAction,
 		LastActionAt: a.lastActionAt,
+		Decisions:    append([]Decision(nil), a.decisions...),
 	}
 }
 
@@ -199,11 +280,32 @@ func (a *Autoscaler) run(stopc, done chan struct{}) {
 	}
 }
 
-// tick samples every shard's load and applies at most one scaling action.
+// signalSample freezes one tick's combined telemetry for the decision log.
+type signalSample struct {
+	avg        float64
+	memberLoad float64
+	queueDepth int64
+	stealRate  float64
+	members    int
+	epoch      uint64
+}
+
+// tick samples every shard's load plus the router/lease telemetry signals
+// and applies at most one scaling action.
 func (a *Autoscaler) tick(ctx context.Context) {
 	m := a.c.Membership()
 	shards := a.c.Shards()
 	now := time.Now()
+
+	// Telemetry feeds are sampled outside the controller lock: they may
+	// take locks of their own (the router's health cache, the registry).
+	var queueDepth, steals int64
+	if a.Signals.QueueDepth != nil {
+		queueDepth = a.Signals.QueueDepth()
+	}
+	if a.Signals.LeaseSteals != nil {
+		steals = a.Signals.LeaseSteals()
+	}
 
 	a.mu.Lock()
 	dt := now.Sub(a.prevAt).Seconds()
@@ -227,7 +329,14 @@ func (a *Autoscaler) tick(ctx context.Context) {
 		}
 		loads = append(loads, l)
 	}
+	var stealRate float64
+	if !first && dt > 0 && steals > a.prevSteals {
+		stealRate = float64(steals-a.prevSteals) / dt
+	}
+	a.prevSteals = steals
 	a.loads = loads
+	a.queueDepth = queueDepth
+	a.stealRate = stealRate
 	cooled := a.lastActionAt.IsZero() || now.Sub(a.lastActionAt) >= a.cfg.Cooldown
 	a.mu.Unlock()
 
@@ -235,19 +344,31 @@ func (a *Autoscaler) tick(ctx context.Context) {
 	if first || !cooled || len(members) == 0 {
 		return
 	}
-	avg := memberLoad / float64(len(members))
+	// The combined signal: crypto load plus the weighted telemetry terms,
+	// averaged over the members that must absorb it.
+	avg := (memberLoad +
+		a.cfg.QueueWeight*float64(queueDepth) +
+		a.cfg.StealWeight*stealRate) / float64(len(members))
+	sig := signalSample{
+		avg:        avg,
+		memberLoad: memberLoad,
+		queueDepth: queueDepth,
+		stealRate:  stealRate,
+		members:    len(members),
+		epoch:      m.Epoch,
+	}
 	switch {
 	case avg > a.cfg.GrowLoad && len(members) < a.cfg.Max:
-		a.grow(ctx, avg)
+		a.grow(ctx, sig)
 	case avg < a.cfg.ShrinkLoad && len(members) > a.cfg.Min:
-		a.shrink(ctx, avg, loads, m)
+		a.shrink(ctx, sig, loads, m)
 	}
 }
 
 // grow admits one more member: a previously drained (but still live) shard
 // is re-admitted before a brand-new one is minted, so shrink/grow cycles
 // do not accumulate enclaves.
-func (a *Autoscaler) grow(ctx context.Context, avg float64) {
+func (a *Autoscaler) grow(ctx context.Context, sig signalSample) {
 	m := a.c.Membership()
 	var s *Shard
 	for _, cand := range a.c.Shards() {
@@ -259,12 +380,12 @@ func (a *Autoscaler) grow(ctx context.Context, avg float64) {
 	if s == nil {
 		minted, err := a.c.AddShard()
 		if err != nil {
-			a.note(fmt.Sprintf("grow failed (mint): %v", err))
+			a.decide("grow_failed", fmt.Sprintf("grow failed (mint): %v", err), sig)
 			return
 		}
 		if a.OnMint != nil {
 			if err := a.OnMint(minted); err != nil {
-				a.note(fmt.Sprintf("grow failed (serve %s): %v", minted.ID, err))
+				a.decide("grow_failed", fmt.Sprintf("grow failed (serve %s): %v", minted.ID, err), sig)
 				return
 			}
 		}
@@ -272,19 +393,20 @@ func (a *Autoscaler) grow(ctx context.Context, avg float64) {
 	}
 	next, err := a.c.Admit(ctx, s.ID)
 	if next == nil {
-		a.note(fmt.Sprintf("grow failed (admit %s): %v", s.ID, err))
+		a.decide("grow_failed", fmt.Sprintf("grow failed (admit %s): %v", s.ID, err), sig)
 		return
 	}
 	// A non-nil next WITH an error means the change is in effect but a
 	// hand-off step failed (heals through lease TTL); an operator reading
 	// the status must see that, not a clean success.
-	a.note(withWarning(fmt.Sprintf("grew to %d members (admitted %s at epoch %d; avg load %.0f > %.0f)",
-		len(next.Members()), s.ID, next.Epoch, avg, a.cfg.GrowLoad), err))
+	sig.epoch = next.Epoch
+	a.decide("grow", withWarning(fmt.Sprintf("grew to %d members (admitted %s at epoch %d; avg load %.0f > %.0f)",
+		len(next.Members()), s.ID, next.Epoch, sig.avg, a.cfg.GrowLoad), err), sig)
 }
 
 // shrink drains the least-loaded member (ties resolve to the highest ID,
 // so the founding shards are drained last).
-func (a *Autoscaler) shrink(ctx context.Context, avg float64, loads []ShardLoad, m *Membership) {
+func (a *Autoscaler) shrink(ctx context.Context, sig signalSample, loads []ShardLoad, m *Membership) {
 	byID := make(map[string]ShardLoad, len(loads))
 	for _, l := range loads {
 		byID[l.ID] = l
@@ -300,11 +422,12 @@ func (a *Autoscaler) shrink(ctx context.Context, avg float64, loads []ShardLoad,
 	victim := members[0]
 	next, err := a.c.RemoveShard(ctx, victim)
 	if next == nil {
-		a.note(fmt.Sprintf("shrink failed (drain %s): %v", victim, err))
+		a.decide("shrink_failed", fmt.Sprintf("shrink failed (drain %s): %v", victim, err), sig)
 		return
 	}
-	a.note(withWarning(fmt.Sprintf("shrank to %d members (drained %s at epoch %d; avg load %.0f < %.0f)",
-		len(next.Members()), victim, next.Epoch, avg, a.cfg.ShrinkLoad), err))
+	sig.epoch = next.Epoch
+	a.decide("shrink", withWarning(fmt.Sprintf("shrank to %d members (drained %s at epoch %d; avg load %.0f < %.0f)",
+		len(next.Members()), victim, next.Epoch, sig.avg, a.cfg.ShrinkLoad), err), sig)
 }
 
 // withWarning appends a partial-failure warning (failed hand-off step
@@ -316,9 +439,29 @@ func withWarning(action string, err error) string {
 	return action + "; WARNING hand-off step failed, heals via lease TTL: " + err.Error()
 }
 
-func (a *Autoscaler) note(action string) {
+// decide records a scaling decision: the status fields, the bounded
+// decision log (most recent first), and the decision counter metric.
+func (a *Autoscaler) decide(action, detail string, sig signalSample) {
+	d := Decision{
+		At:         time.Now(),
+		Action:     action,
+		Detail:     detail,
+		AvgLoad:    sig.avg,
+		MemberLoad: sig.memberLoad,
+		QueueDepth: sig.queueDepth,
+		StealRate:  sig.stealRate,
+		Members:    sig.members,
+		Epoch:      sig.epoch,
+	}
 	a.mu.Lock()
-	a.lastAction = action
-	a.lastActionAt = time.Now()
+	a.lastAction = detail
+	a.lastActionAt = d.At
+	a.decisions = append([]Decision{d}, a.decisions...)
+	if len(a.decisions) > decisionLogCap {
+		a.decisions = a.decisions[:decisionLogCap]
+	}
 	a.mu.Unlock()
+	if a.c != nil && a.c.co != nil {
+		a.c.co.decisions.With(action).Inc()
+	}
 }

@@ -109,6 +109,30 @@ func TestClusterAutoscaleGrowUnderLoad(t *testing.T) {
 	if status.LastAction == "" {
 		t.Fatal("controller recorded no action")
 	}
+	// Every scaling action lands in the decision log with the signal values
+	// that triggered it: two grows, each above the threshold it crossed.
+	var grows int
+	for _, d := range status.Decisions {
+		if d.Action != "grow" {
+			continue
+		}
+		grows++
+		if d.AvgLoad <= 1_000 {
+			t.Fatalf("grow decision logged avg load %v, not above the 1000 threshold: %+v", d.AvgLoad, d)
+		}
+		if d.MemberLoad <= 0 {
+			t.Fatalf("grow under churn logged zero member crypto load: %+v", d)
+		}
+		if d.Members < 2 || d.Members >= 4 {
+			t.Fatalf("grow decision logged implausible member count: %+v", d)
+		}
+		if d.Detail == "" || d.At.IsZero() {
+			t.Fatalf("grow decision missing detail/timestamp: %+v", d)
+		}
+	}
+	if grows != 2 {
+		t.Fatalf("decision log has %d grow entries, want 2: %+v", grows, status.Decisions)
+	}
 
 	// Zero failed decrypts: one settling op per group, then every member
 	// derives one shared key, and ownership matches the final ring.
@@ -199,5 +223,12 @@ func TestAutoscalerConfigDefaults(t *testing.T) {
 	clamped := AutoscalerConfig{Min: 5, Max: 2}.withDefaults()
 	if clamped.Max != 5 {
 		t.Fatalf("max below min not clamped: %d..%d", clamped.Min, clamped.Max)
+	}
+	if cfg.QueueWeight != DefaultQueueWeight || cfg.StealWeight != DefaultStealWeight {
+		t.Fatalf("telemetry weights not defaulted: queue %v steal %v", cfg.QueueWeight, cfg.StealWeight)
+	}
+	off := AutoscalerConfig{QueueWeight: -1, StealWeight: -1}.withDefaults()
+	if off.QueueWeight != 0 || off.StealWeight != 0 {
+		t.Fatalf("negative weights must disable the signals: queue %v steal %v", off.QueueWeight, off.StealWeight)
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"github.com/ibbesgx/ibbesgx/internal/dkg"
 	"github.com/ibbesgx/ibbesgx/internal/enclave"
 	"github.com/ibbesgx/ibbesgx/internal/ibbe"
+	"github.com/ibbesgx/ibbesgx/internal/obs"
 	"github.com/ibbesgx/ibbesgx/internal/pairing"
 	"github.com/ibbesgx/ibbesgx/internal/pki"
 	"github.com/ibbesgx/ibbesgx/internal/storage"
@@ -74,6 +75,14 @@ type Options struct {
 	// generated one. A restarted threshold cluster MUST reuse its original
 	// platform: the persisted share blobs are sealed to it.
 	Platform *enclave.Platform
+
+	// Registry, when set, receives the cluster's operational metrics
+	// (router, admin, storage, lease, DKG, crypto families) and the store
+	// is wrapped with storage.Instrument. Nil disables all metric recording
+	// at zero cost. Tracer, when set, threads request traces through the
+	// shards' admin and store operations.
+	Registry *obs.Registry
+	Tracer   *obs.Tracer
 
 	// now overrides the clock (tests).
 	now func() time.Time
@@ -122,6 +131,10 @@ type Cluster struct {
 	// access and is never held across shard calls.
 	changeMu sync.Mutex
 
+	// co bundles the observability handles every shard shares (nil when
+	// Options.Registry was nil).
+	co *clusterObs
+
 	mu         sync.Mutex
 	shards     []*Shard
 	membership *Membership
@@ -160,6 +173,10 @@ func New(opts Options) (*Cluster, error) {
 	if store == nil {
 		store = storage.NewMemStore(storage.Latency{})
 	}
+	// Instrument the store BEFORE anything touches it: membership reads,
+	// lease CAS traffic and admin record writes all count. No-op (the store
+	// is returned unwrapped) when no registry is configured.
+	store = storage.Instrument(store, opts.Registry)
 
 	platform := opts.Platform
 	if platform == nil {
@@ -187,7 +204,31 @@ func New(opts Options) (*Cluster, error) {
 		paramsName: paramsName,
 		ias:        ias,
 		auditor:    auditor,
+		co:         newClusterObs(opts.Registry, opts.Tracer),
 		stopc:      make(chan struct{}),
+	}
+	if r := opts.Registry; r != nil {
+		// Crypto-op rates: the per-shard ibbe.Metrics counters sampled at
+		// scrape time — no double bookkeeping on the crypto hot path.
+		r.Collect("ibbe_crypto_ops_total", "Primitive crypto operations by shard and op.", obs.TypeCounter, []string{"shard", "op"},
+			func(emit func([]string, float64)) {
+				for _, s := range c.Shards() {
+					m := s.Encl.Scheme().Metrics
+					if m == nil {
+						continue
+					}
+					snap := m.SnapshotMap()
+					for _, op := range []string{"g1_exp", "gt_exp", "pairings", "zr_mul"} {
+						emit([]string{s.ID, op}, float64(snap[op]))
+					}
+				}
+			})
+		r.Collect("ibbe_shard_groups_owned", "Groups whose lease each shard currently holds.", obs.TypeGauge, []string{"shard"},
+			func(emit func([]string, float64)) {
+				for _, s := range c.Shards() {
+					emit([]string{s.ID}, float64(len(s.OwnedGroups())))
+				}
+			})
 	}
 
 	ctx := context.Background()
@@ -217,6 +258,8 @@ func New(opts Options) (*Cluster, error) {
 		if perr != nil {
 			return nil, perr
 		}
+		tp.obs = c.co
+		tp.noteCommitted()
 		c.prov = tp
 	default:
 		return nil, fmt.Errorf("cluster: unknown provisioning mode %q", mode)
@@ -349,6 +392,12 @@ func (c *Cluster) mintShardID(id string, m *Membership) (*Shard, error) {
 	// (groups owned × op rate). Attached before the first ECALL, so the
 	// scheme field is never written concurrently with an operation.
 	encl.Scheme().Metrics = &ibbe.Metrics{}
+	if co := c.co; co != nil {
+		shardID := id
+		encl.Obs = func(call string, seconds float64) {
+			co.ecallSeconds.With(shardID, call).Observe(seconds)
+		}
+	}
 	if err := c.prov.Provision(id, encl); err != nil {
 		return nil, err
 	}
@@ -390,7 +439,9 @@ func (c *Cluster) mintShardID(id string, m *Membership) (*Shard, error) {
 			return tp.extractVia(id, uid, userPub)
 		}
 	}
+	svc.Instrument(c.co.obsRegistry(), id)
 	s := newShard(id, adm, svc, encl, c.Store, c.opts.LeaseTTL, c.opts.now, m)
+	s.obs = c.co
 	// started is read in the SAME critical section as the append: a
 	// concurrent Cluster.Start() either sees this shard in its snapshot or
 	// has already set started — either way exactly one Start reaches it

@@ -31,7 +31,7 @@ type testCluster struct {
 	targets map[string]string
 }
 
-func startCluster(t *testing.T, opts Options) *testCluster {
+func startCluster(t testing.TB, opts Options) *testCluster {
 	t.Helper()
 	c, err := New(opts)
 	if err != nil {
@@ -64,6 +64,9 @@ func startCluster(t *testing.T, opts Options) *testCluster {
 	}
 	rt.RetryInterval = 20 * time.Millisecond
 	rt.RouteTimeout = 20 * time.Second
+	// Mirror cmd/ibbe-cluster: a cluster built with an obs registry gets an
+	// instrumented router too (nil-safe when the options carry none).
+	rt.Instrument(opts.Registry, opts.Tracer)
 	c.OnMembership = func(m *Membership) {
 		if err := rt.ApplyMembership(m, tc.targetSnapshot()); err != nil {
 			t.Errorf("router rejected membership %d: %v", m.Epoch, err)
@@ -77,7 +80,7 @@ func startCluster(t *testing.T, opts Options) *testCluster {
 }
 
 // serveShard puts one shard behind a real HTTP server and records its URL.
-func (tc *testCluster) serveShard(t *testing.T, s *Shard) {
+func (tc *testCluster) serveShard(t testing.TB, s *Shard) {
 	t.Helper()
 	srv := httptest.NewServer(s)
 	t.Cleanup(srv.Close)

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"sync/atomic"
+
+	"github.com/ibbesgx/ibbesgx/internal/obs"
+)
+
+// clusterObs bundles the metric handles the cluster's moving parts share.
+// Built once per cluster from Options.Registry; a nil bundle (observability
+// off) makes every recording below a no-op through the registry's nil-handle
+// contract.
+type clusterObs struct {
+	registry *obs.Registry
+	tracer   *obs.Tracer
+
+	// leaseEvents counts lease lifecycle transitions per shard: acquire,
+	// reacquire, steal, renew, expire, handoff, release.
+	leaseEvents *obs.CounterVec
+	// steals mirrors the "steal" lease events as a plain atomic so the
+	// autoscaler can sample churn without scraping its own registry.
+	steals atomic.Int64
+
+	// ecallSeconds times group-state ECALLs per shard and call name.
+	ecallSeconds *obs.HistogramVec
+
+	// dkgGeneration is the committed share generation; reshareSeconds times
+	// each reshare phase (subdeal/adopt/publish/commit) and resharesTotal
+	// counts completed reshares.
+	dkgGeneration  *obs.Gauge
+	reshareSeconds *obs.HistogramVec
+	resharesTotal  *obs.Counter
+
+	// decisions counts autoscaler verdicts by action (grow/shrink).
+	decisions *obs.CounterVec
+}
+
+// newClusterObs registers the cluster metric families. Nil registry → nil
+// bundle.
+func newClusterObs(r *obs.Registry, tracer *obs.Tracer) *clusterObs {
+	if r == nil {
+		return nil
+	}
+	return &clusterObs{
+		registry:       r,
+		tracer:         tracer,
+		leaseEvents:    r.CounterVec("ibbe_lease_events_total", "Lease lifecycle events by shard and event (acquire/reacquire/steal/renew/expire/handoff/release).", "shard", "event"),
+		ecallSeconds:   r.HistogramVec("ibbe_ecall_seconds", "Enclave ECALL latency by shard and call.", nil, "shard", "call"),
+		dkgGeneration:  r.Gauge("ibbe_dkg_generation", "Committed threshold share generation."),
+		reshareSeconds: r.HistogramVec("ibbe_dkg_reshare_phase_seconds", "DKG reshare phase durations.", nil, "phase"),
+		resharesTotal:  r.Counter("ibbe_dkg_reshares_total", "Completed DKG reshares."),
+		decisions:      r.CounterVec("ibbe_autoscale_decisions_total", "Autoscaler decisions by action.", "action"),
+	}
+}
+
+// leaseEvent records one lease lifecycle event for a shard.
+func (co *clusterObs) leaseEvent(shard, event string) {
+	if co == nil {
+		return
+	}
+	co.leaseEvents.With(shard, event).Inc()
+	if event == "steal" {
+		co.steals.Add(1)
+	}
+}
+
+// LeaseSteals returns the total lease steals observed (autoscaler churn
+// signal).
+func (co *clusterObs) LeaseSteals() int64 {
+	if co == nil {
+		return 0
+	}
+	return co.steals.Load()
+}
+
+// obsTracer returns the bundle's tracer (nil-safe).
+func (co *clusterObs) obsTracer() *obs.Tracer {
+	if co == nil {
+		return nil
+	}
+	return co.tracer
+}
+
+// obsRegistry returns the bundle's registry (nil-safe).
+func (co *clusterObs) obsRegistry() *obs.Registry {
+	if co == nil {
+		return nil
+	}
+	return co.registry
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/ibbesgx/ibbesgx/internal/dkg"
 	"github.com/ibbesgx/ibbesgx/internal/enclave"
@@ -187,6 +188,10 @@ type thresholdProvisioner struct {
 	// reshare cleanly.
 	beforePublish func()
 
+	// obs, when set, receives reshare phase durations, the committed
+	// generation gauge and the reshare counter.
+	obs *clusterObs
+
 	mu       sync.Mutex
 	encls    map[string]*enclave.IBBEEnclave
 	rec      *dkg.Record // committed sharing (nil until bootstrap/restart)
@@ -277,6 +282,7 @@ func (p *thresholdProvisioner) Complete(ctx context.Context) error {
 		return err
 	}
 	p.rec = rec
+	p.noteCommitted()
 	return nil
 }
 
@@ -307,6 +313,25 @@ func (p *thresholdProvisioner) publishLocked(ctx context.Context, gen uint64, re
 		}
 		// CAS loss: re-read and retry — the epoch check above decides
 		// whether the sharing is still the one the store wants.
+	}
+}
+
+// timePhase times one reshare phase for the observability bundle; use as
+// `defer p.timePhase("subdeal")()`.
+func (p *thresholdProvisioner) timePhase(name string) func() {
+	co := p.obs
+	if co == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { co.reshareSeconds.With(name).ObserveSince(t0) }
+}
+
+// noteCommitted publishes the committed generation to the gauge. Callers
+// either hold p.mu or run before any concurrency (cluster construction).
+func (p *thresholdProvisioner) noteCommitted() {
+	if p.obs != nil && p.rec != nil {
+		p.obs.dkgGeneration.Set(float64(p.rec.Generation))
 	}
 }
 
@@ -548,6 +573,7 @@ func (p *thresholdProvisioner) OnMembership(ctx context.Context, m *Membership) 
 	dealers := make([]int, len(dealerIDs))
 	subComms := make(map[int][][]byte, need)
 	subBlobs := make(map[int]map[int][]byte, need) // dealer idx → target idx → blob
+	subDealDone := p.timePhase("subdeal")
 	for k, sid := range dealerIDs {
 		di := cur.Index(sid)
 		comms, blobs, err := p.encls[sid].EcallSubDeal(newGen, newDegree, newIndices)
@@ -558,6 +584,7 @@ func (p *thresholdProvisioner) OnMembership(ctx context.Context, m *Membership) 
 		subComms[di] = comms
 		subBlobs[di] = blobs
 	}
+	subDealDone()
 
 	newRec := &dkg.Record{
 		Generation:   newGen,
@@ -573,6 +600,7 @@ func (p *thresholdProvisioner) OnMembership(ctx context.Context, m *Membership) 
 			p.encls[id].EcallDropReshare(newGen)
 		}
 	}
+	adoptDone := p.timePhase("adopt")
 	for _, id := range members {
 		ni := newHolders[id]
 		blobs := make(map[int][]byte, len(dealers))
@@ -588,14 +616,18 @@ func (p *thresholdProvisioner) OnMembership(ctx context.Context, m *Membership) 
 		newRec.SealedShares[id] = sealed
 		newRec.Commitments = comms // every member combines the same commitments
 	}
+	adoptDone()
 
 	if p.beforePublish != nil {
 		p.beforePublish()
 	}
+	publishDone := p.timePhase("publish")
 	if err := p.publishLocked(ctx, newGen, newRec); err != nil {
 		drop()
+		publishDone()
 		return err
 	}
+	publishDone()
 	// The publish is durable: the store now names newGen's sharing, so this
 	// provisioner is on the new generation REGARDLESS of per-member commit
 	// outcomes — staying on the superseded record while some members commit
@@ -604,6 +636,12 @@ func (p *thresholdProvisioner) OnMembership(ctx context.Context, m *Membership) 
 	// prevent).
 	p.rec = newRec
 	p.reshares++
+	p.noteCommitted()
+	if p.obs != nil {
+		p.obs.resharesTotal.Inc()
+	}
+	commitDone := p.timePhase("commit")
+	defer commitDone()
 	var commitErrs []error
 	for _, id := range members {
 		if err := p.encls[id].EcallCommitReshare(newGen); err == nil {

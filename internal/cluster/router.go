@@ -9,10 +9,18 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"github.com/ibbesgx/ibbesgx/internal/obs"
 	"github.com/ibbesgx/ibbesgx/internal/storage"
 )
+
+// ServedByHeader names the shard that actually served a routed request —
+// the router stamps it on every relayed response so operators (and the
+// failover counter) can see exactly which candidate answered, instead of
+// inferring it from the health cache's side effects.
+const ServedByHeader = "X-Served-By"
 
 // DefaultHealthTTL bounds how long the router trusts a cached "shard is
 // down" verdict before probing the shard again.
@@ -60,7 +68,49 @@ type Router struct {
 	// itself: they win over anything a discovered record claims, while all
 	// other entries follow the record (the freshest published info).
 	localTargets map[string]string
+
+	// inflight counts requests currently inside ServeHTTP — the router's
+	// queue depth, an autoscaler signal and the ibbe_router_inflight gauge.
+	inflight atomic.Int64
+	// rm holds the metric handles installed by Instrument (nil = no-op).
+	rm     *routerMetrics
+	tracer *obs.Tracer
 }
+
+// routerMetrics are the router's registry handles.
+type routerMetrics struct {
+	requests      *obs.CounterVec   // by path
+	seconds       *obs.HistogramVec // by path
+	served        *obs.CounterVec   // by shard
+	failovers     *obs.CounterVec   // by serving (non-preferred) shard
+	fencedRefresh *obs.Counter
+	healthSkips   *obs.CounterVec // by skipped shard
+}
+
+// Instrument attaches the router to an observability registry and tracer
+// (either may be nil). Metric families are registered immediately so an
+// idle router still exposes them.
+func (rt *Router) Instrument(r *obs.Registry, tracer *obs.Tracer) {
+	rt.tracer = tracer
+	if r == nil {
+		return
+	}
+	rt.rm = &routerMetrics{
+		requests:      r.CounterVec("ibbe_router_requests_total", "Requests routed, by path.", "path"),
+		seconds:       r.HistogramVec("ibbe_router_request_seconds", "End-to-end routed request latency, by path.", nil, "path"),
+		served:        r.CounterVec("ibbe_router_served_total", "Requests served, by the shard that answered.", "shard"),
+		failovers:     r.CounterVec("ibbe_router_failovers_total", "Requests served by a shard other than the preferred ring owner, by serving shard.", "shard"),
+		fencedRefresh: r.Counter("ibbe_router_fenced_refreshes_total", "Membership refreshes triggered by fenced shard responses."),
+		healthSkips:   r.CounterVec("ibbe_router_health_skips_total", "Candidates skipped by the cached down verdict, by shard.", "shard"),
+	}
+	r.GaugeFunc("ibbe_router_inflight", "Requests currently being routed (queue depth).", func() float64 {
+		return float64(rt.inflight.Load())
+	})
+}
+
+// QueueDepth returns the number of requests currently inside the router —
+// the autoscaler's queue-pressure signal.
+func (rt *Router) QueueDepth() int64 { return rt.inflight.Load() }
 
 // NewRouter builds a gateway over the membership; targets must provide a
 // base URL for every member.
@@ -267,28 +317,34 @@ func (rt *Router) markUp(id string) {
 	rt.mu.Unlock()
 }
 
-// skipDown partitions candidates into probe-worthy and cached-down. When
-// every candidate is cached down the cache is ignored — a sweep must always
-// probe something, otherwise a full outage would never be re-examined
-// before the TTL.
-func (rt *Router) skipDown(candidates []string) []string {
+// skipDown partitions candidates into probe-worthy and cached-down,
+// returning both — the skipped list feeds the health-skip counter, which is
+// what lets the TTL cache's silent maskings show up as a visible signal.
+// When every candidate is cached down the cache is ignored — a sweep must
+// always probe something, otherwise a full outage would never be
+// re-examined before the TTL.
+func (rt *Router) skipDown(candidates []string) (live, skipped []string) {
 	rt.mu.Lock()
 	now := time.Now()
-	live := make([]string, 0, len(candidates))
+	live = make([]string, 0, len(candidates))
 	for _, id := range candidates {
 		if until, ok := rt.downUntil[id]; !ok || now.After(until) {
 			live = append(live, id)
+		} else {
+			skipped = append(skipped, id)
 		}
 	}
 	rt.mu.Unlock()
 	if len(live) == 0 {
-		return candidates
+		return candidates, nil
 	}
-	return live
+	return live, skipped
 }
 
 // ServeHTTP implements http.Handler.
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.inflight.Add(1)
+	defer rt.inflight.Add(-1)
 	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -306,13 +362,33 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		group = req.Group
 	}
 
+	if rt.rm != nil {
+		t0 := time.Now()
+		rt.rm.requests.With(r.URL.Path).Inc()
+		defer rt.rm.seconds.With(r.URL.Path).ObserveSince(t0)
+	}
+	trace, root := rt.tracer.StartTrace("route " + r.URL.Path)
+	var routeErr error
+	defer func() { root.End(routeErr) }()
+
 	ctx, cancel := context.WithTimeout(r.Context(), rt.RouteTimeout)
 	defer cancel()
+	ctx = obs.ContextWithTrace(ctx, trace, root)
 	lastErr := "no shard reachable"
 	for sweep := 0; ; sweep++ {
 		candidates, targets := rt.snapshot(group)
-		for _, id := range rt.skipDown(candidates) {
-			resp, err := rt.forward(ctx, r, targets[id], body)
+		preferred := ""
+		if len(candidates) > 0 {
+			preferred = candidates[0]
+		}
+		live, skipped := rt.skipDown(candidates)
+		if rt.rm != nil {
+			for _, id := range skipped {
+				rt.rm.healthSkips.With(id).Inc()
+			}
+		}
+		for _, id := range live {
+			resp, err := rt.forward(ctx, r, id, targets[id], body)
 			if err != nil {
 				// Only cache a down verdict for genuine transport failures:
 				// when OUR deadline (or the client's disconnect) aborted the
@@ -341,9 +417,23 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 				resp.Body.Close()
 				lastErr = fmt.Sprintf("%s (fenced): %s", id, strings.TrimSpace(string(msg)))
+				if rt.rm != nil {
+					rt.rm.fencedRefresh.Inc()
+				}
 				rt.refreshFromStore(ctx)
 				continue
 			}
+			// Record WHO answered, so the health cache and the failover
+			// counter tell the same story: a request served by anyone but the
+			// preferred ring owner is a failover, whether the owner failed a
+			// probe just now or was silently skipped by the TTL cache.
+			if rt.rm != nil {
+				rt.rm.served.With(id).Inc()
+				if id != preferred {
+					rt.rm.failovers.With(id).Inc()
+				}
+			}
+			w.Header().Set(ServedByHeader, id)
 			defer resp.Body.Close()
 			copyResponse(w, resp)
 			return
@@ -352,6 +442,7 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		// expired. Back off briefly and sweep again until the deadline.
 		select {
 		case <-ctx.Done():
+			routeErr = fmt.Errorf("no shard could serve: %s", lastErr)
 			http.Error(w, "cluster: no shard could serve the request: "+lastErr, http.StatusServiceUnavailable)
 			return
 		case <-time.After(rt.RetryInterval):
@@ -359,20 +450,28 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// forward replays the request against one shard.
-func (rt *Router) forward(ctx context.Context, r *http.Request, baseURL string, body []byte) (*http.Response, error) {
+// forward replays the request against one shard, propagating the trace ID
+// so the shard's spans land in the same trace.
+func (rt *Router) forward(ctx context.Context, r *http.Request, id, baseURL string, body []byte) (*http.Response, error) {
+	ctx, sp := obs.StartSpan(ctx, "forward "+id)
 	u := strings.TrimRight(baseURL, "/") + r.URL.Path
 	if r.URL.RawQuery != "" {
 		u += "?" + r.URL.RawQuery
 	}
 	req, err := http.NewRequestWithContext(ctx, r.Method, u, bytes.NewReader(body))
 	if err != nil {
+		sp.End(err)
 		return nil, err
 	}
 	if ct := r.Header.Get("Content-Type"); ct != "" {
 		req.Header.Set("Content-Type", ct)
 	}
-	return rt.httpClient().Do(req)
+	if tid := obs.TraceID(ctx); tid != "" {
+		req.Header.Set(obs.TraceHeader, tid)
+	}
+	resp, err := rt.httpClient().Do(req)
+	sp.End(err)
+	return resp, err
 }
 
 // copyResponse relays a shard response to the gateway client.

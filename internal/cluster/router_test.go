@@ -24,13 +24,16 @@ func TestRouterHealthCacheSkipsDownShards(t *testing.T) {
 	rt.HealthTTL = time.Hour
 
 	rt.markDown("b")
-	live := rt.skipDown([]string{"a", "b", "c"})
+	live, skipped := rt.skipDown([]string{"a", "b", "c"})
 	if len(live) != 2 || live[0] != "a" || live[1] != "c" {
 		t.Fatalf("skipDown = %v, want [a c]", live)
 	}
+	if len(skipped) != 1 || skipped[0] != "b" {
+		t.Fatalf("skipped = %v, want [b]", skipped)
+	}
 	// A successful probe clears the verdict.
 	rt.markUp("b")
-	if live := rt.skipDown([]string{"a", "b", "c"}); len(live) != 3 {
+	if live, _ := rt.skipDown([]string{"a", "b", "c"}); len(live) != 3 {
 		t.Fatalf("skipDown after markUp = %v", live)
 	}
 	// With EVERY candidate cached down, the cache is ignored — a sweep must
@@ -38,7 +41,7 @@ func TestRouterHealthCacheSkipsDownShards(t *testing.T) {
 	rt.markDown("a")
 	rt.markDown("b")
 	rt.markDown("c")
-	if live := rt.skipDown([]string{"a", "b", "c"}); len(live) != 3 {
+	if live, _ := rt.skipDown([]string{"a", "b", "c"}); len(live) != 3 {
 		t.Fatalf("skipDown under full outage = %v, want all candidates", live)
 	}
 }
@@ -48,7 +51,7 @@ func TestRouterHealthCacheExpires(t *testing.T) {
 	rt.HealthTTL = time.Millisecond
 	rt.markDown("b")
 	time.Sleep(5 * time.Millisecond)
-	if live := rt.skipDown([]string{"a", "b"}); len(live) != 2 {
+	if live, _ := rt.skipDown([]string{"a", "b"}); len(live) != 2 {
 		t.Fatalf("verdict survived its TTL: %v", live)
 	}
 }
@@ -81,7 +84,7 @@ func TestRouterApplyMembership(t *testing.T) {
 	if rt.Membership().Epoch != grown.Epoch {
 		t.Fatalf("router epoch = %d, want %d", rt.Membership().Epoch, grown.Epoch)
 	}
-	if live := rt.skipDown([]string{"a", "b"}); len(live) != 2 {
+	if live, _ := rt.skipDown([]string{"a", "b"}); len(live) != 2 {
 		t.Fatalf("health cache survived the epoch change: %v", live)
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"github.com/ibbesgx/ibbesgx/internal/admin"
 	"github.com/ibbesgx/ibbesgx/internal/core"
 	"github.com/ibbesgx/ibbesgx/internal/enclave"
+	"github.com/ibbesgx/ibbesgx/internal/obs"
 	"github.com/ibbesgx/ibbesgx/internal/storage"
 )
 
@@ -63,6 +64,8 @@ type Shard struct {
 
 	ls  *leaseStore
 	ttl time.Duration
+	// obs is the cluster's shared observability bundle (nil = disabled).
+	obs *clusterObs
 
 	mu         sync.Mutex
 	leases     map[string]Lease
@@ -179,6 +182,7 @@ func (s *Shard) handOff(ctx context.Context, group string, epoch uint64) error {
 	if err := s.ls.release(ctx, group, s.ID, epoch, true); err != nil {
 		return fmt.Errorf("cluster: %s releasing %s for hand-off: %w", s.ID, group, err)
 	}
+	s.obs.leaseEvent(s.ID, "handoff")
 	return nil
 }
 
@@ -238,6 +242,7 @@ func (s *Shard) Shutdown(ctx context.Context) error {
 		if err := s.ls.release(ctx, g, s.ID, epoch, false); err != nil && firstErr == nil {
 			firstErr = err
 		}
+		s.obs.leaseEvent(s.ID, "release")
 	}
 	return firstErr
 }
@@ -359,9 +364,11 @@ func (s *Shard) renewAll() {
 				s.leases[g] = l
 			}
 			s.mu.Unlock()
+			s.obs.leaseEvent(s.ID, "renew")
 			continue
 		}
 		if errors.Is(err, ErrLeaseLost) {
+			s.obs.leaseEvent(s.ID, "expire")
 			// Another shard took the group over (we must have been stalled
 			// past expiry, or a newer membership moved it): stop serving it
 			// and forget the local cache.
@@ -449,6 +456,14 @@ func (s *Shard) EnsureOwnership(ctx context.Context, group string) error {
 	}
 	s.leases[group] = lease
 	s.mu.Unlock()
+	switch prevOwner {
+	case "":
+		s.obs.leaseEvent(s.ID, "acquire")
+	case s.ID:
+		s.obs.leaseEvent(s.ID, "reacquire")
+	default:
+		s.obs.leaseEvent(s.ID, "steal")
+	}
 	if prevOwner == s.ID {
 		// Re-acquired our own lapsed lease with nobody in between: the
 		// local cache is still authoritative.
@@ -562,12 +577,27 @@ func (s *Shard) holdsLive(group string) bool {
 // (including /provision and /info, which any shard serves — all enclaves
 // share the master secret) to the embedded admin.Service.
 func (s *Shard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path == "/metrics" {
+		s.obs.obsRegistry().Handler().ServeHTTP(w, r)
+		return
+	}
 	s.mu.Lock()
 	stopped := s.stopped
 	s.mu.Unlock()
 	if stopped {
 		http.Error(w, "cluster: shard stopped", http.StatusServiceUnavailable)
 		return
+	}
+	// Join the router's trace (or any caller carrying the header): the
+	// shard's admin and store spans then land in the same trace dump.
+	if tid := r.Header.Get(obs.TraceHeader); tid != "" {
+		trace, root := s.obs.obsTracer().JoinTrace(tid, "shard "+s.ID+" "+r.URL.Path)
+		if root != nil {
+			var code *bufferedCode
+			w, code = withCode(w)
+			defer func() { root.End(code.err()) }()
+			r = r.WithContext(obs.ContextWithTrace(r.Context(), trace, root))
+		}
 	}
 	if !strings.HasPrefix(r.URL.Path, "/admin/") {
 		s.Service.ServeHTTP(w, r)
@@ -681,6 +711,32 @@ func (b *bufferedResponse) flush(w http.ResponseWriter) {
 	}
 	w.WriteHeader(b.code)
 	_, _ = w.Write(b.body.Bytes())
+}
+
+// bufferedCode wraps a ResponseWriter just enough to know the status code
+// afterwards (for ending the shard's root span with an error on 5xx).
+type bufferedCode struct {
+	http.ResponseWriter
+	code int
+}
+
+func withCode(w http.ResponseWriter) (http.ResponseWriter, *bufferedCode) {
+	bc := &bufferedCode{ResponseWriter: w}
+	return bc, bc
+}
+
+func (b *bufferedCode) WriteHeader(code int) {
+	if b.code == 0 {
+		b.code = code
+	}
+	b.ResponseWriter.WriteHeader(code)
+}
+
+func (b *bufferedCode) err() error {
+	if b.code >= 500 {
+		return fmt.Errorf("status %d", b.code)
+	}
+	return nil
 }
 
 // sleepCtx sleeps for dur unless the context ends first.

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/ibbesgx/ibbesgx/internal/hybrid"
 	"github.com/ibbesgx/ibbesgx/internal/ibbe"
@@ -45,6 +46,13 @@ type PartitionCrypto struct {
 type IBBEEnclave struct {
 	enc    *Enclave
 	scheme *ibbe.Scheme
+
+	// Obs, when set, receives the wall-clock duration of each group-state
+	// ECALL, keyed by a short call name ("extract", "rekey", ...). The
+	// observability plane feeds these into per-call latency histograms; an
+	// enclave cannot import the registry itself (the trust boundary points
+	// the other way), so the hook is a plain function set at mint time.
+	Obs func(call string, seconds float64)
 
 	mu  sync.RWMutex
 	msk *ibbe.MasterSecretKey
@@ -85,6 +93,17 @@ func NewIBBEEnclave(p *Platform, params *pairing.Params) (*IBBEEnclave, error) {
 
 // Enclave exposes the underlying launched enclave (for attestation).
 func (ie *IBBEEnclave) Enclave() *Enclave { return ie.enc }
+
+// timeEcall times one ECALL for the Obs hook; use as
+// `defer ie.timeEcall("extract")()`. Free when no hook is installed.
+func (ie *IBBEEnclave) timeEcall(call string) func() {
+	obs := ie.Obs
+	if obs == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() { obs(call, time.Since(t0).Seconds()) }
+}
 
 // Scheme exposes the (stateless) IBBE scheme, e.g. to attach Metrics.
 func (ie *IBBEEnclave) Scheme() *ibbe.Scheme { return ie.scheme }
@@ -151,6 +170,7 @@ func (ie *IBBEEnclave) EcallRestore(sealedMSK []byte, pk *ibbe.PublicKey) error 
 // ECDSA signature by the enclave identity key over the box (Fig. 3 step 4).
 // The plaintext user key never crosses the boundary.
 func (ie *IBBEEnclave) EcallExtractUserKey(id string, userPub *ecdh.PublicKey) (*ProvisionedKey, error) {
+	defer ie.timeEcall("extract")()
 	ie.mu.RLock()
 	defer ie.mu.RUnlock()
 	if ie.msk == nil {
@@ -187,6 +207,7 @@ func (ie *IBBEEnclave) provisionLocked(id string, uk *ibbe.UserKey, userPub *ecd
 // under each partition broadcast key, and seal gk for the administrator's
 // cache. groupLabel binds the wrapped keys to the group.
 func (ie *IBBEEnclave) EcallCreateGroup(groupLabel string, partitions [][]string) ([]byte, []PartitionCrypto, error) {
+	defer ie.timeEcall("create_group")()
 	ie.mu.RLock()
 	defer ie.mu.RUnlock()
 	if ie.pk == nil {
@@ -224,6 +245,7 @@ func (ie *IBBEEnclave) EcallCreateGroup(groupLabel string, partitions [][]string
 // (lines 3–7): unseal the current group key and wrap it under a brand-new
 // partition's broadcast key.
 func (ie *IBBEEnclave) EcallCreatePartition(groupLabel string, sealedGK []byte, members []string) (*PartitionCrypto, error) {
+	defer ie.timeEcall("create_partition")()
 	ie.mu.RLock()
 	defer ie.mu.RUnlock()
 	if ie.pk == nil {
@@ -259,6 +281,7 @@ func (ie *IBBEEnclave) EcallAddUserToPartition(ct *ibbe.Ciphertext, newUser stri
 // constant number of exponentiations for the whole batch (the per-user
 // exponents fold into one Z_r product inside the enclave).
 func (ie *IBBEEnclave) EcallAddUsersToPartition(ct *ibbe.Ciphertext, newUsers []string) (*ibbe.Ciphertext, error) {
+	defer ie.timeEcall("add_users")()
 	ie.mu.RLock()
 	defer ie.mu.RUnlock()
 	if ie.msk == nil {
@@ -279,6 +302,7 @@ func (ie *IBBEEnclave) EcallAddUsersToPartition(ct *ibbe.Ciphertext, newUsers []
 // concurrent ECALLs. The plaintext gk never leaves the enclave; workers pass
 // the sealed blob back in.
 func (ie *IBBEEnclave) EcallNewGroupKey(groupLabel string) ([]byte, error) {
+	defer ie.timeEcall("new_group_key")()
 	ie.mu.RLock()
 	defer ie.mu.RUnlock()
 	if ie.pk == nil {
@@ -295,6 +319,7 @@ func (ie *IBBEEnclave) EcallNewGroupKey(groupLabel string) ([]byte, error) {
 // key: fresh broadcast key in O(1), new wrapped gk. It is the per-partition
 // unit of Algorithm 3 and §A-G that the core worker pool parallelises.
 func (ie *IBBEEnclave) EcallRekeyPartition(groupLabel string, sealedGK []byte, ct *ibbe.Ciphertext) (*PartitionCrypto, error) {
+	defer ie.timeEcall("rekey")()
 	ie.mu.RLock()
 	defer ie.mu.RUnlock()
 	if ie.pk == nil {
@@ -332,6 +357,7 @@ func (ie *IBBEEnclave) EcallRekeyPartition(groupLabel string, sealedGK []byte, c
 // partition arm of Algorithm 3, batched: the whole removal costs a constant
 // number of exponentiations regardless of how many users leave.
 func (ie *IBBEEnclave) EcallRemoveUsersFromPartition(groupLabel string, sealedGK []byte, ct *ibbe.Ciphertext, removed []string) (*PartitionCrypto, error) {
+	defer ie.timeEcall("remove_users")()
 	ie.mu.RLock()
 	defer ie.mu.RUnlock()
 	if ie.msk == nil {

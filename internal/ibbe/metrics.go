@@ -37,6 +37,18 @@ func (m *Metrics) Snapshot() (g1Exp, gtExp, pairings, zrMul int64) {
 	return m.G1Exp.Load(), m.GTExp.Load(), m.Pairings.Load(), m.ZrMul.Load()
 }
 
+// SnapshotMap returns the counters keyed by name — the form exporters and
+// report writers should consume: adding a counter extends the map instead
+// of silently shifting Snapshot's positional 4-tuple under callers.
+func (m *Metrics) SnapshotMap() map[string]int64 {
+	return map[string]int64{
+		"g1_exp":   m.G1Exp.Load(),
+		"gt_exp":   m.GTExp.Load(),
+		"pairings": m.Pairings.Load(),
+		"zr_mul":   m.ZrMul.Load(),
+	}
+}
+
 // Total returns a single cost figure weighting each primitive roughly by its
 // relative latency (pairing ≈ 3 exponentiations ≈ 3000 scalar mults).
 func (m *Metrics) Total() int64 {

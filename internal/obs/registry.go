@@ -1,0 +1,440 @@
+// Package obs is the cluster's zero-dependency observability plane: a
+// metrics registry with Prometheus text exposition (registry.go) and a
+// lightweight request tracer (trace.go). Every instrumentation handle is
+// nil-safe — a nil *Registry hands out nil counters/gauges/histograms whose
+// methods are no-ops — so disabling observability is "pass nil", with no
+// conditional wiring at the call sites and no measurable cost on hot paths.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metric family types, as exposed on the # TYPE line.
+const (
+	TypeCounter   = "counter"
+	TypeGauge     = "gauge"
+	TypeHistogram = "histogram"
+)
+
+// DefBuckets are the default latency histogram buckets, in seconds: wide
+// enough to cover a sub-millisecond MemStore put and a multi-second lease
+// wait in the same family.
+var DefBuckets = []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Families are exposed in registration order; looking a
+// name up again returns the existing family, so independent components can
+// share one family without coordination. Safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// family is one named metric family: either a set of static instruments
+// (keyed by joined label values) or a collector callback sampled at
+// exposition time.
+type family struct {
+	name    string
+	help    string
+	typ     string
+	labels  []string
+	buckets []float64
+
+	mu      sync.Mutex
+	order   []string
+	metrics map[string]any
+
+	collect func(emit func(labelValues []string, v float64))
+}
+
+// labelKey joins label values into the family map key.
+func labelKey(values []string) string { return strings.Join(values, "\xff") }
+
+// familyFor returns (creating if needed) the named family. Looking the
+// name up again returns the existing family regardless of the other
+// arguments — the first registration pins help/type/labels so the
+// exposition stays consistent.
+func (r *Registry) familyFor(name, help, typ string, labels []string, buckets []float64) *family {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f := r.byName[name]; f != nil {
+		return f
+	}
+	if typ == TypeHistogram && len(buckets) == 0 {
+		buckets = DefBuckets
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		typ:     typ,
+		labels:  append([]string(nil), labels...),
+		buckets: append([]float64(nil), buckets...),
+		metrics: make(map[string]any),
+	}
+	r.byName[name] = f
+	r.families = append(r.families, f)
+	return f
+}
+
+// instrument returns (creating if needed) the family's instrument for the
+// given label values.
+func (f *family) instrument(values []string, mk func() any) any {
+	if f == nil {
+		return nil
+	}
+	key := labelKey(values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m, ok := f.metrics[key]; ok {
+		return m
+	}
+	m := mk()
+	f.metrics[key] = m
+	f.order = append(f.order, key)
+	return m
+}
+
+// ---------------------------------------------------------------------------
+// Counter
+
+// Counter is a monotonically increasing integer. All methods are no-ops on
+// a nil receiver.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n (n must be ≥ 0 for the exposition to stay a valid counter).
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Counter returns the label-less counter named name.
+func (r *Registry) Counter(name, help string) *Counter {
+	f := r.familyFor(name, help, TypeCounter, nil, nil)
+	if f == nil {
+		return nil
+	}
+	return f.instrument(nil, func() any { return &Counter{} }).(*Counter)
+}
+
+// CounterVec is a counter family partitioned by label values.
+type CounterVec struct{ f *family }
+
+// CounterVec returns the counter family named name with the given label
+// names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	f := r.familyFor(name, help, TypeCounter, labels, nil)
+	if f == nil {
+		return nil
+	}
+	return &CounterVec{f: f}
+}
+
+// With returns the counter for the given label values.
+func (v *CounterVec) With(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	m := v.f.instrument(values, func() any { return &Counter{} })
+	if m == nil {
+		return nil
+	}
+	return m.(*Counter)
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+
+// Gauge is a float64 that can go up and down. All methods are no-ops on a
+// nil receiver.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adjusts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Gauge returns the label-less gauge named name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.familyFor(name, help, TypeGauge, nil, nil)
+	if f == nil {
+		return nil
+	}
+	return f.instrument(nil, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// GaugeFunc registers a gauge whose value is sampled by fn at exposition
+// time — for values that already live elsewhere (queue depths, generation
+// numbers) and should not be mirrored on every change.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.Collect(name, help, TypeGauge, nil, func(emit func([]string, float64)) {
+		emit(nil, fn())
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+
+// Histogram counts observations into fixed cumulative buckets. All methods
+// are no-ops on a nil receiver.
+type Histogram struct {
+	buckets []float64      // upper bounds, ascending
+	counts  []atomic.Int64 // len(buckets)+1; last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(buckets []float64) *Histogram {
+	return &Histogram{buckets: buckets, counts: make([]atomic.Int64, len(buckets)+1)}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.buckets, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since t0.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h != nil {
+		h.Observe(time.Since(t0).Seconds())
+	}
+}
+
+// Histogram returns the label-less histogram named name. buckets may be nil
+// (DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.familyFor(name, help, TypeHistogram, nil, buckets)
+	if f == nil {
+		return nil
+	}
+	return f.instrument(nil, func() any { return newHistogram(f.buckets) }).(*Histogram)
+}
+
+// HistogramVec is a histogram family partitioned by label values.
+type HistogramVec struct{ f *family }
+
+// HistogramVec returns the histogram family named name. buckets may be nil
+// (DefBuckets).
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	f := r.familyFor(name, help, TypeHistogram, labels, buckets)
+	if f == nil {
+		return nil
+	}
+	return &HistogramVec{f: f}
+}
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	m := v.f.instrument(values, func() any { return newHistogram(v.f.buckets) })
+	if m == nil {
+		return nil
+	}
+	return m.(*Histogram)
+}
+
+// ---------------------------------------------------------------------------
+// Collectors
+
+// Collect registers a family whose samples are produced by the collect
+// callback at exposition time — the bridge for counters that already exist
+// elsewhere (ibbe.Metrics) without double-counting. typ is TypeCounter or
+// TypeGauge; collect receives an emit function taking label values (aligned
+// with labels) and the sample value. collect must be safe for concurrent
+// use; it runs on the scrape goroutine.
+func (r *Registry) Collect(name, help, typ string, labels []string, collect func(emit func(labelValues []string, v float64))) {
+	f := r.familyFor(name, help, typ, labels, nil)
+	if f == nil {
+		return
+	}
+	f.mu.Lock()
+	f.collect = collect
+	f.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Exposition
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// renderLabels renders {k="v",...} for the given names and values; extra
+// appends pre-rendered pairs (the histogram le label).
+func renderLabels(names, values []string, extra string) string {
+	if len(values) == 0 && extra == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, v := range values {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		name := "label"
+		if i < len(names) {
+			name = names[i]
+		}
+		fmt.Fprintf(&b, `%s="%s"`, name, escapeLabel(v))
+	}
+	if extra != "" {
+		if len(values) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatValue renders a sample value (integers without an exponent).
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WritePrometheus renders every family in text exposition format 0.0.4.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	families := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range families {
+		f.write(w)
+	}
+}
+
+// splitKey undoes labelKey ("" → no labels).
+func splitKey(key string) []string {
+	if key == "" {
+		return nil
+	}
+	return strings.Split(key, "\xff")
+}
+
+func (f *family) write(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help)
+	fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.typ)
+	f.mu.Lock()
+	collect := f.collect
+	order := append([]string(nil), f.order...)
+	metrics := make(map[string]any, len(f.metrics))
+	for k, m := range f.metrics {
+		metrics[k] = m
+	}
+	f.mu.Unlock()
+	if collect != nil {
+		collect(func(values []string, v float64) {
+			fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(f.labels, values, ""), formatValue(v))
+		})
+		return
+	}
+	for _, key := range order {
+		values := splitKey(key)
+		switch m := metrics[key].(type) {
+		case *Counter:
+			fmt.Fprintf(w, "%s%s %d\n", f.name, renderLabels(f.labels, values, ""), m.Value())
+		case *Gauge:
+			fmt.Fprintf(w, "%s%s %s\n", f.name, renderLabels(f.labels, values, ""), formatValue(m.Value()))
+		case *Histogram:
+			var cum int64
+			for i, ub := range m.buckets {
+				cum += m.counts[i].Load()
+				le := fmt.Sprintf(`le="%s"`, formatValue(ub))
+				fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, renderLabels(f.labels, values, le), cum)
+			}
+			cum += m.counts[len(m.buckets)].Load()
+			fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, renderLabels(f.labels, values, `le="+Inf"`), cum)
+			fmt.Fprintf(w, "%s_sum%s %g\n", f.name, renderLabels(f.labels, values, ""), math.Float64frombits(m.sumBits.Load()))
+			fmt.Fprintf(w, "%s_count%s %d\n", f.name, renderLabels(f.labels, values, ""), m.count.Load())
+		}
+	}
+}
+
+// Handler serves the registry as a Prometheus scrape endpoint.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.Error(w, "obs: no registry", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

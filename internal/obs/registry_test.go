@@ -1,0 +1,110 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ops_total", "Total ops.").Add(3)
+	r.CounterVec("route_total", "Routed requests.", "path").With("/admin/add").Inc()
+	r.CounterVec("route_total", "ignored duplicate help", "path").With("/admin/add").Inc()
+	r.Gauge("depth", "Queue depth.").Set(2.5)
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+	r.GaugeFunc("gen", "Generation.", func() float64 { return 7 })
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP ops_total Total ops.\n# TYPE ops_total counter\nops_total 3\n",
+		"# TYPE route_total counter\n" + `route_total{path="/admin/add"} 2` + "\n",
+		"# TYPE depth gauge\ndepth 2.5\n",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 5.55\n",
+		"lat_seconds_count 3\n",
+		"# TYPE gen gauge\ngen 7\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("a", "h").Inc()
+	r.Counter("a", "h").Add(2)
+	r.CounterVec("b", "h", "l").With("x").Inc()
+	r.Gauge("c", "h").Set(1)
+	r.Gauge("c", "h").Add(1)
+	r.Histogram("d", "h", nil).Observe(1)
+	r.HistogramVec("e", "h", nil, "l").With("x").Observe(1)
+	r.GaugeFunc("f", "h", func() float64 { return 1 })
+	r.Collect("g", "h", TypeCounter, nil, nil)
+	r.WritePrometheus(&strings.Builder{})
+	if v := r.Counter("a", "h").Value(); v != 0 {
+		t.Fatalf("nil counter value = %d", v)
+	}
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 404 {
+		t.Fatalf("nil registry handler status = %d", rec.Code)
+	}
+}
+
+func TestRegistryHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "X.").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c_total", "h").Inc()
+				r.CounterVec("v_total", "h", "l").With("x").Inc()
+				r.Histogram("h_seconds", "h", nil).Observe(0.001)
+				r.Gauge("g", "h").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if v := r.Counter("c_total", "h").Value(); v != 8000 {
+		t.Fatalf("counter = %d, want 8000", v)
+	}
+	if v := r.Gauge("g", "h").Value(); v != 8000 {
+		t.Fatalf("gauge = %g, want 8000", v)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "h", "l").With(`a"b\c` + "\nd").Inc()
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	if want := `esc_total{l="a\"b\\c\nd"} 1`; !strings.Contains(b.String(), want) {
+		t.Fatalf("want %q in %q", want, b.String())
+	}
+}

@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeader carries the trace ID across shard HTTP hops.
+const TraceHeader = "X-Trace-Id"
+
+// Span is one timed operation inside a trace. Parent is the ID of the
+// enclosing span (0 for the root). Spans are recorded into the trace when
+// End is called.
+type Span struct {
+	trace  *Trace
+	ID     int64  `json:"id"`
+	Parent int64  `json:"parent"`
+	Name   string `json:"name"`
+	start  time.Time
+	Start  time.Time     `json:"start"`
+	Dur    time.Duration `json:"dur"`
+	Err    string        `json:"err,omitempty"`
+}
+
+// End closes the span, recording its duration and (if non-nil) the error.
+// Safe on a nil span.
+func (s *Span) End(err error) {
+	if s == nil || s.trace == nil {
+		return
+	}
+	s.Dur = time.Since(s.start)
+	if err != nil {
+		s.Err = err.Error()
+	}
+	s.trace.record(s)
+}
+
+// Trace is a set of spans sharing one trace ID. A trace may span processes
+// — each process records its own spans and the tracer merges dumps by ID.
+type Trace struct {
+	tracer *Tracer
+	ID     string `json:"id"`
+	Name   string `json:"name"`
+	Start  time.Time
+
+	mu     sync.Mutex
+	nextID int64
+	spans  []Span
+}
+
+func (t *Trace) record(s *Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, *s)
+	t.mu.Unlock()
+	// Every root span is an operation boundary (router and shard each open
+	// one on the same trace), so each gets slow-op consideration.
+	if s.Parent == 0 && t.tracer != nil {
+		t.tracer.finish(t, s)
+	}
+}
+
+// span starts a child span; parent 0 makes a root span.
+func (t *Trace) span(name string, parent int64) *Span {
+	if t == nil {
+		return nil
+	}
+	id := atomic.AddInt64(&t.nextID, 1)
+	return &Span{trace: t, ID: id, Parent: parent, Name: name, start: time.Now(), Start: time.Now()}
+}
+
+// TraceDump is the exported form of a finished (or in-flight) trace.
+type TraceDump struct {
+	ID    string    `json:"id"`
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	Dur   float64   `json:"dur_seconds"`
+	Spans []Span    `json:"spans"`
+}
+
+// Tracer mints traces, keeps a ring buffer of recent ones, and logs
+// operations slower than Slow. A nil *Tracer is a valid no-op: StartTrace
+// and JoinTrace return nils whose methods no-op.
+type Tracer struct {
+	// Slow, when > 0, logs any trace whose root span exceeds it.
+	Slow time.Duration
+	// Logf receives slow-op lines; defaults to log.Printf-style no-op when nil.
+	Logf func(format string, args ...any)
+
+	mu   sync.Mutex
+	ring []*Trace
+	next int
+	byID map[string]*Trace
+}
+
+// NewTracer returns a tracer keeping the most recent capacity traces
+// (default 64 when capacity ≤ 0).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &Tracer{ring: make([]*Trace, capacity), byID: make(map[string]*Trace)}
+}
+
+// NewTraceID mints a random 16-hex-char trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "trace-rand-err"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// StartTrace begins a new trace with a fresh ID and returns it with its
+// root span. Nil tracer → (nil, nil).
+func (tr *Tracer) StartTrace(name string) (*Trace, *Span) {
+	return tr.JoinTrace(NewTraceID(), name)
+}
+
+// JoinTrace attaches to the trace identified by id — in-process joins reuse
+// the live trace so router and shard spans land in one dump; cross-process
+// joins (id unseen) create a local trace under the same ID. Returns the
+// trace and a root span named name. Nil tracer or empty id → (nil, nil).
+func (tr *Tracer) JoinTrace(id, name string) (*Trace, *Span) {
+	if tr == nil || id == "" {
+		return nil, nil
+	}
+	tr.mu.Lock()
+	t := tr.byID[id]
+	if t == nil {
+		t = &Trace{tracer: tr, ID: id, Name: name, Start: time.Now()}
+		tr.byID[id] = t
+		if old := tr.ring[tr.next]; old != nil {
+			delete(tr.byID, old.ID)
+		}
+		tr.ring[tr.next] = t
+		tr.next = (tr.next + 1) % len(tr.ring)
+	}
+	tr.mu.Unlock()
+	return t, t.span(name, 0)
+}
+
+// finish runs when a trace's first root span ends: slow-op logging.
+func (tr *Tracer) finish(t *Trace, root *Span) {
+	if tr.Slow > 0 && root.Dur >= tr.Slow && tr.Logf != nil {
+		tr.Logf("obs: slow op trace=%s name=%s dur=%s err=%q", t.ID, root.Name, root.Dur, root.Err)
+	}
+}
+
+// Snapshot returns the ring's traces, most recent first.
+func (tr *Tracer) Snapshot() []TraceDump {
+	if tr == nil {
+		return nil
+	}
+	tr.mu.Lock()
+	var traces []*Trace
+	for i := 1; i <= len(tr.ring); i++ {
+		if t := tr.ring[(tr.next-i+len(tr.ring))%len(tr.ring)]; t != nil {
+			traces = append(traces, t)
+		}
+	}
+	tr.mu.Unlock()
+	dumps := make([]TraceDump, 0, len(traces))
+	for _, t := range traces {
+		t.mu.Lock()
+		d := TraceDump{ID: t.ID, Name: t.Name, Start: t.Start, Spans: append([]Span(nil), t.spans...)}
+		t.mu.Unlock()
+		for _, s := range d.Spans {
+			if s.Parent == 0 && s.Dur.Seconds() > d.Dur {
+				d.Dur = s.Dur.Seconds()
+			}
+		}
+		dumps = append(dumps, d)
+	}
+	return dumps
+}
+
+// ---------------------------------------------------------------------------
+// Context plumbing
+
+type ctxKey int
+
+const (
+	traceKey ctxKey = iota
+	spanKey
+)
+
+// ContextWithTrace attaches a trace and its current span to ctx.
+func ContextWithTrace(ctx context.Context, t *Trace, s *Span) context.Context {
+	if t == nil {
+		return ctx
+	}
+	ctx = context.WithValue(ctx, traceKey, t)
+	if s != nil {
+		ctx = context.WithValue(ctx, spanKey, s)
+	}
+	return ctx
+}
+
+// TraceFromContext returns the trace attached to ctx, if any.
+func TraceFromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey).(*Trace)
+	return t
+}
+
+// TraceID returns the trace ID attached to ctx ("" if none) — what goes in
+// the TraceHeader of outbound hops.
+func TraceID(ctx context.Context) string {
+	if t := TraceFromContext(ctx); t != nil {
+		return t.ID
+	}
+	return ""
+}
+
+// StartSpan opens a child span under ctx's current span and returns a ctx
+// carrying it. With no trace in ctx it returns (ctx, nil) and the nil span
+// no-ops.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	t := TraceFromContext(ctx)
+	if t == nil {
+		return ctx, nil
+	}
+	var parent int64
+	if p, _ := ctx.Value(spanKey).(*Span); p != nil {
+		parent = p.ID
+	}
+	s := t.span(name, parent)
+	return context.WithValue(ctx, spanKey, s), s
+}

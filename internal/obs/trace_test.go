@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTraceSpansAndSnapshot(t *testing.T) {
+	tr := NewTracer(4)
+	trace, root := tr.StartTrace("route")
+	if trace == nil || root == nil {
+		t.Fatal("StartTrace returned nil")
+	}
+	ctx := ContextWithTrace(context.Background(), trace, root)
+	if TraceID(ctx) != trace.ID {
+		t.Fatalf("TraceID = %q, want %q", TraceID(ctx), trace.ID)
+	}
+	ctx2, child := StartSpan(ctx, "store.put")
+	if child.Parent != root.ID {
+		t.Fatalf("child parent = %d, want %d", child.Parent, root.ID)
+	}
+	_, grand := StartSpan(ctx2, "inner")
+	if grand.Parent != child.ID {
+		t.Fatalf("grandchild parent = %d, want %d", grand.Parent, child.ID)
+	}
+	grand.End(errors.New("boom"))
+	child.End(nil)
+	root.End(nil)
+
+	dumps := tr.Snapshot()
+	if len(dumps) != 1 {
+		t.Fatalf("got %d dumps, want 1", len(dumps))
+	}
+	d := dumps[0]
+	if d.ID != trace.ID || len(d.Spans) != 3 {
+		t.Fatalf("dump = %+v", d)
+	}
+	if d.Spans[0].Err != "boom" {
+		t.Fatalf("first recorded span err = %q", d.Spans[0].Err)
+	}
+}
+
+func TestJoinTraceMergesInProcess(t *testing.T) {
+	tr := NewTracer(4)
+	trace, root := tr.StartTrace("route")
+	// The shard side joins by header value and must land in the same trace.
+	joined, shardRoot := tr.JoinTrace(trace.ID, "shard")
+	if joined != trace {
+		t.Fatal("JoinTrace minted a new trace for a live ID")
+	}
+	shardRoot.End(nil)
+	root.End(nil)
+	dumps := tr.Snapshot()
+	if len(dumps) != 1 || len(dumps[0].Spans) != 2 {
+		t.Fatalf("dumps = %+v", dumps)
+	}
+}
+
+func TestTracerRingEviction(t *testing.T) {
+	tr := NewTracer(2)
+	for i := 0; i < 3; i++ {
+		_, root := tr.StartTrace("op")
+		root.End(nil)
+	}
+	if n := len(tr.Snapshot()); n != 2 {
+		t.Fatalf("ring holds %d traces, want 2", n)
+	}
+	if n := len(tr.byID); n != 2 {
+		t.Fatalf("byID holds %d entries, want 2", n)
+	}
+}
+
+func TestSlowOpLogging(t *testing.T) {
+	tr := NewTracer(4)
+	tr.Slow = time.Nanosecond
+	var logged []string
+	tr.Logf = func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) }
+	_, root := tr.StartTrace("slowthing")
+	time.Sleep(time.Millisecond)
+	root.End(nil)
+	if len(logged) != 1 || !strings.Contains(logged[0], "slowthing") {
+		t.Fatalf("logged = %v", logged)
+	}
+}
+
+func TestNilTracerAndSpans(t *testing.T) {
+	var tr *Tracer
+	trace, root := tr.StartTrace("x")
+	if trace != nil || root != nil {
+		t.Fatal("nil tracer minted a trace")
+	}
+	root.End(nil) // must not panic
+	ctx := ContextWithTrace(context.Background(), nil, nil)
+	if TraceID(ctx) != "" {
+		t.Fatal("nil trace produced an ID")
+	}
+	ctx2, sp := StartSpan(ctx, "y")
+	if sp != nil || ctx2 != ctx {
+		t.Fatal("StartSpan without a trace should no-op")
+	}
+	sp.End(nil)
+	if tr.Snapshot() != nil {
+		t.Fatal("nil tracer snapshot non-nil")
+	}
+}

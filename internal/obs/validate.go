@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition parses a Prometheus text-format (0.0.4) payload and
+// checks it structurally: every sample belongs to a declared family, TYPE
+// lines precede their samples, values parse, and each histogram carries the
+// mandatory +Inf bucket plus _sum and _count series. It returns the family
+// name → type map so callers can assert coverage. This is the shared
+// checker behind the golden exposition test and cmd/metricscheck — the CI
+// scrape validator — so both fail on the same malformations.
+func ValidateExposition(data []byte) (map[string]string, error) {
+	families := make(map[string]string)
+	histSeries := make(map[string]map[string]bool) // histogram family → seen suffix/le markers
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		switch {
+		case line == "":
+			continue
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, _ := strings.Cut(rest, " ")
+			if !validMetricName(name) {
+				return nil, fmt.Errorf("line %d: bad HELP metric name %q", lineNo, name)
+			}
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || !validMetricName(name) {
+				return nil, fmt.Errorf("line %d: malformed TYPE line %q", lineNo, line)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, typ)
+			}
+			if _, dup := families[name]; dup {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for family %q", lineNo, name)
+			}
+			families[name] = typ
+			if typ == "histogram" {
+				histSeries[name] = make(map[string]bool)
+			}
+		case strings.HasPrefix(line, "#"):
+			// Free-form comment: legal, ignored.
+		default:
+			name, labels, value, err := parseSample(line)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			fam, suffix, err := sampleFamily(name, families)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo, err)
+			}
+			_ = value
+			if h, isHist := histSeries[fam]; isHist {
+				h[suffix] = true
+				if suffix == "_bucket" && strings.Contains(labels, `le="+Inf"`) {
+					h["+Inf"] = true
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for fam, seen := range histSeries {
+		// A histogram vec with no children legally exposes only HELP/TYPE;
+		// once any series appears the full triplet (and +Inf bucket) must.
+		if len(seen) == 0 {
+			continue
+		}
+		for _, want := range []string{"_bucket", "_sum", "_count", "+Inf"} {
+			if !seen[want] {
+				return nil, fmt.Errorf("histogram %s missing %s series", fam, want)
+			}
+		}
+	}
+	return families, nil
+}
+
+var metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+
+func validMetricName(name string) bool { return metricNameRe.MatchString(name) }
+
+// parseSample splits one sample line into metric name, raw label block (the
+// text between the braces, "" when absent) and the parsed value.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return "", "", 0, fmt.Errorf("malformed sample %q", line)
+	} else {
+		name, rest = rest[:i], rest[i:]
+	}
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("bad metric name %q", name)
+	}
+	if strings.HasPrefix(rest, "{") {
+		// The label block can embed escaped quotes; scan to the closing
+		// brace outside a quoted string.
+		end := -1
+		inQuote := false
+		for i := 1; i < len(rest); i++ {
+			switch rest[i] {
+			case '\\':
+				if inQuote {
+					i++
+				}
+			case '"':
+				inQuote = !inQuote
+			case '}':
+				if !inQuote {
+					end = i
+				}
+			}
+			if end >= 0 {
+				break
+			}
+		}
+		if end < 0 {
+			return "", "", 0, fmt.Errorf("unterminated label block in %q", line)
+		}
+		labels, rest = rest[1:end], rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return "", "", 0, fmt.Errorf("malformed sample value in %q", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad sample value %q: %v", fields[0], err)
+	}
+	return name, labels, value, nil
+}
+
+// sampleFamily resolves which declared family a sample belongs to,
+// accepting the histogram _bucket/_sum/_count suffixes.
+func sampleFamily(name string, families map[string]string) (fam, suffix string, err error) {
+	if typ, ok := families[name]; ok {
+		if typ == "histogram" {
+			return "", "", fmt.Errorf("histogram family %q sampled without suffix", name)
+		}
+		return name, "", nil
+	}
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, s)
+		if base != name && families[base] == "histogram" {
+			return base, s, nil
+		}
+	}
+	return "", "", fmt.Errorf("sample %q has no preceding TYPE declaration", name)
+}
