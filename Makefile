@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt test short race bench ci
+.PHONY: all build vet fmt test short race bench fuzz benchdiff ci
 
 all: build
 
@@ -36,6 +36,15 @@ race:
 ## bench: one pass over every benchmark (smoke; use cmd/ibbe-bench for figures)
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+## fuzz: differential fuzz of the Montgomery limb core vs big.Int (15s, as in CI)
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzMontFieldVsBigInt$$' -fuzztime=15s ./internal/ff
+
+## benchdiff: measure the crypto scenario fresh and gate it against the committed baseline
+benchdiff:
+	$(GO) run ./cmd/ibbe-bench -json BENCH_crypto.fresh.json crypto
+	$(GO) run ./cmd/benchdiff -old BENCH_crypto.json -new BENCH_crypto.fresh.json -max-regress 0.15
 
 ## ci: everything the workflow gates on
 ci: build vet fmt test race

@@ -1,0 +1,126 @@
+// Command benchdiff is the CI bench-regression guard for the crypto
+// substrate: it compares a freshly measured crypto scenario (ibbe-bench
+// -json ... crypto) against the committed BENCH_crypto.json baseline and
+// fails if any operation's fast path regressed by more than the allowed
+// fraction.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_crypto.json -new BENCH_crypto.fresh.json [-max-regress 0.15]
+//
+// Only fast_ns_per_op is gated — the reference ("slow") arm exists for
+// differential correctness, not performance, and gating it would make the
+// guard flake on big.Int noise. Rows are matched by (op, m); an op present
+// in the baseline but missing from the fresh run fails the guard (coverage
+// silently lost), while a brand-new op is reported and skipped (no baseline
+// to regress against). Per-op timings are min-of-iters, so run-to-run noise
+// is one-sided and the threshold can stay tight.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type report struct {
+	Experiment string `json:"experiment"`
+	Scale      string `json:"scale"`
+	Rows       []row  `json:"rows"`
+}
+
+type row struct {
+	Op     string `json:"op"`
+	M      int    `json:"m"`
+	FastNs int64  `json:"fast_ns_per_op"`
+}
+
+type opKey struct {
+	Op string
+	M  int
+}
+
+func main() {
+	oldPath := flag.String("old", "BENCH_crypto.json", "committed baseline report")
+	newPath := flag.String("new", "", "freshly measured report to gate")
+	maxRegress := flag.Float64("max-regress", 0.15, "maximum allowed fractional slowdown per op (0.15 = +15%)")
+	flag.Parse()
+	if *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
+		os.Exit(2)
+	}
+
+	oldRep, err := load(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRep, err := load(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	lines, failures := diff(oldRep, newRep, *maxRegress)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %.0f%%\n", len(failures), *maxRegress*100)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %d ops within %.0f%% of baseline\n", len(newRep.Rows), *maxRegress*100)
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Rows) == 0 {
+		return nil, fmt.Errorf("%s: no rows", path)
+	}
+	return &r, nil
+}
+
+// diff compares fresh against baseline and returns the printable comparison
+// plus one entry per failed gate.
+func diff(oldRep, newRep *report, maxRegress float64) (lines, failures []string) {
+	fresh := make(map[opKey]int64, len(newRep.Rows))
+	for _, r := range newRep.Rows {
+		fresh[opKey{r.Op, r.M}] = r.FastNs
+	}
+	lines = append(lines, fmt.Sprintf("      %12s  %5s  %14s  %14s  %8s", "op", "m", "baseline ns", "fresh ns", "ratio"))
+	for _, base := range oldRep.Rows {
+		k := opKey{base.Op, base.M}
+		got, ok := fresh[k]
+		if !ok {
+			f := fmt.Sprintf("%s m=%d: present in baseline, missing from fresh run", base.Op, base.M)
+			failures = append(failures, f)
+			lines = append(lines, "FAIL  "+f)
+			continue
+		}
+		delete(fresh, k)
+		ratio := float64(got) / float64(base.FastNs)
+		status := "  ok"
+		if ratio > 1+maxRegress {
+			failures = append(failures, fmt.Sprintf("%s m=%d: %d ns vs baseline %d ns (%.0f%% slower)",
+				base.Op, base.M, got, base.FastNs, (ratio-1)*100))
+			status = "FAIL"
+		}
+		lines = append(lines, fmt.Sprintf("%s  %12s  %5d  %14d  %14d  %7.2fx",
+			status, base.Op, base.M, base.FastNs, got, ratio))
+	}
+	// Fresh rows with no baseline counterpart (new ops): reported, not gated.
+	for _, r := range newRep.Rows {
+		if _, ok := fresh[opKey{r.Op, r.M}]; ok {
+			lines = append(lines, fmt.Sprintf(" new  %12s  %5d: no baseline yet, skipped", r.Op, r.M))
+		}
+	}
+	return lines, failures
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func rep(rows ...row) *report {
+	return &report{Experiment: "crypto", Scale: "ci", Rows: rows}
+}
+
+func TestDiffPassesWithinThreshold(t *testing.T) {
+	old := rep(row{"EncryptMSK", 256, 100_000}, row{"Decrypt", 256, 5_000_000})
+	fresh := rep(row{"EncryptMSK", 256, 110_000}, row{"Decrypt", 256, 4_000_000})
+	_, failures := diff(old, fresh, 0.15)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+}
+
+func TestDiffFlagsRegression(t *testing.T) {
+	old := rep(row{"EncryptMSK", 256, 100_000})
+	fresh := rep(row{"EncryptMSK", 256, 120_000})
+	_, failures := diff(old, fresh, 0.15)
+	if len(failures) != 1 {
+		t.Fatalf("failures = %v, want exactly the 20%% regression", failures)
+	}
+	if !strings.Contains(failures[0], "EncryptMSK m=256") {
+		t.Fatalf("failure does not name the op: %q", failures[0])
+	}
+}
+
+func TestDiffFailsOnLostCoverage(t *testing.T) {
+	old := rep(row{"EncryptMSK", 256, 100_000}, row{"Rekey", 256, 90_000})
+	fresh := rep(row{"EncryptMSK", 256, 100_000})
+	_, failures := diff(old, fresh, 0.15)
+	if len(failures) != 1 || !strings.Contains(failures[0], "missing from fresh run") {
+		t.Fatalf("lost coverage not flagged: %v", failures)
+	}
+}
+
+func TestDiffSkipsNewOps(t *testing.T) {
+	old := rep(row{"EncryptMSK", 256, 100_000})
+	fresh := rep(row{"EncryptMSK", 256, 100_000}, row{"Extract", 256, 50_000})
+	lines, failures := diff(old, fresh, 0.15)
+	if len(failures) != 0 {
+		t.Fatalf("new op treated as failure: %v", failures)
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "no baseline yet") {
+		t.Fatalf("new op not reported:\n%s", joined)
+	}
+}

@@ -72,7 +72,14 @@ func TestFig6ShapeHolds(t *testing.T) {
 	if testing.Short() {
 		t.Skip("figure replay: skipped in -short CI runs")
 	}
-	rows, err := RunFig6(tinyConfig())
+	// Setup is O(m) fixed-base exponentiations at ~15µs each on the limb
+	// fast path, on top of a few milliseconds of constant-cost generator
+	// sampling and pairing work. The grid must reach partition sizes where
+	// the linear term clears that constant, or the latency ordering drowns
+	// in noise.
+	cfg := tinyConfig()
+	cfg.PartitionSizes = []int{16, 128, 1024}
+	rows, err := RunFig6(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

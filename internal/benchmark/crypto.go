@@ -3,6 +3,7 @@ package benchmark
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"time"
 
 	"github.com/ibbesgx/ibbesgx/internal/ibbe"
@@ -22,6 +23,12 @@ type CryptoRow struct {
 
 	SlowNs int64 `json:"slow_ns_per_op"`
 	FastNs int64 `json:"fast_ns_per_op"`
+
+	// Heap allocations per call, averaged over the timing loop. The limb
+	// fast path works in fixed-width stack arrays, so its counts expose any
+	// accidental big.Int round-trips the ns column might hide in noise.
+	SlowAllocs int64 `json:"slow_allocs_per_op"`
+	FastAllocs int64 `json:"fast_allocs_per_op"`
 
 	Speedup float64 `json:"speedup"`
 }
@@ -61,10 +68,10 @@ func RunCrypto(cfg Config) ([]CryptoRow, error) {
 		row := func(op string, iters int, slowFn, fastFn func() error) (CryptoRow, error) {
 			r := CryptoRow{Op: op, M: m, Iters: iters}
 			var err error
-			if r.SlowNs, err = timePerOp(iters, slowFn); err != nil {
+			if r.SlowNs, r.SlowAllocs, err = timePerOp(iters, slowFn); err != nil {
 				return r, fmt.Errorf("%s m=%d slow: %w", op, m, err)
 			}
-			if r.FastNs, err = timePerOp(iters, fastFn); err != nil {
+			if r.FastNs, r.FastAllocs, err = timePerOp(iters, fastFn); err != nil {
 				return r, fmt.Errorf("%s m=%d fast: %w", op, m, err)
 			}
 			if r.FastNs > 0 {
@@ -140,31 +147,40 @@ func RunCrypto(cfg Config) ([]CryptoRow, error) {
 	return rows, nil
 }
 
-// timePerOp runs f iters times and returns the fastest single call. The
-// minimum is the standard noise-robust estimator here: an op's cost has a
-// hard arithmetic floor, so scheduler preemption and GC pauses can only
-// inflate samples, never deflate them.
-func timePerOp(iters int, f func() error) (int64, error) {
+// timePerOp runs f iters times and returns the fastest single call plus the
+// mean heap allocations per call. The minimum is the standard noise-robust
+// latency estimator here: an op's cost has a hard arithmetic floor, so
+// scheduler preemption and GC pauses can only inflate samples, never deflate
+// them. Allocations, by contrast, are deterministic per call (modulo slice
+// growth on the first iteration), so the mean over the loop is exact enough.
+func timePerOp(iters int, f func() error) (int64, int64, error) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	mallocs := ms.Mallocs
 	best := int64(-1)
 	for i := 0; i < iters; i++ {
 		start := time.Now()
 		if err := f(); err != nil {
-			return 0, err
+			return 0, 0, err
 		}
 		if d := time.Since(start).Nanoseconds(); best < 0 || d < best {
 			best = d
 		}
 	}
-	return best, nil
+	runtime.ReadMemStats(&ms)
+	allocs := int64(ms.Mallocs-mallocs) / int64(iters)
+	return best, allocs, nil
 }
 
 // PrintCrypto writes the crypto fast-path table.
 func PrintCrypto(w io.Writer, rows []CryptoRow) {
 	fmt.Fprintln(w, "Crypto — reference arithmetic vs fixed-base/w-NAF/Straus fast path (same keys, same outputs)")
-	fmt.Fprintf(w, "%12s  %5s  %12s  %12s  %8s\n", "op", "m", "old", "new", "speedup")
+	fmt.Fprintf(w, "%12s  %5s  %12s  %12s  %8s  %12s  %12s\n",
+		"op", "m", "old", "new", "speedup", "old allocs", "new allocs")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%12s  %5d  %12s  %12s  %7.2fx\n",
-			r.Op, r.M, Dur(time.Duration(r.SlowNs)), Dur(time.Duration(r.FastNs)), r.Speedup)
+		fmt.Fprintf(w, "%12s  %5d  %12s  %12s  %7.2fx  %12d  %12d\n",
+			r.Op, r.M, Dur(time.Duration(r.SlowNs)), Dur(time.Duration(r.FastNs)), r.Speedup,
+			r.SlowAllocs, r.FastAllocs)
 	}
 	var encMax, decMax CryptoRow
 	for _, r := range rows {

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/ibbesgx/ibbesgx/internal/curve"
 	"github.com/ibbesgx/ibbesgx/internal/enclave"
 	"github.com/ibbesgx/ibbesgx/internal/ibbe"
 	"github.com/ibbesgx/ibbesgx/internal/partition"
@@ -108,12 +109,15 @@ func NewManager(encl *enclave.IBBEEnclave, capacity int, seed int64) (*Manager, 
 
 // SetParallelism bounds the worker pool used for per-partition enclave work;
 // n < 1 selects the serial path. Safe to call concurrently with operations
-// (new operations pick up the new bound).
+// (new operations pick up the new bound). The bound is forwarded to the
+// curve layer's digit-parallel multi-exponentiation pool, so one knob sizes
+// both the per-partition fan-out and the intra-operation parallelism.
 func (m *Manager) SetParallelism(n int) {
 	if n < 1 {
 		n = 1
 	}
 	m.workers.Store(int32(n))
+	curve.SetMaxParallelism(n)
 }
 
 // Parallelism returns the current worker-pool bound.

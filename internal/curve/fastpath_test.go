@@ -192,6 +192,141 @@ func TestMultiExpMatchesNaiveLoop(t *testing.T) {
 	}
 }
 
+func TestScalarMultConstTimeMatchesBinaryReference(t *testing.T) {
+	for name, c := range fastPathCurves(t) {
+		p, err := c.RandPoint(rand.Reader)
+		if err != nil {
+			t.Fatalf("%s: RandPoint: %v", name, err)
+		}
+		for _, k := range testScalars(t, c, 16) {
+			kr := new(big.Int).Mod(k, c.R)
+			want := c.ScalarMultBinary(p, kr)
+			got := c.ScalarMultConstTime(p, k)
+			if !c.Equal(got, want) {
+				t.Fatalf("%s: ScalarMultConstTime(%v) diverges from binary ladder", name, k)
+			}
+			if !want.Inf && string(c.Marshal(got)) != string(c.Marshal(want)) {
+				t.Fatalf("%s: ScalarMultConstTime(%v) encoding differs", name, k)
+			}
+		}
+		if !c.ScalarMultConstTime(c.Infinity(), big.NewInt(3)).Inf {
+			t.Fatalf("%s: ScalarMultConstTime(∞) not ∞", name)
+		}
+		// k ≡ 0 mod r lifts to the odd scalar r itself; the uniform walk must
+		// still land on the identity.
+		if !c.ScalarMultConstTime(p, new(big.Int).Set(c.R)).Inf {
+			t.Fatalf("%s: ScalarMultConstTime(r) not ∞", name)
+		}
+	}
+}
+
+func TestFixedBaseMulConstTimeMatchesMul(t *testing.T) {
+	for name, c := range fastPathCurves(t) {
+		p, err := c.RandPoint(rand.Reader)
+		if err != nil {
+			t.Fatalf("%s: RandPoint: %v", name, err)
+		}
+		fb := c.NewFixedBase(p)
+		for _, k := range testScalars(t, c, 16) {
+			want := fb.Mul(k)
+			got := fb.MulConstTime(k)
+			if !c.Equal(got, want) {
+				t.Fatalf("%s: MulConstTime(%v) ≠ Mul", name, k)
+			}
+			if !want.Inf && string(c.Marshal(got)) != string(c.Marshal(want)) {
+				t.Fatalf("%s: MulConstTime(%v) encoding differs", name, k)
+			}
+		}
+		inf := c.NewFixedBase(c.Infinity())
+		if !inf.MulConstTime(big.NewInt(9)).Inf {
+			t.Fatalf("%s: FixedBase(∞).MulConstTime not ∞", name)
+		}
+	}
+}
+
+func TestCTRecodeReconstructsScalar(t *testing.T) {
+	for name, c := range fastPathCurves(t) {
+		nd := ctDigits(c.R.BitLen() + 1)
+		for _, k := range testScalars(t, c, 24) {
+			digits := ctRecode(k, c.R)
+			if len(digits) != nd {
+				t.Fatalf("%s: digit count %d varies from fixed %d for k=%v",
+					name, len(digits), nd, k)
+			}
+			sum := new(big.Int)
+			for i, d := range digits {
+				if d == 0 || d%2 == 0 || d > (1<<ctWindow)-1 || d < -((1<<ctWindow)-1) {
+					t.Fatalf("%s: digit %d = %d outside signed odd window", name, i, d)
+				}
+				sum.Add(sum, new(big.Int).Lsh(big.NewInt(int64(d)), uint(i*ctWindow)))
+			}
+			// The reconstruction equals k mod r (the lift adds a multiple of r).
+			if new(big.Int).Mod(sum, c.R).Cmp(new(big.Int).Mod(k, c.R)) != 0 {
+				t.Fatalf("%s: ctRecode(%v) reconstructs to %v", name, k, sum)
+			}
+		}
+	}
+}
+
+// TestMultiExpParallelMatchesSerial pins the digit-parallel Straus walk
+// against the serial one on a batch large enough to actually split, across
+// several worker-pool bounds, including from concurrent callers.
+func TestMultiExpParallelMatchesSerial(t *testing.T) {
+	defer SetMaxParallelism(MaxParallelism())
+	for name, c := range fastPathCurves(t) {
+		const n = 96 // ≥ 2 chunks at minChunk 16
+		points := make([]*Point, n)
+		for i := range points {
+			p, err := c.RandPoint(rand.Reader)
+			if err != nil {
+				t.Fatalf("%s: RandPoint: %v", name, err)
+			}
+			points[i] = p
+		}
+		rng := mrand.New(mrand.NewSource(77))
+		scalars := make([]*big.Int, n)
+		for i := range scalars {
+			scalars[i] = new(big.Int).Rand(rng, c.R)
+		}
+		scalars[7] = big.NewInt(0)
+		tab := c.NewMultiExpTable(points)
+
+		SetMaxParallelism(1)
+		want := tab.MultiExp(scalars, 0)
+		for _, workers := range []int{2, 4, 8} {
+			SetMaxParallelism(workers)
+			got := tab.MultiExp(scalars, 0)
+			if string(c.Marshal(got)) != string(c.Marshal(want)) {
+				t.Fatalf("%s: parallel MultiExp (workers=%d) diverges from serial", name, workers)
+			}
+		}
+
+		// MulMany across the same worker sweep.
+		fb := c.NewFixedBase(points[0])
+		SetMaxParallelism(1)
+		wantMany := fb.MulMany(scalars)
+		SetMaxParallelism(8)
+		gotMany := fb.MulMany(scalars)
+		for i := range wantMany {
+			if !c.Equal(gotMany[i], wantMany[i]) {
+				t.Fatalf("%s: parallel MulMany[%d] diverges", name, i)
+			}
+		}
+
+		// Concurrent callers share the table and the worker bound.
+		SetMaxParallelism(4)
+		done := make(chan *Point, 4)
+		for g := 0; g < 4; g++ {
+			go func() { done <- tab.MultiExp(scalars, 0) }()
+		}
+		for g := 0; g < 4; g++ {
+			if got := <-done; string(c.Marshal(got)) != string(c.Marshal(want)) {
+				t.Fatalf("%s: concurrent MultiExp diverges", name)
+			}
+		}
+	}
+}
+
 func TestBatchNormalizeMatchesFromJacobian(t *testing.T) {
 	for name, c := range fastPathCurves(t) {
 		var js []*jacobianPoint

@@ -1,6 +1,11 @@
 package curve
 
-import "math/big"
+import (
+	"math/big"
+	"sync"
+
+	"github.com/ibbesgx/ibbesgx/internal/ff"
+)
 
 // fixedBaseWindow is the radix-2^w digit width of a FixedBase table. Width 4
 // keeps the table at ⌈bits(r)/4⌉ × 15 affine points (≈ 150 KiB for the
@@ -20,6 +25,16 @@ type FixedBase struct {
 	c     *Curve
 	base  *Point
 	table [][]*Point // table[i][d-1] = d · 2^(w·i) · base
+
+	// Montgomery-domain mirror of table, built lazily on first use so
+	// construction stays cheap for tables that only ever serve the big.Int
+	// path. Stays nil when the field is too wide for the limb core.
+	montOnce sync.Once
+	mtable   [][]montAffine
+
+	// Constant-time signed-odd-window table; see MulConstTime in ctmul.go.
+	ctOnce sync.Once
+	ctable [][]montAffine
 }
 
 // NewFixedBase builds the windowed table for p. Construction costs about one
@@ -57,9 +72,59 @@ func (c *Curve) NewFixedBase(p *Point) *FixedBase {
 // Point returns (a copy of) the base point the table was built for.
 func (fb *FixedBase) Point() *Point { return fb.base.Clone() }
 
+// montTable returns the Montgomery-domain mirror of the window table,
+// building it once on first call; nil when the limb core is unavailable.
+func (fb *FixedBase) montTable() [][]montAffine {
+	fb.montOnce.Do(func() {
+		m := fb.c.mont()
+		if m == nil || fb.table == nil {
+			return
+		}
+		mt := make([][]montAffine, len(fb.table))
+		for i, row := range fb.table {
+			mt[i] = toMontAffineBatch(m, row)
+		}
+		fb.mtable = mt
+	})
+	return fb.mtable
+}
+
 // Mul returns (k mod r)·P using only table lookups and mixed additions.
+// When the field fits the limb core the whole digit walk runs in the
+// Montgomery domain and big.Int is touched only for the digit probe and the
+// final affine conversion.
 func (fb *FixedBase) Mul(k *big.Int) *Point {
-	return fb.c.fromJacobian(fb.mulJacobian(k))
+	c := fb.c
+	if m := c.mont(); m != nil {
+		if mt := fb.montTable(); mt != nil {
+			e := new(big.Int).Mod(k, c.R)
+			if fb.base.Inf || e.Sign() == 0 {
+				return c.Infinity()
+			}
+			acc := fb.montMulJac(m, mt, e)
+			return c.montFromJac(m, &acc)
+		}
+	}
+	return c.fromJacobian(fb.mulJacobian(k))
+}
+
+// montMulJac is the limb-domain digit walk over the mirror table. The caller
+// guarantees 0 < e < r and a non-infinity base.
+func (fb *FixedBase) montMulJac(m *ff.Mont, mt [][]montAffine, e *big.Int) montJac {
+	const w = fixedBaseWindow
+	var acc montJac
+	acc.setInfinity(m)
+	for i := range mt {
+		d := 0
+		for b := 0; b < w; b++ {
+			d |= int(e.Bit(i*w+b)) << b
+		}
+		if d == 0 {
+			continue
+		}
+		fb.c.montAddAffine(m, &acc, &mt[i][d-1])
+	}
+	return acc
 }
 
 // mulJacobian is Mul without the final normalisation, for batch callers.
@@ -91,8 +156,29 @@ func (fb *FixedBase) mulJacobian(k *big.Int) *jacobianPoint {
 // MulMany computes (k mod r)·P for every scalar, sharing one batch
 // normalisation (a single field inversion) across all results. This is the
 // Setup fast path: the m+1 public-key powers of h come out of one table and
-// one inversion.
+// one inversion. With the limb core available the scalars are split into
+// contiguous chunks across at most MaxParallelism workers, each walking the
+// Montgomery mirror table independently; the results still share the single
+// batch normalisation.
 func (fb *FixedBase) MulMany(ks []*big.Int) []*Point {
+	c := fb.c
+	if m := c.mont(); m != nil {
+		if mt := fb.montTable(); mt != nil {
+			js := make([]*jacobianPoint, len(ks))
+			parallelRanges(len(ks), 8, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					e := new(big.Int).Mod(ks[i], c.R)
+					if fb.base.Inf || e.Sign() == 0 {
+						js[i] = c.jacobianInfinity()
+						continue
+					}
+					acc := fb.montMulJac(m, mt, e)
+					js[i] = c.montToJacobian(m, &acc)
+				}
+			})
+			return c.batchNormalize(js)
+		}
+	}
 	js := make([]*jacobianPoint, len(ks))
 	for i, k := range ks {
 		js[i] = fb.mulJacobian(k)

@@ -54,13 +54,34 @@ func (c *Curve) oddMultiples(p *Point, n int) []*Point {
 
 // scalarMultJacobian is the w-NAF ladder shared by ScalarMult and callers
 // that want to defer normalisation (batch contexts). The scalar must be
-// non-negative; the point may be any curve point.
+// non-negative; the point may be any curve point. When the limb core is
+// available the digit walk runs in the Montgomery domain: the freshly
+// normalised odd multiples convert in once and every doubling and addition
+// is a CIOS product.
 func (c *Curve) scalarMultJacobian(p *Point, k *big.Int) *jacobianPoint {
 	if p.Inf || k.Sign() == 0 {
 		return c.jacobianInfinity()
 	}
 	odd := c.oddMultiples(p, 1<<(scalarWindow-2))
 	digits := wnafDigits(k, scalarWindow)
+	if m := c.mont(); m != nil {
+		modd := toMontAffineBatch(m, odd)
+		var acc montJac
+		acc.setInfinity(m)
+		for i := len(digits) - 1; i >= 0; i-- {
+			c.montDouble(m, &acc)
+			d := digits[i]
+			if d == 0 {
+				continue
+			}
+			if d > 0 {
+				c.montAddAffine(m, &acc, &modd[(d-1)/2])
+			} else {
+				c.montAddNegAffine(m, &acc, &modd[(-d-1)/2])
+			}
+		}
+		return c.montToJacobian(m, &acc)
+	}
 	acc := c.jacobianInfinity()
 	f := c.F
 	for i := len(digits) - 1; i >= 0; i-- {

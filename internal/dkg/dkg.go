@@ -154,7 +154,9 @@ func (s *Suite) Deal(secret *big.Int, degree int, indices []int, rng io.Reader) 
 	}
 	d := &Deal{Degree: degree, Commitments: make([]*curve.Point, degree+1)}
 	for j, a := range coeffs {
-		d.Commitments[j] = s.G.ScalarMult(s.Base, a)
+		// Constant-time: the coefficients are the sharing polynomial's
+		// secrets (a_0 is the dealt secret itself).
+		d.Commitments[j] = s.G.ScalarMultConstTime(s.Base, a)
 	}
 	d.Shares = make([]Share, len(indices))
 	for k, i := range indices {
@@ -182,7 +184,9 @@ func (s *Suite) VerifyShare(comms []*curve.Point, sh Share) error {
 	if sh.Index < 1 || sh.Value == nil {
 		return ErrBadIndex
 	}
-	lhs := s.G.ScalarMult(s.Base, sh.Value)
+	// Constant-time: the share value stays secret even though the
+	// commitment comparison below is public.
+	lhs := s.G.ScalarMultConstTime(s.Base, sh.Value)
 	if !s.G.Equal(lhs, s.CommitmentEval(comms, sh.Index)) {
 		return fmt.Errorf("%w (index %d)", ErrShareInvalid, sh.Index)
 	}

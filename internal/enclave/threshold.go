@@ -438,7 +438,10 @@ func (ie *IBBEEnclave) EcallPartialExtract(gen uint64, id string, nonce []byte, 
 		zi = zr.Add(zi, z)
 	}
 	u := zr.Add(zr.Mul(ri, zr.Add(ie.thr.value, ie.scheme.HashID(id))), zi)
-	part := &dkg.ExtractPartial{Index: ie.thr.index, U: u, P: ie.thr.extractBase(ie.scheme.P.G1).Mul(ri)}
+	// MulConstTime: r_i blinds this holder's share of the master secret, so
+	// the published P_i = base^{r_i} must not leak r_i through the walk's
+	// timing or table-access pattern.
+	part := &dkg.ExtractPartial{Index: ie.thr.index, U: u, P: ie.thr.extractBase(ie.scheme.P.G1).MulConstTime(ri)}
 	return ie.enc.Seal(ie.encodePartial(part), partialLabel(ie.thr.gen, id, nonce))
 }
 
@@ -539,7 +542,8 @@ func (ie *IBBEEnclave) EcallRecoverExtract(id string, userPub *ecdh.PublicKey, n
 	if err != nil {
 		return nil, err
 	}
-	if !ie.scheme.P.G1.Equal(suite.G.ScalarMult(suite.Base, gamma), comms[0]) {
+	// Constant-time: γ is the reconstructed master secret itself.
+	if !ie.scheme.P.G1.Equal(suite.G.ScalarMultConstTime(suite.Base, gamma), comms[0]) {
 		return nil, errors.New("enclave: reconstructed secret does not match the committed master secret")
 	}
 	uk, err := ie.scheme.Extract(&ibbe.MasterSecretKey{G: base, Gamma: gamma}, id)

@@ -89,11 +89,13 @@ func (e *Ext) SetInto(dst, src *E2) {
 // multiplications over square-and-multiply.
 const expWindowWidth = 4
 
-// ExpWindowed returns x^k using a width-4 sliding window over the scratch-
-// reusing primitives: one squaring per exponent bit plus one multiplication
-// per non-zero window (≈ bitlen/5 on average), against one per set bit
-// (≈ bitlen/2) for the plain Exp ladder. Negative exponents invert first,
-// exactly like Exp.
+// ExpWindowed returns x^k using a width-4 sliding window: one squaring per
+// exponent bit plus one multiplication per non-zero window (≈ bitlen/5 on
+// average), against one per set bit (≈ bitlen/2) for the plain Exp ladder.
+// When the field fits the limb core the whole ladder runs in the Montgomery
+// domain — the element converts in once, every squaring and multiplication
+// is a CIOS product, and the result converts out once; big.Int is never
+// touched in between. Negative exponents invert first, exactly like Exp.
 func (e *Ext) ExpWindowed(x *E2, k *big.Int) (*E2, error) {
 	if k.Sign() < 0 {
 		inv, err := e.Inv(x)
@@ -101,6 +103,12 @@ func (e *Ext) ExpWindowed(x *E2, k *big.Int) (*E2, error) {
 			return nil, err
 		}
 		return e.ExpWindowed(inv, new(big.Int).Neg(k))
+	}
+	if m := e.F.Mont(); m != nil {
+		var xm, out E2Fel
+		m.E2FromE2(&xm, x)
+		m.E2ExpWindowed(&out, &xm, k)
+		return m.E2ToE2(&out), nil
 	}
 	if k.BitLen() <= expWindowWidth {
 		return e.Exp(x, k)

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 )
 
 // Common errors returned by field operations.
@@ -38,6 +39,11 @@ type Field struct {
 	legExp *big.Int
 	// byteLen is the fixed serialisation width of one element.
 	byteLen int
+
+	// mont is the lazily-built limb Montgomery context (nil for moduli wider
+	// than MaxLimbs·64 bits); see Mont().
+	montOnce sync.Once
+	mont     *Mont
 }
 
 // NewField constructs the field F_p. It returns an error unless p is an odd
@@ -122,19 +128,30 @@ func (f *Field) Sqr(a *big.Int) *big.Int {
 	return s.Mod(s, f.p)
 }
 
-// Inv returns a⁻¹ mod q, or ErrNotInvertible if a ≡ 0.
+// Inv returns a⁻¹ mod q, or ErrNotInvertible if a ≡ 0. The zero test rides
+// on ModInverse itself (it returns nil exactly when no inverse exists)
+// instead of allocating a full reduction just to probe the sign.
 func (f *Field) Inv(a *big.Int) (*big.Int, error) {
-	if new(big.Int).Mod(a, f.p).Sign() == 0 {
+	invOps.Add(1)
+	inv := new(big.Int).ModInverse(a, f.p)
+	if inv == nil {
 		return nil, ErrNotInvertible
 	}
-	return new(big.Int).ModInverse(a, f.p), nil
+	return inv, nil
 }
 
-// Exp returns a^e mod q. Negative exponents are resolved through inversion.
+// Exp returns a^e mod q. Negative exponents are resolved through inversion,
+// reusing the inverse's allocation for the result instead of allocating a
+// second big.Int for the negated exponent's power.
 func (f *Field) Exp(a, e *big.Int) *big.Int {
 	if e.Sign() < 0 {
 		inv := new(big.Int).ModInverse(a, f.p)
-		return new(big.Int).Exp(inv, new(big.Int).Neg(e), f.p)
+		if inv == nil {
+			// 0^negative has no value in the field; return 0 to keep the
+			// function total (callers never feed it, Inv is the checked path).
+			return new(big.Int)
+		}
+		return inv.Exp(inv, new(big.Int).Neg(e), f.p)
 	}
 	return new(big.Int).Exp(a, e, f.p)
 }

@@ -27,6 +27,7 @@ import (
 	"sync"
 
 	"github.com/ibbesgx/ibbesgx/internal/curve"
+	"github.com/ibbesgx/ibbesgx/internal/ff"
 	"github.com/ibbesgx/ibbesgx/internal/pairing"
 )
 
@@ -287,7 +288,7 @@ func (s *Scheme) Extract(msk *MasterSecretKey, id string) (*UserKey, error) {
 		// Happens only if H(u) = −γ, probability ~ 2^−160.
 		return nil, fmt.Errorf("ibbe: identity collides with master secret: %w", err)
 	}
-	return &UserKey{D: s.expG1(msk.G, inv)}, nil
+	return &UserKey{D: s.expG1Secret(msk.G, inv)}, nil
 }
 
 // EncryptMSK generates a fresh broadcast key bk = v^k and header for the
@@ -307,10 +308,7 @@ func (s *Scheme) EncryptMSK(msk *MasterSecretKey, pk *PublicKey, ids []string, r
 	if err != nil {
 		return nil, nil, fmt.Errorf("ibbe: drawing k: %w", err)
 	}
-	prod := big.NewInt(1)
-	for _, id := range ids {
-		prod = s.mulZr(prod, zr.Add(msk.Gamma, s.HashID(id)))
-	}
+	prod := s.prodGammaPlusHash(msk.Gamma, ids)
 	if s.DisableFastPath {
 		h := pk.HPowers[0]
 		ct := &Ciphertext{
@@ -433,11 +431,7 @@ func (s *Scheme) AddUser(msk *MasterSecretKey, ct *Ciphertext, id string) *Ciphe
 // exponentiations a single AddUser costs. The broadcast key is unchanged,
 // exactly as in the one-user operation (paper §A-E).
 func (s *Scheme) AddUsers(msk *MasterSecretKey, ct *Ciphertext, ids []string) *Ciphertext {
-	zr := s.P.Zr
-	e := big.NewInt(1)
-	for _, id := range ids {
-		e = s.mulZr(e, zr.Add(msk.Gamma, s.HashID(id)))
-	}
+	e := s.prodGammaPlusHash(msk.Gamma, ids)
 	return &Ciphertext{
 		C1: ct.C1.Clone(),
 		C2: s.expG1(ct.C2, e),
@@ -456,10 +450,7 @@ func (s *Scheme) RemoveUsers(msk *MasterSecretKey, pk *PublicKey, ct *Ciphertext
 		return s.Rekey(pk, ct, rng)
 	}
 	zr := s.P.Zr
-	den := big.NewInt(1)
-	for _, id := range ids {
-		den = s.mulZr(den, zr.Add(msk.Gamma, s.HashID(id)))
-	}
+	den := s.prodGammaPlusHash(msk.Gamma, ids)
 	inv, err := zr.Inv(den)
 	if err != nil {
 		return nil, nil, fmt.Errorf("ibbe: identity collides with master secret: %w", err)
@@ -522,8 +513,18 @@ func (s *Scheme) Rekey(pk *PublicKey, ct *Ciphertext, rng io.Reader) (*Broadcast
 // expandProductPoly returns the coefficients a_0..a_n of
 // Π_{u∈ids}(x + H(u)), with a_n = 1. This is the quadratic polynomial
 // expansion at the heart of both classic encryption and user decryption.
+// The fast path runs the whole O(n²) recurrence in the Montgomery limb
+// domain of Z_r — the hashes convert in once each, the coefficients convert
+// out once at the end, and the n²/2 interior multiplications never touch
+// big.Int. Metrics still count one Z_r multiplication per interior step, so
+// the Table I complexity shapes are unchanged.
 func (s *Scheme) expandProductPoly(ids []string) []*big.Int {
 	zr := s.P.Zr
+	if !s.DisableFastPath {
+		if m := zr.Mont(); m != nil {
+			return s.expandProductPolyMont(m, ids)
+		}
+	}
 	coeffs := make([]*big.Int, 1, len(ids)+1)
 	coeffs[0] = big.NewInt(1)
 	for _, id := range ids {
@@ -541,6 +542,64 @@ func (s *Scheme) expandProductPoly(ids []string) []*big.Int {
 		coeffs = next
 	}
 	return coeffs
+}
+
+// expandProductPolyMont is the limb-domain expansion: the same recurrence,
+// updated in place from the top coefficient downward so each round is one
+// append plus n multiply-accumulates on fixed-width limb values.
+func (s *Scheme) expandProductPolyMont(m *ff.Mont, ids []string) []*big.Int {
+	coeffs := make([]ff.Fel, 1, len(ids)+1)
+	m.SetOne(&coeffs[0])
+	var h, t ff.Fel
+	for _, id := range ids {
+		m.FromBig(&h, s.HashID(id))
+		n := len(coeffs)
+		if s.Metrics != nil {
+			s.Metrics.ZrMul.Add(int64(n)) // one mul per existing coefficient
+		}
+		var top ff.Fel
+		coeffs = append(coeffs, top)
+		coeffs[n] = coeffs[n-1] // leading coefficient stays 1
+		for i := n - 1; i >= 1; i-- {
+			m.Mul(&t, &coeffs[i], &h)
+			m.Add(&coeffs[i], &t, &coeffs[i-1])
+		}
+		m.Mul(&coeffs[0], &coeffs[0], &h)
+	}
+	out := make([]*big.Int, len(coeffs))
+	for i := range coeffs {
+		out[i] = m.ToBig(&coeffs[i])
+	}
+	return out
+}
+
+// prodGammaPlusHash returns Π_{u∈ids} (γ + H(u)) mod r — the linear-cost
+// exponent aggregation of EncryptMSK, AddUsers and RemoveUsers. The fast
+// path accumulates in the Montgomery limb domain of Z_r; the reference arm
+// multiplies big.Ints. Both count one Z_r multiplication per identity.
+func (s *Scheme) prodGammaPlusHash(gamma *big.Int, ids []string) *big.Int {
+	zr := s.P.Zr
+	if !s.DisableFastPath {
+		if m := zr.Mont(); m != nil {
+			var acc, g, t ff.Fel
+			m.SetOne(&acc)
+			m.FromBig(&g, gamma)
+			for _, id := range ids {
+				m.FromBig(&t, s.HashID(id))
+				m.Add(&t, &t, &g)
+				m.Mul(&acc, &acc, &t)
+			}
+			if s.Metrics != nil {
+				s.Metrics.ZrMul.Add(int64(len(ids)))
+			}
+			return m.ToBig(&acc)
+		}
+	}
+	prod := big.NewInt(1)
+	for _, id := range ids {
+		prod = s.mulZr(prod, zr.Add(gamma, s.HashID(id)))
+	}
+	return prod
 }
 
 // multiExpHPowers computes Σ_i coeffs[i] · HPowers[i+offset].

@@ -78,6 +78,21 @@ func (s *Scheme) expFixed(fb *curve.FixedBase, k *big.Int) *curve.Point {
 	return fb.Mul(k)
 }
 
+// expG1Secret is expG1 for MSK-derived exponents (key extraction): the fast
+// path takes the uniform constant-time window walk instead of the
+// digit-skipping w-NAF ladder, so the secret scalar does not shape the
+// operation sequence or table accesses. The reference arm keeps the binary
+// ladder, preserving the DisableFastPath discipline.
+func (s *Scheme) expG1Secret(p *curve.Point, k *big.Int) *curve.Point {
+	if s.Metrics != nil {
+		s.Metrics.G1Exp.Add(1)
+	}
+	if s.DisableFastPath {
+		return s.P.G1.ScalarMultBinary(p, new(big.Int).Mod(k, s.P.R))
+	}
+	return s.P.G1.ScalarMultConstTime(p, k)
+}
+
 func (s *Scheme) expGT(a *pairing.GT, k *big.Int) *pairing.GT {
 	if s.Metrics != nil {
 		s.Metrics.GTExp.Add(1)
@@ -100,6 +115,9 @@ func (s *Scheme) expGTFixed(t *pairing.GTFixedBase, k *big.Int) *pairing.GT {
 func (s *Scheme) pair(p, q *curve.Point) *pairing.GT {
 	if s.Metrics != nil {
 		s.Metrics.Pairings.Add(1)
+	}
+	if s.DisableFastPath {
+		return s.P.PairReference(p, q)
 	}
 	return s.P.Pair(p, q)
 }

@@ -2,6 +2,7 @@ package pairing
 
 import (
 	"math/big"
+	"sync"
 
 	"github.com/ibbesgx/ibbesgx/internal/ff"
 )
@@ -22,6 +23,11 @@ const gtFixedBaseWindow = 4
 type GTFixedBase struct {
 	p     *Params
 	table [][]*ff.E2 // table[i][d-1] = base^(d·2^(w·i))
+
+	// Montgomery-domain mirror of table, built lazily on first Exp; stays
+	// nil when the limb core is unavailable for the base field.
+	montOnce sync.Once
+	mtable   [][]ff.E2Fel
 }
 
 // NewGTFixedBase builds the windowed table for a. Construction costs about
@@ -50,10 +56,49 @@ func (p *Params) NewGTFixedBase(a *GT) *GTFixedBase {
 	return &GTFixedBase{p: p, table: table}
 }
 
-// Exp returns base^(k mod r) from the table.
+// montTable returns the Montgomery-domain mirror of the window table,
+// building it once; nil when the limb core is unavailable.
+func (t *GTFixedBase) montTable() [][]ff.E2Fel {
+	t.montOnce.Do(func() {
+		m := t.p.F.Mont()
+		if m == nil {
+			return
+		}
+		mt := make([][]ff.E2Fel, len(t.table))
+		for i, row := range t.table {
+			mt[i] = make([]ff.E2Fel, len(row))
+			for d, e := range row {
+				m.E2FromE2(&mt[i][d], e)
+			}
+		}
+		t.mtable = mt
+	})
+	return t.mtable
+}
+
+// Exp returns base^(k mod r) from the table. With the limb core available
+// the digit walk multiplies E2Fel entries in the Montgomery domain,
+// converting out once at the end.
 func (t *GTFixedBase) Exp(k *big.Int) *GT {
 	const w = gtFixedBaseWindow
 	e := new(big.Int).Mod(k, t.p.R)
+	if m := t.p.F.Mont(); m != nil {
+		if mt := t.montTable(); mt != nil {
+			var acc ff.E2Fel
+			m.E2SetOne(&acc)
+			for i := range mt {
+				d := 0
+				for b := 0; b < w; b++ {
+					d |= int(e.Bit(i*w+b)) << b
+				}
+				if d == 0 {
+					continue
+				}
+				m.E2Mul(&acc, &acc, &mt[i][d-1])
+			}
+			return &GT{v: m.E2ToE2(&acc)}
+		}
+	}
 	e2 := t.p.E2
 	acc := e2.One()
 	sc := ff.NewE2Scratch()

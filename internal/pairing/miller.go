@@ -12,7 +12,7 @@ import (
 // only happens for inputs outside the intended prime-order subgroup.
 var ErrDegenerate = errors.New("pairing: degenerate Miller value")
 
-// Pair computes the modified Tate pairing ê(P, Q) ∈ GT for P, Q ∈ G1:
+// This file holds the affine reference Miller loop:
 //
 //	ê(P, Q) = f_{r,P}(φ(Q))^((q²−1)/r),  φ(x, y) = (−x, i·y).
 //
@@ -20,13 +20,8 @@ var ErrDegenerate = errors.New("pairing: degenerate Miller value")
 // independent from P, making the symmetric pairing non-degenerate.
 // Denominator elimination applies because the vertical-line values lie in
 // F_q*, which the (q−1) factor of the final exponentiation annihilates.
-func (p *Params) Pair(P, Q *curve.Point) *GT {
-	if P.Inf || Q.Inf {
-		return p.GTOne()
-	}
-	f := p.millerLoop(P, Q)
-	return p.finalExp(f)
-}
+// Pair and the projective fast loop live in miller_fast.go; PairReference
+// always takes this loop.
 
 // millerLoop evaluates f_{r,P} at φ(Q) using a double-and-add walk over the
 // bits of r. Line functions through points of E(F_q) evaluated at
