@@ -41,10 +41,12 @@ bench:
 fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzMontFieldVsBigInt$$' -fuzztime=15s ./internal/ff
 
-## benchdiff: measure the crypto scenario fresh and gate it against the committed baseline
+## benchdiff: measure the gated scenarios fresh and compare against the committed baselines
 benchdiff:
 	$(GO) run ./cmd/ibbe-bench -json BENCH_crypto.fresh.json crypto
 	$(GO) run ./cmd/benchdiff -old BENCH_crypto.json -new BENCH_crypto.fresh.json -max-regress 0.15
+	$(GO) run ./cmd/ibbe-bench -json BENCH_readpath.fresh.json readpath
+	$(GO) run ./cmd/benchdiff -old BENCH_readpath.json -new BENCH_readpath.fresh.json -max-regress 0.15
 
 ## ci: everything the workflow gates on
 ci: build vet fmt test race

@@ -1,20 +1,32 @@
-// Command benchdiff is the CI bench-regression guard for the crypto
-// substrate: it compares a freshly measured crypto scenario (ibbe-bench
-// -json ... crypto) against the committed BENCH_crypto.json baseline and
-// fails if any operation's fast path regressed by more than the allowed
-// fraction.
+// Command benchdiff is the CI bench-regression guard: it compares a freshly
+// measured report (ibbe-bench -json ...) against the committed baseline of
+// the same experiment and fails when the fresh run regressed beyond the
+// allowed fraction.
 //
 // Usage:
 //
 //	benchdiff -old BENCH_crypto.json -new BENCH_crypto.fresh.json [-max-regress 0.15]
+//	benchdiff -old BENCH_readpath.json -new BENCH_readpath.fresh.json
 //
-// Only fast_ns_per_op is gated — the reference ("slow") arm exists for
-// differential correctness, not performance, and gating it would make the
-// guard flake on big.Int noise. Rows are matched by (op, m); an op present
-// in the baseline but missing from the fresh run fails the guard (coverage
-// silently lost), while a brand-new op is reported and skipped (no baseline
-// to regress against). Per-op timings are min-of-iters, so run-to-run noise
-// is one-sided and the threshold can stay tight.
+// Two experiments are understood, selected by the report's "experiment"
+// field (old and new must match):
+//
+//   - crypto: only fast_ns_per_op is gated — the reference ("slow") arm
+//     exists for differential correctness, not performance, and gating it
+//     would make the guard flake on big.Int noise. Rows are matched by
+//     (op, m); an op present in the baseline but missing from the fresh run
+//     fails the guard (coverage silently lost), while a brand-new op is
+//     reported and skipped (no baseline to regress against). Per-op timings
+//     are min-of-iters, so run-to-run noise is one-sided and the threshold
+//     can stay tight.
+//
+//   - readpath: the gated quantity is the cached/baseline read-throughput
+//     speedup, which self-normalises against runner speed. The fresh
+//     speedup must stay within -max-regress of the committed speedup and
+//     above the 5x acceptance floor; the fresh cached window must report
+//     zero store GETs and no arm may report failed reads — those are
+//     correctness properties of the read path, not timings, so they are
+//     gated exactly.
 package main
 
 import (
@@ -25,15 +37,22 @@ import (
 )
 
 type report struct {
-	Experiment string `json:"experiment"`
-	Scale      string `json:"scale"`
-	Rows       []row  `json:"rows"`
+	Experiment string          `json:"experiment"`
+	Scale      string          `json:"scale"`
+	Rows       json.RawMessage `json:"rows"`
 }
 
-type row struct {
+type cryptoRow struct {
 	Op     string `json:"op"`
 	M      int    `json:"m"`
 	FastNs int64  `json:"fast_ns_per_op"`
+}
+
+type readPathRow struct {
+	Mode        string  `json:"mode"`
+	ReadsPerSec float64 `json:"reads_per_sec"`
+	StoreGets   int64   `json:"store_gets"`
+	FailedReads int64   `json:"failed_reads"`
 }
 
 type opKey struct {
@@ -44,7 +63,7 @@ type opKey struct {
 func main() {
 	oldPath := flag.String("old", "BENCH_crypto.json", "committed baseline report")
 	newPath := flag.String("new", "", "freshly measured report to gate")
-	maxRegress := flag.Float64("max-regress", 0.15, "maximum allowed fractional slowdown per op (0.15 = +15%)")
+	maxRegress := flag.Float64("max-regress", 0.15, "maximum allowed fractional regression (0.15 = 15%)")
 	flag.Parse()
 	if *newPath == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -new is required")
@@ -61,8 +80,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
 	}
+	if oldRep.Experiment != newRep.Experiment {
+		fmt.Fprintf(os.Stderr, "benchdiff: experiment mismatch: baseline %q vs fresh %q\n",
+			oldRep.Experiment, newRep.Experiment)
+		os.Exit(2)
+	}
 
-	lines, failures := diff(oldRep, newRep, *maxRegress)
+	var lines, failures []string
+	var gated int
+	switch newRep.Experiment {
+	case "readpath":
+		lines, failures, err = diffReadPath(oldRep, newRep, *maxRegress)
+		gated = 1 // one gated quantity: the speedup
+	default:
+		lines, failures, gated, err = diffCrypto(oldRep, newRep, *maxRegress)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
 	for _, l := range lines {
 		fmt.Println(l)
 	}
@@ -70,7 +106,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) beyond %.0f%%\n", len(failures), *maxRegress*100)
 		os.Exit(1)
 	}
-	fmt.Printf("benchdiff: %d ops within %.0f%% of baseline\n", len(newRep.Rows), *maxRegress*100)
+	fmt.Printf("benchdiff: %d gated quantities within %.0f%% of baseline\n", gated, *maxRegress*100)
 }
 
 func load(path string) (*report, error) {
@@ -88,15 +124,22 @@ func load(path string) (*report, error) {
 	return &r, nil
 }
 
-// diff compares fresh against baseline and returns the printable comparison
-// plus one entry per failed gate.
-func diff(oldRep, newRep *report, maxRegress float64) (lines, failures []string) {
-	fresh := make(map[opKey]int64, len(newRep.Rows))
-	for _, r := range newRep.Rows {
+// diffCrypto compares fresh against baseline per (op, m) and returns the
+// printable comparison plus one entry per failed gate.
+func diffCrypto(oldRep, newRep *report, maxRegress float64) (lines, failures []string, gated int, err error) {
+	var oldRows, newRows []cryptoRow
+	if err := json.Unmarshal(oldRep.Rows, &oldRows); err != nil {
+		return nil, nil, 0, fmt.Errorf("baseline rows: %w", err)
+	}
+	if err := json.Unmarshal(newRep.Rows, &newRows); err != nil {
+		return nil, nil, 0, fmt.Errorf("fresh rows: %w", err)
+	}
+	fresh := make(map[opKey]int64, len(newRows))
+	for _, r := range newRows {
 		fresh[opKey{r.Op, r.M}] = r.FastNs
 	}
 	lines = append(lines, fmt.Sprintf("      %12s  %5s  %14s  %14s  %8s", "op", "m", "baseline ns", "fresh ns", "ratio"))
-	for _, base := range oldRep.Rows {
+	for _, base := range oldRows {
 		k := opKey{base.Op, base.M}
 		got, ok := fresh[k]
 		if !ok {
@@ -117,10 +160,75 @@ func diff(oldRep, newRep *report, maxRegress float64) (lines, failures []string)
 			status, base.Op, base.M, base.FastNs, got, ratio))
 	}
 	// Fresh rows with no baseline counterpart (new ops): reported, not gated.
-	for _, r := range newRep.Rows {
+	for _, r := range newRows {
 		if _, ok := fresh[opKey{r.Op, r.M}]; ok {
 			lines = append(lines, fmt.Sprintf(" new  %12s  %5d: no baseline yet, skipped", r.Op, r.M))
 		}
 	}
-	return lines, failures
+	return lines, failures, len(newRows), nil
+}
+
+// readPathMinSpeedup is the absolute acceptance floor for the cached read
+// path, independent of what the committed baseline happens to claim.
+const readPathMinSpeedup = 5.0
+
+// diffReadPath gates the read-path report: cached/baseline speedup against
+// the committed report's speedup, plus the exact zero-round-trip and
+// zero-failure properties of the fresh run.
+func diffReadPath(oldRep, newRep *report, maxRegress float64) (lines, failures []string, err error) {
+	var oldRows, newRows []readPathRow
+	if err := json.Unmarshal(oldRep.Rows, &oldRows); err != nil {
+		return nil, nil, fmt.Errorf("baseline rows: %w", err)
+	}
+	if err := json.Unmarshal(newRep.Rows, &newRows); err != nil {
+		return nil, nil, fmt.Errorf("fresh rows: %w", err)
+	}
+	oldSpeed, err := readPathSpeedup(oldRows)
+	if err != nil {
+		return nil, nil, fmt.Errorf("baseline: %w", err)
+	}
+	newSpeed, err := readPathSpeedup(newRows)
+	if err != nil {
+		return nil, nil, fmt.Errorf("fresh: %w", err)
+	}
+
+	lines = append(lines, fmt.Sprintf("readpath speedup (cached/baseline reads/s): baseline %.1fx, fresh %.1fx", oldSpeed, newSpeed))
+	floor := oldSpeed / (1 + maxRegress)
+	if floor < readPathMinSpeedup {
+		floor = readPathMinSpeedup
+	}
+	if newSpeed < floor {
+		failures = append(failures, fmt.Sprintf("speedup %.1fx below floor %.1fx", newSpeed, floor))
+		lines = append(lines, fmt.Sprintf("FAIL  speedup %.1fx < floor %.1fx (baseline %.1fx, -%.0f%% allowed, absolute minimum %.0fx)",
+			newSpeed, floor, oldSpeed, maxRegress*100, readPathMinSpeedup))
+	} else {
+		lines = append(lines, fmt.Sprintf("  ok  speedup %.1fx >= floor %.1fx", newSpeed, floor))
+	}
+	for _, r := range newRows {
+		if r.Mode == "cached" && r.StoreGets != 0 {
+			failures = append(failures, fmt.Sprintf("cached window cost %d store GETs, want 0", r.StoreGets))
+			lines = append(lines, fmt.Sprintf("FAIL  cached window cost %d store GETs, want 0", r.StoreGets))
+		}
+		if r.FailedReads != 0 {
+			failures = append(failures, fmt.Sprintf("%s arm reported %d failed reads", r.Mode, r.FailedReads))
+			lines = append(lines, fmt.Sprintf("FAIL  %s arm reported %d failed reads", r.Mode, r.FailedReads))
+		}
+	}
+	return lines, failures, nil
+}
+
+func readPathSpeedup(rows []readPathRow) (float64, error) {
+	var base, cached float64
+	for _, r := range rows {
+		switch r.Mode {
+		case "baseline":
+			base = r.ReadsPerSec
+		case "cached":
+			cached = r.ReadsPerSec
+		}
+	}
+	if base <= 0 || cached <= 0 {
+		return 0, fmt.Errorf("report lacks baseline/cached throughput rows")
+	}
+	return cached / base, nil
 }

@@ -1,27 +1,39 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
 
-func rep(rows ...row) *report {
-	return &report{Experiment: "crypto", Scale: "ci", Rows: rows}
+func rep(t *testing.T, rows ...cryptoRow) *report {
+	t.Helper()
+	raw, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &report{Experiment: "crypto", Scale: "ci", Rows: raw}
 }
 
 func TestDiffPassesWithinThreshold(t *testing.T) {
-	old := rep(row{"EncryptMSK", 256, 100_000}, row{"Decrypt", 256, 5_000_000})
-	fresh := rep(row{"EncryptMSK", 256, 110_000}, row{"Decrypt", 256, 4_000_000})
-	_, failures := diff(old, fresh, 0.15)
+	old := rep(t, cryptoRow{"EncryptMSK", 256, 100_000}, cryptoRow{"Decrypt", 256, 5_000_000})
+	fresh := rep(t, cryptoRow{"EncryptMSK", 256, 110_000}, cryptoRow{"Decrypt", 256, 4_000_000})
+	_, failures, _, err := diffCrypto(old, fresh, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(failures) != 0 {
 		t.Fatalf("unexpected failures: %v", failures)
 	}
 }
 
 func TestDiffFlagsRegression(t *testing.T) {
-	old := rep(row{"EncryptMSK", 256, 100_000})
-	fresh := rep(row{"EncryptMSK", 256, 120_000})
-	_, failures := diff(old, fresh, 0.15)
+	old := rep(t, cryptoRow{"EncryptMSK", 256, 100_000})
+	fresh := rep(t, cryptoRow{"EncryptMSK", 256, 120_000})
+	_, failures, _, err := diffCrypto(old, fresh, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(failures) != 1 {
 		t.Fatalf("failures = %v, want exactly the 20%% regression", failures)
 	}
@@ -31,23 +43,111 @@ func TestDiffFlagsRegression(t *testing.T) {
 }
 
 func TestDiffFailsOnLostCoverage(t *testing.T) {
-	old := rep(row{"EncryptMSK", 256, 100_000}, row{"Rekey", 256, 90_000})
-	fresh := rep(row{"EncryptMSK", 256, 100_000})
-	_, failures := diff(old, fresh, 0.15)
+	old := rep(t, cryptoRow{"EncryptMSK", 256, 100_000}, cryptoRow{"Rekey", 256, 90_000})
+	fresh := rep(t, cryptoRow{"EncryptMSK", 256, 100_000})
+	_, failures, _, err := diffCrypto(old, fresh, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(failures) != 1 || !strings.Contains(failures[0], "missing from fresh run") {
 		t.Fatalf("lost coverage not flagged: %v", failures)
 	}
 }
 
 func TestDiffSkipsNewOps(t *testing.T) {
-	old := rep(row{"EncryptMSK", 256, 100_000})
-	fresh := rep(row{"EncryptMSK", 256, 100_000}, row{"Extract", 256, 50_000})
-	lines, failures := diff(old, fresh, 0.15)
+	old := rep(t, cryptoRow{"EncryptMSK", 256, 100_000})
+	fresh := rep(t, cryptoRow{"EncryptMSK", 256, 100_000}, cryptoRow{"Extract", 256, 50_000})
+	lines, failures, _, err := diffCrypto(old, fresh, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(failures) != 0 {
 		t.Fatalf("new op treated as failure: %v", failures)
 	}
 	joined := strings.Join(lines, "\n")
 	if !strings.Contains(joined, "no baseline yet") {
 		t.Fatalf("new op not reported:\n%s", joined)
+	}
+}
+
+func readPathRep(t *testing.T, rows ...readPathRow) *report {
+	t.Helper()
+	raw, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &report{Experiment: "readpath", Scale: "ci", Rows: raw}
+}
+
+func TestReadPathPassesWithinThreshold(t *testing.T) {
+	old := readPathRep(t,
+		readPathRow{Mode: "baseline", ReadsPerSec: 2_000},
+		readPathRow{Mode: "cached", ReadsPerSec: 60_000},
+		readPathRow{Mode: "rebalance", ReadsPerSec: 55_000})
+	fresh := readPathRep(t,
+		readPathRow{Mode: "baseline", ReadsPerSec: 2_000},
+		readPathRow{Mode: "cached", ReadsPerSec: 54_000},
+		readPathRow{Mode: "rebalance", ReadsPerSec: 50_000, StoreGets: 37})
+	_, failures, err := diffReadPath(old, fresh, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+}
+
+func TestReadPathFlagsSpeedupRegression(t *testing.T) {
+	old := readPathRep(t,
+		readPathRow{Mode: "baseline", ReadsPerSec: 2_000},
+		readPathRow{Mode: "cached", ReadsPerSec: 60_000})
+	fresh := readPathRep(t,
+		readPathRow{Mode: "baseline", ReadsPerSec: 2_000},
+		readPathRow{Mode: "cached", ReadsPerSec: 40_000})
+	_, failures, err := diffReadPath(old, fresh, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 1 || !strings.Contains(failures[0], "speedup") {
+		t.Fatalf("speedup regression not flagged: %v", failures)
+	}
+}
+
+func TestReadPathEnforcesAbsoluteFloor(t *testing.T) {
+	// Even a baseline report that somehow committed a sub-5x speedup cannot
+	// lower the floor below the acceptance criterion.
+	old := readPathRep(t,
+		readPathRow{Mode: "baseline", ReadsPerSec: 2_000},
+		readPathRow{Mode: "cached", ReadsPerSec: 8_000})
+	fresh := readPathRep(t,
+		readPathRow{Mode: "baseline", ReadsPerSec: 2_000},
+		readPathRow{Mode: "cached", ReadsPerSec: 9_000})
+	_, failures, err := diffReadPath(old, fresh, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 1 || !strings.Contains(failures[0], "below floor") {
+		t.Fatalf("sub-5x speedup not flagged: %v", failures)
+	}
+}
+
+func TestReadPathFlagsCacheMissesAndFailures(t *testing.T) {
+	old := readPathRep(t,
+		readPathRow{Mode: "baseline", ReadsPerSec: 2_000},
+		readPathRow{Mode: "cached", ReadsPerSec: 60_000})
+	fresh := readPathRep(t,
+		readPathRow{Mode: "baseline", ReadsPerSec: 2_000},
+		readPathRow{Mode: "cached", ReadsPerSec: 60_000, StoreGets: 3},
+		readPathRow{Mode: "rebalance", ReadsPerSec: 50_000, FailedReads: 2})
+	_, failures, err := diffReadPath(old, fresh, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(failures) != 2 {
+		t.Fatalf("failures = %v, want the store-GET and failed-read gates", failures)
+	}
+	joined := strings.Join(failures, "\n")
+	if !strings.Contains(joined, "store GETs") || !strings.Contains(joined, "failed reads") {
+		t.Fatalf("gates not named: %v", failures)
 	}
 }

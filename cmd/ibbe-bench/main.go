@@ -6,7 +6,7 @@
 // Usage:
 //
 //	ibbe-bench [-scale ci|medium|paper] [-json out.json] \
-//	           fig2|fig6|fig7a|fig7b|fig8a|fig8b|fig9|fig10|table1|epc|parallel|batch|cluster|rebalance|autoscale|crypto|dkg|all
+//	           fig2|fig6|fig7a|fig7b|fig8a|fig8b|fig9|fig10|table1|epc|parallel|batch|cluster|rebalance|readpath|autoscale|crypto|dkg|all
 //
 // The ci scale (default) runs the whole suite in well under a minute on
 // reduced grids with identical shapes; medium takes minutes; paper runs the
@@ -63,7 +63,7 @@ func run(scale, jsonPath string, args []string) error {
 		return fmt.Errorf("unknown scale %q (want ci, medium or paper)", scale)
 	}
 	if len(args) != 1 {
-		return fmt.Errorf("want exactly one experiment: fig2, fig6, fig7a, fig7b, fig8a, fig8b, fig9, fig10, table1, epc, parallel, batch, cluster, rebalance, autoscale, crypto, dkg or all")
+		return fmt.Errorf("want exactly one experiment: fig2, fig6, fig7a, fig7b, fig8a, fig8b, fig9, fig10, table1, epc, parallel, batch, cluster, rebalance, readpath, autoscale, crypto, dkg or all")
 	}
 	exp := args[0]
 
@@ -83,6 +83,7 @@ func run(scale, jsonPath string, args []string) error {
 		"batch":     runBatch,
 		"cluster":   runCluster,
 		"rebalance": runRebalance,
+		"readpath":  runReadPath,
 		"autoscale": runAutoscale,
 		"crypto":    runCrypto,
 		"dkg":       runDKG,
@@ -91,7 +92,7 @@ func run(scale, jsonPath string, args []string) error {
 		if jsonPath != "" {
 			return fmt.Errorf("-json applies to a single experiment, not all")
 		}
-		order := []string{"fig2", "fig6", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "table1", "epc", "parallel", "batch", "cluster", "rebalance", "autoscale", "crypto", "dkg"}
+		order := []string{"fig2", "fig6", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "table1", "epc", "parallel", "batch", "cluster", "rebalance", "readpath", "autoscale", "crypto", "dkg"}
 		for _, name := range order {
 			if _, err := timed(name, cfg, runners[name]); err != nil {
 				return err
@@ -250,6 +251,15 @@ func runRebalance(cfg benchmark.Config) (any, error) {
 		return nil, err
 	}
 	benchmark.PrintRebalance(os.Stdout, rows)
+	return rows, nil
+}
+
+func runReadPath(cfg benchmark.Config) (any, error) {
+	rows, err := benchmark.RunReadPath(cfg)
+	if err != nil {
+		return nil, err
+	}
+	benchmark.PrintReadPath(os.Stdout, rows)
 	return rows, nil
 }
 

@@ -76,6 +76,10 @@ func run(adminURL, storeURL, user, group string, watch bool, rootPEM string) err
 	if err != nil {
 		return err
 	}
+	// Version-keyed record cache: repeat reads of an unchanged group cost
+	// zero store round trips, and the long-poll loop feeds it the observed
+	// directory versions so rotations invalidate it without any TTL.
+	cli.SetCache(client.NewRecordCache(store))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -95,6 +95,7 @@ import (
 type options struct {
 	shards        int
 	listen        string
+	shardHost     string
 	storeURL      string
 	capacity      int
 	paramsName    string
@@ -116,6 +117,7 @@ func main() {
 	var o options
 	flag.IntVar(&o.shards, "shards", 3, "number of admin shards for a FRESH store (a persisted membership record wins)")
 	flag.StringVar(&o.listen, "listen", ":9091", "address the routing gateway serves on")
+	flag.StringVar(&o.shardHost, "shard-host", "127.0.0.1", "host the per-shard listeners bind and publish; set a reachable address so gateway-less clients can route direct-to-shard")
 	flag.StringVar(&o.storeURL, "store", "", "cloudsim base URL (empty = embedded in-memory store)")
 	flag.IntVar(&o.capacity, "capacity", 1000, "partition capacity |p|")
 	flag.StringVar(&o.paramsName, "params", "fast-160", "pairing scale: fast-160, medium-256, paper-512")
@@ -229,7 +231,7 @@ func run(o options) error {
 		log.Printf("ibbe-cluster: adopted persisted membership epoch %d over %v", boot.Epoch, boot.Members())
 	}
 
-	g := &gateway{c: c, targets: make(map[string]string), reg: registry, tracer: tracer}
+	g := &gateway{c: c, targets: make(map[string]string), reg: registry, tracer: tracer, shardHost: o.shardHost}
 	// Published membership records carry the live shard URLs, so a watching
 	// router (or a second gateway) can resolve members it never served.
 	c.Targets = g.targetSnapshot
@@ -326,10 +328,11 @@ func loadOrCreatePlatform(path string) (*enclave.Platform, error) {
 // membership and autoscale endpoints mutate the member set; everything
 // else forwards.
 type gateway struct {
-	c      *cluster.Cluster
-	rt     *cluster.Router
-	reg    *obs.Registry
-	tracer *obs.Tracer
+	c         *cluster.Cluster
+	rt        *cluster.Router
+	reg       *obs.Registry
+	tracer    *obs.Tracer
+	shardHost string
 
 	mu      sync.Mutex
 	targets map[string]string
@@ -360,8 +363,15 @@ func (g *gateway) autoscaler() *cluster.Autoscaler {
 }
 
 // serveShard gives one shard its own listener and records the target URL.
+// The published URL is what gateway-less clients dial, so the bind host
+// (-shard-host) must be reachable from them — the loopback default only
+// serves single-machine deployments.
 func (g *gateway) serveShard(s *cluster.Shard) error {
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	host := g.shardHost
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
 	if err != nil {
 		return err
 	}

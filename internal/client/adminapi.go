@@ -9,6 +9,8 @@ import (
 	"io"
 	"net/http"
 	"strings"
+
+	"github.com/ibbesgx/ibbesgx/internal/storage"
 )
 
 // Typed admin-API failures, decoded from the service's error envelope.
@@ -34,6 +36,10 @@ type APIError struct {
 	Code       string // envelope error code ("fenced_epoch", …), "" if untyped
 	Epoch      uint64 // serving process's membership epoch, 0 if untyped
 	Msg        string // human-readable server message
+	// Fenced reports the X-Fenced response header: the failure traces back
+	// to an epoch-fenced store write, so the caller's membership view is
+	// stale — refresh the record and re-route rather than retry in place.
+	Fenced bool
 }
 
 func (e *APIError) Error() string {
@@ -123,20 +129,26 @@ func (c *AdminAPI) RekeyGroup(ctx context.Context, group string) error {
 // post sends one admin operation and maps non-2xx responses to errors
 // carrying the service's message.
 func (c *AdminAPI) post(ctx context.Context, op string, body adminOpRequest) error {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	return postAdminOp(ctx, httpc, c.BaseURL, op, body)
+}
+
+// postAdminOp sends one admin operation to any admin endpoint — shared by
+// AdminAPI (router-addressed) and ClusterClient (shard-addressed).
+func postAdminOp(ctx context.Context, httpc *http.Client, baseURL, op string, body adminOpRequest) error {
 	blob, err := json.Marshal(body)
 	if err != nil {
 		return err
 	}
-	url := strings.TrimRight(c.BaseURL, "/") + "/admin/" + op
+	url := strings.TrimRight(baseURL, "/") + "/admin/" + op
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(blob))
 	if err != nil {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	httpc := c.HTTP
-	if httpc == nil {
-		httpc = http.DefaultClient
-	}
 	resp, err := httpc.Do(req)
 	if err != nil {
 		return err
@@ -144,7 +156,12 @@ func (c *AdminAPI) post(ctx context.Context, op string, body adminOpRequest) err
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
-		apiErr := &APIError{Op: op, StatusCode: resp.StatusCode, Msg: strings.TrimSpace(string(body))}
+		apiErr := &APIError{
+			Op:         op,
+			StatusCode: resp.StatusCode,
+			Msg:        strings.TrimSpace(string(body)),
+			Fenced:     resp.Header.Get(storage.FencedHeader) != "",
+		}
 		var env envelope
 		if json.Unmarshal(body, &env) == nil && env.Error != nil {
 			apiErr.Code = env.Error.Code

@@ -1,0 +1,231 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/ibbesgx/ibbesgx/internal/storage"
+)
+
+// TestSingleflightStorm is the flash-crowd guarantee: 1000 concurrent
+// readers of one cold record cost the store exactly one object GET, and
+// every reader gets the bytes.
+func TestSingleflightStorm(t *testing.T) {
+	mem := storage.NewMemStore(storage.Latency{})
+	ctx := context.Background()
+	if err := mem.Put(ctx, "g", "rec", []byte("payload-v1")); err != nil {
+		t.Fatal(err)
+	}
+	cache := NewRecordCache(mem)
+
+	const readers = 1000
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make(chan error, readers)
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			data, _, err := cache.Get(ctx, "g", "rec")
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !bytes.Equal(data, []byte("payload-v1")) {
+				errs <- errors.New("reader saw wrong bytes")
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if gets := mem.Stats().Gets; gets != 1 {
+		t.Fatalf("storm of %d readers cost %d store GETs, want exactly 1", readers, gets)
+	}
+	st := cache.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+	if st.Hits+st.Collapsed != readers-1 {
+		t.Fatalf("hits(%d) + collapsed(%d) != %d", st.Hits, st.Collapsed, readers-1)
+	}
+
+	// A version bump starts a new generation: the next storm costs exactly
+	// one more GET (a conditional refetch, since the old entry is kept).
+	if err := mem.Put(ctx, "g", "rec", []byte("payload-v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := mem.Version(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.ObserveVersion("g", v)
+	var wg2 sync.WaitGroup
+	start2 := make(chan struct{})
+	for i := 0; i < readers; i++ {
+		wg2.Add(1)
+		go func() {
+			defer wg2.Done()
+			<-start2
+			data, _, err := cache.Get(ctx, "g", "rec")
+			if err != nil || !bytes.Equal(data, []byte("payload-v2")) {
+				t.Errorf("post-bump read: %q, %v", data, err)
+			}
+		}()
+	}
+	close(start2)
+	wg2.Wait()
+	if gets := mem.Stats().Gets; gets != 2 {
+		t.Fatalf("two versions cost %d store GETs, want exactly 2", gets)
+	}
+}
+
+// TestCacheHitZeroRoundTrips pins the acceptance criterion directly: a
+// version-current read performs zero store round trips of any kind.
+func TestCacheHitZeroRoundTrips(t *testing.T) {
+	mem := storage.NewMemStore(storage.Latency{})
+	ctx := context.Background()
+	if err := mem.Put(ctx, "g", "rec", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	cache := NewRecordCache(mem)
+	if _, _, err := cache.Get(ctx, "g", "rec"); err != nil {
+		t.Fatal(err)
+	}
+	before := mem.Stats()
+	for i := 0; i < 100; i++ {
+		data, _, err := cache.Get(ctx, "g", "rec")
+		if err != nil || !bytes.Equal(data, []byte("v1")) {
+			t.Fatalf("hit %d: %q, %v", i, data, err)
+		}
+	}
+	after := mem.Stats()
+	if after != before {
+		t.Fatalf("cache hits moved store counters: %+v -> %+v", before, after)
+	}
+	if hits := cache.Stats().Hits; hits != 100 {
+		t.Fatalf("hits = %d, want 100", hits)
+	}
+}
+
+// TestPollObservedInvalidation: a directory version observed from the
+// long-poll loop stops the cache serving older entries — the next read
+// refetches and returns the new record. No TTLs anywhere.
+func TestPollObservedInvalidation(t *testing.T) {
+	mem := storage.NewMemStore(storage.Latency{})
+	ctx := context.Background()
+	if err := mem.Put(ctx, "g", "rec", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	cache := NewRecordCache(mem)
+	if _, _, err := cache.Get(ctx, "g", "rec"); err != nil {
+		t.Fatal(err)
+	}
+	// The record changes; until the poll loop observes it, the cache keeps
+	// serving its version-consistent snapshot (bounded staleness, same
+	// guarantee a non-caching client polling the directory has).
+	if err := mem.Put(ctx, "g", "rec", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	data, _, err := cache.Get(ctx, "g", "rec")
+	if err != nil || !bytes.Equal(data, []byte("v1")) {
+		t.Fatalf("pre-observation read: %q, %v", data, err)
+	}
+	v, err := mem.Version(ctx, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache.ObserveVersion("g", v)
+	data, ver, err := cache.Get(ctx, "g", "rec")
+	if err != nil || !bytes.Equal(data, []byte("v2")) {
+		t.Fatalf("post-observation read: %q, %v", data, err)
+	}
+	if ver != v {
+		t.Fatalf("post-observation version = %d, want %d", ver, v)
+	}
+}
+
+// TestRevalidationNotModified: when an observation runs ahead of the
+// directory (the store still holds the cached version), the refetch is a
+// conditional GET answered not-modified — the cached bytes are reused and
+// no payload moves.
+func TestRevalidationNotModified(t *testing.T) {
+	mem := storage.NewMemStore(storage.Latency{})
+	ctx := context.Background()
+	if err := mem.Put(ctx, "g", "rec", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	cache := NewRecordCache(mem)
+	if _, _, err := cache.Get(ctx, "g", "rec"); err != nil {
+		t.Fatal(err)
+	}
+	cache.ObserveVersion("g", 99) // over-eager hint; store is still at 1
+	before := mem.Stats()
+	data, _, err := cache.Get(ctx, "g", "rec")
+	if err != nil || !bytes.Equal(data, []byte("v1")) {
+		t.Fatalf("revalidated read: %q, %v", data, err)
+	}
+	after := mem.Stats()
+	if after.BytesOut != before.BytesOut {
+		t.Fatalf("revalidation transferred %d payload bytes", after.BytesOut-before.BytesOut)
+	}
+	if n := cache.Stats().Revalidations; n != 1 {
+		t.Fatalf("revalidations = %d, want 1", n)
+	}
+}
+
+// TestCacheErrorDoesNotPoison: a failed fetch propagates to the storm that
+// collapsed onto it, and the next read retries upstream.
+func TestCacheErrorDoesNotPoison(t *testing.T) {
+	fault := storage.NewFaultStore(storage.NewMemStore(storage.Latency{}))
+	ctx := context.Background()
+	if err := fault.Put(ctx, "g", "rec", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	cache := NewRecordCache(fault)
+	fault.SetFailGets(true)
+	if _, _, err := cache.Get(ctx, "g", "rec"); !errors.Is(err, storage.ErrInjected) {
+		t.Fatalf("injected read: %v", err)
+	}
+	fault.SetFailGets(false)
+	data, _, err := cache.Get(ctx, "g", "rec")
+	if err != nil || !bytes.Equal(data, []byte("v1")) {
+		t.Fatalf("retry after fault: %q, %v", data, err)
+	}
+}
+
+// TestInvalidateAll drops everything (the membership-epoch hook) and
+// counts the evictions.
+func TestInvalidateAll(t *testing.T) {
+	mem := storage.NewMemStore(storage.Latency{})
+	ctx := context.Background()
+	for _, name := range []string{"a", "b"} {
+		if err := mem.Put(ctx, "g", name, []byte(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cache := NewRecordCache(mem)
+	for _, name := range []string{"a", "b"} {
+		if _, _, err := cache.Get(ctx, "g", name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cache.InvalidateAll()
+	if n := cache.Stats().Evictions; n != 2 {
+		t.Fatalf("evictions = %d, want 2", n)
+	}
+	before := mem.Stats().Gets
+	if _, _, err := cache.Get(ctx, "g", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := mem.Stats().Gets; got != before+1 {
+		t.Fatalf("post-invalidation read cost %d GETs, want 1", got-before)
+	}
+}

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/ibbesgx/ibbesgx/internal/client"
+)
+
+// TestClusterClientDirectRouting drives admin operations through the
+// gateway-less client against a real cluster: every op resolves its owner
+// from the persisted membership record and lands direct on a shard — the
+// router is configured as fallback but must never be used — and the
+// resulting records decrypt exactly as router-driven ones do.
+func TestClusterClientDirectRouting(t *testing.T) {
+	tc := startCluster(t, Options{Shards: 3, Capacity: 4, LeaseTTL: 5 * time.Second, Seed: 7})
+	ctx := context.Background()
+
+	cc, err := client.NewClusterClient(ctx, tc.c.Store, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc.RetryInterval = 20 * time.Millisecond
+	cc.RouteTimeout = 20 * time.Second
+
+	const groups = 4
+	ops := 0
+	for i := 0; i < groups; i++ {
+		g := fmt.Sprintf("direct-%d", i)
+		users := groupUsers(g, 5)
+		if err := cc.CreateGroup(ctx, g, users[:4]); err != nil {
+			t.Fatalf("%s create: %v", g, err)
+		}
+		if err := cc.AddUser(ctx, g, users[4]); err != nil {
+			t.Fatalf("%s add: %v", g, err)
+		}
+		if err := cc.RemoveUser(ctx, g, users[0]); err != nil {
+			t.Fatalf("%s remove: %v", g, err)
+		}
+		if err := cc.RekeyGroup(ctx, g); err != nil {
+			t.Fatalf("%s rekey: %v", g, err)
+		}
+		ops += 4
+	}
+
+	st := cc.Stats()
+	if st.Direct != int64(ops) {
+		t.Fatalf("direct ops = %d, want %d", st.Direct, ops)
+	}
+	if st.Proxied != 0 {
+		t.Fatalf("proxied ops = %d, want 0 (no fallback configured)", st.Proxied)
+	}
+
+	// The records written by direct-routed shards are the real thing:
+	// surviving members converge on one key, the removed user is out.
+	for i := 0; i < groups; i++ {
+		g := fmt.Sprintf("direct-%d", i)
+		users := groupUsers(g, 5)
+		tc.assertOneGroupKey(t, g, users[1:])
+		if _, err := tc.clientFor(t, users[0], g).GroupKey(ctx); err == nil {
+			t.Fatalf("removed user still decrypts %s", g)
+		}
+	}
+
+	// A grow lands a new epoch; the client (no Watch running) self-heals
+	// on the next op via its failed-sweep refresh and keeps routing direct.
+	epochBefore := cc.Epoch()
+	tc.addShard(t, ctx)
+	for i := 0; i < groups; i++ {
+		g := fmt.Sprintf("direct-%d", i)
+		if err := cc.RekeyGroup(ctx, g); err != nil {
+			t.Fatalf("%s post-grow rekey: %v", g, err)
+		}
+	}
+	if st := cc.Stats(); st.Proxied != 0 {
+		t.Fatalf("post-grow proxied ops = %d, want 0", st.Proxied)
+	}
+	if cc.Epoch() < epochBefore {
+		t.Fatalf("client epoch went backwards: %d -> %d", epochBefore, cc.Epoch())
+	}
+}

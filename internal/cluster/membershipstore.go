@@ -1,141 +1,45 @@
 // Store-backed membership: the versioned member set persists as a CAS
-// record in the cloud store, exactly like the group state it governs — the
-// paper's principle that ALL durable state lives in untrusted storage so
-// any enclave-backed process can be restarted or replaced. A gateway that
-// crashes and restarts re-adopts the current ring from the record instead
-// of silently resetting to epoch 1, and shards discover epoch bumps
-// themselves through the store's Poll primitive, so a shard that missed a
-// drain (network partition, paused process) catches up without operator
-// action.
+// record in the cloud store, exactly like the group state it governs. The
+// implementation lives in internal/membership (shared with the client data
+// plane, which resolves group owners from the same record); the historical
+// cluster-package names are kept as aliases.
 package cluster
 
 import (
 	"context"
-	"encoding/json"
-	"errors"
-	"fmt"
-	"time"
 
-	"github.com/ibbesgx/ibbesgx/internal/dkg"
+	"github.com/ibbesgx/ibbesgx/internal/membership"
 	"github.com/ibbesgx/ibbesgx/internal/storage"
-)
-
-const (
-	// membershipDir is the record's own store directory — its CAS version
-	// arbitrates concurrent membership writers and its fence watermark
-	// (PutFenced with the record's epoch) rejects publishes from superseded
-	// epochs outright.
-	membershipDir = "_cluster_membership"
-	// membershipObject is the single object inside the directory.
-	membershipObject = "membership"
 )
 
 // ErrNoMembership reports a store with no persisted membership record —
 // the cluster was never bootstrapped against it.
-var ErrNoMembership = errors.New("cluster: no membership record in the store")
+var ErrNoMembership = membership.ErrNoRecord
 
 // MembershipRecord is the wire form of a Membership plus the routing
-// targets known at publish time. Targets are advisory — a restarted
-// gateway whose shards came back on new ports overrides them — but they
-// let a second gateway (or a watching router) resolve members it has
-// never served itself.
-type MembershipRecord struct {
-	Epoch   uint64            `json:"epoch"`
-	Members []string          `json:"members"`
-	VNodes  int               `json:"vnodes,omitempty"`
-	Targets map[string]string `json:"targets,omitempty"`
-	// DKG is the threshold sharing of the master secret (nil in sealed
-	// mode): commitments, holder indices and sealed per-shard share blobs.
-	// Riding inside the fenced membership record gives the sharing the same
-	// CAS/epoch protection as the member set it belongs to.
-	DKG *dkg.Record `json:"dkg,omitempty"`
-}
-
-// Membership rebuilds the ring from the record.
-func (r *MembershipRecord) Membership() (*Membership, error) {
-	return membershipAt(r.Epoch, r.Members, r.VNodes)
-}
-
-// recordOf flattens a Membership (plus optional targets) into its wire form.
-func recordOf(m *Membership, targets map[string]string) *MembershipRecord {
-	return &MembershipRecord{Epoch: m.Epoch, Members: m.Members(), VNodes: m.vnodes, Targets: targets}
-}
+// targets known at publish time (membership.Record).
+type MembershipRecord = membership.Record
 
 // LoadMembership reads the persisted membership record, also returning the
 // record directory's version — the CAS token a subsequent publish must
 // condition on. A store with no record returns ErrNoMembership (with the
 // version still valid for a bootstrap publish).
 func LoadMembership(ctx context.Context, store storage.Store) (*MembershipRecord, uint64, error) {
-	ver, err := store.Version(ctx, membershipDir)
-	if err != nil {
-		return nil, 0, err
-	}
-	blob, err := store.Get(ctx, membershipDir, membershipObject)
-	if errors.Is(err, storage.ErrNotFound) {
-		return nil, ver, ErrNoMembership
-	}
-	if err != nil {
-		return nil, 0, err
-	}
-	var rec MembershipRecord
-	if err := json.Unmarshal(blob, &rec); err != nil {
-		return nil, 0, fmt.Errorf("cluster: corrupt membership record: %w", err)
-	}
-	if len(rec.Members) == 0 || rec.Epoch == 0 {
-		return nil, 0, fmt.Errorf("cluster: invalid membership record (epoch %d, %d members)", rec.Epoch, len(rec.Members))
-	}
-	return &rec, ver, nil
+	return membership.Load(ctx, store)
 }
 
-// PublishMembership CAS-writes the record, fenced by its own epoch: the
-// version condition serialises concurrent membership writers (two gateways
-// computing successors from the same base — one loses with
-// ErrVersionConflict and must re-read), and the fence watermark makes a
-// publish from a superseded epoch terminally ErrFenced even if its version
-// guess happens to be right.
+// PublishMembership CAS-writes the record, fenced by its own epoch.
 func PublishMembership(ctx context.Context, store storage.Store, rec *MembershipRecord, ifVersion uint64) error {
-	blob, err := json.Marshal(rec)
-	if err != nil {
-		return err
-	}
-	return store.PutFenced(ctx, membershipDir, membershipObject, blob, ifVersion, rec.Epoch)
+	return membership.Publish(ctx, store, rec, ifVersion)
 }
-
-// watchRetryDelay spaces retries after a transient store error inside a
-// watch loop (the Poll itself blocks, so the loop is otherwise quiet).
-const watchRetryDelay = 200 * time.Millisecond
 
 // WatchMembership delivers every persisted membership record — the current
-// one immediately, then each newer one as it lands — until ctx ends. It is
-// the discovery loop shards and routers run against the store: consumers
-// dedupe by epoch (ApplyMembership ignores stale or repeated records), so
-// at-least-once delivery is all the loop promises. Transient store errors
-// are retried; the loop never returns them.
+// one immediately, then each newer one as it lands — until ctx ends.
 func WatchMembership(ctx context.Context, store storage.Store, fn func(*MembershipRecord)) {
-	var cursor uint64
-	for ctx.Err() == nil {
-		rec, ver, err := LoadMembership(ctx, store)
-		switch {
-		case err == nil:
-			fn(rec)
-			cursor = ver
-		case errors.Is(err, ErrNoMembership):
-			cursor = ver
-		default:
-			// Transient store trouble (or a corrupt record mid-replace):
-			// back off and re-read rather than spinning on Poll.
-			if sleepCtx(ctx, watchRetryDelay) != nil {
-				return
-			}
-			continue
-		}
-		if _, err := store.Poll(ctx, membershipDir, cursor); err != nil {
-			if ctx.Err() != nil {
-				return
-			}
-			if sleepCtx(ctx, watchRetryDelay) != nil {
-				return
-			}
-		}
-	}
+	membership.Watch(ctx, store, fn)
+}
+
+// recordOf flattens a Membership (plus optional targets) into its wire form.
+func recordOf(m *Membership, targets map[string]string) *MembershipRecord {
+	return membership.RecordOf(m, targets)
 }

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/ibbesgx/ibbesgx/internal/client"
 	"github.com/ibbesgx/ibbesgx/internal/obs"
 	"github.com/ibbesgx/ibbesgx/internal/storage"
 )
@@ -43,6 +44,38 @@ func TestClusterMetricsExposition(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// The client-side data plane (direct-routing admin client + record
+	// cache) registers its families in the same registry — the co-located
+	// deployment cmd/ibbe-client wires — so its counters join the same
+	// scrape surface.
+	cc, err := client.NewClusterClient(ctx, tc.c.Store, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc.Instrument(reg)
+	cc.RetryInterval = 20 * time.Millisecond
+	cache := client.NewRecordCache(tc.c.Store).Instrument(reg)
+	cc.Cache = cache
+	if err := cc.AddUser(ctx, "obs-g", "obs-direct@example.com"); err != nil {
+		t.Fatalf("direct-routed op: %v", err)
+	}
+	names, err := tc.c.Store.List(ctx, "obs-g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		if strings.HasPrefix(name, "_") {
+			continue
+		}
+		// Twice: one miss (upstream GET), one version-current hit.
+		for i := 0; i < 2; i++ {
+			if _, _, err := cache.Get(ctx, "obs-g", name); err != nil {
+				t.Fatal(err)
+			}
+		}
+		break
+	}
+
 	// Scrape through a shard's HTTP surface — the same bytes CI scrapes —
 	// not just the in-process registry.
 	var srvURL string
@@ -73,27 +106,34 @@ func TestClusterMetricsExposition(t *testing.T) {
 	// The golden family inventory. Every name and type here is public API
 	// for scrape configs: additions are fine, renames and retypes are not.
 	golden := map[string]string{
-		"ibbe_router_requests_total":         "counter",
-		"ibbe_router_request_seconds":        "histogram",
-		"ibbe_router_served_total":           "counter",
-		"ibbe_router_failovers_total":        "counter",
-		"ibbe_router_fenced_refreshes_total": "counter",
-		"ibbe_router_health_skips_total":     "counter",
-		"ibbe_router_inflight":               "gauge",
-		"ibbe_admin_op_seconds":              "histogram",
-		"ibbe_admin_op_errors_total":         "counter",
-		"ibbe_store_ops_total":               "counter",
-		"ibbe_store_op_seconds":              "histogram",
-		"ibbe_store_cas_conflicts_total":     "counter",
-		"ibbe_store_fence_rejections_total":  "counter",
-		"ibbe_lease_events_total":            "counter",
-		"ibbe_ecall_seconds":                 "histogram",
-		"ibbe_dkg_generation":                "gauge",
-		"ibbe_dkg_reshare_phase_seconds":     "histogram",
-		"ibbe_dkg_reshares_total":            "counter",
-		"ibbe_autoscale_decisions_total":     "counter",
-		"ibbe_crypto_ops_total":              "counter",
-		"ibbe_shard_groups_owned":            "gauge",
+		"ibbe_router_requests_total":            "counter",
+		"ibbe_router_request_seconds":           "histogram",
+		"ibbe_router_served_total":              "counter",
+		"ibbe_router_failovers_total":           "counter",
+		"ibbe_router_fenced_refreshes_total":    "counter",
+		"ibbe_router_health_skips_total":        "counter",
+		"ibbe_router_inflight":                  "gauge",
+		"ibbe_admin_op_seconds":                 "histogram",
+		"ibbe_admin_op_errors_total":            "counter",
+		"ibbe_store_ops_total":                  "counter",
+		"ibbe_store_op_seconds":                 "histogram",
+		"ibbe_store_cas_conflicts_total":        "counter",
+		"ibbe_store_fence_rejections_total":     "counter",
+		"ibbe_lease_events_total":               "counter",
+		"ibbe_ecall_seconds":                    "histogram",
+		"ibbe_dkg_generation":                   "gauge",
+		"ibbe_dkg_reshare_phase_seconds":        "histogram",
+		"ibbe_dkg_reshares_total":               "counter",
+		"ibbe_autoscale_decisions_total":        "counter",
+		"ibbe_crypto_ops_total":                 "counter",
+		"ibbe_shard_groups_owned":               "gauge",
+		"ibbe_client_routes_total":              "counter",
+		"ibbe_client_fenced_refreshes_total":    "counter",
+		"ibbe_client_cache_hits_total":          "counter",
+		"ibbe_client_cache_misses_total":        "counter",
+		"ibbe_client_cache_collapsed_total":     "counter",
+		"ibbe_client_cache_revalidations_total": "counter",
+		"ibbe_client_cache_evictions_total":     "counter",
 	}
 	for name, typ := range golden {
 		got, ok := families[name]
@@ -113,6 +153,7 @@ func TestClusterMetricsExposition(t *testing.T) {
 		`ibbe_store_ops_total{backend="mem"`,
 		`ibbe_crypto_ops_total{`,
 		`ibbe_lease_events_total{`,
+		`ibbe_client_routes_total{route="direct"}`,
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("exposition carries no %s series after traffic", want)

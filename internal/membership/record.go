@@ -1,0 +1,152 @@
+// Store-backed membership: the versioned member set persists as a CAS
+// record in the cloud store, exactly like the group state it governs — the
+// paper's principle that ALL durable state lives in untrusted storage so
+// any enclave-backed process can be restarted or replaced. A gateway that
+// crashes and restarts re-adopts the current ring from the record instead
+// of silently resetting to epoch 1, shards discover epoch bumps themselves
+// through the store's Poll primitive, and gateway-less clients resolve
+// group owners from the record's published targets without ever touching
+// the router.
+package membership
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/ibbesgx/ibbesgx/internal/dkg"
+	"github.com/ibbesgx/ibbesgx/internal/storage"
+)
+
+const (
+	// Dir is the record's own store directory — its CAS version arbitrates
+	// concurrent membership writers and its fence watermark (PutFenced with
+	// the record's epoch) rejects publishes from superseded epochs outright.
+	Dir = "_cluster_membership"
+	// Object is the single object inside the directory.
+	Object = "membership"
+)
+
+// ErrNoRecord reports a store with no persisted membership record — the
+// cluster was never bootstrapped against it.
+var ErrNoRecord = errors.New("cluster: no membership record in the store")
+
+// Record is the wire form of a Membership plus the routing targets known at
+// publish time. Targets are advisory — a restarted gateway whose shards
+// came back on new ports overrides them — but they let a second gateway, a
+// watching router or a direct-routing client resolve members it has never
+// served itself.
+type Record struct {
+	Epoch   uint64            `json:"epoch"`
+	Members []string          `json:"members"`
+	VNodes  int               `json:"vnodes,omitempty"`
+	Targets map[string]string `json:"targets,omitempty"`
+	// DKG is the threshold sharing of the master secret (nil in sealed
+	// mode): commitments, holder indices and sealed per-shard share blobs.
+	// Riding inside the fenced membership record gives the sharing the same
+	// CAS/epoch protection as the member set it belongs to.
+	DKG *dkg.Record `json:"dkg,omitempty"`
+}
+
+// Membership rebuilds the ring from the record.
+func (r *Record) Membership() (*Membership, error) {
+	return At(r.Epoch, r.Members, r.VNodes)
+}
+
+// RecordOf flattens a Membership (plus optional targets) into its wire form.
+func RecordOf(m *Membership, targets map[string]string) *Record {
+	return &Record{Epoch: m.Epoch, Members: m.Members(), VNodes: m.vnodes, Targets: targets}
+}
+
+// Load reads the persisted membership record, also returning the record
+// directory's version — the CAS token a subsequent publish must condition
+// on. A store with no record returns ErrNoRecord (with the version still
+// valid for a bootstrap publish).
+func Load(ctx context.Context, store storage.Store) (*Record, uint64, error) {
+	ver, err := store.Version(ctx, Dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	blob, err := store.Get(ctx, Dir, Object)
+	if errors.Is(err, storage.ErrNotFound) {
+		return nil, ver, ErrNoRecord
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	var rec Record
+	if err := json.Unmarshal(blob, &rec); err != nil {
+		return nil, 0, fmt.Errorf("cluster: corrupt membership record: %w", err)
+	}
+	if len(rec.Members) == 0 || rec.Epoch == 0 {
+		return nil, 0, fmt.Errorf("cluster: invalid membership record (epoch %d, %d members)", rec.Epoch, len(rec.Members))
+	}
+	return &rec, ver, nil
+}
+
+// Publish CAS-writes the record, fenced by its own epoch: the version
+// condition serialises concurrent membership writers (two gateways
+// computing successors from the same base — one loses with
+// ErrVersionConflict and must re-read), and the fence watermark makes a
+// publish from a superseded epoch terminally ErrFenced even if its version
+// guess happens to be right.
+func Publish(ctx context.Context, store storage.Store, rec *Record, ifVersion uint64) error {
+	blob, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	return store.PutFenced(ctx, Dir, Object, blob, ifVersion, rec.Epoch)
+}
+
+// watchRetryDelay spaces retries after a transient store error inside a
+// watch loop (the Poll itself blocks, so the loop is otherwise quiet).
+const watchRetryDelay = 200 * time.Millisecond
+
+// Watch delivers every persisted membership record — the current one
+// immediately, then each newer one as it lands — until ctx ends. It is the
+// discovery loop shards, routers and direct-routing clients run against the
+// store: consumers dedupe by epoch (stale or repeated records are ignored),
+// so at-least-once delivery is all the loop promises. Transient store
+// errors are retried; the loop never returns them.
+func Watch(ctx context.Context, store storage.Store, fn func(*Record)) {
+	var cursor uint64
+	for ctx.Err() == nil {
+		rec, ver, err := Load(ctx, store)
+		switch {
+		case err == nil:
+			fn(rec)
+			cursor = ver
+		case errors.Is(err, ErrNoRecord):
+			cursor = ver
+		default:
+			// Transient store trouble (or a corrupt record mid-replace):
+			// back off and re-read rather than spinning on Poll.
+			if sleepCtx(ctx, watchRetryDelay) != nil {
+				return
+			}
+			continue
+		}
+		if _, err := store.Poll(ctx, Dir, cursor); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			if sleepCtx(ctx, watchRetryDelay) != nil {
+				return
+			}
+		}
+	}
+}
+
+// sleepCtx sleeps for dur unless the context ends first.
+func sleepCtx(ctx context.Context, dur time.Duration) error {
+	t := time.NewTimer(dur)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -29,6 +29,11 @@ type FaultStore struct {
 	// > 0 — deterministic exercise for zombie-rejection paths.
 	failEveryPutFenced int
 	putFencedCount     int
+	// failEveryGet fails every n-th read (Get/GetVersioned/GetVersionedIf)
+	// when > 0 — deterministic exercise for client retry/fallback paths,
+	// symmetric with the conditional-put injectors.
+	failEveryGet int
+	getCount     int
 	// failGets / failPuts force all reads / mutations to fail.
 	failGets bool
 	failPuts bool
@@ -66,6 +71,16 @@ func (f *FaultStore) FailEveryPutFenced(n int) {
 	f.putFencedCount = 0
 }
 
+// FailEveryGet makes every n-th object read (Get, GetVersioned or
+// GetVersionedIf) fail with ErrInjected (0 disables), simulating an
+// intermittently flaky cloud read path.
+func (f *FaultStore) FailEveryGet(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failEveryGet = n
+	f.getCount = 0
+}
+
 // SetFailGets toggles failing all reads (Get/List/Version/Poll).
 func (f *FaultStore) SetFailGets(v bool) {
 	f.mu.Lock()
@@ -97,6 +112,23 @@ func (f *FaultStore) getShouldFail() bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.failGets
+}
+
+// objectGetShouldFail combines the blanket read switch with the every-n-th
+// object-read injector (the latter only counts object fetches, not
+// List/Version/Poll, so a test can meter exactly the record reads a client
+// cache issues).
+func (f *FaultStore) objectGetShouldFail() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.failGets {
+		return true
+	}
+	if f.failEveryGet <= 0 {
+		return false
+	}
+	f.getCount++
+	return f.getCount%f.failEveryGet == 0
 }
 
 // Put implements Store.
@@ -165,10 +197,28 @@ func (f *FaultStore) Delete(ctx context.Context, dir, name string) error {
 
 // Get implements Store.
 func (f *FaultStore) Get(ctx context.Context, dir, name string) ([]byte, error) {
-	if f.getShouldFail() {
+	if f.objectGetShouldFail() {
 		return nil, ErrInjected
 	}
 	return f.Inner.Get(ctx, dir, name)
+}
+
+// GetVersioned implements Store.
+func (f *FaultStore) GetVersioned(ctx context.Context, dir, name string) ([]byte, uint64, error) {
+	if f.objectGetShouldFail() {
+		return nil, 0, ErrInjected
+	}
+	return f.Inner.GetVersioned(ctx, dir, name)
+}
+
+// GetVersionedIf implements ConditionalGetter, delegating through the
+// package helper so a wrapped backend without the optional interface still
+// answers correctly.
+func (f *FaultStore) GetVersionedIf(ctx context.Context, dir, name string, ifVersion uint64) ([]byte, uint64, error) {
+	if f.objectGetShouldFail() {
+		return nil, 0, ErrInjected
+	}
+	return GetVersionedIf(ctx, f.Inner, dir, name, ifVersion)
 }
 
 // List implements Store.

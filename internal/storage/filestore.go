@@ -180,6 +180,41 @@ func (f *FileStore) Get(ctx context.Context, dir, name string) ([]byte, error) {
 	return data, err
 }
 
+// GetVersioned implements Store. f.mu is held across the version read and
+// the object read, so the pair is consistent against concurrent PutIf
+// (plain Put bumps under the same lock via bump).
+func (f *FileStore) GetVersioned(ctx context.Context, dir, name string) ([]byte, uint64, error) {
+	return f.getVersioned(ctx, dir, name, 0)
+}
+
+// GetVersionedIf implements ConditionalGetter.
+func (f *FileStore) GetVersionedIf(ctx context.Context, dir, name string, ifVersion uint64) ([]byte, uint64, error) {
+	return f.getVersioned(ctx, dir, name, ifVersion)
+}
+
+func (f *FileStore) getVersioned(ctx context.Context, dir, name string, ifVersion uint64) ([]byte, uint64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ver, err := f.readVersion(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	if ifVersion != 0 && ver == ifVersion {
+		return nil, ver, fmt.Errorf("%w: %s at %d", ErrNotModified, dir, ver)
+	}
+	data, err := os.ReadFile(f.objPath(dir, name))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, fmt.Errorf("%w: %s/%s", ErrNotFound, dir, name)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return data, ver, nil
+}
+
 // List implements Store.
 func (f *FileStore) List(ctx context.Context, dir string) ([]string, error) {
 	if err := ctx.Err(); err != nil {

@@ -11,6 +11,7 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
@@ -115,7 +116,28 @@ func (s *Server) handleObject(w http.ResponseWriter, r *http.Request, path strin
 		}
 		w.WriteHeader(http.StatusNoContent)
 	case http.MethodGet:
-		data, err := s.store.Get(r.Context(), dir, name)
+		// Every GET answers with the directory version in X-Dir-Version, so
+		// one round trip yields a cache key alongside the bytes. With
+		// ?if-version=n the GET is conditional: a directory still at n
+		// answers 304 Not Modified with the header and no body — the
+		// revalidation round trip of a version-keyed client cache.
+		var ifVersion uint64
+		if cond := r.URL.Query().Get("if-version"); cond != "" {
+			v, err := strconv.ParseUint(cond, 10, 64)
+			if err != nil {
+				http.Error(w, "bad if-version", http.StatusBadRequest)
+				return
+			}
+			ifVersion = v
+		}
+		data, ver, err := GetVersionedIf(r.Context(), s.store, dir, name, ifVersion)
+		if ver != 0 {
+			w.Header().Set(DirVersionHeader, strconv.FormatUint(ver, 10))
+		}
+		if errors.Is(err, ErrNotModified) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
 		if err != nil {
 			writeStoreErr(w, err)
 			return
@@ -189,6 +211,11 @@ func (s *Server) handlePoll(w http.ResponseWriter, r *http.Request, path string)
 // write, letting a routing gateway refresh its membership and re-route.
 const FencedHeader = "X-Fenced"
 
+// DirVersionHeader carries the directory version on every object GET
+// response — the cache key of the version-keyed read path, delivered in
+// the same round trip as the bytes it keys.
+const DirVersionHeader = "X-Dir-Version"
+
 func writeStoreErr(w http.ResponseWriter, err error) {
 	if errors.Is(err, ErrNotFound) {
 		http.Error(w, err.Error(), http.StatusNotFound)
@@ -216,11 +243,29 @@ func writeJSON(w http.ResponseWriter, v any) {
 type HTTPStore struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
 	BaseURL string
-	// Client is the HTTP client; http.DefaultClient if nil.
+	// Client is the HTTP client; a shared pooled client if nil.
 	Client *http.Client
+
+	baseOnce   sync.Once
+	baseParsed *url.URL
+	baseErr    error
 }
 
 var _ Store = (*HTTPStore)(nil)
+
+// defaultClient backs every HTTPStore without an explicit Client. Unlike
+// http.DefaultClient it raises the per-host idle pool (DefaultTransport
+// keeps only 2), so a flash crowd of cache misses against one shard or one
+// cloud endpoint reuses warm connections instead of churning sockets.
+var defaultClient = &http.Client{
+	Transport: &http.Transport{
+		Proxy:               http.ProxyFromEnvironment,
+		MaxIdleConns:        512,
+		MaxIdleConnsPerHost: 128,
+		IdleConnTimeout:     90 * time.Second,
+		ForceAttemptHTTP2:   true,
+	},
+}
 
 // NewHTTPStore returns a client for the given server base URL.
 func NewHTTPStore(baseURL string) *HTTPStore {
@@ -231,11 +276,54 @@ func (h *HTTPStore) httpClient() *http.Client {
 	if h.Client != nil {
 		return h.Client
 	}
-	return http.DefaultClient
+	return defaultClient
 }
 
 func (h *HTTPStore) objURL(dir, name string) string {
 	return h.BaseURL + "/v1/obj/" + url.PathEscape(dir) + "/" + url.PathEscape(name)
+}
+
+// getHeader is the header map shared by all GET requests. GETs carry no
+// headers of their own and net/http treats an outgoing request's header as
+// read-only (Client.send clones before adding Authorization from URL
+// userinfo, and redirects build fresh requests), so one empty map serves
+// every read instead of allocating one per call.
+var getHeader = make(http.Header)
+
+func (h *HTTPStore) base() (*url.URL, error) {
+	h.baseOnce.Do(func() {
+		h.baseParsed, h.baseErr = url.Parse(h.BaseURL)
+	})
+	return h.baseParsed, h.baseErr
+}
+
+// newGet builds a GET request from the base URL parsed once, the decoded
+// and escaped path suffixes, and the shared header — skipping the URL
+// string re-parse and header-map allocation http.NewRequest pays on every
+// call. Reads dominate this store's traffic (the paper's workload is
+// fetch-heavy), so the per-GET constant factor is the one worth shaving.
+func (h *HTTPStore) newGet(ctx context.Context, path, escPath, rawQuery string) (*http.Request, error) {
+	b, err := h.base()
+	if err != nil {
+		return nil, err
+	}
+	u := &url.URL{
+		Scheme:   b.Scheme,
+		Host:     b.Host,
+		Path:     b.Path + path,
+		RawPath:  b.EscapedPath() + escPath,
+		RawQuery: rawQuery,
+	}
+	req := &http.Request{
+		Method:     http.MethodGet,
+		URL:        u,
+		Proto:      "HTTP/1.1",
+		ProtoMajor: 1,
+		ProtoMinor: 1,
+		Header:     getHeader,
+		Host:       u.Host,
+	}
+	return req.WithContext(ctx), nil
 }
 
 // Put implements Store.
@@ -287,27 +375,62 @@ func (h *HTTPStore) Delete(ctx context.Context, dir, name string) error {
 
 // Get implements Store.
 func (h *HTTPStore) Get(ctx context.Context, dir, name string) ([]byte, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.objURL(dir, name), nil)
+	data, _, err := h.getVersioned(ctx, dir, name, 0)
+	return data, err
+}
+
+// GetVersioned implements Store: one round trip returns the bytes plus the
+// directory version the server stamps into X-Dir-Version.
+func (h *HTTPStore) GetVersioned(ctx context.Context, dir, name string) ([]byte, uint64, error) {
+	return h.getVersioned(ctx, dir, name, 0)
+}
+
+// GetVersionedIf implements ConditionalGetter via ?if-version=n; a 304
+// answer maps to ErrNotModified with the (unchanged) version and no body.
+func (h *HTTPStore) GetVersionedIf(ctx context.Context, dir, name string, ifVersion uint64) ([]byte, uint64, error) {
+	return h.getVersioned(ctx, dir, name, ifVersion)
+}
+
+func (h *HTTPStore) getVersioned(ctx context.Context, dir, name string, ifVersion uint64) ([]byte, uint64, error) {
+	var q string
+	if ifVersion != 0 {
+		q = "if-version=" + strconv.FormatUint(ifVersion, 10)
+	}
+	req, err := h.newGet(ctx, "/v1/obj/"+dir+"/"+name,
+		"/v1/obj/"+url.PathEscape(dir)+"/"+url.PathEscape(name), q)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	resp, err := h.httpClient().Do(req)
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode == http.StatusNotFound {
-		return nil, fmt.Errorf("%w: %s/%s", ErrNotFound, dir, name)
+	var ver uint64
+	if raw := resp.Header.Get(DirVersionHeader); raw != "" {
+		if ver, err = strconv.ParseUint(raw, 10, 64); err != nil {
+			return nil, 0, fmt.Errorf("storage: bad %s header %q", DirVersionHeader, raw)
+		}
 	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, httpError(resp)
+	switch resp.StatusCode {
+	case http.StatusNotModified:
+		return nil, ver, fmt.Errorf("%w: %s at %d", ErrNotModified, dir, ver)
+	case http.StatusNotFound:
+		return nil, 0, fmt.Errorf("%w: %s/%s", ErrNotFound, dir, name)
+	case http.StatusOK:
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return nil, 0, err
+		}
+		return data, ver, nil
+	default:
+		return nil, 0, httpError(resp)
 	}
-	return io.ReadAll(resp.Body)
 }
 
 // List implements Store.
 func (h *HTTPStore) List(ctx context.Context, dir string) ([]string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.BaseURL+"/v1/list/"+url.PathEscape(dir), nil)
+	req, err := h.newGet(ctx, "/v1/list/"+dir, "/v1/list/"+url.PathEscape(dir), "")
 	if err != nil {
 		return nil, err
 	}
@@ -331,7 +454,7 @@ func (h *HTTPStore) List(ctx context.Context, dir string) ([]string, error) {
 
 // Version implements Store.
 func (h *HTTPStore) Version(ctx context.Context, dir string) (uint64, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, h.BaseURL+"/v1/version/"+url.PathEscape(dir), nil)
+	req, err := h.newGet(ctx, "/v1/version/"+dir, "/v1/version/"+url.PathEscape(dir), "")
 	if err != nil {
 		return 0, err
 	}
@@ -341,9 +464,9 @@ func (h *HTTPStore) Version(ctx context.Context, dir string) (uint64, error) {
 // Poll implements Store. It re-arms across server-side long-poll timeouts
 // until the context ends.
 func (h *HTTPStore) Poll(ctx context.Context, dir string, since uint64) (uint64, error) {
-	u := h.BaseURL + "/v1/poll/" + url.PathEscape(dir) + "?since=" + strconv.FormatUint(since, 10)
+	q := "since=" + strconv.FormatUint(since, 10)
 	for {
-		req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+		req, err := h.newGet(ctx, "/v1/poll/"+dir, "/v1/poll/"+url.PathEscape(dir), q)
 		if err != nil {
 			return 0, err
 		}

@@ -112,6 +112,32 @@ func (s *instrumentedStore) Get(ctx context.Context, dir, name string) ([]byte, 
 	return data, err
 }
 
+func (s *instrumentedStore) GetVersioned(ctx context.Context, dir, name string) ([]byte, uint64, error) {
+	ctx, sp := obs.StartSpan(ctx, "store.getversioned")
+	t0 := time.Now()
+	data, ver, err := s.inner.GetVersioned(ctx, dir, name)
+	s.observe(ctx, "getversioned", t0, err)
+	sp.End(err)
+	return data, ver, err
+}
+
+// GetVersionedIf implements ConditionalGetter, delegating through the
+// package helper so decoration does not hide the inner store's native
+// conditional path. ErrNotModified is a cache revalidation hit, not a
+// failure, so observe's error classification ignores it.
+func (s *instrumentedStore) GetVersionedIf(ctx context.Context, dir, name string, ifVersion uint64) ([]byte, uint64, error) {
+	ctx, sp := obs.StartSpan(ctx, "store.getversionedif")
+	t0 := time.Now()
+	data, ver, err := GetVersionedIf(ctx, s.inner, dir, name, ifVersion)
+	s.observe(ctx, "getversionedif", t0, err)
+	if errors.Is(err, ErrNotModified) {
+		sp.End(nil)
+	} else {
+		sp.End(err)
+	}
+	return data, ver, err
+}
+
 func (s *instrumentedStore) List(ctx context.Context, dir string) ([]string, error) {
 	ctx, sp := obs.StartSpan(ctx, "store.list")
 	t0 := time.Now()

@@ -30,6 +30,11 @@ var (
 	// highest the directory has seen — the writer is a zombie from a
 	// superseded cluster membership and must stop, not retry.
 	ErrFenced = errors.New("storage: write fenced by newer epoch")
+	// ErrNotModified reports a conditional read (GetVersionedIf) whose
+	// directory version still equals the caller's — the cached copy is
+	// current and no object bytes were transferred. Not an error in the
+	// failure sense; a cache revalidation hit.
+	ErrNotModified = errors.New("storage: not modified")
 )
 
 // Store is the cloud interface used by administrators (Put/Delete) and
@@ -59,6 +64,13 @@ type Store interface {
 	Delete(ctx context.Context, dir, name string) error
 	// Get fetches an object.
 	Get(ctx context.Context, dir, name string) ([]byte, error)
+	// GetVersioned fetches an object together with the directory version
+	// current at the read. Directory versions are monotone, so the pair
+	// (dir, name, dirVersion) is a valid cache key: a reader that already
+	// holds the bytes for the directory's current version need not fetch at
+	// all. The HTTP backend answers it in ONE round trip (the version rides
+	// the X-Dir-Version response header).
+	GetVersioned(ctx context.Context, dir, name string) (data []byte, dirVersion uint64, err error)
 	// List returns the object names in a directory, sorted.
 	List(ctx context.Context, dir string) ([]string, error)
 	// Version returns the directory's current version (0 if it never existed).
@@ -66,6 +78,32 @@ type Store interface {
 	// Poll blocks until the directory version exceeds since (or ctx ends),
 	// returning the new version.
 	Poll(ctx context.Context, dir string, since uint64) (uint64, error)
+}
+
+// ConditionalGetter is the optional revalidation interface: a store that
+// implements it can answer "give me the object unless the directory is
+// still at version ifVersion" in one round trip, returning ErrNotModified
+// (and transferring no object bytes) when the caller's copy is current.
+// All in-tree backends implement it; GetVersionedIf falls back to a plain
+// GetVersioned for stores that do not.
+type ConditionalGetter interface {
+	GetVersionedIf(ctx context.Context, dir, name string, ifVersion uint64) ([]byte, uint64, error)
+}
+
+// GetVersionedIf revalidates through the optional ConditionalGetter when
+// the store (or a decorator chain ending in one) supports it, synthesising
+// the ErrNotModified answer from a plain GetVersioned otherwise. ifVersion
+// 0 never matches a live directory (versions start at 1), making it the
+// unconditional degenerate case.
+func GetVersionedIf(ctx context.Context, s Store, dir, name string, ifVersion uint64) ([]byte, uint64, error) {
+	if cg, ok := s.(ConditionalGetter); ok {
+		return cg.GetVersionedIf(ctx, dir, name, ifVersion)
+	}
+	data, ver, err := s.GetVersioned(ctx, dir, name)
+	if err == nil && ifVersion != 0 && ver == ifVersion {
+		return nil, ver, fmt.Errorf("%w: %s at %d", ErrNotModified, dir, ver)
+	}
+	return data, ver, err
 }
 
 // Latency configures the injected round-trip costs of the simulated cloud.
@@ -216,6 +254,39 @@ func (m *MemStore) Get(ctx context.Context, dir, name string) ([]byte, error) {
 	m.gets++
 	m.byteTx += int64(len(data))
 	return append([]byte(nil), data...), nil
+}
+
+// GetVersioned implements Store: object bytes and directory version read
+// under one lock acquisition, so the pair is consistent.
+func (m *MemStore) GetVersioned(ctx context.Context, dir, name string) ([]byte, uint64, error) {
+	return m.getVersioned(ctx, dir, name, 0)
+}
+
+// GetVersionedIf implements ConditionalGetter.
+func (m *MemStore) GetVersionedIf(ctx context.Context, dir, name string, ifVersion uint64) ([]byte, uint64, error) {
+	return m.getVersioned(ctx, dir, name, ifVersion)
+}
+
+func (m *MemStore) getVersioned(ctx context.Context, dir, name string, ifVersion uint64) ([]byte, uint64, error) {
+	if err := sleepCtx(ctx, m.lat.Get); err != nil {
+		return nil, 0, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	d := m.dirs[dir]
+	if d == nil {
+		return nil, 0, fmt.Errorf("%w: %s", ErrNotFound, dir)
+	}
+	if ifVersion != 0 && d.version == ifVersion {
+		return nil, d.version, fmt.Errorf("%w: %s at %d", ErrNotModified, dir, d.version)
+	}
+	data, ok := d.objects[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s/%s", ErrNotFound, dir, name)
+	}
+	m.gets++
+	m.byteTx += int64(len(data))
+	return append([]byte(nil), data...), d.version, nil
 }
 
 // List implements Store.
