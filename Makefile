@@ -31,7 +31,7 @@ short:
 
 ## race: race detector over the concurrent layers (core manager, admin, cluster, storage) and the crypto substrate
 race:
-	$(GO) test -race ./internal/core/... ./internal/admin/... ./internal/enclave/... ./internal/cluster/... ./internal/dkg/... ./internal/storage/... ./internal/ff/... ./internal/curve/... ./internal/pairing/... ./internal/ibbe/...
+	$(GO) test -race ./internal/core/... ./internal/admin/... ./internal/enclave/... ./internal/cluster/... ./internal/dkg/... ./internal/storage/... ./internal/partition/... ./internal/ff/... ./internal/curve/... ./internal/pairing/... ./internal/ibbe/...
 
 ## bench: one pass over every benchmark (smoke; use cmd/ibbe-bench for figures)
 bench:
@@ -47,6 +47,8 @@ benchdiff:
 	$(GO) run ./cmd/benchdiff -old BENCH_crypto.json -new BENCH_crypto.fresh.json -max-regress 0.15
 	$(GO) run ./cmd/ibbe-bench -json BENCH_readpath.fresh.json readpath
 	$(GO) run ./cmd/benchdiff -old BENCH_readpath.json -new BENCH_readpath.fresh.json -max-regress 0.15
+	$(GO) run ./cmd/ibbe-bench -json BENCH_millionuser.fresh.json millionuser
+	$(GO) run ./cmd/benchdiff -old BENCH_millionuser.json -new BENCH_millionuser.fresh.json
 
 ## ci: everything the workflow gates on
 ci: build vet fmt test race

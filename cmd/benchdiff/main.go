@@ -8,7 +8,9 @@
 //	benchdiff -old BENCH_crypto.json -new BENCH_crypto.fresh.json [-max-regress 0.15]
 //	benchdiff -old BENCH_readpath.json -new BENCH_readpath.fresh.json
 //
-// Two experiments are understood, selected by the report's "experiment"
+//	benchdiff -old BENCH_millionuser.json -new BENCH_millionuser.fresh.json
+//
+// Three experiments are understood, selected by the report's "experiment"
 // field (old and new must match):
 //
 //   - crypto: only fast_ns_per_op is gated — the reference ("slow") arm
@@ -27,6 +29,15 @@
 //     zero store GETs and no arm may report failed reads — those are
 //     correctness properties of the read path, not timings, so they are
 //     gated exactly.
+//
+//   - millionuser: no timing gates at all — runner speed varies, but the
+//     paged-manager properties do not. Every baseline phase must be present
+//     in the fresh run (coverage), every fresh phase must report zero
+//     failed ops and zero failed decrypts, and the mass-revocation phase
+//     must keep its resident-pages peak at or under the configured limit —
+//     the O(partition)-memory claim of the full-group sweep, gated exactly.
+//     (Batched joins may pin one open page beyond the limit by design, so
+//     only the sweep phase carries the residency gate.)
 package main
 
 import (
@@ -53,6 +64,16 @@ type readPathRow struct {
 	ReadsPerSec float64 `json:"reads_per_sec"`
 	StoreGets   int64   `json:"store_gets"`
 	FailedReads int64   `json:"failed_reads"`
+}
+
+type millionUserRow struct {
+	Phase             string `json:"phase"`
+	Ops               int    `json:"ops"`
+	FailedOps         int    `json:"failed_ops"`
+	Decrypts          int    `json:"decrypts"`
+	FailedDecrypts    int    `json:"failed_decrypts"`
+	ResidentPagesPeak int    `json:"resident_pages_peak"`
+	MaxResidentLimit  int    `json:"max_resident_limit"`
 }
 
 type opKey struct {
@@ -92,6 +113,8 @@ func main() {
 	case "readpath":
 		lines, failures, err = diffReadPath(oldRep, newRep, *maxRegress)
 		gated = 1 // one gated quantity: the speedup
+	case "millionuser":
+		lines, failures, gated, err = diffMillionUser(oldRep, newRep)
 	default:
 		lines, failures, gated, err = diffCrypto(oldRep, newRep, *maxRegress)
 	}
@@ -215,6 +238,53 @@ func diffReadPath(oldRep, newRep *report, maxRegress float64) (lines, failures [
 		}
 	}
 	return lines, failures, nil
+}
+
+// diffMillionUser gates the paged-manager sweep on exact properties only:
+// phase coverage against the baseline, zero failed ops/decrypts, and the
+// resident-pages peak at or under the configured limit in every phase that
+// has one. Timings are reported but never gated — the sweep's claim is
+// about memory and correctness, not runner speed.
+func diffMillionUser(oldRep, newRep *report) (lines, failures []string, gated int, err error) {
+	var oldRows, newRows []millionUserRow
+	if err := json.Unmarshal(oldRep.Rows, &oldRows); err != nil {
+		return nil, nil, 0, fmt.Errorf("baseline rows: %w", err)
+	}
+	if err := json.Unmarshal(newRep.Rows, &newRows); err != nil {
+		return nil, nil, 0, fmt.Errorf("fresh rows: %w", err)
+	}
+	fresh := make(map[string]millionUserRow, len(newRows))
+	for _, r := range newRows {
+		fresh[r.Phase] = r
+	}
+	for _, base := range oldRows {
+		if _, ok := fresh[base.Phase]; !ok {
+			f := fmt.Sprintf("phase %q present in baseline, missing from fresh run", base.Phase)
+			failures = append(failures, f)
+			lines = append(lines, "FAIL  "+f)
+		}
+	}
+	lines = append(lines, fmt.Sprintf("      %16s  %7s  %6s  %8s  %7s  %9s  %6s", "phase", "ops", "failed", "decrypts", "dfailed", "pages-hwm", "limit"))
+	for _, r := range newRows {
+		gated++
+		status := "  ok"
+		if r.FailedOps != 0 {
+			failures = append(failures, fmt.Sprintf("phase %q: %d failed ops, want 0", r.Phase, r.FailedOps))
+			status = "FAIL"
+		}
+		if r.FailedDecrypts != 0 {
+			failures = append(failures, fmt.Sprintf("phase %q: %d failed decrypts, want 0", r.Phase, r.FailedDecrypts))
+			status = "FAIL"
+		}
+		if r.Phase == "mass-revocation" && r.MaxResidentLimit > 0 && r.ResidentPagesPeak > r.MaxResidentLimit {
+			failures = append(failures, fmt.Sprintf("phase %q: resident-pages peak %d exceeds limit %d",
+				r.Phase, r.ResidentPagesPeak, r.MaxResidentLimit))
+			status = "FAIL"
+		}
+		lines = append(lines, fmt.Sprintf("%s  %16s  %7d  %6d  %8d  %7d  %9d  %6d",
+			status, r.Phase, r.Ops, r.FailedOps, r.Decrypts, r.FailedDecrypts, r.ResidentPagesPeak, r.MaxResidentLimit))
+	}
+	return lines, failures, gated, nil
 }
 
 func readPathSpeedup(rows []readPathRow) (float64, error) {

@@ -17,9 +17,16 @@
 //	curl -X POST :9090/admin/remove       -d '{"group":"g","user":"a"}'
 //	curl -X POST :9090/admin/add-batch    -d '{"group":"g","users":["d","e","f"]}'
 //	curl -X POST :9090/admin/remove-batch -d '{"group":"g","users":["b","c"]}'
+//	curl ':9090/admin/members?group=g&limit=1000'
 //
 // The batch routes coalesce the whole batch into one re-key pass per touched
-// partition; -workers bounds the per-partition fan-out (0 = all CPUs).
+// partition; -workers bounds the per-partition fan-out (0 = all CPUs). The
+// members route is paged — walk arbitrarily large groups with the returned
+// "next" cursor (client.AdminAPI.AllMembers does this for you); the full
+// listing is never materialised in one response. -resident-pages bounds each
+// group's in-memory partition-page cache: untouched pages evict and
+// rehydrate from the store on demand, keeping per-op memory O(partition)
+// instead of O(group).
 package main
 
 import (
@@ -46,15 +53,16 @@ func main() {
 	paramsName := flag.String("params", "fast-160", "pairing scale: fast-160, medium-256, paper-512")
 	name := flag.String("name", "admin-1", "administrator name (for the certified op log)")
 	workers := flag.Int("workers", 0, "partition worker-pool size (0 = number of CPUs)")
+	residentPages := flag.Int("resident-pages", 0, "per-group resident partition-page bound (0 = unbounded)")
 	flag.Parse()
 
-	if err := run(*listen, *storeURL, *capacity, *paramsName, *name, *workers); err != nil {
+	if err := run(*listen, *storeURL, *capacity, *paramsName, *name, *workers, *residentPages); err != nil {
 		fmt.Fprintln(os.Stderr, "ibbe-admin:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, storeURL string, capacity int, paramsName, name string, workers int) error {
+func run(listen, storeURL string, capacity int, paramsName, name string, workers, residentPages int) error {
 	var params *pairing.Params
 	var wireName string
 	switch paramsName {
@@ -106,6 +114,10 @@ func run(listen, storeURL string, capacity int, paramsName, name string, workers
 	}
 	if workers > 0 {
 		mgr.SetParallelism(workers)
+	}
+	if residentPages > 0 {
+		mgr.SetMaxResidentPages(residentPages)
+		log.Printf("ibbe-admin: resident partition pages bounded at %d per group", residentPages)
 	}
 	log.Printf("ibbe-admin: partition worker pool: %d", mgr.Parallelism())
 	opLog, err := core.NewOpLog()

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	ibbe-bench [-scale ci|medium|paper] [-json out.json] \
-//	           fig2|fig6|fig7a|fig7b|fig8a|fig8b|fig9|fig10|table1|epc|parallel|batch|cluster|rebalance|readpath|autoscale|crypto|dkg|all
+//	           fig2|fig6|fig7a|fig7b|fig8a|fig8b|fig9|fig10|table1|epc|parallel|batch|cluster|rebalance|readpath|autoscale|crypto|dkg|millionuser|all
 //
 // The ci scale (default) runs the whole suite in well under a minute on
 // reduced grids with identical shapes; medium takes minutes; paper runs the
@@ -63,36 +63,37 @@ func run(scale, jsonPath string, args []string) error {
 		return fmt.Errorf("unknown scale %q (want ci, medium or paper)", scale)
 	}
 	if len(args) != 1 {
-		return fmt.Errorf("want exactly one experiment: fig2, fig6, fig7a, fig7b, fig8a, fig8b, fig9, fig10, table1, epc, parallel, batch, cluster, rebalance, readpath, autoscale, crypto, dkg or all")
+		return fmt.Errorf("want exactly one experiment: fig2, fig6, fig7a, fig7b, fig8a, fig8b, fig9, fig10, table1, epc, parallel, batch, cluster, rebalance, readpath, autoscale, crypto, dkg, millionuser or all")
 	}
 	exp := args[0]
 
 	// Every runner returns its rows (for -json) after printing its table.
 	runners := map[string]func(benchmark.Config) (any, error){
-		"fig2":      runFig2,
-		"fig6":      runFig6,
-		"fig7a":     runFig7a,
-		"fig7b":     runFig7b,
-		"fig8a":     runFig8a,
-		"fig8b":     runFig8b,
-		"fig9":      runFig9,
-		"fig10":     runFig10,
-		"table1":    runTable1,
-		"epc":       runEPC,
-		"parallel":  runParallel,
-		"batch":     runBatch,
-		"cluster":   runCluster,
-		"rebalance": runRebalance,
-		"readpath":  runReadPath,
-		"autoscale": runAutoscale,
-		"crypto":    runCrypto,
-		"dkg":       runDKG,
+		"fig2":        runFig2,
+		"fig6":        runFig6,
+		"fig7a":       runFig7a,
+		"fig7b":       runFig7b,
+		"fig8a":       runFig8a,
+		"fig8b":       runFig8b,
+		"fig9":        runFig9,
+		"fig10":       runFig10,
+		"table1":      runTable1,
+		"epc":         runEPC,
+		"parallel":    runParallel,
+		"batch":       runBatch,
+		"cluster":     runCluster,
+		"rebalance":   runRebalance,
+		"readpath":    runReadPath,
+		"autoscale":   runAutoscale,
+		"crypto":      runCrypto,
+		"dkg":         runDKG,
+		"millionuser": runMillionUser,
 	}
 	if exp == "all" {
 		if jsonPath != "" {
 			return fmt.Errorf("-json applies to a single experiment, not all")
 		}
-		order := []string{"fig2", "fig6", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "table1", "epc", "parallel", "batch", "cluster", "rebalance", "readpath", "autoscale", "crypto", "dkg"}
+		order := []string{"fig2", "fig6", "fig7a", "fig7b", "fig8a", "fig8b", "fig9", "fig10", "table1", "epc", "parallel", "batch", "cluster", "rebalance", "readpath", "autoscale", "crypto", "dkg", "millionuser"}
 		for _, name := range order {
 			if _, err := timed(name, cfg, runners[name]); err != nil {
 				return err
@@ -287,5 +288,14 @@ func runDKG(cfg benchmark.Config) (any, error) {
 		return nil, err
 	}
 	benchmark.PrintDKG(os.Stdout, rows)
+	return rows, nil
+}
+
+func runMillionUser(cfg benchmark.Config) (any, error) {
+	rows, err := benchmark.RunMillionUser(cfg)
+	if err != nil {
+		return nil, err
+	}
+	benchmark.PrintMillionUser(os.Stdout, rows)
 	return rows, nil
 }

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"github.com/ibbesgx/ibbesgx/internal/core"
+	"github.com/ibbesgx/ibbesgx/internal/partition"
 	"github.com/ibbesgx/ibbesgx/internal/storage"
 )
 
@@ -250,6 +251,9 @@ func (a *Admin) CreateGroup(ctx context.Context, group string, members []string)
 	if err != nil {
 		return err
 	}
+	// The creation's records are applied: the group's cache may page from
+	// here on (creation itself is necessarily O(group) resident).
+	a.enablePaging(group)
 	if err := a.updateCatalog(ctx, group); err != nil {
 		return err
 	}
@@ -349,6 +353,12 @@ const (
 	// catalogDir / catalogObject track the set of groups for RestoreAll.
 	catalogDir    = "_system"
 	catalogObject = "groups"
+	// memberIndexObject stores the group's compact member→partition index as
+	// its own versioned object. Takeover restores read it (plus the sealed
+	// key) instead of every partition record, so a restart serves a
+	// million-user group after an O(index) read; the records hydrate lazily
+	// through the page cache.
+	memberIndexObject = "_member_index"
 )
 
 // apply pushes an update to the cloud. The unconditional path deletes first
@@ -373,6 +383,13 @@ func (a *Admin) apply(ctx context.Context, up *core.Update) error {
 		if err := a.store.Put(ctx, up.Group, id, blob); err != nil {
 			return fmt.Errorf("admin: putting %s/%s: %w", up.Group, id, err)
 		}
+	}
+	idxBlob, err := a.mgr.MarshalIndex(up.Group)
+	if err != nil {
+		return err
+	}
+	if err := a.store.Put(ctx, up.Group, memberIndexObject, idxBlob); err != nil {
+		return fmt.Errorf("admin: putting member index: %w", err)
 	}
 	sealed, err := a.mgr.SealedGroupKey(up.Group)
 	if err != nil {
@@ -448,6 +465,16 @@ func (a *Admin) applyCAS(ctx context.Context, up *core.Update) error {
 		}
 		v++
 	}
+	// The member index precedes the sealed key so the key keeps its place as
+	// the LAST write of every apply (the torn-snapshot arbiter above).
+	idxBlob, err := a.mgr.MarshalIndex(up.Group)
+	if err != nil {
+		return fail(err)
+	}
+	if err := a.condPut(ctx, up.Group, memberIndexObject, idxBlob, v); err != nil {
+		return fail(fmt.Errorf("admin: putting member index: %w", err))
+	}
+	v++
 	if err := a.condPut(ctx, up.Group, sealedGKObject, sealed, v); err != nil {
 		return fail(fmt.Errorf("admin: putting sealed group key: %w", err))
 	}
@@ -514,17 +541,51 @@ func (a *Admin) readCatalog(ctx context.Context) ([]string, error) {
 	return groups, nil
 }
 
-// RestoreGroup rebuilds the manager's state for one group from the cloud:
-// every partition record plus the sealed group key. Use after an
-// administrator restart (the enclave must hold the same master secret, via
-// EcallRestore on the same platform).
+// recordFetch returns the store-backed loader that rehydrates one evicted
+// partition record. Hydrations happen lazily, long after whatever request
+// installed the fetch, so it runs under a background context.
+func (a *Admin) recordFetch(group string) core.RecordFetch {
+	scheme := a.mgr.Scheme()
+	return func(partitionID string) (*core.PartitionRecord, error) {
+		blob, err := a.store.Get(context.Background(), group, partitionID)
+		if err != nil {
+			return nil, err
+		}
+		return core.UnmarshalRecord(scheme, blob)
+	}
+}
+
+// enablePaging installs the store-backed page source for a group whose
+// records are durably in the cloud, turning its page cache evictable. A
+// group the manager no longer holds (concurrent drop) is a no-op.
+func (a *Admin) enablePaging(group string) {
+	_ = a.mgr.SetPageSource(group, a.recordFetch(group))
+}
+
+// RestoreGroup rebuilds the manager's state for one group from the cloud.
+// The fast path reads only the member index and the sealed group key —
+// O(index), not O(group) — and hands the manager a lazy record fetch;
+// directories written before the index object existed fall back to reading
+// every partition record. Use after an administrator restart (the enclave
+// must hold the same master secret, via EcallRestore on the same platform).
 func (a *Admin) RestoreGroup(ctx context.Context, group string) error {
-	// The version is read before the listing: if a writer lands during the
+	// The version is read before any content: if a writer lands during the
 	// restore, the tracked version is stale and this admin's first
 	// conditional write conflicts — triggering another restore — instead of
 	// silently building on a torn snapshot.
 	ver, err := a.store.Version(ctx, group)
 	if err != nil {
+		return err
+	}
+	idxBlob, err := a.store.Get(ctx, group, memberIndexObject)
+	if err == nil {
+		if err := a.restorePaged(ctx, group, idxBlob); err != nil {
+			return err
+		}
+		a.trackVersion(group, ver)
+		return nil
+	}
+	if !errors.Is(err, storage.ErrNotFound) {
 		return err
 	}
 	names, err := a.store.List(ctx, group)
@@ -558,8 +619,29 @@ func (a *Admin) RestoreGroup(ctx context.Context, group string) error {
 	if err := a.mgr.RestoreGroup(group, recs, sealedGK); err != nil {
 		return err
 	}
+	// Even the legacy path ends up paged: the records just restored are in
+	// the cloud by definition, so the cache may evict and rehydrate them.
+	a.enablePaging(group)
 	a.trackVersion(group, ver)
 	return nil
+}
+
+// restorePaged is the O(index) restore: decode the member index, read the
+// sealed key, and register the group with a lazy page fetch — no partition
+// record is read until an operation touches it.
+func (a *Admin) restorePaged(ctx context.Context, group string, idxBlob []byte) error {
+	idx, err := partition.UnmarshalIndex(idxBlob)
+	if err != nil {
+		return fmt.Errorf("admin: index %s/%s: %w", group, memberIndexObject, err)
+	}
+	sealedGK, err := a.store.Get(ctx, group, sealedGKObject)
+	if errors.Is(err, storage.ErrNotFound) {
+		return fmt.Errorf("%w: %s", ErrNoSealedKey, group)
+	}
+	if err != nil {
+		return err
+	}
+	return a.mgr.RestoreGroupPaged(group, idx, sealedGK, a.recordFetch(group))
 }
 
 // DropGroup releases this admin's local state for a group (manager cache

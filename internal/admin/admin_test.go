@@ -93,19 +93,25 @@ func TestCreateGroupPublishesRecords(t *testing.T) {
 		t.Fatal(err)
 	}
 	var parts []string
-	sealedSeen := false
+	sealedSeen, indexSeen := false, false
 	for _, n := range names {
-		if n == "_sealed_gk" {
+		switch {
+		case n == "_sealed_gk":
 			sealedSeen = true
-			continue
+		case n == "_member_index":
+			indexSeen = true
+		case !strings.HasPrefix(n, "_"):
+			parts = append(parts, n)
 		}
-		parts = append(parts, n)
 	}
 	if len(parts) != 3 { // 5 members / capacity 2
 		t.Fatalf("objects = %v, want 3 partitions", names)
 	}
 	if !sealedSeen {
 		t.Fatal("sealed group key not published (Algorithm 1 line 7)")
+	}
+	if !indexSeen {
+		t.Fatal("member index not published (O(index) takeover restore)")
 	}
 }
 

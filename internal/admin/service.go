@@ -10,9 +10,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
+	"github.com/ibbesgx/ibbesgx/internal/core"
 	"github.com/ibbesgx/ibbesgx/internal/enclave"
 	"github.com/ibbesgx/ibbesgx/internal/ibbe"
 	"github.com/ibbesgx/ibbesgx/internal/obs"
@@ -36,6 +38,7 @@ import (
 //	POST /admin/add-batch     {"group": g, "users": [...]}
 //	POST /admin/remove-batch  {"group": g, "users": [...]}
 //	POST /admin/rekey         {"group": g}
+//	GET  /admin/members?group=g&after=cursor&limit=n → MembersResult
 //	POST /provision           {"id": u, "ecdh_pub": b64} → ProvisionResponse
 //	GET  /info                → SystemInfo
 //
@@ -127,6 +130,8 @@ func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.handleInfo(w)
 	case r.URL.Path == "/provision" && r.Method == http.MethodPost:
 		s.handleProvision(w, r)
+	case r.URL.Path == "/admin/members" && r.Method == http.MethodGet:
+		s.handleMembers(w, r)
 	case strings.HasPrefix(r.URL.Path, "/admin/") && r.Method == http.MethodPost:
 		s.handleAdmin(w, r)
 	default:
@@ -252,6 +257,53 @@ func (s *Service) handleAdmin(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// MembersResult is one page of a group's member listing. Next carries the
+// cursor for the following page; empty means the listing is complete.
+type MembersResult struct {
+	Group   string   `json:"group"`
+	Members []string `json:"members"`
+	Next    string   `json:"next,omitempty"`
+}
+
+// membersPageDefault / membersPageMax bound one GET /admin/members response;
+// arbitrarily large groups are walked with the after cursor, never
+// materialised in one reply.
+const (
+	membersPageDefault = 1000
+	membersPageMax     = core.MaxUnpagedMembers
+)
+
+func (s *Service) handleMembers(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	group := q.Get("group")
+	if group == "" {
+		WriteEnvelopeError(w, http.StatusBadRequest, s.epoch(), CodeBadRequest, "missing group")
+		return
+	}
+	limit := membersPageDefault
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			WriteEnvelopeError(w, http.StatusBadRequest, s.epoch(), CodeBadRequest, "bad limit")
+			return
+		}
+		limit = n
+	}
+	if limit > membersPageMax {
+		limit = membersPageMax
+	}
+	members, err := s.Admin.Manager().MembersPage(group, q.Get("after"), limit)
+	if err != nil {
+		WriteEnvelopeError(w, http.StatusConflict, s.epoch(), CodeConflict, err.Error())
+		return
+	}
+	res := MembersResult{Group: group, Members: members}
+	if len(members) == limit {
+		res.Next = members[len(members)-1]
+	}
+	writeJSON(w, res)
 }
 
 // epoch evaluates the optional Epoch hook.

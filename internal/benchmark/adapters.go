@@ -98,13 +98,11 @@ func (c *IBBEController) SampleDecrypt(group, user string) (time.Duration, error
 	if err != nil {
 		return 0, err
 	}
-	recs, err := c.Mgr.Records(group)
+	// Single-page fetch: the index maps the user to its partition, so the
+	// sample never materialises the whole group's records.
+	rec, err := c.Mgr.Record(group, user)
 	if err != nil {
-		return 0, err
-	}
-	rec, ok := cl.FindOwnRecord(recs)
-	if !ok {
-		return 0, fmt.Errorf("benchmark: %s has no partition in %s", user, group)
+		return 0, fmt.Errorf("benchmark: %s has no partition in %s: %w", user, group, err)
 	}
 	start := time.Now()
 	if _, err := cl.DecryptRecord(group, rec); err != nil {

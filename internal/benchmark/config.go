@@ -30,6 +30,14 @@ type Config struct {
 	SyntheticOps, SyntheticInitial int
 	// Fig10Partitions is the partition-size sweep for Fig. 10.
 	Fig10Partitions []int
+	// WLUsers / WLGroups size the million-user scenario sweep (the paper
+	// scale is 10^6 users across 10^4 groups).
+	WLUsers, WLGroups int
+	// WLDiurnalOps is the diurnal churn phase's op count.
+	WLDiurnalOps int
+	// MaxResidentPages bounds per-group page residency during the sweep
+	// (the paged manager's LRU limit).
+	MaxResidentPages int
 	// Seed drives every deterministic choice.
 	Seed int64
 }
@@ -51,6 +59,10 @@ func CIScale() Config {
 		SyntheticOps:     250,
 		SyntheticInitial: 300,
 		Fig10Partitions:  []int{16, 24, 32},
+		WLUsers:          10_000,
+		WLGroups:         100,
+		WLDiurnalOps:     600,
+		MaxResidentPages: 8,
 		Seed:             2018,
 	}
 }
@@ -70,6 +82,10 @@ func PaperScale() Config {
 		SyntheticOps:     10_000,
 		SyntheticInitial: 5_000,
 		Fig10Partitions:  []int{1_000, 1_500, 2_000},
+		WLUsers:          1_000_000,
+		WLGroups:         10_000,
+		WLDiurnalOps:     20_000,
+		MaxResidentPages: 64,
 		Seed:             2018,
 	}
 }
@@ -90,6 +106,10 @@ func MediumScale() Config {
 		SyntheticOps:     1_000,
 		SyntheticInitial: 1_200,
 		Fig10Partitions:  []int{100, 150, 200},
+		WLUsers:          100_000,
+		WLGroups:         1_000,
+		WLDiurnalOps:     4_000,
+		MaxResidentPages: 32,
 		Seed:             2018,
 	}
 }

@@ -1,0 +1,64 @@
+package benchmark
+
+import "testing"
+
+// TestMillionUserSweep runs the scenario suite at a trimmed CI scale: the
+// full phase set on a live 2-shard cluster, gated on the exact properties
+// the benchdiff guard enforces — every op and every sampled decrypt
+// succeeds, and the mass-revocation sweep over the largest group never
+// holds more resident pages than the configured bound.
+func TestMillionUserSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-cluster sweep: skipped in -short CI runs")
+	}
+	cfg := CIScale()
+	// Trim below bench scale: the shape (many Zipf groups, all four
+	// phases, residency bound smaller than the largest group's page
+	// count) is what the test asserts, not throughput.
+	cfg.WLUsers = 2_000
+	cfg.WLGroups = 24
+	cfg.WLDiurnalOps = 120
+	cfg.MaxResidentPages = 4
+
+	rows, err := RunMillionUser(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPhases := []string{"provision", "flash-crowd", "mass-revocation", "diurnal"}
+	if len(rows) != len(wantPhases) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(wantPhases))
+	}
+	for i, r := range rows {
+		if r.Phase != wantPhases[i] {
+			t.Fatalf("row %d phase = %q, want %q", i, r.Phase, wantPhases[i])
+		}
+		if r.Ops == 0 {
+			t.Fatalf("%s phase replayed no ops", r.Phase)
+		}
+		if r.FailedOps != 0 {
+			t.Fatalf("%s phase: %d failed ops", r.Phase, r.FailedOps)
+		}
+		if r.Decrypts == 0 {
+			t.Fatalf("%s phase sampled no decrypts", r.Phase)
+		}
+		if r.FailedDecrypts != 0 {
+			t.Fatalf("%s phase: %d failed decrypts", r.Phase, r.FailedDecrypts)
+		}
+		if r.MaxResidentLimit != cfg.MaxResidentPages {
+			t.Fatalf("%s phase reports limit %d, want %d", r.Phase, r.MaxResidentLimit, cfg.MaxResidentPages)
+		}
+		if r.Phase == "mass-revocation" && r.ResidentPagesPeak > r.MaxResidentLimit {
+			t.Fatalf("revocation sweep peaked at %d resident pages, bound is %d",
+				r.ResidentPagesPeak, r.MaxResidentLimit)
+		}
+	}
+	// Paging must actually be exercised: the bound is far below the page
+	// population, so a zero eviction count means the LRU never engaged.
+	var ev uint64
+	for _, r := range rows {
+		ev += r.Evictions
+	}
+	if ev == 0 {
+		t.Fatal("sweep ran without a single page eviction — residency bound not engaged")
+	}
+}

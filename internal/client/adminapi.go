@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"strconv"
 	"strings"
 
 	"github.com/ibbesgx/ibbesgx/internal/storage"
@@ -124,6 +126,80 @@ func (c *AdminAPI) RemoveUsers(ctx context.Context, group string, users []string
 // RekeyGroup rotates the group key without membership changes.
 func (c *AdminAPI) RekeyGroup(ctx context.Context, group string) error {
 	return c.post(ctx, "rekey", adminOpRequest{Group: group})
+}
+
+// membersResult mirrors admin.MembersResult (the client package stays
+// independent of the server package).
+type membersResult struct {
+	Members []string `json:"members"`
+	Next    string   `json:"next"`
+}
+
+// Members fetches one page of the group's member listing: up to limit names
+// strictly after the cursor, plus the cursor for the next page ("" when the
+// listing is complete). limit <= 0 lets the server pick its default. Walk
+// arbitrarily large groups page by page instead of asking for everything.
+func (c *AdminAPI) Members(ctx context.Context, group, after string, limit int) ([]string, string, error) {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	u := strings.TrimRight(c.BaseURL, "/") + "/admin/members?group=" + url.QueryEscape(group)
+	if after != "" {
+		u += "&after=" + url.QueryEscape(after)
+	}
+	if limit > 0 {
+		u += "&limit=" + strconv.Itoa(limit)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, "", err
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		apiErr := &APIError{
+			Op:         "members",
+			StatusCode: resp.StatusCode,
+			Msg:        strings.TrimSpace(string(body)),
+			Fenced:     resp.Header.Get(storage.FencedHeader) != "",
+		}
+		var env envelope
+		if json.Unmarshal(body, &env) == nil && env.Error != nil {
+			apiErr.Code = env.Error.Code
+			apiErr.Epoch = env.Epoch
+			apiErr.Msg = env.Error.Msg
+		}
+		return nil, "", apiErr
+	}
+	var res membersResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		return nil, "", err
+	}
+	return res.Members, res.Next, nil
+}
+
+// AllMembers walks the paged listing to completion — a convenience for
+// tools; arbitrarily large groups cost one round-trip per page, never one
+// giant response.
+func (c *AdminAPI) AllMembers(ctx context.Context, group string) ([]string, error) {
+	var all []string
+	after := ""
+	for {
+		page, next, err := c.Members(ctx, group, after, 0)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, page...)
+		if next == "" || len(page) == 0 {
+			return all, nil
+		}
+		after = next
+	}
 }
 
 // post sends one admin operation and maps non-2xx responses to errors

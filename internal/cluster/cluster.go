@@ -64,6 +64,11 @@ type Options struct {
 	// Workers bounds each shard's per-operation partition fan-out
 	// (0 = number of CPUs).
 	Workers int
+	// MaxResidentPages bounds each group's resident partition-page cache on
+	// every shard (0 = unbounded). With a bound, a shard's memory per group
+	// is O(index + bound × page), not O(group): untouched pages evict and
+	// rehydrate from the store on demand.
+	MaxResidentPages int
 	// VirtualNodes per shard on the ring (0 = default).
 	VirtualNodes int
 	// Provisioning selects how shards obtain master-key material: sealed
@@ -227,6 +232,20 @@ func New(opts Options) (*Cluster, error) {
 			func(emit func([]string, float64)) {
 				for _, s := range c.Shards() {
 					emit([]string{s.ID}, float64(len(s.OwnedGroups())))
+				}
+			})
+		// Paged group state: residency and displacement sampled from the
+		// managers' lock-free mirrors, so a scrape never waits on a sweep.
+		r.Collect("ibbe_core_resident_pages", "Partition pages currently resident per shard.", obs.TypeGauge, []string{"shard"},
+			func(emit func([]string, float64)) {
+				for _, s := range c.Shards() {
+					emit([]string{s.ID}, float64(s.Admin.Manager().ResidentPages()))
+				}
+			})
+		r.Collect("ibbe_core_page_evictions_total", "Partition pages displaced by the per-group LRU, per shard.", obs.TypeCounter, []string{"shard"},
+			func(emit func([]string, float64)) {
+				for _, s := range c.Shards() {
+					emit([]string{s.ID}, float64(s.Admin.Manager().PageEvictions()))
 				}
 			})
 	}
@@ -415,6 +434,9 @@ func (c *Cluster) mintShardID(id string, m *Membership) (*Shard, error) {
 	}
 	if c.opts.Workers > 0 {
 		mgr.SetParallelism(c.opts.Workers)
+	}
+	if c.opts.MaxResidentPages > 0 {
+		mgr.SetMaxResidentPages(c.opts.MaxResidentPages)
 	}
 	opLog, err := core.NewOpLog()
 	if err != nil {

@@ -127,6 +127,8 @@ func TestClusterMetricsExposition(t *testing.T) {
 		"ibbe_autoscale_decisions_total":        "counter",
 		"ibbe_crypto_ops_total":                 "counter",
 		"ibbe_shard_groups_owned":               "gauge",
+		"ibbe_core_resident_pages":              "gauge",
+		"ibbe_core_page_evictions_total":        "counter",
 		"ibbe_client_routes_total":              "counter",
 		"ibbe_client_fenced_refreshes_total":    "counter",
 		"ibbe_client_cache_hits_total":          "counter",

@@ -352,14 +352,19 @@ func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	group := ""
 	if strings.HasPrefix(r.URL.Path, "/admin/") {
-		var req struct {
-			Group string `json:"group"`
+		// Reads carry the group in the query string, mutations in the body;
+		// either way the group pins the candidate order to its ring owners.
+		group = r.URL.Query().Get("group")
+		if group == "" {
+			var req struct {
+				Group string `json:"group"`
+			}
+			if err := json.Unmarshal(body, &req); err != nil || req.Group == "" {
+				http.Error(w, "cluster: missing group", http.StatusBadRequest)
+				return
+			}
+			group = req.Group
 		}
-		if err := json.Unmarshal(body, &req); err != nil || req.Group == "" {
-			http.Error(w, "cluster: missing group", http.StatusBadRequest)
-			return
-		}
-		group = req.Group
 	}
 
 	if rt.rm != nil {

@@ -603,19 +603,31 @@ func (s *Shard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		s.Service.ServeHTTP(w, r)
 		return
 	}
-	body, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+	// Reads (the paged member listing) carry the group in the query string;
+	// mutations carry it in the JSON body. Both gate on ownership below.
+	var body []byte
+	group := ""
+	if r.Method == http.MethodGet {
+		group = r.URL.Query().Get("group")
+	} else {
+		var err error
+		body, err = io.ReadAll(io.LimitReader(r.Body, 8<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var req struct {
+			Group string `json:"group"`
+		}
+		if err := json.Unmarshal(body, &req); err == nil {
+			group = req.Group
+		}
 	}
-	var req struct {
-		Group string `json:"group"`
-	}
-	if err := json.Unmarshal(body, &req); err != nil || req.Group == "" {
+	if group == "" {
 		http.Error(w, "cluster: missing group", http.StatusBadRequest)
 		return
 	}
-	if err := s.EnsureOwnership(r.Context(), req.Group); err != nil {
+	if err := s.EnsureOwnership(r.Context(), group); err != nil {
 		if errors.Is(err, ErrLeaseHeld) {
 			w.Header().Set("Retry-After", "1")
 			admin.WriteEnvelopeError(w, http.StatusServiceUnavailable, s.epoch(), admin.CodeNotOwner, err.Error())
@@ -629,15 +641,17 @@ func (s *Shard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// partial write in the cloud. Rebuild WITH the healing key rotation
 	// (takeover=true), exactly as if the group were reclaimed from a
 	// crashed peer.
-	if _, err := s.Admin.Manager().Members(req.Group); errors.Is(err, core.ErrNoSuchGroup) {
-		if err := s.adopt(r.Context(), req.Group, true); err != nil {
+	if !s.Admin.Manager().HasGroup(group) {
+		if err := s.adopt(r.Context(), group, true); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
 	}
 	r2 := r.Clone(r.Context())
-	r2.Body = io.NopCloser(bytes.NewReader(body))
-	r2.ContentLength = int64(len(body))
+	if body != nil {
+		r2.Body = io.NopCloser(bytes.NewReader(body))
+		r2.ContentLength = int64(len(body))
+	}
 	// Buffer the response: if the operation failed and the lease is gone,
 	// the likely cause is a hand-off mid-request (a membership change
 	// drained the group between the ownership gate above and the apply) —
@@ -657,7 +671,7 @@ func (s *Shard) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		buf.flush(w)
 		return
 	}
-	if buf.code >= 400 && !s.holdsLive(req.Group) {
+	if buf.code >= 400 && !s.holdsLive(group) {
 		w.Header().Set("Retry-After", "1")
 		admin.WriteEnvelopeError(w, http.StatusServiceUnavailable, s.epoch(), admin.CodeNotOwner, "cluster: group handed off mid-operation")
 		return

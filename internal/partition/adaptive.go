@@ -1,6 +1,9 @@
 package partition
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // Adaptive implements the paper's first future-work item (§VIII):
 // dynamically adapting the partition size to the observed workload. The
@@ -22,8 +25,11 @@ type Adaptive struct {
 	// workloads with comparable admin-op and decryption rates.
 	Weight float64
 
-	memberOps  int64
-	decryptOps int64
+	// The observation counters are fed from concurrent ECALL paths
+	// (membership ops on the admin side, decryptions on the client side),
+	// so they must be atomic.
+	memberOps  atomic.Int64
+	decryptOps atomic.Int64
 }
 
 // NewAdaptive returns a policy with the given clamp range.
@@ -37,11 +43,12 @@ func NewAdaptive(minCap, maxCap int) *Adaptive {
 	return &Adaptive{MinCapacity: minCap, MaxCapacity: maxCap, Weight: 1}
 }
 
-// ObserveMembershipOp records one administrator add/remove.
-func (a *Adaptive) ObserveMembershipOp() { a.memberOps++ }
+// ObserveMembershipOp records one administrator add/remove. Safe for
+// concurrent use.
+func (a *Adaptive) ObserveMembershipOp() { a.memberOps.Add(1) }
 
-// ObserveDecrypt records one user decryption.
-func (a *Adaptive) ObserveDecrypt() { a.decryptOps++ }
+// ObserveDecrypt records one user decryption. Safe for concurrent use.
+func (a *Adaptive) ObserveDecrypt() { a.decryptOps.Add(1) }
 
 // Suggest returns the capacity suggested for a group of the given size
 // under the observed workload.
@@ -49,10 +56,11 @@ func (a *Adaptive) Suggest(groupSize int) int {
 	if groupSize < 1 {
 		return a.MinCapacity
 	}
+	memberOps, decryptOps := a.memberOps.Load(), a.decryptOps.Load()
 	ratio := 1.0
-	if a.decryptOps > 0 {
-		ratio = float64(a.memberOps) / float64(a.decryptOps)
-	} else if a.memberOps > 0 {
+	if decryptOps > 0 {
+		ratio = float64(memberOps) / float64(decryptOps)
+	} else if memberOps > 0 {
 		// All-admin workload: push toward the largest partitions.
 		return a.clamp(a.MaxCapacity)
 	}

@@ -1,0 +1,253 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func TestIndexBindUnbindLifecycle(t *testing.T) {
+	ix, err := NewIndex(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := ix.NewPage()
+	if p1 != "p000001" {
+		t.Fatalf("first page = %q", p1)
+	}
+	if err := ix.Bind(p1, "a@x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Bind(p1, "a@x"); !errors.Is(err, ErrMemberExists) {
+		t.Fatalf("duplicate bind: %v", err)
+	}
+	if err := ix.Bind(p1, "b@x"); err != nil {
+		t.Fatal(err)
+	}
+	// Page now full: no open page remains.
+	if err := ix.Bind(p1, "c@x"); !errors.Is(err, ErrPartitionFull) {
+		t.Fatalf("overfull bind: %v", err)
+	}
+	if _, ok := ix.PickOpen(nil); ok {
+		t.Fatal("PickOpen found an open page in a full index")
+	}
+	if ix.Len() != 2 || ix.PageCount() != 1 {
+		t.Fatalf("len=%d pages=%d", ix.Len(), ix.PageCount())
+	}
+	// Unbind reopens the page.
+	id, err := ix.Unbind("a@x")
+	if err != nil || id != p1 {
+		t.Fatalf("unbind: %q %v", id, err)
+	}
+	if _, err := ix.Unbind("a@x"); !errors.Is(err, ErrNoSuchMember) {
+		t.Fatalf("double unbind: %v", err)
+	}
+	if open, ok := ix.PickOpen(nil); !ok || open != p1 {
+		t.Fatalf("PickOpen after unbind: %q %v", open, ok)
+	}
+	// Empty the page: it stays registered (count 0) until DropPage.
+	if _, err := ix.Unbind("b@x"); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Count(p1) != 0 || !ix.Has(p1) {
+		t.Fatalf("emptied page: count=%d has=%v", ix.Count(p1), ix.Has(p1))
+	}
+	ix.DropPage(p1)
+	if ix.Has(p1) || ix.PageCount() != 0 {
+		t.Fatal("DropPage left the page registered")
+	}
+	if _, ok := ix.PickOpen(nil); ok {
+		t.Fatal("dropped page still open")
+	}
+}
+
+func TestIndexPickOpenUniform(t *testing.T) {
+	ix, _ := NewIndex(4)
+	rng := rand.New(rand.NewSource(7))
+	var ids []string
+	for i := 0; i < 3; i++ {
+		ids = append(ids, ix.NewPage())
+	}
+	// Fill the middle page; picks must cover exactly the two open ones.
+	for i := 0; i < 4; i++ {
+		if err := ix.Bind(ids[1], fmt.Sprintf("u%d@x", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := make(map[string]int)
+	for i := 0; i < 200; i++ {
+		id, ok := ix.PickOpen(rng)
+		if !ok {
+			t.Fatal("no open page")
+		}
+		seen[id]++
+	}
+	if seen[ids[1]] != 0 {
+		t.Fatalf("picked the full page %d times", seen[ids[1]])
+	}
+	if seen[ids[0]] == 0 || seen[ids[2]] == 0 {
+		t.Fatalf("picks not covering open pages: %v", seen)
+	}
+}
+
+func TestIndexMarshalRoundTrip(t *testing.T) {
+	ix, _ := NewIndex(3)
+	for p := 0; p < 4; p++ {
+		id := ix.NewPage()
+		for u := 0; u < 3-p%2; u++ {
+			if err := ix.Bind(id, fmt.Sprintf("u%d-%d@x", p, u)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ix.SetWrapLen(id, 100+p)
+	}
+	blob, err := ix.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic encoding.
+	blob2, _ := ix.Marshal()
+	if string(blob) != string(blob2) {
+		t.Fatal("Marshal is not deterministic")
+	}
+	got, err := UnmarshalIndex(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ix.Len() || got.PageCount() != ix.PageCount() || got.Capacity() != ix.Capacity() {
+		t.Fatalf("round trip: len %d/%d pages %d/%d", got.Len(), ix.Len(), got.PageCount(), ix.PageCount())
+	}
+	for _, id := range ix.PageIDs() {
+		if got.Count(id) != ix.Count(id) || got.WrapLen(id) != ix.WrapLen(id) {
+			t.Fatalf("page %s: count %d/%d wrap %d/%d", id, got.Count(id), ix.Count(id), got.WrapLen(id), ix.WrapLen(id))
+		}
+	}
+	for _, m := range ix.Members() {
+		wantPID, _ := ix.PageOf(m)
+		gotPID, ok := got.PageOf(m)
+		if !ok || gotPID != wantPID {
+			t.Fatalf("member %s: page %q/%q", m, gotPID, wantPID)
+		}
+	}
+	// ID allocation resumes after the highest seen ID.
+	if next := got.NewPage(); next != "p000005" {
+		t.Fatalf("next page after restore = %q", next)
+	}
+	if _, err := UnmarshalIndex([]byte("{bogus")); err == nil {
+		t.Fatal("bogus index decoded")
+	}
+}
+
+func TestIndexMembersAfterPagination(t *testing.T) {
+	ix, _ := NewIndex(10)
+	id := ix.NewPage()
+	for i := 9; i >= 0; i-- {
+		if err := ix.Bind(id, fmt.Sprintf("u%d@x", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var all []string
+	after := ""
+	for {
+		page := ix.MembersAfter(after, 3)
+		if len(page) == 0 {
+			break
+		}
+		all = append(all, page...)
+		after = page[len(page)-1]
+	}
+	want := ix.Members()
+	if len(all) != len(want) {
+		t.Fatalf("paged %d members, want %d", len(all), len(want))
+	}
+	for i := range want {
+		if all[i] != want[i] {
+			t.Fatalf("page order diverges at %d: %q vs %q", i, all[i], want[i])
+		}
+	}
+	if got := ix.MembersAfter("u9@x", 5); len(got) != 0 {
+		t.Fatalf("past-the-end cursor returned %v", got)
+	}
+	if got := ix.MembersAfter("", 0); got != nil {
+		t.Fatalf("zero limit returned %v", got)
+	}
+}
+
+func TestIndexNeedsRepartitionMatchesTable(t *testing.T) {
+	// The index heuristic must agree with the resident table on the same
+	// membership history.
+	tab, _ := NewTable(4)
+	ix, _ := NewIndex(4)
+	members := make([]string, 16)
+	for i := range members {
+		members[i] = fmt.Sprintf("u%d@x", i)
+	}
+	if _, err := tab.Bootstrap(members); err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range Split(members, 4) {
+		id := ix.NewPage()
+		for _, m := range chunk {
+			if err := ix.Bind(id, m); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 12; i++ {
+		m := members[rng.Intn(len(members))]
+		if !tab.Contains(m) {
+			continue
+		}
+		if _, err := tab.Remove(m); err != nil {
+			t.Fatal(err)
+		}
+		id, err := ix.Unbind(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ix.Count(id) == 0 {
+			ix.DropPage(id)
+		}
+		if tab.NeedsRepartition() != ix.NeedsRepartition() {
+			t.Fatalf("heuristics diverge after %d removals: table=%v index=%v",
+				i+1, tab.NeedsRepartition(), ix.NeedsRepartition())
+		}
+	}
+}
+
+// TestAdaptiveConcurrentObservers exercises the observation counters from
+// concurrent goroutines; run with -race to catch unsynchronised access.
+func TestAdaptiveConcurrentObservers(t *testing.T) {
+	a := NewAdaptive(2, 1000)
+	var wg sync.WaitGroup
+	const perWorker = 500
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if w%2 == 0 {
+					a.ObserveMembershipOp()
+				} else {
+					a.ObserveDecrypt()
+				}
+				if i%100 == 0 {
+					a.Suggest(1000)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := a.memberOps.Load(); got != 4*perWorker {
+		t.Fatalf("memberOps = %d, want %d", got, 4*perWorker)
+	}
+	if got := a.decryptOps.Load(); got != 4*perWorker {
+		t.Fatalf("decryptOps = %d, want %d", got, 4*perWorker)
+	}
+	if m := a.Suggest(1000); m < 2 || m > 1000 {
+		t.Fatalf("Suggest out of clamp range: %d", m)
+	}
+}

@@ -4,6 +4,12 @@
 // the group size |S|. The package is pure data-structure logic — the
 // cryptographic side of Algorithms 1–3 lives behind the enclave ECALLs and
 // is orchestrated by internal/core.
+//
+// Group state is split in two: a compact Index (member→partition mapping
+// plus occupancy, always resident) and individually loadable/evictable
+// Pages (member slices and crypto payloads, cached in an LRU and rehydrated
+// through a PageSource). Table composes both into the fully resident
+// convenience view used by small groups and tests.
 package partition
 
 import (
@@ -40,20 +46,22 @@ func (p *Partition) clone() *Partition {
 
 // Table tracks the user→partition mapping for one group — the "metadata
 // structure that keeps the mapping between users and partitions" of §IV-C.
+// It keeps every partition resident; internal/core instead composes the
+// Index/Pages split directly so large groups stay O(pages touched) per op.
 // It is not safe for concurrent use; internal/core serialises access.
 type Table struct {
-	capacity int
-	parts    []*Partition
-	index    map[string]int // member → position in parts
-	nextID   int
+	idx   *Index
+	parts map[string]*Partition
+	order []string // partition IDs in creation order
 }
 
 // NewTable creates an empty table with fixed partition capacity m.
 func NewTable(capacity int) (*Table, error) {
-	if capacity < 1 {
-		return nil, fmt.Errorf("%w: %d", ErrBadCapacity, capacity)
+	idx, err := NewIndex(capacity)
+	if err != nil {
+		return nil, err
 	}
-	return &Table{capacity: capacity, index: make(map[string]int)}, nil
+	return &Table{idx: idx, parts: make(map[string]*Partition)}, nil
 }
 
 // NewTableFrom rebuilds a table from previously produced partitions (e.g.
@@ -65,34 +73,14 @@ func NewTableFrom(capacity int, parts []*Partition) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	maxID := 0
 	for _, p := range parts {
-		var n int
-		if _, err := fmt.Sscanf(p.ID, "p%06d", &n); err != nil || n < 1 {
-			return nil, fmt.Errorf("partition: malformed partition ID %q", p.ID)
-		}
-		if n > maxID {
-			maxID = n
-		}
-		if len(p.Members) == 0 {
-			return nil, fmt.Errorf("partition: empty partition %s", p.ID)
-		}
-		if len(p.Members) > capacity {
-			return nil, fmt.Errorf("%w: %s has %d members", ErrPartitionFull, p.ID, len(p.Members))
-		}
-		for _, m := range p.Members {
-			if t.Contains(m) {
-				return nil, fmt.Errorf("%w: %s", ErrMemberExists, m)
-			}
+		if err := t.idx.AddExistingPage(p.ID, p.Members); err != nil {
+			return nil, err
 		}
 		cp := p.clone()
-		t.parts = append(t.parts, cp)
-		i := len(t.parts) - 1
-		for _, m := range cp.Members {
-			t.index[m] = i
-		}
+		t.parts[cp.ID] = cp
+		t.order = append(t.order, cp.ID)
 	}
-	t.nextID = maxID
 	return t, nil
 }
 
@@ -117,7 +105,7 @@ func Split(members []string, capacity int) [][]string {
 // created partitions. It fails if the table already has members or if the
 // list contains duplicates.
 func (t *Table) Bootstrap(members []string) ([]*Partition, error) {
-	if len(t.parts) != 0 {
+	if len(t.order) != 0 {
 		return nil, errors.New("partition: table already bootstrapped")
 	}
 	seen := make(map[string]bool, len(members))
@@ -127,71 +115,68 @@ func (t *Table) Bootstrap(members []string) ([]*Partition, error) {
 		}
 		seen[m] = true
 	}
-	for _, chunk := range Split(members, t.capacity) {
+	for _, chunk := range Split(members, t.idx.Capacity()) {
 		t.appendPartition(chunk)
 	}
 	return t.Partitions(), nil
 }
 
 // Capacity returns the fixed partition size m.
-func (t *Table) Capacity() int { return t.capacity }
+func (t *Table) Capacity() int { return t.idx.Capacity() }
 
 // Len returns the number of members in the group.
-func (t *Table) Len() int { return len(t.index) }
+func (t *Table) Len() int { return t.idx.Len() }
 
 // PartitionCount returns the number of partitions |P|.
-func (t *Table) PartitionCount() int { return len(t.parts) }
+func (t *Table) PartitionCount() int { return len(t.order) }
 
 // Partitions returns copies of all partitions in stable order.
 func (t *Table) Partitions() []*Partition {
-	out := make([]*Partition, len(t.parts))
-	for i, p := range t.parts {
-		out[i] = p.clone()
+	out := make([]*Partition, len(t.order))
+	for i, id := range t.order {
+		out[i] = t.parts[id].clone()
 	}
 	return out
 }
 
 // Members returns all group members in partition order.
 func (t *Table) Members() []string {
-	out := make([]string, 0, len(t.index))
-	for _, p := range t.parts {
-		out = append(out, p.Members...)
+	out := make([]string, 0, t.idx.Len())
+	for _, id := range t.order {
+		out = append(out, t.parts[id].Members...)
 	}
 	return out
 }
 
 // Contains reports whether user is in the group.
-func (t *Table) Contains(user string) bool {
-	_, ok := t.index[user]
-	return ok
-}
+func (t *Table) Contains(user string) bool { return t.idx.Contains(user) }
 
 // Lookup returns a copy of the partition hosting user.
 func (t *Table) Lookup(user string) (*Partition, bool) {
-	i, ok := t.index[user]
+	id, ok := t.idx.PageOf(user)
 	if !ok {
 		return nil, false
 	}
-	return t.parts[i].clone(), true
+	return t.parts[id].clone(), true
 }
 
 // PickOpenPartition returns a copy of a uniformly random partition with
 // remaining capacity (line 9 of Algorithm 2), or false when all are full.
 func (t *Table) PickOpenPartition(rng *rand.Rand) (*Partition, bool) {
-	open := make([]int, 0, len(t.parts))
-	for i, p := range t.parts {
-		if len(p.Members) < t.capacity {
-			open = append(open, i)
+	open := make([]string, 0, len(t.order))
+	for _, id := range t.order {
+		if len(t.parts[id].Members) < t.idx.Capacity() {
+			open = append(open, id)
 		}
 	}
 	if len(open) == 0 {
 		return nil, false
 	}
-	idx := open[0]
+	id := open[0]
 	if rng != nil {
-		idx = open[rng.Intn(len(open))]
+		id = open[rng.Intn(len(open))]
 	}
-	return t.parts[idx].clone(), true
+	return t.parts[id].clone(), true
 }
 
 // Add places user into the partition with the given ID (line 10 of
@@ -200,18 +185,15 @@ func (t *Table) Add(partitionID, user string) (*Partition, error) {
 	if t.Contains(user) {
 		return nil, fmt.Errorf("%w: %s", ErrMemberExists, user)
 	}
-	for i, p := range t.parts {
-		if p.ID != partitionID {
-			continue
-		}
-		if len(p.Members) >= t.capacity {
-			return nil, fmt.Errorf("%w: %s", ErrPartitionFull, partitionID)
-		}
-		p.Members = append(p.Members, user)
-		t.index[user] = i
-		return p.clone(), nil
+	p, ok := t.parts[partitionID]
+	if !ok {
+		return nil, fmt.Errorf("partition: no partition %q", partitionID)
 	}
-	return nil, fmt.Errorf("partition: no partition %q", partitionID)
+	if err := t.idx.Bind(partitionID, user); err != nil {
+		return nil, err
+	}
+	p.Members = append(p.Members, user)
+	return p.clone(), nil
 }
 
 // AddNewPartition creates a fresh singleton partition for user (line 3 of
@@ -227,21 +209,22 @@ func (t *Table) AddNewPartition(user string) (*Partition, error) {
 // and returns a copy of the partition after removal. Emptied partitions are
 // dropped from the table.
 func (t *Table) Remove(user string) (*Partition, error) {
-	i, ok := t.index[user]
-	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrNoSuchMember, user)
+	id, err := t.idx.Unbind(user)
+	if err != nil {
+		return nil, err
 	}
-	p := t.parts[i]
+	p := t.parts[id]
 	for j, m := range p.Members {
 		if m == user {
 			p.Members = append(p.Members[:j], p.Members[j+1:]...)
 			break
 		}
 	}
-	delete(t.index, user)
 	if len(p.Members) == 0 {
-		t.dropPartition(i)
-		return &Partition{ID: p.ID}, nil
+		t.idx.DropPage(id)
+		delete(t.parts, id)
+		t.dropOrder(id)
+		return &Partition{ID: id}, nil
 	}
 	return p.clone(), nil
 }
@@ -249,19 +232,7 @@ func (t *Table) Remove(user string) (*Partition, error) {
 // NeedsRepartition implements the paper's low-occupancy heuristic (§V-A):
 // re-partition when fewer than half of the partitions are at least
 // two-thirds full. Single-partition groups never trigger it.
-func (t *Table) NeedsRepartition() bool {
-	if len(t.parts) <= 1 {
-		return false
-	}
-	threshold := (2*t.capacity + 2) / 3 // ⌈2m/3⌉
-	wellFilled := 0
-	for _, p := range t.parts {
-		if len(p.Members) >= threshold {
-			wellFilled++
-		}
-	}
-	return 2*wellFilled < len(t.parts)
-}
+func (t *Table) NeedsRepartition() bool { return t.idx.NeedsRepartition() }
 
 // Reset rebuilds the table from the current member set, packing members
 // into dense partitions — the re-partitioning of §V-A ("re-creating the
@@ -269,41 +240,38 @@ func (t *Table) NeedsRepartition() bool {
 func (t *Table) Reset() []*Partition {
 	members := t.Members()
 	sort.Strings(members)
-	t.parts = nil
-	t.index = make(map[string]int, len(members))
-	for _, chunk := range Split(members, t.capacity) {
+	t.idx.ResetPages()
+	t.parts = make(map[string]*Partition, (len(members)+t.idx.Capacity()-1)/t.idx.Capacity())
+	t.order = nil
+	for _, chunk := range Split(members, t.idx.Capacity()) {
 		t.appendPartition(chunk)
 	}
 	return t.Partitions()
 }
 
 // Occupancy returns the mean fill ratio across partitions (0 when empty).
-func (t *Table) Occupancy() float64 {
-	if len(t.parts) == 0 {
-		return 0
-	}
-	return float64(len(t.index)) / float64(len(t.parts)*t.capacity)
-}
+func (t *Table) Occupancy() float64 { return t.idx.Occupancy() }
 
 func (t *Table) appendPartition(members []string) *Partition {
-	t.nextID++
-	p := &Partition{
-		ID:      fmt.Sprintf("p%06d", t.nextID),
-		Members: append([]string(nil), members...),
-	}
-	t.parts = append(t.parts, p)
-	i := len(t.parts) - 1
+	id := t.idx.NewPage()
 	for _, m := range members {
-		t.index[m] = i
+		// Bootstrap/Reset chunks respect capacity and disjointness, so Bind
+		// cannot fail here.
+		if err := t.idx.Bind(id, m); err != nil {
+			panic(err)
+		}
 	}
+	p := &Partition{ID: id, Members: append([]string(nil), members...)}
+	t.parts[id] = p
+	t.order = append(t.order, id)
 	return p
 }
 
-func (t *Table) dropPartition(i int) {
-	t.parts = append(t.parts[:i], t.parts[i+1:]...)
-	for j := i; j < len(t.parts); j++ {
-		for _, m := range t.parts[j].Members {
-			t.index[m] = j
+func (t *Table) dropOrder(id string) {
+	for i, v := range t.order {
+		if v == id {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			return
 		}
 	}
 }

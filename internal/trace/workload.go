@@ -1,0 +1,235 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// WorkloadConfig parameterizes the multi-group scenario suite of the
+// million-user sweep: Users principals spread over Groups groups whose
+// sizes follow a Zipf law over group rank, then three load phases (a flash
+// crowd joining the hottest groups, a mass revocation of the largest group,
+// and a diurnal churn mix across the whole population).
+type WorkloadConfig struct {
+	// Users is the total number of distinct principals in the initial
+	// deployment; every user starts as a member of exactly one group.
+	Users int
+	// Groups is the number of groups. Group g's initial size is
+	// proportional to 1/(rank+1)^ZipfS, so rank 0 is the hot group.
+	Groups int
+	// ZipfS is the Zipf exponent for both group sizing and group
+	// popularity sampling; 0 means the classic 1.07 web default.
+	ZipfS float64
+	// FlashFrac sizes the flash-crowd phase: FlashFrac*Users brand-new
+	// users join, 80% of them the hottest group, the rest Zipf-spread
+	// over the remaining groups.
+	FlashFrac float64
+	// RevocationFrac is the fraction of the largest group's post-flash
+	// membership revoked in the mass-revocation phase.
+	RevocationFrac float64
+	// DiurnalOps is the op count of the diurnal phase: a churn mix over
+	// Zipf-sampled groups whose arrival rate and add/remove balance both
+	// swing sinusoidally over DiurnalCycles "days".
+	DiurnalOps int
+	// DiurnalCycles is the number of day/night cycles (default 2).
+	DiurnalCycles int
+	// Span is the modeled wall-clock span of the diurnal phase (only the
+	// At stamps depend on it; default 24h per cycle).
+	Span time.Duration
+	// Seed makes the whole scenario reproducible.
+	Seed int64
+}
+
+// WorkloadOp is one membership operation of a phase, targeted at a group.
+type WorkloadOp struct {
+	Group string
+	Kind  OpKind
+	User  string
+	// At is the modeled arrival offset from the phase start (diurnal
+	// phase only; zero elsewhere — setup phases are replayed flat out).
+	At time.Duration
+}
+
+// Phase is a named, ordered slice of the scenario's operations.
+type Phase struct {
+	Name string
+	Ops  []WorkloadOp
+}
+
+// GroupSeed is a group's initial membership, in rank order (index 0 is the
+// largest/hottest group).
+type GroupSeed struct {
+	Name    string
+	Members []string
+}
+
+// Workload is the generated scenario: the initial group population plus the
+// three load phases, replayed in order.
+type Workload struct {
+	Groups []GroupSeed
+	Phases []Phase
+}
+
+// Largest returns the name of the rank-0 (largest) group.
+func (w *Workload) Largest() string { return w.Groups[0].Name }
+
+// TotalOps returns the op count across all phases.
+func (w *Workload) TotalOps() int {
+	n := 0
+	for _, p := range w.Phases {
+		n += len(p.Ops)
+	}
+	return n
+}
+
+func workloadUser(i int) string  { return fmt.Sprintf("wl-u%07d@example.com", i) }
+func workloadGroup(i int) string { return fmt.Sprintf("wl-g%05d", i) }
+
+// NewWorkload synthesizes the scenario. It is deterministic in cfg.
+func NewWorkload(cfg WorkloadConfig) (*Workload, error) {
+	if cfg.Groups < 1 {
+		return nil, fmt.Errorf("trace: workload needs at least 1 group, got %d", cfg.Groups)
+	}
+	if cfg.Users < cfg.Groups {
+		return nil, fmt.Errorf("trace: workload needs Users >= Groups (%d < %d)", cfg.Users, cfg.Groups)
+	}
+	if cfg.FlashFrac < 0 || cfg.FlashFrac > 1 || cfg.RevocationFrac < 0 || cfg.RevocationFrac > 1 {
+		return nil, fmt.Errorf("trace: workload fractions must be in [0,1]")
+	}
+	s := cfg.ZipfS
+	if s == 0 {
+		s = 1.07
+	}
+	cycles := cfg.DiurnalCycles
+	if cycles <= 0 {
+		cycles = 2
+	}
+	span := cfg.Span
+	if span <= 0 {
+		span = time.Duration(cycles) * 24 * time.Hour
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Initial population: sizes proportional to 1/(rank+1)^s, every group
+	// at least one member, users assigned disjointly so the deployment has
+	// exactly cfg.Users principals.
+	weights := make([]float64, cfg.Groups)
+	var wsum float64
+	for i := range weights {
+		weights[i] = 1 / math.Pow(float64(i+1), s)
+		wsum += weights[i]
+	}
+	sizes := make([]int, cfg.Groups)
+	assigned := 0
+	for i := range sizes {
+		sizes[i] = int(float64(cfg.Users) * weights[i] / wsum)
+		if sizes[i] < 1 {
+			sizes[i] = 1
+		}
+		assigned += sizes[i]
+	}
+	// Rounding drift lands on the hot group (it dominates anyway).
+	if d := cfg.Users - assigned; d > 0 {
+		sizes[0] += d
+	} else {
+		for i := cfg.Groups - 1; i >= 0 && d < 0; i-- {
+			if take := sizes[i] - 1; take > 0 {
+				if take > -d {
+					take = -d
+				}
+				sizes[i] -= take
+				d += take
+			}
+		}
+	}
+
+	w := &Workload{Groups: make([]GroupSeed, cfg.Groups)}
+	next := 0
+	for i := range w.Groups {
+		members := make([]string, sizes[i])
+		for j := range members {
+			members[j] = workloadUser(next)
+			next++
+		}
+		w.Groups[i] = GroupSeed{Name: workloadGroup(i), Members: members}
+	}
+
+	// Live membership model (slice + swap-remove) so removals always target
+	// real members with O(1) deterministic uniform picks.
+	live := make([][]string, cfg.Groups)
+	for i, g := range w.Groups {
+		live[i] = append([]string(nil), g.Members...)
+	}
+	removeAt := func(gi, j int) string {
+		u := live[gi][j]
+		last := len(live[gi]) - 1
+		live[gi][j] = live[gi][last]
+		live[gi] = live[gi][:last]
+		return u
+	}
+	// Fresh joiners get ids past the initial population.
+	mint := func() string { u := workloadUser(next); next++; return u }
+
+	// Phase 1 — flash crowd: a burst of brand-new users joins, four fifths
+	// of it aimed at the hottest group (a popular channel going viral), the
+	// tail Zipf-spread over the rest.
+	flashN := int(cfg.FlashFrac * float64(cfg.Users))
+	flash := Phase{Name: "flash-crowd", Ops: make([]WorkloadOp, 0, flashN)}
+	var tailZipf *rand.Zipf
+	if cfg.Groups > 1 {
+		tailZipf = rand.NewZipf(rng, math.Max(s, 1.001), 1, uint64(cfg.Groups-2))
+	}
+	for i := 0; i < flashN; i++ {
+		gi := 0
+		if tailZipf != nil && i%5 == 4 { // every fifth joiner hits the tail
+			gi = 1 + int(tailZipf.Uint64())
+		}
+		u := mint()
+		live[gi] = append(live[gi], u)
+		flash.Ops = append(flash.Ops, WorkloadOp{Group: w.Groups[gi].Name, Kind: OpAdd, User: u})
+	}
+
+	// Phase 2 — mass revocation: a compromise of the largest group revokes
+	// RevocationFrac of its (post-flash) membership in one sweep. Victims
+	// are picked uniformly from the sorted live set so the removals spread
+	// across partitions the way Algorithm 3 is stressed by in §VI.
+	revoke := int(cfg.RevocationFrac * float64(len(live[0])))
+	if revoke >= len(live[0]) { // never empty the group
+		revoke = len(live[0]) - 1
+	}
+	sweep := Phase{Name: "mass-revocation", Ops: make([]WorkloadOp, 0, revoke)}
+	for i := 0; i < revoke; i++ {
+		u := removeAt(0, rng.Intn(len(live[0])))
+		sweep.Ops = append(sweep.Ops, WorkloadOp{Group: w.Groups[0].Name, Kind: OpRemove, User: u})
+	}
+
+	// Phase 3 — diurnal churn: ops land on Zipf-sampled groups; the arrival
+	// rate and the add/remove balance both follow the day/night sine (days
+	// skew toward joins, nights toward leaves), stamped with modeled
+	// arrival offsets so a paced replayer can reproduce the load curve.
+	diurnal := Phase{Name: "diurnal", Ops: make([]WorkloadOp, 0, cfg.DiurnalOps)}
+	groupZipf := rand.NewZipf(rng, math.Max(s, 1.001), 1, uint64(cfg.Groups-1))
+	at := time.Duration(0)
+	for i := 0; i < cfg.DiurnalOps; i++ {
+		frac := float64(i) / float64(cfg.DiurnalOps)
+		day := math.Sin(2 * math.Pi * float64(cycles) * frac) // +1 noon .. -1 midnight
+		// Inter-arrival stretches up to 9x at midnight vs noon.
+		step := span / time.Duration(cfg.DiurnalOps)
+		at += time.Duration(float64(step) / (0.2 + 0.8*(day+1)/2) * 0.6)
+		gi := int(groupZipf.Uint64())
+		addP := 0.5 + 0.35*day
+		if len(live[gi]) <= 1 || rng.Float64() < addP {
+			u := mint()
+			live[gi] = append(live[gi], u)
+			diurnal.Ops = append(diurnal.Ops, WorkloadOp{Group: w.Groups[gi].Name, Kind: OpAdd, User: u, At: at})
+		} else {
+			u := removeAt(gi, rng.Intn(len(live[gi])))
+			diurnal.Ops = append(diurnal.Ops, WorkloadOp{Group: w.Groups[gi].Name, Kind: OpRemove, User: u, At: at})
+		}
+	}
+
+	w.Phases = []Phase{flash, sweep, diurnal}
+	return w, nil
+}

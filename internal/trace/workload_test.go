@@ -1,0 +1,135 @@
+package trace
+
+import "testing"
+
+func TestWorkloadShape(t *testing.T) {
+	cfg := WorkloadConfig{Users: 5_000, Groups: 40, FlashFrac: 0.1, RevocationFrac: 0.3, DiurnalOps: 500, Seed: 7}
+	w, err := NewWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Groups) != cfg.Groups {
+		t.Fatalf("groups = %d, want %d", len(w.Groups), cfg.Groups)
+	}
+	total := 0
+	for i, g := range w.Groups {
+		if len(g.Members) == 0 {
+			t.Fatalf("group %d empty", i)
+		}
+		if i > 0 && len(g.Members) > len(w.Groups[i-1].Members) {
+			t.Fatalf("group sizes not rank-ordered at %d", i)
+		}
+		total += len(g.Members)
+	}
+	if total != cfg.Users {
+		t.Fatalf("initial population = %d, want %d", total, cfg.Users)
+	}
+	if w.Largest() != w.Groups[0].Name {
+		t.Fatal("Largest is not rank 0")
+	}
+
+	if len(w.Phases) != 3 {
+		t.Fatalf("phases = %d, want 3", len(w.Phases))
+	}
+	flash, sweep, diurnal := w.Phases[0], w.Phases[1], w.Phases[2]
+	if flash.Name != "flash-crowd" || sweep.Name != "mass-revocation" || diurnal.Name != "diurnal" {
+		t.Fatalf("phase names = %q %q %q", flash.Name, sweep.Name, diurnal.Name)
+	}
+	if want := int(cfg.FlashFrac * float64(cfg.Users)); len(flash.Ops) != want {
+		t.Fatalf("flash ops = %d, want %d", len(flash.Ops), want)
+	}
+	hot := 0
+	for _, op := range flash.Ops {
+		if op.Kind != OpAdd {
+			t.Fatal("flash phase contains non-add op")
+		}
+		if op.Group == w.Largest() {
+			hot++
+		}
+	}
+	if hot*10 < len(flash.Ops)*7 { // ~80% aimed at the hot group
+		t.Fatalf("only %d/%d flash joins hit the hot group", hot, len(flash.Ops))
+	}
+	for _, op := range sweep.Ops {
+		if op.Kind != OpRemove || op.Group != w.Largest() {
+			t.Fatal("mass revocation must only remove from the largest group")
+		}
+	}
+	if len(sweep.Ops) == 0 {
+		t.Fatal("empty revocation sweep")
+	}
+	if len(diurnal.Ops) != cfg.DiurnalOps {
+		t.Fatalf("diurnal ops = %d, want %d", len(diurnal.Ops), cfg.DiurnalOps)
+	}
+	for i := 1; i < len(diurnal.Ops); i++ {
+		if diurnal.Ops[i].At < diurnal.Ops[i-1].At {
+			t.Fatal("diurnal arrival stamps not monotone")
+		}
+	}
+
+	// Membership consistency: replaying through a model never removes a
+	// non-member or re-adds a live one.
+	live := make(map[string]map[string]bool)
+	for _, g := range w.Groups {
+		live[g.Name] = make(map[string]bool)
+		for _, u := range g.Members {
+			live[g.Name][u] = true
+		}
+	}
+	for _, ph := range w.Phases {
+		for _, op := range ph.Ops {
+			switch op.Kind {
+			case OpAdd:
+				if live[op.Group][op.User] {
+					t.Fatalf("%s: add of live member %s to %s", ph.Name, op.User, op.Group)
+				}
+				live[op.Group][op.User] = true
+			case OpRemove:
+				if !live[op.Group][op.User] {
+					t.Fatalf("%s: remove of non-member %s from %s", ph.Name, op.User, op.Group)
+				}
+				delete(live[op.Group], op.User)
+			}
+		}
+	}
+	for g, ms := range live {
+		if len(ms) == 0 {
+			t.Fatalf("group %s emptied by the scenario", g)
+		}
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	cfg := WorkloadConfig{Users: 1_000, Groups: 10, FlashFrac: 0.2, RevocationFrac: 0.5, DiurnalOps: 200, Seed: 42}
+	a, err := NewWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewWorkload(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalOps() != b.TotalOps() {
+		t.Fatalf("op counts diverge: %d vs %d", a.TotalOps(), b.TotalOps())
+	}
+	for p := range a.Phases {
+		for i := range a.Phases[p].Ops {
+			if a.Phases[p].Ops[i] != b.Phases[p].Ops[i] {
+				t.Fatalf("phase %d op %d diverges", p, i)
+			}
+		}
+	}
+}
+
+func TestWorkloadRejectsBadConfig(t *testing.T) {
+	for _, cfg := range []WorkloadConfig{
+		{Users: 10, Groups: 0},
+		{Users: 5, Groups: 10},
+		{Users: 10, Groups: 2, FlashFrac: 1.5},
+		{Users: 10, Groups: 2, RevocationFrac: -0.1},
+	} {
+		if _, err := NewWorkload(cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		}
+	}
+}
